@@ -1,0 +1,54 @@
+"""Extension bench: PInTE in a second (cache-only) host.
+
+The paper argues PInTE ports to any simulator exposing a replacement stack.
+This bench runs the same contention sweep through the full timing simulator
+and the cache-only fast host, checking that the induced contention agrees
+and measuring the fast host's speed advantage.
+"""
+
+import pytest
+
+from repro.core import PinteConfig
+from repro.experiments.reporting import format_table
+from repro.sim import simulate
+from repro.sim.fastcache import simulate_cache_only
+from repro.trace import build_trace, get_workload
+
+P_VALUES = (0.05, 0.2, 0.5, 1.0)
+
+
+def test_fastcache_host(benchmark, bench_config, write_report):
+    trace = build_trace(get_workload("450.soplex"), 40_000, 1,
+                        bench_config.llc.size)
+
+    def run():
+        rows = []
+        for p in P_VALUES:
+            full = simulate(trace, bench_config, pinte=PinteConfig(p, seed=1),
+                            warmup_instructions=10_000,
+                            sim_instructions=30_000)
+            fast = simulate_cache_only(trace, bench_config,
+                                       pinte=PinteConfig(p, seed=1),
+                                       warmup_accesses=4_000)
+            rows.append((p, full.miss_rate, fast.miss_rate,
+                         full.contention_rate, fast.contention_rate,
+                         full.wall_time_seconds / fast.wall_time_seconds))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    write_report("fastcache_host", format_table(
+        ["P_induce", "MR (full)", "MR (fast)", "contention (full)",
+         "contention (fast)", "speedup"],
+        rows,
+        title="PInTE hosted in the cache-only simulator vs the full model",
+    ))
+
+    for p, full_mr, fast_mr, full_cont, fast_cont, speedup in rows:
+        # Both hosts see the same contention dose-response.
+        assert fast_mr == pytest.approx(full_mr, abs=0.25), p
+        assert speedup > 1.5, "the cache-only host should be clearly faster"
+    # Contention rate grows with p in both hosts.
+    full_rates = [row[3] for row in rows]
+    fast_rates = [row[4] for row in rows]
+    assert full_rates == sorted(full_rates)
+    assert fast_rates == sorted(fast_rates)

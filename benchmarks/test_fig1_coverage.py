@@ -1,0 +1,21 @@
+"""Bench for Fig 1 — contention-rate coverage, 2nd-Trace pairs vs PInTE.
+
+The paper's shape: trace pairs over-represent low contention, while a
+``P_induce`` sweep covers the full 0-100% range.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, bench_bundle, write_report):
+    result = benchmark.pedantic(lambda: fig1.run_fig1(bench_bundle),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    write_report("fig1", fig1.format_report(result))
+
+    # Pairs cluster at low contention (Fig 1a).
+    assert result.pair_low_fraction > 0.3, \
+        "trace pairs should over-represent low contention"
+    # PInTE reaches at least as much of the range as pairs, and most of it
+    # in absolute terms (Fig 1b).
+    assert result.occupied_bins("pinte") >= result.occupied_bins("pairs")
+    assert result.occupied_bins("pinte") >= 6

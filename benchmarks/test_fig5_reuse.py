@@ -1,0 +1,34 @@
+"""Bench for Fig 5 — reuse histograms under PInTE vs 2nd-Trace contention.
+
+Regenerates the three-exemplar comparison (good / medium / worst alignment)
+with the KL divergence of each.
+"""
+
+from repro.experiments import fig5
+from repro.experiments.suites import FIG5_WORKLOADS
+
+
+def test_fig5(benchmark, bench_bundle, write_report):
+    result = benchmark.pedantic(
+        lambda: fig5.run_fig5(bench_bundle, workloads=FIG5_WORKLOADS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    write_report("fig5", fig5.format_report(result))
+
+    assert len(result.comparisons) == 3
+    assert all(c.kl_bits >= 0 for c in result.comparisons)
+
+    # Paper shape: the cache-resident workload (gromacs) carries a real
+    # reuse signal and aligns better than the core-bound one (imagick),
+    # whose LLC activity is write-back noise — at reproduction scale
+    # imagick may produce *no* demand-reuse signal at all, which is the
+    # extreme form of the same effect.
+    gromacs = result.by_name("435.gromacs")
+    imagick = result.by_name("638.imagick")
+    assert gromacs.has_signal
+    assert (not imagick.has_signal) or imagick.kl_bits >= gromacs.kl_bits
+
+    # The best-aligned exemplar with signal sits under 1 bit.
+    with_signal = result.with_signal()
+    assert with_signal
+    assert min(c.kl_bits for c in with_signal) < 1.0

@@ -1,0 +1,41 @@
+"""Bench for Fig 8 — contention sensitivity curves and classification.
+
+Regenerates the per-benchmark weighted-IPC-vs-contention curves under both
+contexts, the TPL=5% classification (high / low / mixed via SCP), and the
+disagreement markers.
+"""
+
+from repro.experiments import fig8
+from repro.trace import CORE_BOUND, LLC_BOUND, get_workload
+
+
+def test_fig8(benchmark, bench_bundle, write_report):
+    result = benchmark.pedantic(lambda: fig8.run_fig8(bench_bundle),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    write_report("fig8", fig8.format_report(result))
+
+    by_class = {}
+    for entry in result.per_benchmark:
+        klass = get_workload(entry.benchmark).klass
+        by_class.setdefault(klass, []).append(entry)
+
+    # Paper shape: LLC-bound workloads classify high-sensitivity.
+    llc_bound = by_class.get(LLC_BOUND, [])
+    assert llc_bound
+    high = [e for e in llc_bound if e.pinte_report.classification == "high"]
+    assert len(high) >= len(llc_bound) // 2
+
+    # Paper shape: core-bound workloads classify low-sensitivity.
+    core_bound = by_class.get(CORE_BOUND, [])
+    assert core_bound
+    assert all(e.pinte_report.classification == "low" for e in core_bound)
+
+    # Paper headline: a majority-ish share of the suite is insensitive at
+    # TPL=5% (57% in the paper).
+    shares = result.shares()
+    assert shares["low"] >= 0.3
+
+    # Disagreements, when they occur, should be the DRAM-bound workloads
+    # (paper Section V-C).
+    for name in result.disagreement_names():
+        assert get_workload(name).klass in ("dram_bound", "llc_bound", "mixed"), name

@@ -1,0 +1,28 @@
+"""Bench for Fig 9 — AMAT under contention, PInTE vs 2nd-Trace boxplots."""
+
+from repro.experiments import fig9
+from repro.trace import DRAM_BOUND, get_workload
+
+
+def test_fig9(benchmark, bench_bundle, write_report):
+    result = benchmark.pedantic(lambda: fig9.run_fig9(bench_bundle),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    write_report("fig9", fig9.format_report(result))
+
+    config = bench_bundle.config
+    l1 = config.l1d.latency
+    dram_ceiling = (config.llc.latency + config.dram.row_conflict_latency) * 4
+
+    for name, stats in result.per_benchmark.items():
+        # AMAT sits between the L1 latency and a generous DRAM-bound ceiling.
+        for context in ("pair", "pinte"):
+            assert l1 <= stats[context]["median"] <= dram_ceiling, (name, context)
+
+    # Paper shape: PInTE induces AMAT comparable to real sharing except for
+    # DRAM-bound workloads; check medians stay in the same order of
+    # magnitude for non-DRAM-bound benchmarks.
+    for name, stats in result.per_benchmark.items():
+        if get_workload(name).klass == DRAM_BOUND:
+            continue
+        ratio = stats["pinte"]["median"] / stats["pair"]["median"]
+        assert 0.2 < ratio < 5.0, (name, ratio)

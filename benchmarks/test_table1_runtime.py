@@ -1,0 +1,67 @@
+"""Bench for Table I — simulation run-times and experiment sizes.
+
+Regenerates the paper's cost comparison of the three contention contexts
+from the measured wall-clock of the bench campaign, plus the full-scale
+analytic experiment counts. Also times one representative simulation per
+context so ``--benchmark-only`` reports the per-simulation cost directly.
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core import PinteConfig
+from repro.experiments import table1
+from repro.sim import simulate, simulate_pair
+from repro.trace import build_trace, get_workload
+
+CFG = scaled_config()
+
+
+def _trace(name, seed=1):
+    return build_trace(get_workload(name), 25_000, seed, CFG.llc.size)
+
+
+class TestPerSimulationCost:
+    """The raw per-simulation costs behind Table I's time ratios."""
+
+    def test_isolation_sim(self, benchmark):
+        trace = _trace("450.soplex")
+        benchmark.pedantic(
+            lambda: simulate(trace, CFG, warmup_instructions=5_000,
+                             sim_instructions=20_000),
+            rounds=3, iterations=1, warmup_rounds=0,
+        )
+
+    def test_pinte_sim(self, benchmark):
+        trace = _trace("450.soplex")
+        benchmark.pedantic(
+            lambda: simulate(trace, CFG, pinte=PinteConfig(0.3),
+                             warmup_instructions=5_000,
+                             sim_instructions=20_000),
+            rounds=3, iterations=1, warmup_rounds=0,
+        )
+
+    def test_second_trace_sim(self, benchmark):
+        trace = _trace("450.soplex")
+        adversary = _trace("470.lbm", seed=2)
+        benchmark.pedantic(
+            lambda: simulate_pair(trace, adversary, CFG,
+                                  warmup_instructions=5_000,
+                                  sim_instructions=20_000),
+            rounds=3, iterations=1, warmup_rounds=0,
+        )
+
+
+def test_table1(benchmark, bench_bundle, write_report):
+    result = benchmark.pedantic(lambda: table1.run_table1(bench_bundle),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    write_report("table1", table1.format_report(result))
+
+    # Shape checks against the paper's claims.
+    by_source = {row.source: row for row in result.rows}
+    assert by_source["2nd-Trace"].avg > by_source["None"].avg, \
+        "a second trace must increase average simulation time"
+    assert by_source["PInTE"].avg < by_source["2nd-Trace"].avg, \
+        "PInTE must be cheaper per simulation than 2nd-Trace"
+    assert result.analytic["2nd-Trace"] == 17578
+    assert result.experiment_ratio == pytest.approx(17578 / (12 * 188))

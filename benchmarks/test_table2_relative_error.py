@@ -1,0 +1,36 @@
+"""Bench for Table II — average relative error in AMAT / MR / IPC.
+
+Regenerates the per-benchmark error table (PInTE vs CRG-matched 2nd-Trace)
+and checks the paper's structural claims: IPC error is negative on average
+(PInTE without DRAM contention under-induces slowdown, so its IPC is the
+higher of the two), and the outliers are the DRAM-bound workloads.
+"""
+
+from repro.experiments import table2
+from repro.trace import DRAM_BOUND, get_workload
+
+
+def test_table2(benchmark, bench_bundle, write_report):
+    result = benchmark.pedantic(lambda: table2.run_table2(bench_bundle),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    write_report("table2", table2.format_report(result))
+
+    # Every benchmark in the suite produced a row with matched experiments.
+    assert len(result.rows) == len(bench_bundle.names)
+    assert all(count > 0 for count in result.matched_counts.values())
+
+    # Paper shape: suite-average IPC error is negative (paper: -8.46%).
+    assert result.summary["all"]["ipc"] < 0
+
+    # Paper shape: core-bound workloads have small IPC error; the large
+    # errors concentrate in LLC/DRAM-bound workloads.
+    for name in ("453.povray", "638.imagick", "641.leela"):
+        row = result.row(name)
+        assert abs(row.ipc) < 10.0, f"{name} (core-bound) IPC error too large"
+
+    worst = max(result.rows, key=lambda row: abs(row.ipc))
+    klass = get_workload(worst.benchmark).klass
+    assert klass in (DRAM_BOUND, "llc_bound"), (
+        f"worst IPC error should be a DRAM/LLC-bound workload, "
+        f"got {worst.benchmark} ({klass})"
+    )

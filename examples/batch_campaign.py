@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run a contention campaign in parallel and persist the results.
+
+Demonstrates the campaign infrastructure: declare jobs (isolation + PInTE
+sweep + 2nd-Trace panel) with :func:`repro.sim.batch.campaign_jobs`, execute
+them across worker processes with :func:`repro.sim.batch.run_batch`, save
+everything to JSON/CSV with :mod:`repro.sim.serialize`, and reload for
+analysis without re-simulating.
+
+Usage::
+
+    python examples/batch_campaign.py [output_dir] [n_processes]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import scaled_config
+from repro.analysis import weighted_ipc
+from repro.sim import ExperimentScale
+from repro.sim.batch import campaign_jobs, run_batch
+from repro.sim.serialize import load_results, results_to_csv, save_results
+
+WORKLOADS = ["435.gromacs", "450.soplex", "470.lbm", "453.povray"]
+P_VALUES = (0.1, 0.5, 1.0)
+SCALE = ExperimentScale(warmup_instructions=5_000, sim_instructions=20_000,
+                        sample_interval=4_000)
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("campaign_out")
+    processes = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    output.mkdir(parents=True, exist_ok=True)
+
+    panel = {name: [other for other in WORKLOADS if other != name][:1]
+             for name in WORKLOADS}
+    jobs = campaign_jobs(WORKLOADS, p_values=P_VALUES, panel=panel)
+    print(f"running {len(jobs)} simulations on {processes} processes...")
+    results = run_batch(jobs, scaled_config(), SCALE, processes=processes)
+
+    json_path = output / "results.json"
+    csv_path = output / "results.csv"
+    save_results(results, json_path)
+    results_to_csv(results, csv_path)
+    print(f"wrote {json_path} and {csv_path}")
+
+    # Reload (proving persistence round-trips) and summarise.
+    loaded = load_results(json_path)
+    isolation = {r.trace_name: r for r in loaded if r.mode == "isolation"}
+    print(f"\n{'context':>28}  {'wIPC':>6}  {'contention':>10}")
+    for result in loaded:
+        if result.mode == "isolation":
+            continue
+        weighted = weighted_ipc(result, isolation[result.trace_name])
+        print(f"{result.label():>28}  {weighted:6.3f}  "
+              f"{result.contention_rate:10.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Walk through the theft mechanics of the paper's Fig 2 and Fig 4.
+
+Part 1 replays Fig 2a: two owners interleave accesses in one 4-way LRU set
+and we narrate every inter-core eviction (theft) as it happens.
+
+Part 2 replays Fig 2b / Fig 4: the PInTE engine acts as the adversary on a
+single-owner set — we print each state-machine step (trigger draw, eviction
+count, promote, invalidate) so you can see the induced thefts and the
+"mocked theft" promotion of an invalidated way.
+
+For the programmatic (testable) version of these walkthroughs see
+:mod:`repro.core.mechanics`, which returns the same stories as typed event
+logs.
+"""
+
+from repro import ContentionTracker, PInTE, PinteConfig, SYSTEM_OWNER
+from repro.cache.cache import Cache
+
+BLOCK = 64
+
+
+def banner(text: str) -> None:
+    print(f"\n{'-' * 64}\n{text}\n{'-' * 64}")
+
+
+def show_set(cache: Cache, set_index: int) -> None:
+    order = cache.policy.eviction_order(set_index)
+    cells = []
+    for way in order[::-1]:  # protected end first
+        block = cache.sets[set_index][way]
+        if block.valid:
+            owner = "sys" if block.owner == SYSTEM_OWNER else f"c{block.owner}"
+            cells.append(f"[{block.tag // BLOCK:>3} {owner}]")
+        else:
+            cells.append("[ -- inv]")
+    print("  set (MRU -> LRU):", " ".join(cells))
+
+
+def real_contention() -> None:
+    banner("Part 1 — real thefts: two cores share a 4-way set (Fig 2a)")
+    cache = Cache("LLC", 4 * BLOCK, 4, BLOCK, latency=1, policy="lru")
+    tracker = ContentionTracker()
+
+    def access(owner: int, block_id: int) -> None:
+        address = block_id * BLOCK * cache.n_sets
+        hit = cache.access(address, False, owner)
+        tracker.record_access(owner, address, hit)
+        if not hit:
+            evicted = cache.fill(address, owner)
+            note = ""
+            if evicted is not None and evicted.owner != owner:
+                tracker.record_theft(evicted.owner, owner, evicted.tag)
+                note = (f"  << THEFT: core {owner} evicted core "
+                        f"{evicted.owner}'s block {evicted.tag // BLOCK}")
+            elif evicted is not None:
+                note = "  (self-eviction)"
+            print(f"  core {owner} MISS on block {block_id}{note}")
+        else:
+            print(f"  core {owner} hit  on block {block_id}")
+        show_set(cache, 0)
+
+    # Interleaving in the spirit of Fig 2a: green (core 0) vs gray (core 1).
+    for owner, block_id in [(0, 1), (0, 2), (1, 10), (1, 11), (0, 3),
+                            (1, 12), (0, 1), (1, 13), (0, 2)]:
+        access(owner, block_id)
+
+    for owner in (0, 1):
+        counters = tracker.counters(owner)
+        print(f"core {owner}: thefts experienced={counters.thefts_experienced} "
+              f"caused={counters.thefts_caused} "
+              f"interference={counters.interference_misses}")
+
+
+def induced_contention() -> None:
+    banner("Part 2 — induced thefts: PInTE mimics the adversary (Fig 2b/4)")
+    cache = Cache("LLC", 4 * BLOCK, 4, BLOCK, latency=1, policy="lru")
+    tracker = ContentionTracker()
+    engine = PInTE(PinteConfig(p_induce=0.6, seed=11), cache, tracker)
+
+    def access(block_id: int, step: int) -> None:
+        address = block_id * BLOCK * cache.n_sets
+        hit = cache.access(address, False, 0)
+        tracker.record_access(0, address, hit)
+        if not hit:
+            cache.fill(address, 0)
+        interference = ("  << INTERFERENCE (miss on a stolen block)"
+                        if not hit and tracker.counters(0).interference_misses
+                        > interference_seen[0] else "")
+        interference_seen[0] = tracker.counters(0).interference_misses
+        print(f"  step {step}: core 0 {'hit ' if hit else 'MISS'} on block "
+              f"{block_id}{interference}")
+        invalidated = engine.on_llc_access(0, step, 0)
+        if invalidated:
+            print(f"          PInTE trigger -> {invalidated} induced theft(s)")
+        show_set(cache, 0)
+
+    interference_seen = [0]
+    for step, block_id in enumerate([1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]):
+        access(block_id, step)
+
+    counters = tracker.counters(0)
+    print(f"\nworkload: LLC accesses={counters.llc_accesses} "
+          f"thefts experienced={counters.thefts_experienced} "
+          f"interference misses={counters.interference_misses}")
+    print(f"engine: triggers={engine.stats.triggers} "
+          f"promotions={engine.stats.promotions} "
+          f"invalidations={engine.stats.invalidations} "
+          f"(promotions > invalidations means some were 'mocked thefts' on "
+          f"already-invalid ways)")
+
+
+if __name__ == "__main__":
+    real_contention()
+    induced_contention()

@@ -1,0 +1,96 @@
+"""C²AFE-style curve feature extraction (Gomes & Hempstead, ISPASS 2020).
+
+The paper summarises capacity/contention curves with three features — knee,
+trend, and sensitivity — and reuses that method to characterise contention
+sensitivity. A curve here is a mapping from contention rate (x) to weighted
+IPC (y).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class CurveFeatures:
+    """The three C²AFE features of one contention curve."""
+
+    knee: float  # x position where the curve bends hardest
+    trend: float  # overall slope sign/magnitude (least-squares)
+    sensitivity: float  # total performance range: max(y) - min(y)
+
+    @property
+    def is_flat(self) -> bool:
+        """A curve whose whole range is under 1% is effectively flat."""
+        return self.sensitivity < 0.01
+
+
+def _as_points(curve: Dict[float, float]) -> Tuple[List[float], List[float]]:
+    if len(curve) < 2:
+        raise ValueError("curve needs at least two points")
+    xs = sorted(curve)
+    ys = [curve[x] for x in xs]
+    return xs, ys
+
+
+def trend_slope(curve: Dict[float, float]) -> float:
+    """Least-squares slope of the curve (negative = degrades with contention)."""
+    xs, ys = _as_points(curve)
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def knee_point(curve: Dict[float, float]) -> float:
+    """x position of maximum curvature, via the max-distance-to-chord rule.
+
+    The classic "kneedle"-style construction: draw the chord from the first
+    to the last point and find the sample farthest from it. For a flat curve
+    the first x is returned.
+    """
+    xs, ys = _as_points(curve)
+    x0, y0 = xs[0], ys[0]
+    x1, y1 = xs[-1], ys[-1]
+    dx, dy = x1 - x0, y1 - y0
+    norm = (dx * dx + dy * dy) ** 0.5
+    if norm == 0:
+        return x0
+    best_x = x0
+    best_distance = -1.0
+    for x, y in zip(xs, ys):
+        distance = abs(dy * (x - x0) - dx * (y - y0)) / norm
+        if distance > best_distance:
+            best_distance = distance
+            best_x = x
+    return best_x
+
+
+def extract_features(curve: Dict[float, float]) -> CurveFeatures:
+    """All three features of one curve."""
+    xs, ys = _as_points(curve)
+    return CurveFeatures(
+        knee=knee_point(curve),
+        trend=trend_slope(curve),
+        sensitivity=max(ys) - min(ys),
+    )
+
+
+def curve_agreement(reference: Dict[float, float], model: Dict[float, float],
+                    tolerance: float = 0.05) -> bool:
+    """Do two curves tell the same sensitivity story?
+
+    Used for the Fig 8 "empirical disagreement" markers: curves agree when
+    their sensitivity features land within ``tolerance`` of each other or
+    both are flat.
+    """
+    ref = extract_features(reference)
+    mod = extract_features(model)
+    if ref.is_flat and mod.is_flat:
+        return True
+    return abs(ref.sensitivity - mod.sensitivity) <= tolerance

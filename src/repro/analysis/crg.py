@@ -1,0 +1,106 @@
+"""Contention Rate Grouping (CRG, paper Section III-E).
+
+Experiments are compared "across like contention rates": observed rates are
+rounded to the nearest group centre (10% wide groups by default, i.e. +/-5%
+sub-ranges), and PInTE results are matched to 2nd-Trace results that landed
+in the same group. Fig 7b varies the group width to show the
+coverage-vs-error trade-off.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.results import SimulationResult
+
+#: The paper's chosen criterion: +/-5% sub-ranges (10% wide groups).
+DEFAULT_GROUP_WIDTH = 0.10
+#: Group-width criteria compared in Fig 7b.
+PAPER_CRG_CRITERIA = (0.05, 0.10, 0.20)
+
+
+def group_of(rate: float, width: float = DEFAULT_GROUP_WIDTH) -> int:
+    """Group id for a contention rate (id * width = group centre)."""
+    if width <= 0:
+        raise ValueError("group width must be positive")
+    if rate < 0:
+        raise ValueError("contention rate must be non-negative")
+    return int(round(rate / width))
+
+
+def group_centre(group: int, width: float = DEFAULT_GROUP_WIDTH) -> float:
+    """Centre rate of a group id."""
+    return group * width
+
+
+def group_results(
+    results: Iterable[SimulationResult],
+    width: float = DEFAULT_GROUP_WIDTH,
+    rate_attr: str = "contention_rate",
+) -> Dict[int, List[SimulationResult]]:
+    """Bucket results by their observed contention-rate group."""
+    groups: Dict[int, List[SimulationResult]] = defaultdict(list)
+    for result in results:
+        groups[group_of(getattr(result, rate_attr), width)].append(result)
+    return dict(groups)
+
+
+def match_by_group(
+    reference: Iterable[SimulationResult],
+    model: Iterable[SimulationResult],
+    width: float = DEFAULT_GROUP_WIDTH,
+    rate_attr: str = "contention_rate",
+) -> List[Tuple[SimulationResult, SimulationResult]]:
+    """Pair each reference result with a model result in the same group.
+
+    When several model results share the group, the one whose rate is
+    closest to the reference's wins — this is how Table II pairs a
+    2nd-Trace mix with the PInTE run that induced the same contention.
+    """
+    model_groups = group_results(model, width, rate_attr)
+    matched: List[Tuple[SimulationResult, SimulationResult]] = []
+    for ref in reference:
+        candidates = model_groups.get(group_of(getattr(ref, rate_attr), width))
+        if not candidates:
+            continue
+        ref_rate = getattr(ref, rate_attr)
+        best = min(candidates,
+                   key=lambda result: abs(getattr(result, rate_attr) - ref_rate))
+        matched.append((ref, best))
+    return matched
+
+
+def coverage(
+    reference: Sequence[SimulationResult],
+    model: Sequence[SimulationResult],
+    width: float = DEFAULT_GROUP_WIDTH,
+    rate_attr: str = "contention_rate",
+) -> float:
+    """Fraction of reference results with a same-group model match (Fig 7b)."""
+    if not reference:
+        return 0.0
+    return len(match_by_group(reference, model, width, rate_attr)) / len(reference)
+
+
+def contention_curve(
+    results: Iterable[SimulationResult],
+    isolation_ipc: float,
+    width: float = DEFAULT_GROUP_WIDTH,
+    rate_attr: str = "interference_rate",
+) -> Dict[float, float]:
+    """Average weighted IPC per contention-rate group (Fig 8 curves).
+
+    Returns ``{group centre rate: mean weighted IPC}`` sorted by rate.
+    """
+    if isolation_ipc <= 0:
+        raise ValueError("isolation IPC must be positive")
+    groups: Dict[int, List[float]] = defaultdict(list)
+    for result in results:
+        groups[group_of(getattr(result, rate_attr), width)].append(
+            result.ipc / isolation_ipc
+        )
+    return {
+        group_centre(group, width): sum(values) / len(values)
+        for group, values in sorted(groups.items())
+    }

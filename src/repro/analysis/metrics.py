@@ -1,0 +1,103 @@
+"""High-level performance metrics (paper Section III-D).
+
+Weighted IPC (Eq. 1) normalises a contention run to the same workload's
+isolation run; the three headline metrics are IPC, miss rate (MR) and
+average memory access time (AMAT), all carried on
+:class:`~repro.sim.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.sim.results import SimulationResult
+
+#: Metric accessors shared by the error/KL analyses.
+HIGH_LEVEL_METRICS = ("amat", "miss_rate", "ipc")
+
+
+def weighted_ipc(contention: SimulationResult, isolation: SimulationResult) -> float:
+    """Eq. 1: ``IPC_contention / IPC_isolation``.
+
+    Both results must describe the same workload; mixing benchmarks is the
+    kind of silent error we refuse loudly.
+    """
+    if contention.trace_name != isolation.trace_name:
+        raise ValueError(
+            f"weighted IPC needs matching workloads, got "
+            f"{contention.trace_name!r} vs {isolation.trace_name!r}"
+        )
+    if isolation.ipc == 0:
+        raise ValueError(f"{isolation.trace_name}: isolation IPC is zero")
+    return contention.ipc / isolation.ipc
+
+
+def metric_value(result: SimulationResult, metric: str) -> float:
+    """Fetch a high-level metric by name."""
+    if metric not in HIGH_LEVEL_METRICS and not hasattr(result, metric):
+        raise KeyError(f"unknown metric {metric!r}")
+    return float(getattr(result, metric))
+
+
+def average(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty iterable (safe for report rows)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (standard for IPC aggregation)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    log_sum = 0.0
+    import math
+
+    for value in values:
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))
+
+
+def summarise(results: Iterable[SimulationResult]) -> Dict[str, float]:
+    """Mean IPC/MR/AMAT over a batch of results."""
+    results = list(results)
+    return {
+        metric: average(metric_value(result, metric) for result in results)
+        for metric in HIGH_LEVEL_METRICS
+    }
+
+
+def boxplot_stats(values: List[float]) -> Dict[str, float]:
+    """Median/quartile/whisker stats matching the paper's boxplot figures."""
+    if not values:
+        raise ValueError("boxplot of no data")
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def quantile(q: float) -> float:
+        position = q * (n - 1)
+        low = int(position)
+        high = min(low + 1, n - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    q1 = quantile(0.25)
+    q3 = quantile(0.75)
+    iqr = q3 - q1
+    lower_fence = q1 - 1.5 * iqr
+    upper_fence = q3 + 1.5 * iqr
+    in_fence = [v for v in ordered if lower_fence <= v <= upper_fence]
+    return {
+        "median": quantile(0.5),
+        "q1": q1,
+        "q3": q3,
+        "whisker_low": min(in_fence) if in_fence else ordered[0],
+        "whisker_high": max(in_fence) if in_fence else ordered[-1],
+        "outliers": float(n - len(in_fence)),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }

@@ -1,0 +1,47 @@
+"""Change-in-occupancy: the real-system contention proxy (paper Eq. 6).
+
+Real machines lack theft counters, so the paper measures
+``100 * (current occupancy / maximum allocation - 1)`` — the loss from the
+workload's expected LLC capacity, "like coarse-grained thefts". Values are
+<= 0; more negative means more capacity lost to contention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.results import SimulationResult
+
+
+def change_in_occupancy(current_fraction: float,
+                        max_allocation_fraction: float) -> float:
+    """Eq. 6, in percent.
+
+    ``current_fraction`` is the workload's share of LLC blocks;
+    ``max_allocation_fraction`` its allocation cap (1.0 without RDT).
+    """
+    if not 0.0 <= current_fraction <= 1.0:
+        raise ValueError("occupancy fraction must be in [0, 1]")
+    if not 0.0 < max_allocation_fraction <= 1.0:
+        raise ValueError("allocation fraction must be in (0, 1]")
+    return 100.0 * (current_fraction / max_allocation_fraction - 1.0)
+
+
+def occupancy_series(result: SimulationResult,
+                     max_allocation_fraction: float = 1.0) -> List[float]:
+    """Eq. 6 evaluated at every sample of a run."""
+    return [
+        change_in_occupancy(min(1.0, sample.occupancy), max_allocation_fraction)
+        for sample in result.samples
+    ]
+
+
+def mean_change_in_occupancy(results: Sequence[SimulationResult],
+                             max_allocation_fraction: float = 1.0) -> float:
+    """Average Eq. 6 over all samples of all runs."""
+    values: List[float] = []
+    for result in results:
+        values.extend(occupancy_series(result, max_allocation_fraction))
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,100 @@
+"""Phase detection over run-time metric samples.
+
+Mixed workloads (gcc/xz-class models) change behaviour over time, which is
+what produces the paper's *mixed* sensitivity class ("the dip in performance
+at middle contention rates..."). This module finds phase boundaries in a
+sampled metric series with a rolling-mean change-point detector and
+summarises per-phase behaviour — used to explain Fig 8 classifications and
+by workload characterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.stability import std_dev
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One detected phase: sample indices [start, end) and its mean level."""
+
+    start: int
+    end: int
+    mean: float
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def detect_phases(series: Sequence[float], window: int = 2,
+                  threshold: float = 1.5) -> List[Phase]:
+    """Split a series into phases at rolling-mean shifts.
+
+    Candidate boundaries are positions where adjacent window means differ by
+    more than ``threshold`` times the series' overall standard deviation;
+    within each contiguous run of candidates only the sharpest shift becomes
+    a boundary (a single step otherwise produces several). A constant series
+    is one phase; every series yields at least one.
+    """
+    values = list(series)
+    if not values:
+        raise ValueError("empty series")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if len(values) <= window:
+        return [Phase(0, len(values), sum(values) / len(values))]
+    spread = std_dev(values)
+    if spread == 0:
+        return [Phase(0, len(values), values[0])]
+
+    deltas = {}
+    for index in range(window, len(values) - window + 1):
+        before = values[index - window:index]
+        after = values[index:index + window]
+        delta = abs(sum(after) / window - sum(before) / window)
+        if delta > threshold * spread:
+            deltas[index] = delta
+
+    # Keep only the sharpest index of each contiguous candidate run.
+    boundaries = [0]
+    run: List[int] = []
+    for index in sorted(deltas) + [None]:
+        if run and (index is None or index != run[-1] + 1):
+            best = max(run, key=deltas.get)
+            if best - boundaries[-1] >= window:
+                boundaries.append(best)
+            run = []
+        if index is not None:
+            run.append(index)
+    boundaries.append(len(values))
+
+    phases = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        segment = values[start:end]
+        phases.append(Phase(start, end, sum(segment) / len(segment)))
+    return phases
+
+
+def phase_count(series: Sequence[float], window: int = 2,
+                threshold: float = 1.5) -> int:
+    """Number of detected phases."""
+    return len(detect_phases(series, window, threshold))
+
+
+def result_phases(result: SimulationResult, metric: str = "ipc",
+                  window: int = 2, threshold: float = 1.5) -> List[Phase]:
+    """Phases of one run's sampled metric."""
+    series = result.sample_series(metric)
+    if not series:
+        raise ValueError(f"{result.trace_name}: no samples collected")
+    return detect_phases(series, window, threshold)
+
+
+def is_phase_changing(result: SimulationResult, metric: str = "ipc",
+                      window: int = 2, threshold: float = 1.5) -> bool:
+    """True when more than one phase is detected — the 'mixed' fingerprint."""
+    return len(result_phases(result, metric, window, threshold)) > 1

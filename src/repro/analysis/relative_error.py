@@ -1,0 +1,109 @@
+"""Relative error between 2nd-Trace and PInTE results (paper Eq. 4).
+
+``RelativeError_m = 100 * (m_2ndTrace - m_PInTE) / m_PInTE``
+
+Positive error means PInTE *underestimates* the metric, negative means it
+overestimates — the paper's Table II convention. Errors beyond +/-10% are
+graded significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.analysis.metrics import HIGH_LEVEL_METRICS, average, metric_value
+from repro.sim.results import SimulationResult
+
+SIGNIFICANT_ERROR_PERCENT = 10.0
+
+
+def relative_error(reference: float, pinte: float) -> float:
+    """Eq. 4 with the paper's sign convention, in percent."""
+    if pinte == 0:
+        if reference == 0:
+            return 0.0
+        raise ZeroDivisionError("PInTE metric is zero but 2nd-Trace metric is not")
+    return 100.0 * (reference - pinte) / pinte
+
+
+def result_relative_errors(second_trace: SimulationResult,
+                           pinte: SimulationResult) -> Dict[str, float]:
+    """Per-metric Eq. 4 errors for one matched pair of runs."""
+    errors = {}
+    for metric in HIGH_LEVEL_METRICS:
+        reference = metric_value(second_trace, metric)
+        approx = metric_value(pinte, metric)
+        if approx == 0 and reference == 0:
+            errors[metric] = 0.0
+        elif approx == 0:
+            errors[metric] = float("inf")
+        else:
+            errors[metric] = relative_error(reference, approx)
+    return errors
+
+
+@dataclass
+class ErrorRow:
+    """One Table II row: average per-metric error plus significance flags."""
+
+    benchmark: str
+    amat: float
+    miss_rate: float
+    ipc: float
+
+    @property
+    def amat_significant(self) -> bool:
+        return abs(self.amat) >= SIGNIFICANT_ERROR_PERCENT
+
+    @property
+    def mr_significant(self) -> bool:
+        return abs(self.miss_rate) >= SIGNIFICANT_ERROR_PERCENT
+
+    @property
+    def ipc_significant(self) -> bool:
+        return abs(self.ipc) >= SIGNIFICANT_ERROR_PERCENT
+
+    def classify(self) -> str:
+        """The paper's Table II annotation scheme.
+
+        ``dram_dependent`` = high AMAT & IPC error (underlined in the paper),
+        ``core_bound`` = high MR error alone (``*``), ``llc_bound`` = high IPC
+        error alone (``+``), otherwise ``ok``.
+        """
+        if self.amat_significant and self.ipc_significant:
+            return "dram_dependent"
+        if self.mr_significant and not self.ipc_significant:
+            return "core_bound"
+        if self.ipc_significant:
+            return "llc_bound"
+        return "ok"
+
+
+def average_errors(pairs: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Average per-metric error dicts over many matched pairs."""
+    pairs = list(pairs)
+    if not pairs:
+        return {metric: 0.0 for metric in HIGH_LEVEL_METRICS}
+    return {
+        metric: average(p[metric] for p in pairs if metric in p)
+        for metric in HIGH_LEVEL_METRICS
+    }
+
+
+def error_table(rows: List[ErrorRow]) -> Dict[str, Dict[str, float]]:
+    """Suite-level summary: mean errors for 2006 / 2017 / all, Table II style."""
+    def summarise(selected: List[ErrorRow]) -> Dict[str, float]:
+        return {
+            "amat": average(r.amat for r in selected),
+            "miss_rate": average(r.miss_rate for r in selected),
+            "ipc": average(r.ipc for r in selected),
+        }
+
+    spec06 = [r for r in rows if r.benchmark[0] == "4"]
+    spec17 = [r for r in rows if r.benchmark[0] == "6"]
+    return {
+        "2006": summarise(spec06),
+        "2017": summarise(spec17),
+        "all": summarise(rows),
+    }

@@ -1,0 +1,114 @@
+"""Contention sensitivity classification (paper Section V).
+
+A workload is classified against a Tolerable Performance Loss (TPL): each
+contention-context sample whose IPC drops more than TPL below the isolation
+IPC counts as *sensitive*. Benchmarks are **high** sensitivity when >= 75% of
+samples are sensitive, **low** when <= 25%, and **mixed** in between. The
+Sensitive-Curve Population (SCP) is the sensitive fraction itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.sim.results import SimulationResult
+
+#: The TPL the paper settles on after evaluating 1%, 5% and 10%.
+DEFAULT_TPL = 0.05
+HIGH_THRESHOLD = 0.75
+LOW_THRESHOLD = 0.25
+
+HIGH = "high"
+LOW = "low"
+MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Classification of one benchmark's contention response."""
+
+    benchmark: str
+    scp: float  # sensitive-curve population: fraction of sensitive samples
+    classification: str  # high | low | mixed
+    tpl: float
+    n_samples: int
+
+
+def sample_weighted_ipcs(
+    results: Iterable[SimulationResult],
+    isolation: "SimulationResult | float",
+) -> List[float]:
+    """Per-sample weighted IPCs pooled over many contention runs.
+
+    ``isolation`` may be the isolation :class:`SimulationResult` — in which
+    case each contention sample is weighted against the isolation sample at
+    the same instruction offset, cancelling the workload's intrinsic phase
+    variance (the paper compares per-sample between *running contexts*) — or
+    a plain aggregate isolation IPC.
+    """
+    if isinstance(isolation, (int, float)):
+        isolation_ipc = float(isolation)
+        if isolation_ipc <= 0:
+            raise ValueError("isolation IPC must be positive")
+        isolation_samples: List[float] = []
+    else:
+        isolation_ipc = isolation.ipc
+        if isolation_ipc <= 0:
+            raise ValueError("isolation IPC must be positive")
+        isolation_samples = [s.ipc for s in isolation.samples]
+    weighted: List[float] = []
+    for result in results:
+        for index, sample in enumerate(result.samples):
+            if index < len(isolation_samples) and isolation_samples[index] > 0:
+                weighted.append(sample.ipc / isolation_samples[index])
+            else:
+                weighted.append(sample.ipc / isolation_ipc)
+    return weighted
+
+
+def sensitive_fraction(weighted_ipcs: Sequence[float],
+                       tpl: float = DEFAULT_TPL) -> float:
+    """Fraction of samples losing more than ``tpl`` relative performance."""
+    if not weighted_ipcs:
+        return 0.0
+    threshold = 1.0 - tpl
+    return sum(1 for w in weighted_ipcs if w < threshold) / len(weighted_ipcs)
+
+
+def classify_fraction(scp: float) -> str:
+    """Map an SCP value to the paper's three classes."""
+    if scp >= HIGH_THRESHOLD:
+        return HIGH
+    if scp <= LOW_THRESHOLD:
+        return LOW
+    return MIXED
+
+
+def classify(
+    benchmark: str,
+    contention_results: Iterable[SimulationResult],
+    isolation: "SimulationResult | float",
+    tpl: float = DEFAULT_TPL,
+) -> SensitivityReport:
+    """Full classification of one benchmark from its contention runs."""
+    weighted = sample_weighted_ipcs(contention_results, isolation)
+    scp = sensitive_fraction(weighted, tpl)
+    return SensitivityReport(
+        benchmark=benchmark,
+        scp=scp,
+        classification=classify_fraction(scp),
+        tpl=tpl,
+        n_samples=len(weighted),
+    )
+
+
+def class_shares(reports: Sequence[SensitivityReport]) -> dict:
+    """Fraction of the suite in each class (the paper reports 12/57/16%-ish)."""
+    if not reports:
+        return {HIGH: 0.0, LOW: 0.0, MIXED: 0.0}
+    n = len(reports)
+    return {
+        klass: sum(1 for r in reports if r.classification == klass) / n
+        for klass in (HIGH, LOW, MIXED)
+    }

@@ -1,0 +1,67 @@
+"""Multi-programmed throughput metrics.
+
+The standard trio used by the partitioning literature the paper cites (UCP,
+KPart, Vantage): weighted speedup (system throughput), harmonic mean of
+weighted IPCs (fairness-aware throughput), and a min/max fairness index.
+All take per-core contention results and the matching isolation results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.results import SimulationResult
+
+
+def _weighted_ipcs(contention: Sequence[SimulationResult],
+                   isolation: Sequence[SimulationResult]) -> List[float]:
+    if len(contention) != len(isolation):
+        raise ValueError("one isolation result per contention result required")
+    if not contention:
+        raise ValueError("need at least one workload")
+    weighted = []
+    for shared, alone in zip(contention, isolation):
+        if shared.trace_name != alone.trace_name:
+            raise ValueError(
+                f"result order mismatch: {shared.trace_name!r} vs "
+                f"{alone.trace_name!r}"
+            )
+        if alone.ipc <= 0:
+            raise ValueError(f"{alone.trace_name}: isolation IPC must be positive")
+        weighted.append(shared.ipc / alone.ipc)
+    return weighted
+
+
+def weighted_speedup(contention: Sequence[SimulationResult],
+                     isolation: Sequence[SimulationResult]) -> float:
+    """Sum of weighted IPCs; equals core count when sharing is free."""
+    return sum(_weighted_ipcs(contention, isolation))
+
+
+def harmonic_mean_speedup(contention: Sequence[SimulationResult],
+                          isolation: Sequence[SimulationResult]) -> float:
+    """Harmonic mean of weighted IPCs — punishes starving any one workload."""
+    weighted = _weighted_ipcs(contention, isolation)
+    if any(w <= 0 for w in weighted):
+        return 0.0
+    return len(weighted) / sum(1.0 / w for w in weighted)
+
+
+def fairness(contention: Sequence[SimulationResult],
+             isolation: Sequence[SimulationResult]) -> float:
+    """min/max of weighted IPCs in [0, 1]; 1 = perfectly even slowdown."""
+    weighted = _weighted_ipcs(contention, isolation)
+    top = max(weighted)
+    if top <= 0:
+        return 0.0
+    return min(weighted) / top
+
+
+def throughput_report(contention: Sequence[SimulationResult],
+                      isolation: Sequence[SimulationResult]) -> Dict[str, float]:
+    """All three metrics at once."""
+    return {
+        "weighted_speedup": weighted_speedup(contention, isolation),
+        "harmonic_mean_speedup": harmonic_mean_speedup(contention, isolation),
+        "fairness": fairness(contention, isolation),
+    }

@@ -1,0 +1,43 @@
+"""Branch prediction substrate (paper Section III-C d)."""
+
+from typing import Dict, Type
+
+from repro.branch.base import AlwaysTakenPredictor, BranchPredictor, BranchStats
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.hashed_perceptron import HashedPerceptronPredictor
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.tournament import TournamentPredictor
+
+PREDICTORS: Dict[str, Type[BranchPredictor]] = {
+    BimodalPredictor.name: BimodalPredictor,
+    GSharePredictor.name: GSharePredictor,
+    PerceptronPredictor.name: PerceptronPredictor,
+    HashedPerceptronPredictor.name: HashedPerceptronPredictor,
+    TournamentPredictor.name: TournamentPredictor,
+    AlwaysTakenPredictor.name: AlwaysTakenPredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> BranchPredictor:
+    """Instantiate a branch predictor by registry name."""
+    try:
+        cls = PREDICTORS[name]
+    except KeyError:
+        known = ", ".join(sorted(PREDICTORS))
+        raise KeyError(f"unknown branch predictor {name!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchStats",
+    "GSharePredictor",
+    "HashedPerceptronPredictor",
+    "PREDICTORS",
+    "PerceptronPredictor",
+    "TournamentPredictor",
+    "make_predictor",
+]

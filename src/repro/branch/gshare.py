@@ -1,0 +1,45 @@
+"""G-Share branch predictor: global history XORed into the table index."""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+from repro.util.bitops import ilog2
+
+COUNTER_MAX = 3
+TAKEN_THRESHOLD = 2
+
+
+class GSharePredictor(BranchPredictor):
+    """2-bit counters indexed by ``pc XOR global_history``.
+
+    The XOR folds branch correlation into the index so repeating global
+    patterns map to distinct counters (McFarling's gshare).
+    """
+
+    name = "gshare"
+
+    def __init__(self, table_size: int = 16384, history_bits: int = 14) -> None:
+        super().__init__()
+        index_bits = ilog2(table_size)
+        if history_bits > index_bits:
+            history_bits = index_bits
+        self._mask = table_size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = [TAKEN_THRESHOLD] * table_size
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def _predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= TAKEN_THRESHOLD
+
+    def _train(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < COUNTER_MAX:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask

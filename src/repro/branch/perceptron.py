@@ -1,0 +1,90 @@
+"""Perceptron branch predictor (Jimenez & Lin, HPCA 2001)."""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+from repro.util.bitops import ilog2
+
+
+class PerceptronPredictor(BranchPredictor):
+    """One perceptron per PC hash over the global history register.
+
+    The dot product of signed weights with history bits (+1 taken / -1 not)
+    gives the prediction; training only fires on a misprediction or when the
+    output magnitude is below the threshold, per the original paper.
+    """
+
+    name = "perceptron"
+
+    def __init__(self, n_perceptrons: int = 1024, history_bits: int = 24,
+                 weight_bits: int = 8) -> None:
+        super().__init__()
+        ilog2(n_perceptrons)  # validate power of two
+        self._mask = n_perceptrons - 1
+        self.history_bits = history_bits
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        # theta from the paper: 1.93 * h + 14 minimises mispredictions.
+        self.threshold = int(1.93 * history_bits + 14)
+        # weights[i][0] is the bias weight; [1..h] pair with history bits.
+        self._weights = [[0] * (history_bits + 1) for _ in range(n_perceptrons)]
+        self._history = [False] * history_bits
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def _output(self, pc: int) -> int:
+        weights = self._weights[self._index(pc)]
+        total = weights[0]
+        history = self._history
+        for i in range(self.history_bits):
+            if history[i]:
+                total += weights[i + 1]
+            else:
+                total -= weights[i + 1]
+        return total
+
+    def _predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict + train with the dot product computed once."""
+        output = self._output(pc)
+        prediction = output >= 0
+        self.stats.lookups += 1
+        correct = prediction == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        if not correct or abs(output) <= self.threshold:
+            weights = self._weights[self._index(pc)]
+            weights[0] = self._clip(weights[0] + (1 if taken else -1))
+            for i in range(self.history_bits):
+                if self._history[i] == taken:
+                    weights[i + 1] = self._clip(weights[i + 1] + 1)
+                else:
+                    weights[i + 1] = self._clip(weights[i + 1] - 1)
+        self._history.pop()
+        self._history.insert(0, taken)
+        return correct
+
+    def _train(self, pc: int, taken: bool) -> None:
+        output = self._output(pc)
+        prediction = output >= 0
+        if prediction != taken or abs(output) <= self.threshold:
+            weights = self._weights[self._index(pc)]
+            delta = 1 if taken else -1
+            weights[0] = self._clip(weights[0] + delta)
+            for i in range(self.history_bits):
+                if self._history[i] == taken:
+                    weights[i + 1] = self._clip(weights[i + 1] + 1)
+                else:
+                    weights[i + 1] = self._clip(weights[i + 1] - 1)
+        self._history.pop()
+        self._history.insert(0, taken)
+
+    def _clip(self, weight: int) -> int:
+        if weight > self._weight_max:
+            return self._weight_max
+        if weight < self._weight_min:
+            return self._weight_min
+        return weight

@@ -1,0 +1,65 @@
+"""Tournament (combining) branch predictor: bimodal vs gshare with a
+per-PC chooser (McFarling, DEC WRL TN-36).
+
+An extension beyond the paper's four predictors, useful for ablating how
+chooser-based hybrids respond to contention-driven miss criticality.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.util.bitops import ilog2
+
+COUNTER_MAX = 3
+CHOOSE_GSHARE = 2  # chooser >= 2 selects the global (gshare) component
+
+
+class TournamentPredictor(BranchPredictor):
+    """Chooser table arbitrates between a bimodal and a gshare component."""
+
+    name = "tournament"
+
+    def __init__(self, table_size: int = 8192, history_bits: int = 12) -> None:
+        super().__init__()
+        ilog2(table_size)
+        self._mask = table_size - 1
+        self.bimodal = BimodalPredictor(table_size)
+        self.gshare = GSharePredictor(table_size, history_bits)
+        # Start neutral-local: 1 = weakly bimodal.
+        self._chooser = [1] * table_size
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def _predict(self, pc: int) -> bool:
+        if self._chooser[self._index(pc)] >= CHOOSE_GSHARE:
+            return self.gshare._predict(pc)
+        return self.bimodal._predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, score, train both components and the chooser."""
+        local = self.bimodal._predict(pc)
+        global_ = self.gshare._predict(pc)
+        index = self._index(pc)
+        prediction = global_ if self._chooser[index] >= CHOOSE_GSHARE else local
+        self.stats.lookups += 1
+        correct = prediction == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        # Chooser trains only when the components disagree.
+        if local != global_:
+            if global_ == taken:
+                if self._chooser[index] < COUNTER_MAX:
+                    self._chooser[index] += 1
+            elif self._chooser[index] > 0:
+                self._chooser[index] -= 1
+        self.bimodal._train(pc, taken)
+        self.gshare._train(pc, taken)
+        return correct
+
+    def _train(self, pc: int, taken: bool) -> None:  # pragma: no cover
+        # All training happens in update(); kept for interface completeness.
+        self.bimodal._train(pc, taken)
+        self.gshare._train(pc, taken)

@@ -1,0 +1,33 @@
+"""Cache substrate: blocks, set-associative caches, replacement, hierarchy."""
+
+from repro.cache.block import SYSTEM_OWNER, CacheBlock
+from repro.cache.cache import Cache, CacheStats, EvictedBlock
+from repro.cache.hierarchy import MemoryHierarchy, build_llc
+from repro.cache.replacement import (
+    LruPolicy,
+    NmruPolicy,
+    POLICIES,
+    RandomPolicy,
+    ReplacementPolicy,
+    RripPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheBlock",
+    "CacheStats",
+    "EvictedBlock",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "NmruPolicy",
+    "POLICIES",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "RripPolicy",
+    "SYSTEM_OWNER",
+    "TreePlruPolicy",
+    "build_llc",
+    "make_policy",
+]

@@ -1,0 +1,48 @@
+"""Cache block (line) state.
+
+Owner tracking is what makes theft accounting possible: every valid block
+remembers which core inserted it, and the PInTE engine inserts blocks owned
+by the synthetic ``SYSTEM`` adversary.
+"""
+
+from __future__ import annotations
+
+from repro.owners import SYSTEM_OWNER
+
+__all__ = ["CacheBlock", "SYSTEM_OWNER"]
+
+
+class CacheBlock:
+    """One cache line's metadata (no data payload — this is a timing model)."""
+
+    __slots__ = ("tag", "valid", "dirty", "owner", "prefetched")
+
+    def __init__(self) -> None:
+        self.tag = 0  # full block address (block-aligned)
+        self.valid = False
+        self.dirty = False
+        self.owner = SYSTEM_OWNER
+        self.prefetched = False
+
+    def fill(self, tag: int, owner: int, dirty: bool = False,
+             prefetched: bool = False) -> None:
+        """Install a new line."""
+        self.tag = tag
+        self.valid = True
+        self.dirty = dirty
+        self.owner = owner
+        self.prefetched = prefetched
+
+    def invalidate(self) -> None:
+        """Drop the line (dirty data must be handled by the caller first)."""
+        self.valid = False
+        self.dirty = False
+        self.prefetched = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.valid:
+            return "CacheBlock(invalid)"
+        flags = "".join(
+            flag for flag, on in (("D", self.dirty), ("P", self.prefetched)) if on
+        )
+        return f"CacheBlock(tag={self.tag:#x}, owner={self.owner}{', ' + flags if flags else ''})"

@@ -1,0 +1,299 @@
+"""Set-associative cache with owner tracking and reuse histograms.
+
+This is the structural layer: tag lookup, fills, evictions, invalidations,
+replacement-policy bookkeeping, per-set ownership. The *protocol* (which
+level fills when, inclusion behaviour, write-backs) lives in
+:mod:`repro.cache.hierarchy`; the contention accounting lives in
+:mod:`repro.core.counters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import SEEDED_POLICIES, make_policy
+from repro.util.bitops import fold_xor, ilog2
+
+
+@dataclass
+class EvictedBlock:
+    """What fell out of the cache on a fill or invalidation."""
+
+    tag: int
+    dirty: bool
+    owner: int
+    prefetched: bool
+
+
+class CacheStats:
+    """Per-cache access counters (demand and prefetch separated)."""
+
+    __slots__ = (
+        "accesses", "hits", "misses",
+        "loads", "load_hits", "stores", "store_hits",
+        "prefetch_fills", "prefetch_useful",
+        "writebacks", "writeback_fills", "evictions", "invalidations",
+    )
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.loads = 0
+        self.load_hits = 0
+        self.stores = 0
+        self.store_hits = 0
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+        self.writebacks = 0
+        self.writeback_fills = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate (misses / demand accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for sampling."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Cache:
+    """One level of set-associative, write-back, write-allocate cache."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        assoc: int,
+        block_size: int = 64,
+        latency: int = 4,
+        policy: str = "lru",
+        policy_seed: int = 0,
+        track_reuse: bool = False,
+        hash_index: bool = False,
+    ) -> None:
+        if size % (assoc * block_size) != 0:
+            raise ValueError(
+                f"{name}: size {size} not divisible by assoc*block ({assoc}x{block_size})"
+            )
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.block_size = block_size
+        self.latency = latency
+        self.n_sets = size // (assoc * block_size)
+        self._index_bits = ilog2(self.n_sets)  # power-of-two sets
+        self._offset_bits = ilog2(block_size)
+        self._set_mask = self.n_sets - 1
+        # XOR-folded set indexing de-skews power-of-two strides (the index
+        # hash real LLCs use); off by default to keep indexing transparent.
+        self.hash_index = hash_index and self.n_sets > 1
+        self.policy_name = policy
+        if policy in SEEDED_POLICIES:
+            self.policy = make_policy(policy, self.n_sets, self.assoc,
+                                      seed=policy_seed)
+        else:
+            self.policy = make_policy(policy, self.n_sets, self.assoc)
+        # Optional per-miss training hook (set-dueling policies like DRRIP).
+        self._policy_miss_hook = getattr(self.policy, "record_miss", None)
+        #: Optional per-owner way quotas (cache partitioning). When an owner
+        #: at/above its quota fills, the victim is forced to be one of its
+        #: own blocks. Owners without an entry are unconstrained.
+        self.way_allocations: dict = {}
+        self.sets: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(assoc)] for _ in range(self.n_sets)
+        ]
+        # Per-set tag map (block_addr -> way) mirroring only *valid* blocks;
+        # turns lookups O(1) instead of an associativity-wide scan.
+        self._tags: List[dict] = [dict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+        self.track_reuse = track_reuse
+        #: Hit-position histogram (paper Fig 5): index = position in the
+        #: replacement stack counted from the protected end (0 = MRU-most).
+        self.reuse_histogram: List[int] = [0] * assoc if track_reuse else []
+        #: Same histogram split per owner — in shared-LLC runs each
+        #: workload's reuse behaviour must be separable (the paper's
+        #: histograms are per-workload).
+        self.reuse_by_owner: dict = {}
+
+    # -- addressing ---------------------------------------------------------
+    def set_index(self, block_addr: int) -> int:
+        block = block_addr >> self._offset_bits
+        if self.hash_index:
+            return fold_xor(block, self._index_bits)
+        return block & self._set_mask
+
+    def block_address(self, address: int) -> int:
+        return address & ~(self.block_size - 1)
+
+    # -- lookup / access ------------------------------------------------------
+    def probe(self, block_addr: int) -> int:
+        """Way holding ``block_addr`` or -1; no state change."""
+        return self._tags[self.set_index(block_addr)].get(block_addr, -1)
+
+    def access(self, block_addr: int, is_write: bool, owner: int) -> bool:
+        """Demand access; updates stats and replacement state. True on hit."""
+        set_index = self.set_index(block_addr)
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        way = self._tags[set_index].get(block_addr, -1)
+        if way >= 0:
+            block = self.sets[set_index][way]
+            self.stats.hits += 1
+            if is_write:
+                self.stats.store_hits += 1
+                block.dirty = True
+            else:
+                self.stats.load_hits += 1
+            if block.prefetched:
+                block.prefetched = False
+                self.stats.prefetch_useful += 1
+            if self.track_reuse:
+                self._record_reuse(set_index, way, owner)
+            self.policy.on_hit(set_index, way)
+            return True
+        self.stats.misses += 1
+        if self._policy_miss_hook is not None:
+            self._policy_miss_hook(set_index)
+        return False
+
+    def _record_reuse(self, set_index: int, way: int, owner: int) -> None:
+        """Record the replacement-stack position of a hit (0 = protected end)."""
+        order = self.policy.eviction_order(set_index)
+        position = self.assoc - 1 - order.index(way)
+        self.reuse_histogram[position] += 1
+        histogram = self.reuse_by_owner.get(owner)
+        if histogram is None:
+            histogram = [0] * self.assoc
+            self.reuse_by_owner[owner] = histogram
+        histogram[position] += 1
+
+    def owner_reuse_histogram(self, owner: int) -> List[int]:
+        """One owner's hit-position histogram (zeros when it never hit)."""
+        return list(self.reuse_by_owner.get(owner, [0] * self.assoc))
+
+    # -- fills / evictions ---------------------------------------------------
+    def fill(self, block_addr: int, owner: int, dirty: bool = False,
+             prefetched: bool = False, is_writeback_fill: bool = False,
+             max_owner_ways: Optional[int] = None) -> Optional[EvictedBlock]:
+        """Install ``block_addr``; returns the evicted block, if any was valid.
+
+        If the block is already present this refreshes its state in place
+        (write-back updates take this path) and evicts nothing.
+
+        ``max_owner_ways`` models an Intel RDT-style allocation cap: when the
+        filling owner already holds that many ways of the set, the victim is
+        forced to be one of the owner's own blocks instead of the global
+        replacement choice.
+        """
+        set_index = self.set_index(block_addr)
+        blocks = self.sets[set_index]
+        tags = self._tags[set_index]
+        existing = tags.get(block_addr, -1)
+        if existing >= 0:
+            block = blocks[existing]
+            block.dirty = block.dirty or dirty
+            if is_writeback_fill:
+                self.stats.writeback_fills += 1
+            return None
+        way = self._choose_victim(set_index, blocks, owner, max_owner_ways)
+        block = blocks[way]
+        evicted: Optional[EvictedBlock] = None
+        if block.valid:
+            evicted = EvictedBlock(block.tag, block.dirty, block.owner, block.prefetched)
+            del tags[block.tag]
+            self.stats.evictions += 1
+            if block.dirty:
+                self.stats.writebacks += 1
+        block.fill(block_addr, owner, dirty=dirty, prefetched=prefetched)
+        tags[block_addr] = way
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        if is_writeback_fill:
+            self.stats.writeback_fills += 1
+        self.policy.on_insert(set_index, way)
+        return evicted
+
+    def _choose_victim(self, set_index: int, blocks: List[CacheBlock],
+                       owner: int, max_owner_ways: Optional[int]) -> int:
+        """Victim way, honouring an optional per-owner allocation cap.
+
+        The cap is the tighter of the per-call ``max_owner_ways`` (RDT-style
+        global cap) and this owner's entry in :attr:`way_allocations`
+        (partitioning quota).
+        """
+        quota = self.way_allocations.get(owner)
+        if quota is not None:
+            max_owner_ways = (quota if max_owner_ways is None
+                              else min(quota, max_owner_ways))
+        if max_owner_ways is not None:
+            owner_ways = sum(
+                1 for block in blocks if block.valid and block.owner == owner
+            )
+            if owner_ways >= max_owner_ways:
+                for way in self.policy.eviction_order(set_index):
+                    block = blocks[way]
+                    if block.valid and block.owner == owner:
+                        return way
+        return self.policy.victim(set_index, blocks)
+
+    def invalidate(self, block_addr: int) -> Optional[EvictedBlock]:
+        """Drop ``block_addr`` if present; returns its state for write-back."""
+        set_index = self.set_index(block_addr)
+        way = self._tags[set_index].pop(block_addr, -1)
+        if way < 0:
+            return None
+        block = self.sets[set_index][way]
+        info = EvictedBlock(block.tag, block.dirty, block.owner, block.prefetched)
+        block.invalidate()
+        self.stats.invalidations += 1
+        return info
+
+    def invalidate_way(self, set_index: int, way: int) -> Optional[EvictedBlock]:
+        """Drop a block by position (the PInTE engine's INVALIDATE state)."""
+        block = self.sets[set_index][way]
+        if not block.valid:
+            return None
+        info = EvictedBlock(block.tag, block.dirty, block.owner, block.prefetched)
+        self._tags[set_index].pop(block.tag, None)
+        block.invalidate()
+        self.stats.invalidations += 1
+        return info
+
+    def mark_dirty(self, block_addr: int) -> bool:
+        """Set the dirty bit on a resident block (write-back arrival)."""
+        way = self.probe(block_addr)
+        if way < 0:
+            return False
+        self.sets[self.set_index(block_addr)][way].dirty = True
+        return True
+
+    # -- occupancy ------------------------------------------------------------
+    def occupancy(self, owner: Optional[int] = None) -> int:
+        """Number of valid blocks (optionally for one owner)."""
+        count = 0
+        for blocks in self.sets:
+            for block in blocks:
+                if block.valid and (owner is None or block.owner == owner):
+                    count += 1
+        return count
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.n_sets * self.assoc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}, {self.size // 1024}KB, {self.assoc}-way, "
+            f"{self.policy_name})"
+        )

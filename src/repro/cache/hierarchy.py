@@ -1,0 +1,272 @@
+"""Memory hierarchy protocol: L1I/L1D/L2 private, LLC + DRAM shared.
+
+One :class:`MemoryHierarchy` per core. Cores share the LLC, the DRAM and the
+:class:`~repro.core.counters.ContentionTracker`; in 2nd-Trace mode two
+hierarchies contend naturally, in PInTE mode a single hierarchy carries a
+:class:`~repro.core.pinte.PInTE` engine that fires after every LLC demand
+access.
+
+Inclusion (paper Section III-C b):
+
+* ``non-inclusive`` (the paper's default): fills propagate to every level on
+  the way in; clean L2 victims are dropped, dirty ones write back into the
+  LLC; LLC evictions leave private copies alone.
+* ``inclusive``: like non-inclusive on the way in, but an LLC eviction
+  back-invalidates the block in every private cache (dirty private data goes
+  to DRAM).
+* ``exclusive``: LLC is a victim cache — demand fills bypass it, every L2
+  eviction inserts into it, and an LLC hit moves the block up and
+  invalidates the LLC copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.block import SYSTEM_OWNER
+from repro.cache.cache import Cache, EvictedBlock
+from repro.config import MachineConfig
+from repro.core.counters import ContentionTracker
+from repro.dram import Dram
+from repro.prefetch import Prefetcher, make_prefetcher
+
+
+def build_llc(config: MachineConfig, seed: int = 0) -> Cache:
+    """Construct the shared LLC for a machine config (reuse tracking on)."""
+    return Cache(
+        name="LLC",
+        size=config.llc.size,
+        assoc=config.llc.assoc,
+        block_size=config.block_size,
+        latency=config.llc.latency,
+        policy=config.llc.policy,
+        policy_seed=seed,
+        track_reuse=True,
+        hash_index=config.llc.hash_index,
+    )
+
+
+class MemoryHierarchy:
+    """Private caches + shared LLC/DRAM for one core."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        owner: int,
+        llc: Optional[Cache] = None,
+        dram: Optional[Dram] = None,
+        tracker: Optional[ContentionTracker] = None,
+        registry: Optional[Dict[int, "MemoryHierarchy"]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.owner = owner
+        self.block_size = config.block_size
+        self.inclusion = config.inclusion
+        self.l1i = Cache("L1I", config.l1i.size, config.l1i.assoc, config.block_size,
+                         config.l1i.latency, config.l1i.policy, policy_seed=seed)
+        self.l1d = Cache("L1D", config.l1d.size, config.l1d.assoc, config.block_size,
+                         config.l1d.latency, config.l1d.policy, policy_seed=seed)
+        self.l2 = Cache("L2", config.l2.size, config.l2.assoc, config.block_size,
+                        config.l2.latency, config.l2.policy, policy_seed=seed)
+        self.llc = llc if llc is not None else build_llc(config, seed)
+        self.dram = dram if dram is not None else Dram(config.dram)
+        self.tracker = tracker if tracker is not None else ContentionTracker()
+        #: owner -> hierarchy map shared by all cores on one LLC; used for
+        #: inclusive back-invalidation.
+        self.registry = registry if registry is not None else {}
+        self.registry[owner] = self
+        self.pinte = None  # wired by attach_pinte
+        #: Optional observer called with (owner, block, hit) on every LLC
+        #: demand access — used by cache-partitioning utility monitors.
+        self.llc_access_hook = None
+        self.l1i_prefetcher = self._make_prefetcher(config.l1i.prefetcher)
+        self.l1d_prefetcher = self._make_prefetcher(config.l1d.prefetcher)
+        self.l2_prefetcher = self._make_prefetcher(config.l2.prefetcher)
+
+    def _make_prefetcher(self, name: str) -> Optional[Prefetcher]:
+        if name == "none":
+            return None
+        return make_prefetcher(name, block_size=self.block_size)
+
+    def attach_pinte(self, pinte, per_access: bool = True) -> None:
+        """Bind a PInTE engine (its write-backs route to this DRAM).
+
+        ``per_access=False`` wires the write-back/back-invalidate plumbing
+        without installing the per-LLC-access trigger — used by the periodic
+        (independent-module) trigger mode, which drives the engine from the
+        core clock instead.
+        """
+        if per_access:
+            self.pinte = pinte
+        pinte.writeback = lambda addr, cycle: self.dram.access(addr, cycle, is_write=True)
+        if self.inclusion == "inclusive":
+            pinte.back_invalidate = lambda addr, cycle: self._back_invalidate_all(addr, cycle)
+
+    # ------------------------------------------------------------------ demand
+    def fetch(self, pc: int, cycle: int) -> int:
+        """Instruction fetch; returns latency in cycles."""
+        block = pc & ~(self.block_size - 1)
+        return self._demand(self.l1i, self.l1i_prefetcher, pc, block, False, cycle)
+
+    def load(self, pc: int, address: int, cycle: int) -> int:
+        """Demand load; returns latency in cycles."""
+        block = address & ~(self.block_size - 1)
+        return self._demand(self.l1d, self.l1d_prefetcher, pc, block, False, cycle)
+
+    def store(self, pc: int, address: int, cycle: int) -> int:
+        """Store (write-allocate RFO); returns the fill latency."""
+        block = address & ~(self.block_size - 1)
+        return self._demand(self.l1d, self.l1d_prefetcher, pc, block, True, cycle)
+
+    def _demand(self, l1: Cache, l1_prefetcher: Optional[Prefetcher],
+                pc: int, block: int, is_write: bool, cycle: int) -> int:
+        latency = l1.latency
+        if l1.access(block, is_write, self.owner):
+            self._run_prefetcher(l1, l1_prefetcher, pc, block, True, cycle + latency)
+            return latency
+
+        # L1 miss -> L2
+        latency += self.l2.latency
+        l2_hit = self.l2.access(block, False, self.owner)
+        self._run_prefetcher(self.l2, self.l2_prefetcher, pc, block, l2_hit,
+                             cycle + latency)
+        if l2_hit:
+            self._fill_l1(l1, block, is_write, cycle + latency)
+            self._run_prefetcher(l1, l1_prefetcher, pc, block, False, cycle + latency)
+            return latency
+
+        # L2 miss -> LLC
+        latency += self.llc.latency
+        llc_hit = self.llc.access(block, False, self.owner)
+        self.tracker.record_access(self.owner, block, llc_hit)
+        if self.llc_access_hook is not None:
+            self.llc_access_hook(self.owner, block, llc_hit)
+        dirty_from_llc = False
+        if llc_hit:
+            if self.inclusion == "exclusive":
+                info = self.llc.invalidate(block)
+                dirty_from_llc = bool(info and info.dirty)
+        else:
+            latency += self.dram.access(block, cycle + latency, is_write=False)
+            if self.inclusion != "exclusive":
+                self._llc_fill(block, cycle + latency)
+
+        self._fill_l2(block, cycle + latency, dirty=dirty_from_llc)
+        self._fill_l1(l1, block, is_write, cycle + latency)
+        self._run_prefetcher(l1, l1_prefetcher, pc, block, False, cycle + latency)
+
+        # The PInTE hook: fires after every LLC demand access (UPDATE-ACCESS
+        # has happened -- either the hit promotion or the miss fill above).
+        if self.pinte is not None:
+            self.pinte.on_llc_access(self.llc.set_index(block), cycle + latency,
+                                     self.owner)
+        return latency
+
+    # ------------------------------------------------------------------- fills
+    def _fill_l1(self, l1: Cache, block: int, dirty: bool, cycle: int) -> None:
+        evicted = l1.fill(block, self.owner, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l2(evicted.tag, cycle)
+
+    def _writeback_to_l2(self, block: int, cycle: int) -> None:
+        if self.l2.mark_dirty(block):
+            self.l2.stats.writeback_fills += 1
+            return
+        evicted = self.l2.fill(block, self.owner, dirty=True, is_writeback_fill=True)
+        if evicted is not None:
+            self._l2_eviction(evicted, cycle)
+
+    def _fill_l2(self, block: int, cycle: int, dirty: bool = False) -> None:
+        evicted = self.l2.fill(block, self.owner, dirty=dirty)
+        if evicted is not None:
+            self._l2_eviction(evicted, cycle)
+
+    def _l2_eviction(self, evicted: EvictedBlock, cycle: int) -> None:
+        """Route an L2 victim according to the inclusion policy."""
+        if self.inclusion == "exclusive":
+            # Victim cache: every L2 eviction inserts into the LLC.
+            self._llc_fill(evicted.tag, cycle, dirty=evicted.dirty, writeback=True)
+        elif evicted.dirty:
+            # The L2 spill traffic the paper's Fig 6b root-causes.
+            if self.llc.mark_dirty(evicted.tag):
+                self.llc.stats.writeback_fills += 1
+            else:
+                self._llc_fill(evicted.tag, cycle, dirty=True, writeback=True)
+        # clean, non-exclusive victims are silently dropped
+
+    def _llc_fill(self, block: int, cycle: int, dirty: bool = False,
+                  prefetched: bool = False, writeback: bool = False) -> None:
+        evicted = self.llc.fill(
+            block, self.owner, dirty=dirty, prefetched=prefetched,
+            is_writeback_fill=writeback,
+            max_owner_ways=self.config.llc_way_allocation,
+        )
+        self.tracker.record_refill(self.owner, block)
+        if evicted is None:
+            return
+        if evicted.owner not in (self.owner, SYSTEM_OWNER):
+            # Natural inter-core theft (2nd-Trace contention).
+            self.tracker.record_theft(evicted.owner, self.owner, evicted.tag)
+        if evicted.dirty:
+            self.dram.access(evicted.tag, cycle, is_write=True)
+        if self.inclusion == "inclusive":
+            self._back_invalidate_all(evicted.tag, cycle)
+
+    # ------------------------------------------------------------ invalidation
+    def _back_invalidate_all(self, block: int, cycle: int) -> None:
+        for hierarchy in self.registry.values():
+            hierarchy._back_invalidate_private(block, cycle)
+
+    def _back_invalidate_private(self, block: int, cycle: int) -> None:
+        for cache in (self.l1i, self.l1d, self.l2):
+            info = cache.invalidate(block)
+            if info is not None and info.dirty:
+                self.dram.access(block, cycle, is_write=True)
+
+    # -------------------------------------------------------------- prefetching
+    def _run_prefetcher(self, level: Cache, prefetcher: Optional[Prefetcher],
+                        pc: int, block: int, hit: bool, cycle: int) -> None:
+        if prefetcher is None:
+            return
+        for candidate in prefetcher.on_access(pc, block, hit):
+            self._prefetch_fill(level, candidate, cycle)
+
+    def _prefetch_fill(self, target: Cache, block: int, cycle: int) -> None:
+        """Bring ``block`` into ``target`` speculatively (no latency charged
+        to the core; DRAM bandwidth is consumed)."""
+        if target.probe(block) >= 0:
+            return
+        found = False
+        if target is self.l1d or target is self.l1i:
+            found = self.l2.probe(block) >= 0
+        if not found:
+            found = self.llc.probe(block) >= 0
+        if not found:
+            self.dram.access(block, cycle, is_write=False)
+            if self.inclusion != "exclusive":
+                self._llc_fill(block, cycle, prefetched=True)
+        if target is self.l2:
+            evicted = target.fill(block, self.owner, prefetched=True)
+            if evicted is not None:
+                self._l2_eviction(evicted, cycle)
+        else:
+            evicted = target.fill(block, self.owner, prefetched=True)
+            if evicted is not None and evicted.dirty:
+                self._writeback_to_l2(evicted.tag, cycle)
+
+    # ------------------------------------------------------------------ queries
+    def llc_occupancy_fraction(self) -> float:
+        """This core's share of LLC blocks (Eq. 6 numerator)."""
+        return self.llc.occupancy(self.owner) / self.llc.capacity_blocks
+
+    def prefetch_issued(self) -> int:
+        return sum(
+            p.stats.issued
+            for p in (self.l1i_prefetcher, self.l1d_prefetcher, self.l2_prefetcher)
+            if p is not None
+        )
+
+    def prefetch_useful(self) -> int:
+        return (self.l1i.stats.prefetch_useful + self.l1d.stats.prefetch_useful
+                + self.l2.stats.prefetch_useful + self.llc.stats.prefetch_useful)

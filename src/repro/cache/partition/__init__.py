@@ -1,0 +1,35 @@
+"""Cache partitioning schemes (paper Section VII-d related work).
+
+Usage with the multi-programmed simulator::
+
+    from repro.cache.partition import UcpPartitioner
+    from repro.sim import simulate_multiprogrammed
+
+    partitioner = UcpPartitioner(n_sets, n_ways, owners=[0, 1])
+    results = simulate_multiprogrammed(traces, config,
+                                       partitioner=partitioner, ...)
+"""
+
+from typing import Dict, Sequence, Type
+
+from repro.cache.partition.base import Partitioner, StaticPartitioner, even_split
+from repro.cache.partition.casht import CashtPartitioner
+from repro.cache.partition.ucp import UcpPartitioner
+from repro.cache.partition.umon import ShadowSet, UtilityMonitor
+
+PARTITIONERS: Dict[str, Type[Partitioner]] = {
+    StaticPartitioner.name: StaticPartitioner,
+    UcpPartitioner.name: UcpPartitioner,
+    CashtPartitioner.name: CashtPartitioner,
+}
+
+__all__ = [
+    "CashtPartitioner",
+    "PARTITIONERS",
+    "Partitioner",
+    "ShadowSet",
+    "StaticPartitioner",
+    "UcpPartitioner",
+    "UtilityMonitor",
+    "even_split",
+]

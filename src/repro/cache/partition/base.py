@@ -1,0 +1,87 @@
+"""Cache partitioning interface.
+
+Partitioners assign per-owner way quotas on the shared LLC (enforced by
+``Cache.way_allocations``) and are re-evaluated every epoch by the
+multi-programmed simulator. The schemes here follow the paper's related-work
+taxonomy (Section VII-d): physical way partitioning (static / UCP) and the
+theft-driven partitioner of CASHT, PInTE's parent work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.cache.cache import Cache
+from repro.core.counters import ContentionTracker
+
+
+class Partitioner:
+    """Base class: subclasses compute quotas in :meth:`allocate`."""
+
+    name = "base"
+
+    def __init__(self, n_ways: int, owners: Sequence[int]) -> None:
+        if n_ways < len(owners):
+            raise ValueError(
+                f"{n_ways} ways cannot give every one of {len(owners)} "
+                f"owners a way"
+            )
+        self.n_ways = n_ways
+        self.owners = list(owners)
+        self.repartitions = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def install(self, llc: Cache) -> None:
+        """Apply the initial allocation to the LLC."""
+        llc.way_allocations.update(self.allocate())
+
+    def epoch(self, llc: Cache, tracker: ContentionTracker) -> Dict[int, int]:
+        """Re-evaluate at an epoch boundary; returns the new quotas."""
+        self.observe(llc, tracker)
+        quotas = self.allocate()
+        llc.way_allocations.update(quotas)
+        self.repartitions += 1
+        return quotas
+
+    # -- subclass hooks -----------------------------------------------------
+    def observe(self, llc: Cache, tracker: ContentionTracker) -> None:
+        """Ingest epoch statistics (default: nothing to observe)."""
+
+    def allocate(self) -> Dict[int, int]:
+        """Current per-owner way quotas (must sum to <= n_ways)."""
+        raise NotImplementedError
+
+    # -- observation hook for utility monitors ---------------------------------
+    def on_llc_access(self, owner: int, block: int, hit: bool) -> None:
+        """Per-access observation (wired to the hierarchy's LLC hook)."""
+
+
+def even_split(n_ways: int, owners: Sequence[int]) -> Dict[int, int]:
+    """Fair static split; early owners absorb the remainder."""
+    owners = list(owners)
+    base = n_ways // len(owners)
+    remainder = n_ways - base * len(owners)
+    return {
+        owner: base + (1 if index < remainder else 0)
+        for index, owner in enumerate(owners)
+    }
+
+
+class StaticPartitioner(Partitioner):
+    """Fixed quotas: either an explicit map or an even split."""
+
+    name = "static"
+
+    def __init__(self, n_ways: int, owners: Sequence[int],
+                 quotas: Dict[int, int] = None) -> None:
+        super().__init__(n_ways, owners)
+        if quotas is None:
+            quotas = even_split(n_ways, owners)
+        if sum(quotas.values()) > n_ways:
+            raise ValueError("quotas exceed the way budget")
+        if set(quotas) != set(owners):
+            raise ValueError("quotas must cover exactly the given owners")
+        self._quotas = dict(quotas)
+
+    def allocate(self) -> Dict[int, int]:
+        return dict(self._quotas)

@@ -1,0 +1,68 @@
+"""Theft-driven partitioning in the spirit of CASHT (Gomes et al., TACO '22).
+
+The paper's related work notes that "recent work uses thefts to partition
+LLC, and is comparable to UCP but at a fraction of the cost". Instead of
+shadow-tag utility monitors, this partitioner reads the theft/interference
+counters the tracker already maintains: every epoch it moves one way from
+the owner causing the most thefts (per LLC access) to the owner suffering
+the most interference — a proportional controller on exactly the contention
+events PInTE models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.cache.cache import Cache
+from repro.cache.partition.base import Partitioner, even_split
+from repro.core.counters import ContentionTracker
+
+#: Don't repartition when the victim's interference rate is below this.
+INTERFERENCE_FLOOR = 0.01
+
+
+class CashtPartitioner(Partitioner):
+    """Move ways from theft-causers to interference-sufferers."""
+
+    name = "casht"
+
+    def __init__(self, n_ways: int, owners: Sequence[int],
+                 min_ways: int = 1) -> None:
+        super().__init__(n_ways, owners)
+        if min_ways < 1:
+            raise ValueError("min_ways must be >= 1")
+        self.min_ways = min_ways
+        self._quotas = even_split(n_ways, self.owners)
+        self._last = {owner: (0, 0, 0) for owner in self.owners}
+        self.transfers = 0
+
+    def allocate(self) -> Dict[int, int]:
+        return dict(self._quotas)
+
+    def observe(self, llc: Cache, tracker: ContentionTracker) -> None:
+        # Per-epoch deltas of (accesses, interference, thefts caused).
+        rates: Dict[int, Dict[str, float]] = {}
+        for owner in self.owners:
+            counters = tracker.counters(owner)
+            last_acc, last_int, last_caused = self._last[owner]
+            accesses = counters.llc_accesses - last_acc
+            interference = counters.interference_misses - last_int
+            caused = counters.thefts_caused - last_caused
+            self._last[owner] = (counters.llc_accesses,
+                                 counters.interference_misses,
+                                 counters.thefts_caused)
+            rates[owner] = {
+                "interference": interference / accesses if accesses else 0.0,
+                "caused": caused / accesses if accesses else 0.0,
+            }
+        victim = max(self.owners, key=lambda o: rates[o]["interference"])
+        thief = max(self.owners, key=lambda o: rates[o]["caused"])
+        if victim == thief:
+            return
+        if rates[victim]["interference"] < INTERFERENCE_FLOOR:
+            return
+        if self._quotas[thief] <= self.min_ways:
+            return
+        self._quotas[thief] -= 1
+        self._quotas[victim] += 1
+        self.transfers += 1

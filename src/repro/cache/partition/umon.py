@@ -1,0 +1,106 @@
+"""Utility monitors (UMON) — per-owner marginal-utility estimation.
+
+The UCP mechanism (Qureshi & Patt, MICRO 2006): for a sample of cache sets,
+keep a per-owner *shadow* fully-LRU tag directory of full associativity and
+count hits per stack position. The counter at position ``i`` is the number
+of extra hits the owner would get from owning at least ``i+1`` ways — the
+marginal-utility curve the allocator maximises over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.util.bitops import ilog2
+
+
+class ShadowSet:
+    """Fully-associative LRU shadow tags for one (owner, set) pair."""
+
+    __slots__ = ("capacity", "stack")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.stack: List[int] = []  # MRU first
+
+    def access(self, tag: int) -> int:
+        """Touch ``tag``; returns the hit stack position or -1 on miss."""
+        stack = self.stack
+        try:
+            position = stack.index(tag)
+        except ValueError:
+            stack.insert(0, tag)
+            if len(stack) > self.capacity:
+                stack.pop()
+            return -1
+        del stack[position]
+        stack.insert(0, tag)
+        return position
+
+
+class UtilityMonitor:
+    """Per-owner sampled shadow directory with hit-position counters."""
+
+    def __init__(self, n_sets: int, n_ways: int, owners,
+                 sampling: int = 8) -> None:
+        if sampling < 1:
+            raise ValueError("sampling must be >= 1")
+        ilog2(max(1, n_sets))  # geometry sanity
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.sampling = sampling
+        self.owners = list(owners)
+        self._shadows: Dict[int, Dict[int, ShadowSet]] = {
+            owner: {} for owner in self.owners
+        }
+        #: owner -> hits per stack position (length n_ways)
+        self.position_hits: Dict[int, List[int]] = {
+            owner: [0] * n_ways for owner in self.owners
+        }
+        self.misses: Dict[int, int] = {owner: 0 for owner in self.owners}
+        self._set_mask = n_sets - 1
+        self._offset_bits = 6  # 64-byte blocks
+
+    def observe(self, owner: int, block_addr: int) -> None:
+        """Feed one LLC demand access into the monitor."""
+        if owner not in self._shadows:
+            return
+        set_index = (block_addr >> self._offset_bits) & self._set_mask
+        if set_index % self.sampling:
+            return
+        shadows = self._shadows[owner]
+        shadow = shadows.get(set_index)
+        if shadow is None:
+            shadow = ShadowSet(self.n_ways)
+            shadows[set_index] = shadow
+        position = shadow.access(block_addr)
+        if position < 0:
+            self.misses[owner] += 1
+        else:
+            self.position_hits[owner][position] += 1
+
+    def utility_curve(self, owner: int) -> List[int]:
+        """Cumulative hits as a function of ways owned (index 0 = 1 way)."""
+        hits = self.position_hits[owner]
+        curve = []
+        running = 0
+        for position_hits in hits:
+            running += position_hits
+            curve.append(running)
+        return curve
+
+    def marginal_utility(self, owner: int, from_ways: int, to_ways: int) -> int:
+        """Extra hits from growing ``owner`` from ``from_ways`` to ``to_ways``."""
+        if not 0 <= from_ways <= to_ways <= self.n_ways:
+            raise ValueError("invalid way range")
+        curve = self.utility_curve(owner)
+        hits_at = lambda ways: curve[ways - 1] if ways > 0 else 0
+        return hits_at(to_ways) - hits_at(from_ways)
+
+    def reset(self) -> None:
+        """Age out the previous epoch's counters (halve, UCP-style)."""
+        for owner in self.owners:
+            self.position_hits[owner] = [
+                count // 2 for count in self.position_hits[owner]
+            ]
+            self.misses[owner] //= 2

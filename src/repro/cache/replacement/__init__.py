@@ -1,0 +1,47 @@
+"""Replacement policies (paper Section III-C a) behind one registry."""
+
+from typing import Dict, Type
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.drrip import DrripPolicy
+from repro.cache.replacement.lru import LruPolicy
+from repro.cache.replacement.nmru import NmruPolicy
+from repro.cache.replacement.plru import TreePlruPolicy
+from repro.cache.replacement.random_policy import RandomPolicy
+from repro.cache.replacement.rrip import RripPolicy
+
+POLICIES: Dict[str, Type[ReplacementPolicy]] = {
+    LruPolicy.name: LruPolicy,
+    TreePlruPolicy.name: TreePlruPolicy,
+    NmruPolicy.name: NmruPolicy,
+    RripPolicy.name: RripPolicy,
+    DrripPolicy.name: DrripPolicy,
+    RandomPolicy.name: RandomPolicy,
+}
+
+#: Policies whose constructor accepts a ``seed`` keyword.
+SEEDED_POLICIES = frozenset({"nmru", "random", "drrip"})
+
+
+def make_policy(name: str, n_sets: int, n_ways: int, **kwargs) -> ReplacementPolicy:
+    """Instantiate a replacement policy by registry name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise KeyError(f"unknown replacement policy {name!r}; known: {known}") from None
+    return cls(n_sets, n_ways, **kwargs)
+
+
+__all__ = [
+    "DrripPolicy",
+    "LruPolicy",
+    "NmruPolicy",
+    "POLICIES",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "RripPolicy",
+    "SEEDED_POLICIES",
+    "TreePlruPolicy",
+    "make_policy",
+]

@@ -1,0 +1,67 @@
+"""Replacement policy interface.
+
+PInTE manipulates the replacement stack directly (BLOCK-SELECT walks from the
+eviction end; PROMOTE moves a block to the protected end), so on top of the
+usual ``victim`` / ``on_hit`` / ``on_insert`` hooks every policy must expose:
+
+* :meth:`eviction_order` — ways ordered most-evictable first (the
+  "replacement stack" read out from its eviction end), and
+* :meth:`promote` — move one way to the most-protected position, as if the
+  adversary had just accessed it.
+
+Policies keep their own per-set state and never touch block contents; the
+:class:`~repro.cache.cache.Cache` coordinates the two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.block import CacheBlock
+
+
+class ReplacementPolicy:
+    """Base class: per-set replacement state for ``n_sets`` x ``n_ways``."""
+
+    name = "base"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        if n_sets <= 0 or n_ways <= 0:
+            raise ValueError("n_sets and n_ways must be positive")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+
+    # -- normal cache operation -------------------------------------------
+    def victim(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+        """Choose the way to evict for a fill into ``set_index``.
+
+        Invalid ways must be preferred over valid ones — that is a cache
+        invariant, enforced here for all subclasses.
+        """
+        for way, block in enumerate(blocks):
+            if not block.valid:
+                return way
+        return self._victim_valid(set_index, blocks)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        """Update state after a demand hit on ``way``."""
+        raise NotImplementedError
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        """Update state after a fill into ``way``."""
+        raise NotImplementedError
+
+    # -- PInTE hooks --------------------------------------------------------
+    def eviction_order(self, set_index: int) -> List[int]:
+        """All ways, most-evictable first (the replacement stack, read from
+        its eviction end)."""
+        raise NotImplementedError
+
+    def promote(self, set_index: int, way: int) -> None:
+        """Move ``way`` to the most-protected position (adversary access)."""
+        raise NotImplementedError
+
+    # -- subclass internals --------------------------------------------------
+    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+        """Victim among all-valid ways; default: head of the eviction order."""
+        return self.eviction_order(set_index)[0]

@@ -1,0 +1,70 @@
+"""Dynamic RRIP (DRRIP) with set dueling (Jaleel et al., ISCA 2010).
+
+SRRIP inserts at ``long`` re-reference; BRRIP inserts at ``distant``
+re-reference most of the time (scan/thrash resistance). DRRIP dedicates a
+few *leader* sets to each policy and a policy-selection counter (PSEL),
+trained by misses in the leader sets, picks the insertion policy for the
+follower sets. Included as an extension beyond the paper's four policies —
+useful for ablating how adaptive insertion interacts with induced thefts.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.rrip import RripPolicy
+from repro.util.rng import DeterministicRng
+
+#: One in ``BRRIP_LONG_PERIOD`` BRRIP insertions uses long re-reference.
+BRRIP_LONG_PERIOD = 32
+PSEL_BITS = 10
+
+
+class DrripPolicy(RripPolicy):
+    """RRIP with set-dueling between SRRIP and BRRIP insertion."""
+
+    name = "drrip"
+
+    def __init__(self, n_sets: int, n_ways: int, rrpv_bits: int = 2,
+                 n_leader_sets: int = 4, seed: int = 0) -> None:
+        super().__init__(n_sets, n_ways, rrpv_bits=rrpv_bits)
+        n_leader_sets = min(n_leader_sets, max(1, n_sets // 2))
+        # Leader sets spread across the cache: first N for SRRIP, last N for
+        # BRRIP — the standard static-simple assignment.
+        self._srrip_leaders = set(range(n_leader_sets))
+        self._brrip_leaders = set(range(n_sets - n_leader_sets, n_sets))
+        self._psel = 1 << (PSEL_BITS - 1)  # mid-point
+        self._psel_max = (1 << PSEL_BITS) - 1
+        self._brrip_counter = 0
+        self._rng = DeterministicRng(seed, "drrip")
+
+    # -- policy selection -------------------------------------------------
+    def _use_srrip(self, set_index: int) -> bool:
+        if set_index in self._srrip_leaders:
+            return True
+        if set_index in self._brrip_leaders:
+            return False
+        # Follower: PSEL below midpoint means SRRIP leaders miss less.
+        return self._psel < (1 << (PSEL_BITS - 1))
+
+    def record_miss(self, set_index: int) -> None:
+        """Train PSEL on leader-set misses (caller: the owning cache)."""
+        if set_index in self._srrip_leaders and self._psel < self._psel_max:
+            self._psel += 1
+        elif set_index in self._brrip_leaders and self._psel > 0:
+            self._psel -= 1
+
+    # -- insertion ------------------------------------------------------------
+    def on_insert(self, set_index: int, way: int) -> None:
+        if self._use_srrip(set_index):
+            self._rrpv[set_index][way] = self.insert_rrpv
+            return
+        # BRRIP: distant re-reference, occasionally long.
+        self._brrip_counter = (self._brrip_counter + 1) % BRRIP_LONG_PERIOD
+        if self._brrip_counter == 0:
+            self._rrpv[set_index][way] = self.insert_rrpv
+        else:
+            self._rrpv[set_index][way] = self.max_rrpv
+
+    @property
+    def psel(self) -> int:
+        """Current policy-selection counter (exposed for tests/ablations)."""
+        return self._psel

@@ -1,0 +1,37 @@
+"""True LRU replacement: an explicit recency stack per set."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least Recently Used with an exact per-set recency order.
+
+    ``_stacks[s]`` lists ways MRU-first; the eviction end is the tail.
+    """
+
+    name = "lru"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        self._stacks: List[List[int]] = [list(range(n_ways)) for _ in range(n_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def eviction_order(self, set_index: int) -> List[int]:
+        return list(reversed(self._stacks[set_index]))
+
+    def promote(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)

@@ -1,0 +1,53 @@
+"""Not-Most-Recently-Used replacement.
+
+Only the MRU way is protected; victims are drawn (pseudo-randomly but
+deterministically) from the remaining ways. A *recency* policy in the
+paper's taxonomy — sensitive to contention frequency rather than to data
+movement through a stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.util.rng import DeterministicRng
+
+
+class NmruPolicy(ReplacementPolicy):
+    """Protects the single MRU way; everything else is fair game."""
+
+    name = "nmru"
+
+    def __init__(self, n_sets: int, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_sets, n_ways)
+        self._mru: List[int] = [0] * n_sets
+        self._rng = DeterministicRng(seed, "nmru")
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._mru[set_index] = way
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        self._mru[set_index] = way
+
+    def promote(self, set_index: int, way: int) -> None:
+        self._mru[set_index] = way
+
+    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+        if self.n_ways == 1:
+            return 0
+        way = self._rng.randint(0, self.n_ways - 2)
+        if way >= self._mru[set_index]:
+            way += 1
+        return way
+
+    def eviction_order(self, set_index: int) -> List[int]:
+        """Non-MRU ways (deterministic rotation for spread), MRU last."""
+        mru = self._mru[set_index]
+        others = [w for w in range(self.n_ways) if w != mru]
+        # Rotate by set index so PInTE's walk doesn't always hammer way 0.
+        if others:
+            pivot = set_index % len(others)
+            others = others[pivot:] + others[:pivot]
+        return others + [mru]

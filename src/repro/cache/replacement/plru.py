@@ -1,0 +1,81 @@
+"""Tree pseudo-LRU replacement.
+
+A binary tree of direction bits per set; each access flips the bits along
+its path to point away from the accessed way, and the victim is found by
+following the bits from the root. Standard hardware pLRU (e.g. the
+partitioned-cache patent the paper cites).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.util.bitops import is_power_of_two
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree-pLRU over a power-of-two number of ways."""
+
+    name = "plru"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        if not is_power_of_two(n_ways):
+            raise ValueError(f"tree pLRU requires power-of-two ways, got {n_ways}")
+        # Bits stored as a heap: node i has children 2i+1 / 2i+2; n_ways - 1
+        # internal nodes. Bit value 0 means "LRU side is left".
+        self._bits: List[List[int]] = [[0] * (n_ways - 1) for _ in range(n_sets)]
+
+    def _leaf_base(self) -> int:
+        return self.n_ways - 1
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Set bits along the path to point away from ``way``."""
+        bits = self._bits[set_index]
+        node = self._leaf_base() + way
+        while node > 0:
+            parent = (node - 1) // 2
+            went_left = node == 2 * parent + 1
+            # Point toward the other child (the not-recently-used side).
+            bits[parent] = 1 if went_left else 0
+            node = parent
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def promote(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def _victim_from(self, bits: List[int], node: int) -> int:
+        while node < self._leaf_base():
+            node = 2 * node + 1 + bits[node]
+        return node - self._leaf_base()
+
+    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+        return self._victim_from(self._bits[set_index], 0)
+
+    def eviction_order(self, set_index: int) -> List[int]:
+        """Approximate full stack: repeatedly extract victims on a scratch
+        copy of the tree, touching each extracted way."""
+        bits = list(self._bits[set_index])
+        order: List[int] = []
+        seen = set()
+        while len(order) < self.n_ways:
+            way = self._victim_from(bits, 0)
+            if way in seen:
+                # Defensive: flip the lowest untouched path instead.
+                way = next(w for w in range(self.n_ways) if w not in seen)
+            order.append(way)
+            seen.add(way)
+            # Touch on the scratch tree so the next extraction differs.
+            node = self._leaf_base() + way
+            while node > 0:
+                parent = (node - 1) // 2
+                bits[parent] = 1 if node == 2 * parent + 1 else 0
+                node = parent
+        return order

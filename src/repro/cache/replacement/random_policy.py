@@ -1,0 +1,36 @@
+"""Random replacement — a baseline/ablation policy, not in the paper's set."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.util.rng import DeterministicRng
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim; eviction order is a seeded permutation."""
+
+    name = "random"
+
+    def __init__(self, n_sets: int, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_sets, n_ways)
+        self._rng = DeterministicRng(seed, "random-repl")
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        pass
+
+    def promote(self, set_index: int, way: int) -> None:
+        pass
+
+    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+        return self._rng.randint(0, self.n_ways - 1)
+
+    def eviction_order(self, set_index: int) -> List[int]:
+        order = list(range(self.n_ways))
+        self._rng.shuffle(order)
+        return order

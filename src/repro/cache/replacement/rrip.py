@@ -1,0 +1,53 @@
+"""Static Re-Reference Interval Prediction (SRRIP, Jaleel et al. ISCA 2010)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class RripPolicy(ReplacementPolicy):
+    """SRRIP with ``m``-bit re-reference prediction values (RRPV).
+
+    Hits promote to RRPV 0 (near-immediate re-reference); inserts use
+    ``long`` re-reference (max - 1); victims are the first way at max RRPV,
+    ageing the whole set until one appears.
+    """
+
+    name = "rrip"
+
+    def __init__(self, n_sets: int, n_ways: int, rrpv_bits: int = 2) -> None:
+        super().__init__(n_sets, n_ways)
+        if rrpv_bits < 1:
+            raise ValueError("rrpv_bits must be >= 1")
+        self.max_rrpv = (1 << rrpv_bits) - 1
+        self.insert_rrpv = self.max_rrpv - 1
+        self._rrpv: List[List[int]] = [
+            [self.max_rrpv] * n_ways for _ in range(n_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self.insert_rrpv
+
+    def promote(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+        rrpv = self._rrpv[set_index]
+        while True:
+            for way in range(self.n_ways):
+                if rrpv[way] >= self.max_rrpv:
+                    return way
+            for way in range(self.n_ways):
+                rrpv[way] += 1
+
+    def eviction_order(self, set_index: int) -> List[int]:
+        """Ways sorted by descending RRPV (most distant re-reference first);
+        ties broken by way index, matching hardware scan order."""
+        rrpv = self._rrpv[set_index]
+        return sorted(range(self.n_ways), key=lambda way: (-rrpv[way], way))

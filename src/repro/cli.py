@@ -1,0 +1,353 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list`` — enumerate the synthetic SPEC-like workload models.
+* ``run`` — simulate one workload (isolation / PInTE / 2nd-Trace).
+* ``sweep`` — PInTE sensitivity sweep + classification for workloads.
+* ``trace`` — generate a trace file for external tooling.
+
+Every command prints plain text and returns a process exit code, so the CLI
+is scriptable; all functions are also unit-testable by calling
+:func:`main` with an argv list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import classify, contention_curve
+from repro.config import MachineConfig, scaled_config, skylake_config, xeon_config
+from repro.core import PAPER_PINDUCE_SWEEP, PinteConfig
+from repro.experiments.reporting import format_table
+from repro.sim import ExperimentScale, TraceLibrary, simulate, simulate_pair
+from repro.trace import (
+    SPEC_WORKLOADS,
+    build_trace,
+    get_workload,
+    suite_names,
+    write_trace,
+)
+
+CONFIGS = {
+    "scaled": scaled_config,
+    "skylake": skylake_config,
+    "xeon": xeon_config,
+}
+
+
+def _machine(name: str) -> MachineConfig:
+    try:
+        return CONFIGS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown machine config {name!r}; "
+                         f"known: {', '.join(sorted(CONFIGS))}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default="scaled", choices=sorted(CONFIGS),
+                        help="machine preset (default: scaled)")
+    parser.add_argument("--instructions", type=int, default=40_000,
+                        help="measured instructions (default: 40000)")
+    parser.add_argument("--warmup", type=int, default=10_000,
+                        help="warm-up instructions (default: 10000)")
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in suite_names():
+        spec = SPEC_WORKLOADS[name]
+        if args.klass and spec.klass != args.klass:
+            continue
+        rows.append((name, spec.suite, spec.klass, spec.pattern,
+                     f"{spec.footprint_factor:.3f}",
+                     f"{spec.mem_fraction:.2f}", f"{spec.branch_fraction:.2f}"))
+    print(format_table(
+        ["Benchmark", "Suite", "Class", "Pattern", "Footprint xLLC",
+         "Mem frac", "Br frac"],
+        rows,
+        title=f"{len(rows)} synthetic SPEC-like workload models",
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _machine(args.machine)
+    workload = get_workload(args.workload)
+    length = args.warmup + args.instructions
+    trace = build_trace(workload, length, args.seed, config.llc.size)
+
+    pinte = None
+    if args.p_induce is not None:
+        pinte = PinteConfig(
+            p_induce=args.p_induce,
+            seed=args.seed,
+            trigger="periodic" if args.periodic else "per-access",
+            dram_background_rpkc=args.dram_background,
+        )
+
+    if args.versus:
+        adversary = build_trace(get_workload(args.versus), length,
+                                args.seed + 1, config.llc.size)
+        result = simulate_pair(trace, adversary, config,
+                               warmup_instructions=args.warmup,
+                               sim_instructions=args.instructions,
+                               seed=args.seed)
+    else:
+        result = simulate(trace, config, pinte=pinte,
+                          warmup_instructions=args.warmup,
+                          sim_instructions=args.instructions, seed=args.seed)
+
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ("context", result.label()),
+            ("instructions", result.instructions),
+            ("cycles", result.cycles),
+            ("IPC", f"{result.ipc:.4f}"),
+            ("LLC miss rate", f"{result.miss_rate:.4f}"),
+            ("AMAT (cycles)", f"{result.amat:.2f}"),
+            ("contention rate", f"{result.contention_rate:.4f}"),
+            ("interference rate", f"{result.interference_rate:.4f}"),
+            ("thefts experienced", result.thefts_experienced),
+            ("branch accuracy", f"{result.branch_accuracy:.4f}"),
+            ("LLC occupancy", f"{result.occupancy:.3f}"),
+        ],
+        title=f"{args.workload} on {config.name}",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = _machine(args.machine)
+    scale = ExperimentScale(warmup_instructions=args.warmup,
+                            sim_instructions=args.instructions,
+                            sample_interval=max(1, args.instructions // 10),
+                            seed=args.seed)
+    library = TraceLibrary(config, scale)
+    p_values = (tuple(args.p_induce) if args.p_induce
+                else PAPER_PINDUCE_SWEEP)
+    for name in args.workloads:
+        trace = library.get(name)
+        isolation = simulate(trace, config,
+                             warmup_instructions=scale.warmup_instructions,
+                             sim_instructions=scale.sim_instructions,
+                             sample_interval=scale.sample_interval,
+                             seed=scale.seed)
+        results = [
+            simulate(trace, config, pinte=PinteConfig(p, seed=scale.seed),
+                     warmup_instructions=scale.warmup_instructions,
+                     sim_instructions=scale.sim_instructions,
+                     sample_interval=scale.sample_interval, seed=scale.seed)
+            for p in p_values
+        ]
+        rows = [
+            (f"{r.p_induce:.3f}", f"{r.ipc / isolation.ipc:.3f}",
+             f"{r.miss_rate:.3f}", f"{r.amat:.1f}",
+             f"{r.interference_rate:.3f}")
+            for r in results
+        ]
+        print(format_table(
+            ["P_induce", "weighted IPC", "MR", "AMAT", "interference"],
+            rows,
+            title=f"{name} (isolation IPC {isolation.ipc:.4f})",
+        ))
+        report = classify(name, results, isolation)
+        curve = contention_curve(results, isolation.ipc)
+        print(f"sensitivity: {report.classification.upper()} "
+              f"(SCP {report.scp:.0%}, TPL {report.tpl:.0%}, "
+              f"{len(curve)} contention-rate groups)\n")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.sim.characterize import characterize
+
+    config = _machine(args.machine)
+    rows = []
+    for name in args.workloads:
+        spec = get_workload(name)
+        trace = build_trace(spec, args.warmup + args.instructions, args.seed,
+                            config.llc.size)
+        profile = characterize(trace, config,
+                               warmup_instructions=args.warmup,
+                               sim_instructions=args.instructions,
+                               seed=args.seed)
+        rows.append((
+            name, spec.klass, profile.inferred_class(config),
+            f"{profile.ipc:.3f}", f"{profile.amat:.1f}",
+            f"{profile.l2_mpki:.1f}", f"{profile.llc_mpki:.1f}",
+            f"{profile.llc_apki:.1f}",
+        ))
+    print(format_table(
+        ["Benchmark", "Declared", "Measured", "IPC", "AMAT", "L2 MPKI",
+         "LLC MPKI", "LLC APKI"],
+        rows,
+        title=f"workload characterisation on {args.machine}",
+    ))
+    return 0
+
+
+def cmd_mrc(args: argparse.Namespace) -> int:
+    from repro.analysis.mrc import trace_mrc, working_set_knee
+
+    config = _machine(args.machine)
+    spec = get_workload(args.workload)
+    trace = build_trace(spec, args.length, args.seed, config.llc.size)
+    llc_blocks = config.llc.size // config.block_size
+    capacities = sorted({max(1, llc_blocks // 16), llc_blocks // 8,
+                         llc_blocks // 4, llc_blocks // 2, llc_blocks,
+                         llc_blocks * 2})
+    curve = trace_mrc(trace, capacities, max_depth=llc_blocks * 2)
+    rows = [(capacity, f"{capacity * config.block_size // 1024} KB",
+             f"{curve[capacity]:.3f}") for capacity in capacities]
+    print(format_table(
+        ["Blocks", "Capacity", "Miss rate"],
+        rows,
+        title=f"{args.workload} miss-rate curve ({args.length} instructions)",
+    ))
+    knee = working_set_knee(curve)
+    print(f"working-set knee: {knee} blocks "
+          f"(~{knee * config.block_size // 1024} KB)")
+    return 0
+
+
+def cmd_partition_study(args: argparse.Namespace) -> int:
+    from repro.experiments import partition_study
+    from repro.sim import ExperimentScale
+
+    config = _machine(args.machine)
+    scale = ExperimentScale(warmup_instructions=args.warmup,
+                            sim_instructions=args.instructions,
+                            sample_interval=max(1, args.instructions // 8),
+                            seed=args.seed)
+    result = partition_study.run_partition_study(
+        config, scale, workloads=(args.victim, args.aggressor))
+    print(partition_study.format_report(result))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import run_reproduction, suite_for_name
+    from repro.sim import ExperimentScale
+
+    config = _machine(args.machine)
+    scale = ExperimentScale(warmup_instructions=args.warmup,
+                            sim_instructions=args.instructions,
+                            sample_interval=max(1, args.instructions // 10),
+                            seed=args.seed)
+    suite = suite_for_name(args.suite)
+    reports = run_reproduction(
+        config=config, scale=scale, suite=suite,
+        panel_size=args.panel,
+        include_standalone=args.full,
+        output_dir=Path(args.output) if args.output else None,
+    )
+    for artifact in sorted(reports):
+        print(f"\n{'=' * 72}\n[{artifact}]\n{reports[artifact]}")
+    if args.output:
+        print(f"\nreports written to {args.output}/")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    config = _machine(args.machine)
+    workload = get_workload(args.workload)
+    trace = build_trace(workload, args.length, args.seed, config.llc.size)
+    count = write_trace(trace, args.output)
+    print(f"wrote {count} records for {args.workload} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PInTE (IISWC 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workload models")
+    p_list.add_argument("--class", dest="klass", default=None,
+                        help="filter by behaviour class")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload", help="benchmark name, e.g. 470.lbm")
+    p_run.add_argument("--p-induce", type=float, default=None,
+                       help="enable PInTE at this induction probability")
+    p_run.add_argument("--periodic", action="store_true",
+                       help="use the periodic (independent-module) trigger")
+    p_run.add_argument("--dram-background", type=float, default=0.0,
+                       help="background DRAM requests per kilocycle")
+    p_run.add_argument("--versus", default=None,
+                       help="run 2nd-Trace mode against this workload")
+    _add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="PInTE sensitivity sweep")
+    p_sweep.add_argument("workloads", nargs="+", help="benchmark names")
+    p_sweep.add_argument("--p-induce", type=float, nargs="*", default=None,
+                         help="P_induce values (default: the paper's 12)")
+    _add_common(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_char = sub.add_parser("characterize",
+                            help="measure workload behaviour classes")
+    p_char.add_argument("workloads", nargs="+", help="benchmark names")
+    _add_common(p_char)
+    p_char.set_defaults(func=cmd_characterize)
+
+    p_mrc = sub.add_parser("mrc", help="miss-rate curve of a workload")
+    p_mrc.add_argument("workload", help="benchmark name")
+    p_mrc.add_argument("--length", type=int, default=20_000,
+                       help="instructions to profile (default: 20000)")
+    p_mrc.add_argument("--machine", default="scaled", choices=sorted(CONFIGS))
+    p_mrc.add_argument("--seed", type=int, default=1)
+    p_mrc.set_defaults(func=cmd_mrc)
+
+    p_part = sub.add_parser("partition-study",
+                            help="compare LLC partitioning schemes")
+    p_part.add_argument("--victim", default="450.soplex")
+    p_part.add_argument("--aggressor", default="470.lbm")
+    _add_common(p_part)
+    p_part.set_defaults(func=cmd_partition_study)
+
+    p_repro = sub.add_parser("reproduce",
+                             help="regenerate the paper's tables/figures")
+    p_repro.add_argument("--suite", default="quick",
+                         choices=("quick", "core"))
+    p_repro.add_argument("--panel", type=int, default=3,
+                         help="2nd-Trace adversaries per benchmark")
+    p_repro.add_argument("--full", action="store_true",
+                         help="include the standalone Fig 3/10/11 campaigns")
+    p_repro.add_argument("--output", default=None,
+                         help="directory to write <artifact>.txt reports")
+    _add_common(p_repro)
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    p_trace = sub.add_parser("trace", help="generate a trace file")
+    p_trace.add_argument("workload", help="benchmark name")
+    p_trace.add_argument("output", help="output path (.trace.gz)")
+    p_trace.add_argument("--length", type=int, default=100_000,
+                         help="instructions to generate (default: 100000)")
+    p_trace.add_argument("--machine", default="scaled",
+                         choices=sorted(CONFIGS))
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

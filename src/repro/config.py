@@ -1,0 +1,162 @@
+"""Machine configurations.
+
+Three presets:
+
+* :func:`skylake_config` — the paper's setup (Section III-A): Skylake-like,
+  non-inclusive caches, 4 MB / 16-way LLC, 2-channel DRAM.
+* :func:`scaled_config` — the same machine shrunk ~64x so the pure-Python
+  simulator covers the paper's experiment matrix in minutes. Workload
+  footprints are specified *relative to LLC capacity*
+  (:class:`~repro.trace.spec_models.WorkloadSpec.footprint_factor`), so
+  shrinking the machine preserves every workload's behaviour class.
+* :func:`xeon_config` — the Fig 10 "real system" stand-in: bigger LLC with an
+  RDT-style allocation cap and halved DRAM resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.dram import DramConfig
+
+INCLUSION_POLICIES = ("non-inclusive", "inclusive", "exclusive")
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry and policy for one cache level."""
+
+    size: int
+    assoc: int
+    latency: int
+    policy: str = "lru"
+    prefetcher: str = "none"
+    #: XOR-folded set indexing (real LLCs hash the index to de-skew
+    #: power-of-two strides); off by default for transparent indexing.
+    hash_index: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.assoc <= 0 or self.latency <= 0:
+            raise ValueError("cache size, associativity and latency must be positive")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Cycle-accounting core parameters."""
+
+    issue_width: int = 4
+    mispredict_penalty: int = 15
+    mlp: float = 4.0  # overlap factor for independent misses
+    branch_predictor: str = "hashed_perceptron"
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        if self.mlp < 1.0:
+            raise ValueError("mlp must be >= 1 (1 = fully serialised)")
+        if self.mispredict_penalty < 0:
+            raise ValueError("mispredict_penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full machine: cache hierarchy + DRAM + core."""
+
+    name: str
+    block_size: int = 64
+    l1i: CacheLevelConfig = field(default_factory=lambda: CacheLevelConfig(32768, 8, 1))
+    l1d: CacheLevelConfig = field(default_factory=lambda: CacheLevelConfig(32768, 8, 4))
+    l2: CacheLevelConfig = field(default_factory=lambda: CacheLevelConfig(262144, 8, 12))
+    llc: CacheLevelConfig = field(default_factory=lambda: CacheLevelConfig(4194304, 16, 38, policy="rrip"))
+    inclusion: str = "non-inclusive"
+    dram: DramConfig = field(default_factory=DramConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    #: Optional RDT-style cap on how many LLC ways a workload may occupy
+    #: (Fig 10 models a 10 MB allocation out of an 11 MB LLC).
+    llc_way_allocation: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.inclusion not in INCLUSION_POLICIES:
+            raise ValueError(
+                f"inclusion must be one of {INCLUSION_POLICIES}, got {self.inclusion!r}"
+            )
+        if self.llc_way_allocation is not None and not (
+            0 < self.llc_way_allocation <= self.llc.assoc
+        ):
+            raise ValueError("llc_way_allocation must be in (0, llc.assoc]")
+
+    # -- convenience constructors for experiment sweeps ------------------------
+    def with_llc_policy(self, policy: str) -> "MachineConfig":
+        return replace(self, llc=replace(self.llc, policy=policy))
+
+    def with_inclusion(self, inclusion: str) -> "MachineConfig":
+        return replace(self, inclusion=inclusion)
+
+    def with_prefetch_string(self, prefetch: str) -> "MachineConfig":
+        from repro.prefetch import prefetch_string_config
+
+        l1i_pf, l1d_pf, l2_pf = prefetch_string_config(prefetch)
+        return replace(
+            self,
+            l1i=replace(self.l1i, prefetcher=l1i_pf),
+            l1d=replace(self.l1d, prefetcher=l1d_pf),
+            l2=replace(self.l2, prefetcher=l2_pf),
+        )
+
+    def with_branch_predictor(self, predictor: str) -> "MachineConfig":
+        return replace(self, core=replace(self.core, branch_predictor=predictor))
+
+
+def skylake_config() -> MachineConfig:
+    """The paper's ChampSim model: Skylake, 4 MB/16-way non-inclusive LLC."""
+    return MachineConfig(
+        name="skylake",
+        l1i=CacheLevelConfig(32 * 1024, 8, 1),
+        l1d=CacheLevelConfig(32 * 1024, 8, 4),
+        l2=CacheLevelConfig(256 * 1024, 8, 12, prefetcher="none"),
+        llc=CacheLevelConfig(4 * 1024 * 1024, 16, 38, policy="rrip"),
+        inclusion="non-inclusive",
+        dram=DramConfig(channels=2),
+    )
+
+
+def scaled_config(prefetch: str = "000") -> MachineConfig:
+    """The paper machine shrunk for tractable pure-Python experiments.
+
+    Capacities are divided by 64 with associativities preserved (L1 8-way,
+    L2 8-way, LLC 16-way), so set counts shrink but the replacement/theft
+    mechanics are identical.
+    """
+    config = MachineConfig(
+        name="scaled",
+        l1i=CacheLevelConfig(1024, 8, 1),
+        l1d=CacheLevelConfig(1024, 8, 4),
+        l2=CacheLevelConfig(8192, 8, 12),
+        llc=CacheLevelConfig(65536, 16, 38, policy="rrip"),
+        inclusion="non-inclusive",
+        dram=DramConfig(channels=2, banks_per_channel=4),
+    )
+    if prefetch != "000":
+        config = config.with_prefetch_string(prefetch)
+    return config
+
+
+def xeon_config() -> MachineConfig:
+    """Fig 10 stand-in for the Intel Xeon Silver 4110 server.
+
+    Scaled like :func:`scaled_config` (divide capacities by 64): 11 MB LLC
+    -> 176 KB at 11-way... rounded to a power-of-two-friendly 16-way 256 KB
+    with a 10/11 way allocation cap mirroring the paper's Intel RDT split
+    (10 MB workload / 1 MB system), and halved DRAM resources.
+    """
+    return MachineConfig(
+        name="xeon",
+        l1i=CacheLevelConfig(1024, 8, 1),
+        l1d=CacheLevelConfig(1024, 8, 4),
+        l2=CacheLevelConfig(16384, 16, 14),
+        llc=CacheLevelConfig(262144, 16, 42, policy="rrip"),
+        inclusion="non-inclusive",
+        dram=DramConfig(channels=2, banks_per_channel=4).halved(),
+        llc_way_allocation=14,  # ~10/11 of the LLC, RDT-style
+    )

@@ -1,0 +1,49 @@
+"""PInTE core: the paper's primary contribution.
+
+The engine (:class:`PInTE`) injects theft evictions into an LLC with
+probability ``P_induce`` per access; :class:`ContentionTracker` accounts for
+thefts and interference (CASHT metrics); :data:`PAPER_PINDUCE_SWEEP` is the
+12-point configuration sweep used throughout the evaluation.
+"""
+
+from repro.core.counters import (
+    STOLEN_SET_CAP,
+    ContentionCounters,
+    ContentionTracker,
+)
+from repro.core.extensions import BackgroundDramTraffic, PeriodicPinte
+from repro.core.mechanics import (
+    FIG2A_SCRIPT,
+    Event,
+    Narrative,
+    induced_contention_narrative,
+    real_contention_narrative,
+)
+from repro.core.pinte import PInTE, PinteStats
+from repro.core.pinte_config import (
+    PAPER_PINDUCE_SWEEP,
+    PinteConfig,
+    TRIGGER_MODES,
+    TRIGGER_PERIODIC,
+    TRIGGER_PER_ACCESS,
+)
+
+__all__ = [
+    "BackgroundDramTraffic",
+    "ContentionCounters",
+    "ContentionTracker",
+    "Event",
+    "FIG2A_SCRIPT",
+    "Narrative",
+    "induced_contention_narrative",
+    "real_contention_narrative",
+    "PAPER_PINDUCE_SWEEP",
+    "PInTE",
+    "PeriodicPinte",
+    "PinteConfig",
+    "PinteStats",
+    "STOLEN_SET_CAP",
+    "TRIGGER_MODES",
+    "TRIGGER_PERIODIC",
+    "TRIGGER_PER_ACCESS",
+]

@@ -1,0 +1,155 @@
+"""Theft mechanics as an event narrative (paper Fig 2a/2b, Fig 4).
+
+Programmatic, testable versions of the paper's worked examples: feed an
+access script into a small shared set and receive a typed event log — hits,
+misses, self-evictions, thefts, interference, PInTE triggers, promotions and
+induced invalidations. The ``theft_mechanics`` example renders these logs;
+tests assert on them directly, pinning the mechanics the figures illustrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cache.cache import Cache
+from repro.core.counters import ContentionTracker
+from repro.core.pinte import PInTE
+from repro.core.pinte_config import PinteConfig
+from repro.owners import SYSTEM_OWNER
+
+BLOCK = 64
+
+#: Event kinds emitted by the narratives.
+HIT = "hit"
+MISS = "miss"
+SELF_EVICTION = "self_eviction"
+THEFT = "theft"
+INTERFERENCE = "interference"
+TRIGGER = "trigger"
+INDUCED_THEFT = "induced_theft"
+MOCKED_THEFT = "mocked_theft"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One narrated cache event."""
+
+    kind: str
+    step: int
+    owner: int
+    block: int
+    victim_owner: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.kind == THEFT:
+            return (f"step {self.step}: core {self.owner} stole block "
+                    f"{self.block} from core {self.victim_owner}")
+        if self.kind == INDUCED_THEFT:
+            return (f"step {self.step}: PInTE stole block {self.block} "
+                    f"from core {self.victim_owner}")
+        if self.kind == MOCKED_THEFT:
+            return f"step {self.step}: PInTE mocked a theft on an invalid way"
+        return f"step {self.step}: core {self.owner} {self.kind} block {self.block}"
+
+
+@dataclass
+class Narrative:
+    """Event log plus the final per-owner counters."""
+
+    events: List[Event] = field(default_factory=list)
+    tracker: ContentionTracker = field(default_factory=ContentionTracker)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+    def counts(self) -> dict:
+        kinds = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        return kinds
+
+
+def _access(cache: Cache, tracker: ContentionTracker, events: List[Event],
+            step: int, owner: int, block_id: int) -> None:
+    address = block_id * BLOCK * cache.n_sets  # everything in set 0
+    hit = cache.access(address, False, owner)
+    interference_before = tracker.counters(owner).interference_misses
+    tracker.record_access(owner, address, hit)
+    if hit:
+        events.append(Event(HIT, step, owner, block_id))
+        return
+    events.append(Event(MISS, step, owner, block_id))
+    if tracker.counters(owner).interference_misses > interference_before:
+        events.append(Event(INTERFERENCE, step, owner, block_id))
+    evicted = cache.fill(address, owner)
+    tracker.record_refill(owner, address)
+    if evicted is None:
+        return
+    victim_block = evicted.tag // (BLOCK * cache.n_sets)
+    if evicted.owner == owner:
+        events.append(Event(SELF_EVICTION, step, owner, victim_block))
+    else:
+        tracker.record_theft(evicted.owner, owner, evicted.tag)
+        events.append(Event(THEFT, step, owner, victim_block,
+                            victim_owner=evicted.owner))
+
+
+def real_contention_narrative(
+    script: Sequence[Tuple[int, int]],
+    assoc: int = 4,
+    policy: str = "lru",
+) -> Narrative:
+    """Fig 2a: two (or more) owners interleave accesses in one shared set.
+
+    ``script`` is a sequence of (owner, block_id) accesses.
+    """
+    cache = Cache("SET", assoc * BLOCK, assoc, BLOCK, latency=1, policy=policy)
+    narrative = Narrative()
+    for step, (owner, block_id) in enumerate(script):
+        _access(cache, narrative.tracker, narrative.events, step, owner,
+                block_id)
+    return narrative
+
+
+def induced_contention_narrative(
+    script: Sequence[int],
+    p_induce: float = 0.6,
+    assoc: int = 4,
+    policy: str = "lru",
+    seed: int = 11,
+) -> Narrative:
+    """Fig 2b / Fig 4: a single owner accesses while PInTE plays adversary.
+
+    ``script`` is a sequence of block ids accessed by core 0; after every
+    access the engine's state machine runs and its triggers/promotions/
+    invalidations are narrated.
+    """
+    cache = Cache("SET", assoc * BLOCK, assoc, BLOCK, latency=1, policy=policy)
+    narrative = Narrative()
+    engine = PInTE(PinteConfig(p_induce=p_induce, seed=seed), cache,
+                   narrative.tracker)
+    for step, block_id in enumerate(script):
+        _access(cache, narrative.tracker, narrative.events, step, 0, block_id)
+        triggers_before = engine.stats.triggers
+        promotions_before = engine.stats.promotions
+        thefts_before = narrative.tracker.counters(0).thefts_experienced
+        invalidated = engine.on_llc_access(0, step, 0)
+        if engine.stats.triggers > triggers_before:
+            narrative.events.append(Event(TRIGGER, step, SYSTEM_OWNER, -1))
+        induced = narrative.tracker.counters(0).thefts_experienced - thefts_before
+        for _ in range(induced):
+            narrative.events.append(
+                Event(INDUCED_THEFT, step, SYSTEM_OWNER, -1, victim_owner=0))
+        mocked = (engine.stats.promotions - promotions_before) - invalidated
+        for _ in range(max(0, mocked)):
+            narrative.events.append(Event(MOCKED_THEFT, step, SYSTEM_OWNER, -1))
+    return narrative
+
+
+#: The paper's Fig 2a access interleaving (green = core 0, gray = core 1),
+#: transcribed as a reusable script.
+FIG2A_SCRIPT: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (0, 2), (1, 10), (1, 11), (0, 3),
+    (1, 12), (0, 1), (1, 13), (0, 2),
+)

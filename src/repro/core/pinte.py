@@ -1,0 +1,151 @@
+"""The PInTE engine: Probabilistic Induction of Theft Evictions.
+
+Implements the paper's Fig 4 state machine. After every demand access to the
+LLC (**UPDATE-ACCESS** is the normal replacement update, already done by the
+cache), the engine:
+
+1. **GEN-PROBABILITY** — draws ``trigger_ratio = rand / rand_max`` (Eq. 2)
+   and exits unless ``trigger_ratio <= P_induce``.
+2. **GEN-EVICT-CNT** — draws ``Blocks_evict`` uniformly in
+   ``[0, associativity]`` and initialises the way counter.
+3. **BLOCK-SELECT** — walks blocks from the eviction end of the replacement
+   stack (the policy's :meth:`eviction_order`).
+4. **PROMOTE** — moves the selected block to the protected end, exactly as
+   if the adversary had just accessed it.
+5. **INVALIDATE** — if the block was valid, clears its valid bit and queues
+   a write-back when dirty; this is the induced *theft*. An invalid block
+   that gets promoted is the paper's "mocked theft" (Fig 2b): the adversary
+   appears to insert on a previously invalidated way.
+6. **DECREMENT** — counts down ``Blocks_evict``; loops to BLOCK-SELECT or
+   exits when the count reaches zero or the set is exhausted.
+
+The engine is policy-agnostic: it only uses the two PInTE hooks every
+:class:`~repro.cache.replacement.base.ReplacementPolicy` provides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.owners import SYSTEM_OWNER
+from repro.cache.cache import Cache
+from repro.core.counters import ContentionTracker
+from repro.core.pinte_config import PinteConfig
+from repro.util.rng import DeterministicRng
+
+
+class PinteStats:
+    """Engine-level event counters (per simulation)."""
+
+    __slots__ = ("accesses_seen", "triggers", "evict_draws_total",
+                 "invalidations", "promotions", "dirty_writebacks")
+
+    def __init__(self) -> None:
+        self.accesses_seen = 0
+        self.triggers = 0
+        self.evict_draws_total = 0
+        self.invalidations = 0
+        self.promotions = 0
+        self.dirty_writebacks = 0
+
+    @property
+    def trigger_rate(self) -> float:
+        """Observed trigger frequency; converges to ``p_induce``."""
+        if self.accesses_seen == 0:
+            return 0.0
+        return self.triggers / self.accesses_seen
+
+
+class PInTE:
+    """Contention injector bound to one LLC.
+
+    Args:
+        config: trigger probability and draw bounds.
+        llc: the last-level cache to inject into.
+        tracker: shared contention bookkeeping (thefts land here).
+        writeback: callback invoked with (block_addr, cycle) for each dirty
+            block the engine invalidates — the hierarchy wires this to the
+            DRAM write path so induced evictions create real write traffic.
+    """
+
+    def __init__(
+        self,
+        config: PinteConfig,
+        llc: Cache,
+        tracker: ContentionTracker,
+        writeback: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.config = config
+        self.llc = llc
+        self.tracker = tracker
+        self.writeback = writeback
+        #: Optional hook called with (block_addr, cycle) after an induced
+        #: invalidation; wired by inclusive hierarchies so induced thefts
+        #: also evict private-cache copies.
+        self.back_invalidate: Optional[Callable[[int, int], None]] = None
+        self.stats = PinteStats()
+        self._rng = DeterministicRng(config.seed, "pinte")
+        self._max_evictions = config.max_evictions or llc.assoc
+
+    def on_llc_access(self, set_index: int, cycle: int, accessing_owner: int) -> int:
+        """Run the induction flow after one LLC demand access.
+
+        Returns the number of blocks invalidated (induced thefts) so callers
+        can assert on behaviour in tests.
+        """
+        self.stats.accesses_seen += 1
+        # GEN-PROBABILITY (Eq. 2): exit unless the trigger ratio falls at or
+        # below the configured induction probability.
+        if self._rng.trigger_ratio() > self.config.p_induce:
+            return 0
+        self.stats.triggers += 1
+        self.tracker.record_trigger(accessing_owner)
+
+        # GEN-EVICT-CNT: number of contention events for this trigger.
+        blocks_evict = self._rng.randint(0, self._max_evictions)
+        self.stats.evict_draws_total += blocks_evict
+        if blocks_evict == 0:
+            return 0
+        return self._induce(set_index, blocks_evict, cycle)
+
+    def _induce(self, set_index: int, blocks_evict: int, cycle: int) -> int:
+        """BLOCK-SELECT / PROMOTE / INVALIDATE / DECREMENT loop."""
+        blocks = self.llc.sets[set_index]
+        policy = self.llc.policy
+        invalidated = 0
+        # BLOCK-SELECT walks from the eviction end of the replacement stack.
+        # The order is captured once: promotions move processed blocks to the
+        # protected end, which in hardware means the walk pointer only ever
+        # advances (the way counter ``w`` in the paper's flow).
+        order: List[int] = policy.eviction_order(set_index)
+        for way in order:
+            if blocks_evict == 0:
+                break  # DECREMENT reached zero -> exit
+            block = blocks[way]
+            if not block.valid and not self.config.promote_invalid:
+                continue  # ablation: skip mocked thefts entirely
+            # PROMOTE: the adversary "accesses" this way.
+            policy.promote(set_index, way)
+            self.stats.promotions += 1
+            self.tracker.record_promotion(SYSTEM_OWNER)
+            if block.valid:
+                # INVALIDATE: this is the induced theft.
+                if block.dirty:
+                    self.stats.dirty_writebacks += 1
+                    if self.writeback is not None:
+                        self.writeback(block.tag, cycle)
+                victim_owner = block.owner
+                block_addr = block.tag
+                self.llc.invalidate_way(set_index, way)
+                invalidated += 1
+                self.stats.invalidations += 1
+                if victim_owner != SYSTEM_OWNER:
+                    self.tracker.record_theft(
+                        victim_owner, SYSTEM_OWNER, block_addr, induced=True
+                    )
+                if self.back_invalidate is not None:
+                    self.back_invalidate(block_addr, cycle)
+            # else: promotion of an invalid block is the mocked theft of
+            # Fig 2b -- the way now looks like a fresh adversary insertion.
+            blocks_evict -= 1  # DECREMENT
+        return invalidated

@@ -1,0 +1,5 @@
+"""Core timing model."""
+
+from repro.cpu.core import Core, CoreStats
+
+__all__ = ["Core", "CoreStats"]

@@ -1,0 +1,5 @@
+"""DRAM substrate."""
+
+from repro.dram.model import Dram, DramConfig, DramStats
+
+__all__ = ["Dram", "DramConfig", "DramStats"]

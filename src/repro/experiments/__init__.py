@@ -1,0 +1,61 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Most drivers consume a shared :class:`~repro.experiments.contexts.ContextBundle`
+(isolation + PInTE sweep + 2nd-Trace panel over one suite); Fig 3, 10 and 11
+run their own campaigns. Every driver exposes ``run_*`` returning a result
+dataclass and ``format_report`` rendering the paper-style rows/series.
+"""
+
+from repro.experiments import (
+    ablations,
+    partition_study,
+    fig1,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+)
+from repro.experiments.contexts import (
+    ContextBundle,
+    DEFAULT_PANEL_SIZE,
+    build_contexts,
+)
+from repro.experiments.suites import (
+    CASE_STUDY_SUITE,
+    CORE_SUITE,
+    FIG10_SUITE,
+    FIG5_WORKLOADS,
+    FULL_SUITE,
+    QUICK_SUITE,
+)
+
+__all__ = [
+    "CASE_STUDY_SUITE",
+    "CORE_SUITE",
+    "ContextBundle",
+    "DEFAULT_PANEL_SIZE",
+    "FIG10_SUITE",
+    "FIG5_WORKLOADS",
+    "FULL_SUITE",
+    "QUICK_SUITE",
+    "ablations",
+    "build_contexts",
+    "fig1",
+    "partition_study",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,88 @@
+"""Shared simulation campaign for the evaluation experiments.
+
+Most of the paper's tables and figures are different views of the same three
+run contexts (Section V-A *Running Context*): isolation, PInTE sweep, and
+2nd-Trace pairs. :func:`build_contexts` runs all three once for a suite;
+every driver then analyses the bundle, exactly as the paper post-processes
+one experiment campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.core import PAPER_PINDUCE_SWEEP
+from repro.sim import (
+    ExperimentScale,
+    SimulationResult,
+    TraceLibrary,
+    adversary_panel,
+    run_isolation,
+    run_pairs,
+    run_pinte_sweep,
+)
+
+#: Default number of 2nd-Trace adversaries per benchmark at repro scale.
+DEFAULT_PANEL_SIZE = 4
+
+
+@dataclass
+class ContextBundle:
+    """All three run contexts for one suite on one machine."""
+
+    config: MachineConfig
+    scale: ExperimentScale
+    names: List[str]
+    isolation: Dict[str, SimulationResult]
+    pinte: Dict[str, Dict[float, SimulationResult]]
+    pairs: Dict[str, List[SimulationResult]] = field(default_factory=dict)
+
+    def pinte_results(self, name: str) -> List[SimulationResult]:
+        """All PInTE runs of one benchmark, sweep order."""
+        return list(self.pinte[name].values())
+
+    def pair_results(self, name: str) -> List[SimulationResult]:
+        """All 2nd-Trace runs with ``name`` as the measured workload."""
+        return self.pairs.get(name, [])
+
+    def all_pinte(self) -> List[SimulationResult]:
+        return [r for sweep in self.pinte.values() for r in sweep.values()]
+
+    def all_pairs(self) -> List[SimulationResult]:
+        return [r for results in self.pairs.values() for r in results]
+
+    def all_isolation(self) -> List[SimulationResult]:
+        return list(self.isolation.values())
+
+
+def build_contexts(
+    names: Sequence[str],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    p_values: Sequence[float] = PAPER_PINDUCE_SWEEP,
+    panel_size: int = DEFAULT_PANEL_SIZE,
+    include_pairs: bool = True,
+) -> ContextBundle:
+    """Run isolation + PInTE sweep (+ 2nd-Trace panel) for every benchmark."""
+    names = list(names)
+    library = TraceLibrary(config, scale)
+    isolation = run_isolation(names, config, scale, library=library)
+    pinte = run_pinte_sweep(names, config, scale, p_values=p_values,
+                            library=library)
+    pairs: Dict[str, List[SimulationResult]] = {}
+    if include_pairs and panel_size > 0:
+        for name in names:
+            panel = adversary_panel(name, names, panel_size)
+            pair_list: List[Tuple[str, str]] = [(name, other) for other in panel]
+            results = run_pairs(pair_list, config, scale, library=library)
+            pairs[name] = [results[key] for key in pair_list]
+    return ContextBundle(
+        config=config,
+        scale=scale,
+        names=names,
+        isolation=isolation,
+        pinte=pinte,
+        pairs=pairs,
+    )

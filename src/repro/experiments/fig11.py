@@ -1,0 +1,206 @@
+"""Fig 11 — the best design choice varies with contention.
+
+The case study (paper Section VI): sweep ``P_induce`` and, at each level of
+induced contention, ask which architectural option wins on IPC across the
+workload suite — for four dimensions of design choice:
+
+* replacement policy (LRU / tree-pLRU / nMRU / RRIP),
+* LLC inclusion (non-inclusive / inclusive / exclusive),
+* prefetch string (000 / NN0 / NNN / NNI),
+* branch predictor (bimodal / gshare / perceptron / hashed perceptron).
+
+For every dimension we report the paper's four columns: win share per
+option, a primary metric, a secondary metric, and the tie share (all
+options within 1% of the best).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.core import PinteConfig
+from repro.experiments.reporting import format_table, percent
+from repro.experiments.suites import CASE_STUDY_SUITE
+from repro.sim import ExperimentScale, SimulationResult, TraceLibrary
+from repro.sim.simulator import simulate
+
+#: Contention sweep for the case study; includes the paper's 7.5% and 70%
+#: break-points.
+FIG11_PINDUCE = (0.0, 0.075, 0.3, 0.7, 1.0)
+#: Two results within this relative margin are a statistical tie.
+TIE_MARGIN = 0.01
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One row of Fig 11."""
+
+    name: str
+    options: Tuple[str, ...]
+    configure: Callable[[MachineConfig, str], MachineConfig]
+    primary_metric: str
+    secondary_metric: str
+
+
+DIMENSIONS: Tuple[Dimension, ...] = (
+    Dimension(
+        name="replacement",
+        options=("lru", "plru", "nmru", "rrip"),
+        configure=lambda config, option: config.with_llc_policy(option),
+        primary_metric="miss_rate",
+        secondary_metric="interference_rate",
+    ),
+    Dimension(
+        name="inclusion",
+        options=("non-inclusive", "inclusive", "exclusive"),
+        configure=lambda config, option: config.with_inclusion(option),
+        primary_metric="miss_rate",
+        secondary_metric="l2_miss_rate",
+    ),
+    Dimension(
+        name="prefetching",
+        options=("000", "NN0", "NNN", "NNI"),
+        configure=lambda config, option: config.with_prefetch_string(option),
+        primary_metric="prefetch_miss_rate",
+        secondary_metric="l1d_miss_rate",
+    ),
+    Dimension(
+        name="branching",
+        options=("bimodal", "gshare", "perceptron", "hashed_perceptron"),
+        configure=lambda config, option: config.with_branch_predictor(option),
+        primary_metric="branch_accuracy",
+        secondary_metric="branch_mpki",
+    ),
+)
+
+
+@dataclass
+class DimensionSweep:
+    """Fig 11 columns for one dimension."""
+
+    dimension: str
+    options: Tuple[str, ...]
+    #: p_induce -> option -> win share across workloads
+    win_share: Dict[float, Dict[str, float]]
+    #: p_induce -> share of workloads where all options tie within 1%
+    tie_share: Dict[float, float]
+    #: p_induce -> option -> mean primary metric
+    primary: Dict[float, Dict[str, float]]
+    #: p_induce -> option -> mean secondary metric
+    secondary: Dict[float, Dict[str, float]]
+
+    def winner(self, p: float) -> str:
+        shares = self.win_share[p]
+        return max(shares, key=shares.get)
+
+    def tie_trend_increasing(self) -> bool:
+        """Does the tie share grow from the lowest to the highest contention?"""
+        ps = sorted(self.tie_share)
+        return self.tie_share[ps[-1]] >= self.tie_share[ps[0]]
+
+
+@dataclass
+class Fig11Result:
+    sweeps: Dict[str, DimensionSweep]
+    p_values: Tuple[float, ...]
+    workloads: Tuple[str, ...]
+
+    def sweep(self, dimension: str) -> DimensionSweep:
+        return self.sweeps[dimension]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def run_fig11(
+    config: MachineConfig,
+    scale: ExperimentScale,
+    workloads: Sequence[str] = tuple(CASE_STUDY_SUITE),
+    p_values: Sequence[float] = FIG11_PINDUCE,
+    dimensions: Sequence[Dimension] = DIMENSIONS,
+) -> Fig11Result:
+    workloads = tuple(workloads)
+    p_values = tuple(p_values)
+    sweeps: Dict[str, DimensionSweep] = {}
+    for dimension in dimensions:
+        # results[p][option][workload] -> SimulationResult
+        results: Dict[float, Dict[str, Dict[str, SimulationResult]]] = {
+            p: {option: {} for option in dimension.options} for p in p_values
+        }
+        for option in dimension.options:
+            variant = dimension.configure(config, option)
+            library = TraceLibrary(variant, scale)
+            for name in workloads:
+                trace = library.get(name)
+                for p in p_values:
+                    results[p][option][name] = simulate(
+                        trace, variant,
+                        pinte=PinteConfig(p_induce=p, seed=scale.seed) if p > 0
+                        else None,
+                        warmup_instructions=scale.warmup_instructions,
+                        sim_instructions=scale.sim_instructions,
+                        sample_interval=scale.sample_interval,
+                        seed=scale.seed,
+                    )
+        win_share: Dict[float, Dict[str, float]] = {}
+        tie_share: Dict[float, float] = {}
+        primary: Dict[float, Dict[str, float]] = {}
+        secondary: Dict[float, Dict[str, float]] = {}
+        for p in p_values:
+            wins = {option: 0 for option in dimension.options}
+            ties = 0
+            for name in workloads:
+                ipcs = {option: results[p][option][name].ipc
+                        for option in dimension.options}
+                best_option = max(ipcs, key=ipcs.get)
+                best = ipcs[best_option]
+                wins[best_option] += 1
+                if best > 0 and all(value >= best * (1 - TIE_MARGIN)
+                                    for value in ipcs.values()):
+                    ties += 1
+            n = len(workloads)
+            win_share[p] = {option: wins[option] / n for option in dimension.options}
+            tie_share[p] = ties / n
+            primary[p] = {
+                option: _mean([getattr(results[p][option][name],
+                                       dimension.primary_metric)
+                               for name in workloads])
+                for option in dimension.options
+            }
+            secondary[p] = {
+                option: _mean([getattr(results[p][option][name],
+                                       dimension.secondary_metric)
+                               for name in workloads])
+                for option in dimension.options
+            }
+        sweeps[dimension.name] = DimensionSweep(
+            dimension=dimension.name,
+            options=dimension.options,
+            win_share=win_share,
+            tie_share=tie_share,
+            primary=primary,
+            secondary=secondary,
+        )
+    return Fig11Result(sweeps=sweeps, p_values=p_values, workloads=workloads)
+
+
+def format_report(result: Fig11Result) -> str:
+    parts: List[str] = []
+    for name, sweep in result.sweeps.items():
+        rows = []
+        for p in result.p_values:
+            shares = " ".join(
+                f"{option}={percent(sweep.win_share[p][option])}"
+                for option in sweep.options
+            )
+            rows.append((p, shares, percent(sweep.tie_share[p]),
+                         sweep.winner(p)))
+        parts.append(format_table(
+            ["P_induce", "win shares", "tie share", "winner"],
+            rows,
+            title=f"Fig 11 — {name}",
+        ))
+    return "\n\n".join(parts)

@@ -1,0 +1,91 @@
+"""Fig 7 — run-time metric entropy and CRG coverage.
+
+(a) KL divergence between sequential run-time metric samples under 2nd-Trace
+(p) and PInTE (q) contention, for five metrics — all should land well under
+1 bit. (b) The fraction of 2nd-Trace experiments that have a PInTE match
+under different contention-rate-grouping criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.crg import PAPER_CRG_CRITERIA, coverage, match_by_group
+from repro.analysis.kl_divergence import series_kl
+from repro.analysis.metrics import boxplot_stats
+from repro.experiments.contexts import ContextBundle
+from repro.experiments.reporting import format_table, percent
+
+#: The five run-time metrics of Fig 7a.
+RUNTIME_METRICS = ("ipc", "miss_rate", "amat", "contention_rate",
+                   "interference_rate")
+
+
+@dataclass
+class Fig7Result:
+    #: metric -> list of KL divergences (one per matched experiment pair)
+    kl_by_metric: Dict[str, List[float]]
+    #: CRG group width -> fraction of 2nd-Trace results matched by PInTE
+    coverage_by_criterion: Dict[float, float]
+
+    def metric_stats(self, metric: str) -> Dict[str, float]:
+        return boxplot_stats(self.kl_by_metric[metric])
+
+    @property
+    def max_median(self) -> float:
+        """Largest per-metric median KL (paper: well under 1 bit)."""
+        return max(self.metric_stats(metric)["median"]
+                   for metric in self.kl_by_metric)
+
+
+def run_fig7(bundle: ContextBundle,
+             criteria=PAPER_CRG_CRITERIA) -> Fig7Result:
+    kl_by_metric: Dict[str, List[float]] = {m: [] for m in RUNTIME_METRICS}
+    for name in bundle.names:
+        pairs = bundle.pair_results(name)
+        pinte = bundle.pinte_results(name)
+        if not pairs or not pinte:
+            continue
+        for reference, model in match_by_group(pairs, pinte):
+            for metric in RUNTIME_METRICS:
+                ref_series = reference.sample_series(metric)
+                model_series = model.sample_series(metric)
+                if not ref_series or not model_series:
+                    continue
+                kl_by_metric[metric].append(series_kl(ref_series, model_series))
+    all_pairs = bundle.all_pairs()
+    all_pinte = bundle.all_pinte()
+    coverage_by_criterion = {
+        width: coverage(all_pairs, all_pinte, width=width)
+        for width in criteria
+    }
+    if not any(kl_by_metric.values()):
+        raise ValueError("no matched experiments produced sample series")
+    return Fig7Result(kl_by_metric=kl_by_metric,
+                      coverage_by_criterion=coverage_by_criterion)
+
+
+def format_report(result: Fig7Result) -> str:
+    rows = []
+    for metric in RUNTIME_METRICS:
+        values = result.kl_by_metric[metric]
+        if not values:
+            continue
+        stats = result.metric_stats(metric)
+        rows.append((metric, len(values), stats["median"], stats["q1"],
+                     stats["q3"], stats["max"]))
+    table = format_table(
+        ["Metric", "n", "median KL", "q1", "q3", "max"],
+        rows,
+        title="Fig 7a: run-time KL divergence (bits) per metric",
+    )
+    coverage_table = format_table(
+        ["CRG width", "coverage"],
+        [(f"±{width * 50:.0f}%", percent(frac))
+         for width, frac in sorted(result.coverage_by_criterion.items())],
+        title="Fig 7b: 2nd-Trace results matched by PInTE per CRG criterion "
+              "(paper: ~92% at ±5%)",
+    )
+    summary = f"max per-metric median KL: {result.max_median:.3f} bits (paper: << 1)"
+    return "\n\n".join([table, coverage_table, summary])

@@ -1,0 +1,74 @@
+"""Fig 9 — average memory access time under contention.
+
+Per-benchmark AMAT boxplots (over per-sample AMAT values) for 2nd-Trace vs
+PInTE contention. PInTE should induce AMAT similar to real sharing except
+for DRAM-bound workloads whose AMAT approaches DRAM latency either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.metrics import boxplot_stats
+from repro.experiments.contexts import ContextBundle
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class Fig9Result:
+    #: benchmark -> {"pair": stats, "pinte": stats} boxplot summaries
+    per_benchmark: Dict[str, Dict[str, Dict[str, float]]]
+
+    def median_gap(self, benchmark: str) -> float:
+        """|median AMAT (PInTE) - median AMAT (2nd-Trace)| in cycles."""
+        stats = self.per_benchmark[benchmark]
+        return abs(stats["pinte"]["median"] - stats["pair"]["median"])
+
+    def worst_gap(self) -> float:
+        return max((self.median_gap(name) for name in self.per_benchmark),
+                   default=0.0)
+
+
+def _sample_amats(results) -> List[float]:
+    values: List[float] = []
+    for result in results:
+        for sample in result.samples:
+            if sample.amat > 0:
+                values.append(sample.amat)
+    return values
+
+
+def run_fig9(bundle: ContextBundle) -> Fig9Result:
+    per_benchmark: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in bundle.names:
+        pair_amats = _sample_amats(bundle.pair_results(name))
+        pinte_amats = _sample_amats(bundle.pinte_results(name))
+        if not pair_amats or not pinte_amats:
+            continue
+        per_benchmark[name] = {
+            "pair": boxplot_stats(pair_amats),
+            "pinte": boxplot_stats(pinte_amats),
+        }
+    if not per_benchmark:
+        raise ValueError("no AMAT samples available")
+    return Fig9Result(per_benchmark=per_benchmark)
+
+
+def format_report(result: Fig9Result) -> str:
+    rows = []
+    for name in sorted(result.per_benchmark):
+        stats = result.per_benchmark[name]
+        rows.append((
+            name,
+            stats["pair"]["median"], stats["pair"]["q1"], stats["pair"]["q3"],
+            stats["pinte"]["median"], stats["pinte"]["q1"], stats["pinte"]["q3"],
+            result.median_gap(name),
+        ))
+    table = format_table(
+        ["Benchmark", "2ndT med", "q1", "q3", "PInTE med", "q1", "q3",
+         "med gap"],
+        rows,
+        title="Fig 9: AMAT (cycles) under contention, per 10k-instruction sample",
+    )
+    return table + f"\n\nworst median AMAT gap: {result.worst_gap():.1f} cycles"

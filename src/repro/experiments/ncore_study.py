@@ -1,0 +1,105 @@
+"""Extension study: does adding cores fix 2nd-Trace's coverage problem?
+
+The paper's motivation argues that multi-programmed simulation gets *more*
+expensive with core count while still not guaranteeing contention coverage.
+This study measures both claims: for 2, 3 and 4 concurrent workloads it
+records the victim's observed contention rate and the wall-clock cost, then
+compares against a PInTE sweep that reaches the same (and higher) contention
+for a fraction of the cost on one core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.config import MachineConfig
+from repro.core import PinteConfig
+from repro.experiments.reporting import format_table
+from repro.sim import ExperimentScale, SimulationResult, TraceLibrary, simulate
+from repro.sim.multicore import simulate_multiprogrammed
+
+#: Victim measured throughout; adversaries appended per core count.
+DEFAULT_VICTIM = "450.soplex"
+DEFAULT_ADVERSARIES = ("435.gromacs", "470.lbm", "605.mcf")
+DEFAULT_PINDUCE = (0.05, 0.2, 0.5, 1.0)
+
+
+@dataclass
+class NcoreResult:
+    victim: str
+    #: core count -> the victim's result in that co-run
+    by_cores: Dict[int, SimulationResult]
+    #: P_induce -> the victim's PInTE result
+    pinte: Dict[float, SimulationResult]
+
+    def contention_reached(self, cores: int) -> float:
+        return self.by_cores[cores].contention_rate
+
+    def pinte_max_contention(self) -> float:
+        return max(r.contention_rate for r in self.pinte.values())
+
+    def cost(self, cores: int) -> float:
+        return self.by_cores[cores].wall_time_seconds
+
+    def pinte_mean_cost(self) -> float:
+        costs = [r.wall_time_seconds for r in self.pinte.values()]
+        return sum(costs) / len(costs)
+
+
+def run_ncore_study(
+    config: MachineConfig,
+    scale: ExperimentScale,
+    victim: str = DEFAULT_VICTIM,
+    adversaries: Sequence[str] = DEFAULT_ADVERSARIES,
+    p_values: Sequence[float] = DEFAULT_PINDUCE,
+) -> NcoreResult:
+    library = TraceLibrary(config, scale)
+    victim_trace = library.get(victim)
+    adversary_traces = [
+        library.get(name, seed=scale.seed + 1 + i)
+        for i, name in enumerate(adversaries)
+    ]
+    by_cores: Dict[int, SimulationResult] = {}
+    for extra in range(1, len(adversary_traces) + 1):
+        traces = [victim_trace] + adversary_traces[:extra]
+        results = simulate_multiprogrammed(
+            traces, config,
+            warmup_instructions=scale.warmup_instructions,
+            sim_instructions=scale.sim_instructions,
+            sample_interval=scale.sample_interval, seed=scale.seed,
+        )
+        by_cores[extra + 1] = results[0]
+    pinte = {
+        p: simulate(victim_trace, config, pinte=PinteConfig(p, seed=scale.seed),
+                    warmup_instructions=scale.warmup_instructions,
+                    sim_instructions=scale.sim_instructions,
+                    sample_interval=scale.sample_interval, seed=scale.seed)
+        for p in p_values
+    }
+    return NcoreResult(victim=victim, by_cores=by_cores, pinte=pinte)
+
+
+def format_report(result: NcoreResult) -> str:
+    rows: List[tuple] = []
+    for cores in sorted(result.by_cores):
+        run = result.by_cores[cores]
+        rows.append((f"{cores}-core co-run", run.contention_rate,
+                     run.interference_rate, run.ipc, run.wall_time_seconds))
+    for p in sorted(result.pinte):
+        run = result.pinte[p]
+        rows.append((f"PInTE p={p}", run.contention_rate,
+                     run.interference_rate, run.ipc, run.wall_time_seconds))
+    table = format_table(
+        ["Context", "contention", "interference", "IPC", "wall (s)"],
+        rows,
+        title=f"N-core coverage/cost study — victim {result.victim}",
+    )
+    summary = (
+        f"max contention from co-runs: "
+        f"{max(result.contention_reached(c) for c in result.by_cores):.3f} "
+        f"(4-core wall {result.cost(max(result.by_cores)):.2f}s); "
+        f"PInTE reaches {result.pinte_max_contention():.3f} at "
+        f"{result.pinte_mean_cost():.2f}s mean per run on one core"
+    )
+    return table + "\n\n" + summary

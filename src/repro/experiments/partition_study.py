@@ -1,0 +1,140 @@
+"""Extension study: cache partitioning vs. theft contention.
+
+The paper positions thefts as the direct signal of LLC contention and its
+related work covers the partitioning schemes built to suppress them
+(Section VII-d). This study closes the loop: run a victim/aggressor pair
+under four LLC management schemes — unpartitioned sharing, static even way
+partitioning, UCP, and CASHT-style theft-driven partitioning — and compare
+thefts, per-workload weighted IPC, and system throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.throughput import throughput_report
+from repro.cache.partition import (
+    CashtPartitioner,
+    Partitioner,
+    StaticPartitioner,
+    UcpPartitioner,
+)
+from repro.config import MachineConfig
+from repro.experiments.reporting import format_table
+from repro.sim import ExperimentScale, SimulationResult, TraceLibrary, simulate
+from repro.sim.multicore import simulate_multiprogrammed
+
+#: Default victim/aggressor pair: an LLC-bound workload with real reuse vs a
+#: streaming cache-flooder.
+DEFAULT_PAIR = ("450.soplex", "470.lbm")
+SCHEMES = ("shared", "static", "ucp", "casht")
+
+
+@dataclass
+class SchemeOutcome:
+    """One scheme's per-core results and throughput summary."""
+
+    scheme: str
+    results: List[SimulationResult]
+    throughput: Dict[str, float]
+    final_quotas: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def victim_thefts(self) -> int:
+        return self.results[0].thefts_experienced
+
+    @property
+    def victim_weighted_ipc(self) -> float:
+        return self.throughput_component(0)
+
+    def throughput_component(self, core: int) -> float:
+        return self.results[core].extra.get(f"wipc_core{core}", 0.0)
+
+
+@dataclass
+class PartitionStudyResult:
+    workloads: Tuple[str, str]
+    outcomes: Dict[str, SchemeOutcome]
+
+    def outcome(self, scheme: str) -> SchemeOutcome:
+        return self.outcomes[scheme]
+
+
+def _make_partitioner(scheme: str, config: MachineConfig) -> Optional[Partitioner]:
+    n_ways = config.llc.assoc
+    n_sets = config.llc.size // (n_ways * config.block_size)
+    owners = [0, 1]
+    if scheme == "shared":
+        return None
+    if scheme == "static":
+        return StaticPartitioner(n_ways, owners)
+    if scheme == "ucp":
+        return UcpPartitioner(n_sets, n_ways, owners, sampling=4)
+    if scheme == "casht":
+        return CashtPartitioner(n_ways, owners)
+    raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+
+
+def run_partition_study(
+    config: MachineConfig,
+    scale: ExperimentScale,
+    workloads: Tuple[str, str] = DEFAULT_PAIR,
+    schemes: Sequence[str] = SCHEMES,
+    repartition_interval: int = 4_000,
+) -> PartitionStudyResult:
+    library = TraceLibrary(config, scale)
+    victim = library.get(workloads[0])
+    aggressor = library.get(workloads[1], seed=scale.seed + 1)
+    isolations = [
+        simulate(trace, config, warmup_instructions=scale.warmup_instructions,
+                 sim_instructions=scale.sim_instructions,
+                 sample_interval=scale.sample_interval, seed=scale.seed)
+        for trace in (victim, aggressor)
+    ]
+
+    outcomes: Dict[str, SchemeOutcome] = {}
+    for scheme in schemes:
+        partitioner = _make_partitioner(scheme, config)
+        results = simulate_multiprogrammed(
+            [victim, aggressor], config,
+            warmup_instructions=scale.warmup_instructions,
+            sim_instructions=scale.sim_instructions,
+            sample_interval=scale.sample_interval, seed=scale.seed,
+            partitioner=partitioner,
+            repartition_interval=repartition_interval,
+        )
+        throughput = throughput_report(results, isolations)
+        for core, (shared, alone) in enumerate(zip(results, isolations)):
+            results[core].extra[f"wipc_core{core}"] = shared.ipc / alone.ipc
+        outcomes[scheme] = SchemeOutcome(
+            scheme=scheme,
+            results=results,
+            throughput=throughput,
+            final_quotas=(partitioner.allocate() if partitioner else {}),
+        )
+    return PartitionStudyResult(workloads=workloads, outcomes=outcomes)
+
+
+def format_report(result: PartitionStudyResult) -> str:
+    victim_name, aggressor_name = result.workloads
+    rows = []
+    for scheme, outcome in result.outcomes.items():
+        quotas = (f"{outcome.final_quotas.get(0)}/{outcome.final_quotas.get(1)}"
+                  if outcome.final_quotas else "-")
+        rows.append((
+            scheme,
+            outcome.victim_thefts,
+            outcome.throughput_component(0),
+            outcome.throughput_component(1),
+            outcome.throughput["weighted_speedup"],
+            outcome.throughput["fairness"],
+            quotas,
+        ))
+    return format_table(
+        ["Scheme", "victim thefts", "victim wIPC", "aggr. wIPC",
+         "wSpeedup", "fairness", "quotas"],
+        rows,
+        title=(f"Partitioning study: {victim_name} (victim) vs "
+               f"{aggressor_name} (aggressor)"),
+    )

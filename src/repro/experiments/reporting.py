@@ -1,0 +1,67 @@
+"""Plain-text reporting for experiment drivers.
+
+Every table/figure driver renders its result through these helpers so the
+benchmark harness prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def format_histogram(counts: Sequence[float], labels: Sequence[str],
+                     width: int = 40, title: str = "") -> str:
+    """Horizontal ASCII bar chart (used for the figure-style outputs)."""
+    if len(counts) != len(labels):
+        raise ValueError("counts and labels must align")
+    peak = max(counts) if counts else 0
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    label_width = max((len(label) for label in labels), default=0)
+    for label, count in zip(labels, counts):
+        bar = "#" * (int(width * count / peak) if peak else 0)
+        parts.append(f"{label.rjust(label_width)} |{bar} {count:.3g}")
+    return "\n".join(parts)
+
+
+def format_series(xs: Sequence[float], ys: Sequence[float], name: str,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One (x, y) series as aligned columns."""
+    parts = [f"{name}: {x_label} -> {y_label}"]
+    for x, y in zip(xs, ys):
+        parts.append(f"  {x:>8.3f} -> {y:.4f}")
+    return "\n".join(parts)
+
+
+def percent(fraction: float) -> str:
+    """Render a fraction as a percentage string."""
+    return f"{100.0 * fraction:.1f}%"

@@ -1,0 +1,98 @@
+"""One-shot reproduction driver: every table/figure from a single campaign.
+
+``run_reproduction`` builds one context bundle and renders every
+bundle-based artifact (Table I/II, Fig 1/5/6/7/8/9); the self-contained
+drivers (Fig 3/10/11) can be included when time allows. This is what
+``python -m repro reproduce`` runs; the benchmark harness does the same
+per-artifact with shape assertions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.config import MachineConfig, scaled_config
+from repro.core import PAPER_PINDUCE_SWEEP
+from repro.experiments import (
+    fig1,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+)
+from repro.experiments.contexts import build_contexts
+from repro.experiments.suites import CASE_STUDY_SUITE, CORE_SUITE, QUICK_SUITE
+from repro.sim import ExperimentScale
+
+#: Artifacts rendered straight from the shared bundle.
+BUNDLE_ARTIFACTS = ("table1", "fig1", "table2", "fig5", "fig6", "fig7",
+                    "fig8", "fig9")
+#: Artifacts that run their own campaigns (slower).
+STANDALONE_ARTIFACTS = ("fig3", "fig10", "fig11")
+
+
+def run_reproduction(
+    config: Optional[MachineConfig] = None,
+    scale: Optional[ExperimentScale] = None,
+    suite: Sequence[str] = tuple(QUICK_SUITE),
+    p_values: Sequence[float] = PAPER_PINDUCE_SWEEP,
+    panel_size: int = 3,
+    include_standalone: bool = False,
+    output_dir: Optional[Path] = None,
+) -> Dict[str, str]:
+    """Run the campaign and return ``{artifact: report text}``.
+
+    With ``output_dir`` each report is also written to ``<artifact>.txt``.
+    """
+    config = config or scaled_config()
+    scale = scale or ExperimentScale()
+    bundle = build_contexts(list(suite), config, scale, p_values=p_values,
+                            panel_size=panel_size)
+    reports: Dict[str, str] = {
+        "table1": table1.format_report(table1.run_table1(bundle)),
+        "fig1": fig1.format_report(fig1.run_fig1(bundle)),
+        "table2": table2.format_report(table2.run_table2(bundle)),
+        "fig6": fig6.format_report(fig6.run_fig6(bundle)),
+        "fig7": fig7.format_report(fig7.run_fig7(bundle)),
+        "fig8": fig8.format_report(fig8.run_fig8(bundle)),
+        "fig9": fig9.format_report(fig9.run_fig9(bundle)),
+    }
+    try:
+        reports["fig5"] = fig5.format_report(fig5.run_fig5(bundle))
+    except ValueError:
+        # The Fig 5 exemplars may not be in a reduced suite; fall back to
+        # whatever the bundle contains.
+        reports["fig5"] = fig5.format_report(
+            fig5.run_fig5(bundle, workloads=tuple(bundle.names[:3])))
+
+    if include_standalone:
+        reports["fig3"] = fig3.format_report(
+            fig3.run_fig3(list(suite)[:4], config, scale,
+                          p_values=p_values[::3] or p_values, n_repeats=3))
+        reports["fig10"] = fig10.format_report(fig10.run_fig10(scale=scale))
+        reports["fig11"] = fig11.format_report(
+            fig11.run_fig11(config, scale, workloads=CASE_STUDY_SUITE))
+
+    if output_dir is not None:
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for artifact, text in reports.items():
+            (output_dir / f"{artifact}.txt").write_text(text + "\n")
+    return reports
+
+
+def suite_for_name(name: str) -> Sequence[str]:
+    """Named suites accepted by the CLI."""
+    suites = {"quick": QUICK_SUITE, "core": CORE_SUITE}
+    try:
+        return suites[name]
+    except KeyError:
+        raise ValueError(f"unknown suite {name!r}; known: "
+                         f"{', '.join(sorted(suites))}") from None

@@ -1,0 +1,56 @@
+"""Workload suites used by the experiment drivers.
+
+The paper uses 188 simpoint traces over 49 SPEC benchmarks. At reproduction
+scale every driver accepts any workload list; these presets balance class
+coverage (core/cache/LLC/DRAM-bound + mixed) against pure-Python run time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trace.spec_models import SPEC_WORKLOADS
+
+#: Every modelled benchmark (one synthetic trace per benchmark).
+FULL_SUITE: List[str] = sorted(SPEC_WORKLOADS)
+
+#: Representative subset spanning all five behaviour classes; the default
+#: for the error/KL/sensitivity benches.
+CORE_SUITE: List[str] = [
+    "400.perlbench",   # cache-friendly
+    "403.gcc",         # mixed phases
+    "429.mcf",         # DRAM-bound pointer chase
+    "435.gromacs",     # cache-friendly (Fig 5 "good alignment")
+    "450.soplex",      # LLC-bound random
+    "453.povray",      # core-bound
+    "456.hmmer",       # core-bound, store-heavy
+    "462.libquantum",  # DRAM-bound stream
+    "470.lbm",         # LLC-bound stream (high sensitivity)
+    "471.omnetpp",     # LLC-bound random
+    "605.mcf",         # LLC-bound chase
+    "619.lbm",         # LLC-bound stream
+    "638.imagick",     # core-bound (Fig 5 "worst alignment")
+    "641.leela",       # core-bound branchy
+    "649.fotonik3d",   # DRAM-bound stream (Fig 5 "medium alignment")
+    "657.xz",          # mixed
+]
+
+#: Small suite for quick benches and integration tests.
+QUICK_SUITE: List[str] = [
+    "435.gromacs", "450.soplex", "453.povray", "470.lbm", "605.mcf",
+    "638.imagick",
+]
+
+#: The six SPEC 17 benchmarks of the paper's Fig 10 real-system comparison.
+FIG10_SUITE: List[str] = [
+    "600.perlbench", "602.gcc", "619.lbm", "620.omnetpp", "627.cam4",
+    "648.exchange2",
+]
+
+#: Case-study suite (Fig 11): one per behaviour class plus a branchy one.
+CASE_STUDY_SUITE: List[str] = [
+    "403.gcc", "450.soplex", "470.lbm", "631.deepsjeng",
+]
+
+#: The three reuse-alignment exemplars of Fig 5.
+FIG5_WORKLOADS = ("435.gromacs", "649.fotonik3d", "638.imagick")

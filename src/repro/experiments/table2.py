@@ -1,0 +1,99 @@
+"""Table II — average relative error in high-level performance metrics.
+
+For every benchmark: each 2nd-Trace mix is matched (by contention-rate group,
+Section III-E) to the PInTE run with the closest contention rate, Eq. 4 is
+applied to AMAT / MR / IPC, and the per-benchmark averages are tabulated with
+the paper's significance annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.crg import match_by_group
+from repro.analysis.relative_error import (
+    ErrorRow,
+    average_errors,
+    error_table,
+    result_relative_errors,
+)
+from repro.experiments.contexts import ContextBundle
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class Table2Result:
+    rows: List[ErrorRow]
+    summary: Dict[str, Dict[str, float]]
+    matched_counts: Dict[str, int]
+
+    def row(self, benchmark: str) -> ErrorRow:
+        for row in self.rows:
+            if row.benchmark == benchmark:
+                return row
+        raise KeyError(benchmark)
+
+
+def run_table2(bundle: ContextBundle, group_width: float = 0.10) -> Table2Result:
+    rows: List[ErrorRow] = []
+    matched_counts: Dict[str, int] = {}
+    for name in bundle.names:
+        pairs = bundle.pair_results(name)
+        pinte = bundle.pinte_results(name)
+        matches = match_by_group(pairs, pinte, width=group_width)
+        if not matches:
+            # Fall back to nearest-rate matching so every benchmark reports.
+            matches = [
+                (pair, min(pinte, key=lambda r: abs(r.contention_rate
+                                                    - pair.contention_rate)))
+                for pair in pairs
+            ]
+        matched_counts[name] = len(matches)
+        errors = average_errors(
+            result_relative_errors(reference, model)
+            for reference, model in matches
+        )
+        rows.append(ErrorRow(
+            benchmark=name,
+            amat=errors["amat"],
+            miss_rate=errors["miss_rate"],
+            ipc=errors["ipc"],
+        ))
+    return Table2Result(rows=rows, summary=error_table(rows),
+                        matched_counts=matched_counts)
+
+
+def _annotate(row: ErrorRow) -> str:
+    classification = row.classify()
+    return {
+        "dram_dependent": "_",  # underline in the paper
+        "core_bound": "*",
+        "llc_bound": "+",
+        "ok": "",
+    }[classification]
+
+
+def format_report(result: Table2Result) -> str:
+    table = format_table(
+        ["Benchmark", "AMAT %", "MR %", "IPC %", "flag", "matches"],
+        [
+            (row.benchmark, row.amat, row.miss_rate, row.ipc, _annotate(row),
+             result.matched_counts.get(row.benchmark, 0))
+            for row in result.rows
+        ],
+        title="Table II: average relative error, PInTE vs 2nd-Trace (Eq. 4)",
+    )
+    summary = format_table(
+        ["Suite", "AMAT %", "MR %", "IPC %"],
+        [
+            (suite,
+             result.summary[suite]["amat"],
+             result.summary[suite]["miss_rate"],
+             result.summary[suite]["ipc"])
+            for suite in ("2006", "2017", "all")
+        ],
+        title="Suite averages (paper: AMAT 1.43, MR 1.29, IPC -8.46)",
+    )
+    legend = "flags: _ DRAM-dependent, * core-bound (MR), + LLC-bound (IPC)"
+    return "\n\n".join([table, summary, legend])

@@ -1,0 +1,9 @@
+"""Owner-id conventions shared by the cache and contention layers.
+
+Kept in a leaf module so both :mod:`repro.cache` and :mod:`repro.core` can
+import it without creating a package cycle.
+"""
+
+#: Owner id used by the PInTE engine when it acts as the adversary; real
+#: cores use non-negative ids.
+SYSTEM_OWNER = -1

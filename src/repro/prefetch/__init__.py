@@ -1,0 +1,65 @@
+"""Prefetching substrate (paper Section III-C c).
+
+The paper encodes configurations as a three-character string (L1I, L1D, L2):
+``000`` no prefetching, ``NN0`` L1 next-line, ``NNN`` L1+L2 next-line,
+``NNI`` L1 next-line + L2 IP-stride. :func:`prefetch_string_config` converts
+those strings into per-level prefetcher names.
+"""
+
+from typing import Dict, Tuple, Type
+
+from repro.prefetch.base import NullPrefetcher, Prefetcher, PrefetchStats
+from repro.prefetch.ip_stride import IpStridePrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+
+PREFETCHERS: Dict[str, Type[Prefetcher]] = {
+    NullPrefetcher.name: NullPrefetcher,
+    NextLinePrefetcher.name: NextLinePrefetcher,
+    IpStridePrefetcher.name: IpStridePrefetcher,
+    StreamPrefetcher.name: StreamPrefetcher,
+}
+
+_CHAR_TO_NAME = {"0": "none", "N": "next_line", "I": "ip_stride",
+                 "S": "stream"}
+
+#: The four configurations evaluated in the paper.
+PAPER_PREFETCH_STRINGS = ("000", "NN0", "NNN", "NNI")
+
+
+def make_prefetcher(name: str, block_size: int = 64, **kwargs) -> Prefetcher:
+    """Instantiate a prefetcher by registry name."""
+    try:
+        cls = PREFETCHERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PREFETCHERS))
+        raise KeyError(f"unknown prefetcher {name!r}; known: {known}") from None
+    return cls(block_size=block_size, **kwargs)
+
+
+def prefetch_string_config(config: str) -> Tuple[str, str, str]:
+    """Decode an 'L1I L1D L2' prefetch string into prefetcher names.
+
+    >>> prefetch_string_config("NNI")
+    ('next_line', 'next_line', 'ip_stride')
+    """
+    if len(config) != 3:
+        raise ValueError(f"prefetch string must have 3 characters, got {config!r}")
+    try:
+        return tuple(_CHAR_TO_NAME[ch] for ch in config)  # type: ignore[return-value]
+    except KeyError as exc:
+        raise ValueError(f"bad prefetch character {exc.args[0]!r} in {config!r}") from None
+
+
+__all__ = [
+    "IpStridePrefetcher",
+    "NextLinePrefetcher",
+    "NullPrefetcher",
+    "PAPER_PREFETCH_STRINGS",
+    "PREFETCHERS",
+    "PrefetchStats",
+    "Prefetcher",
+    "StreamPrefetcher",
+    "make_prefetcher",
+    "prefetch_string_config",
+]

@@ -1,0 +1,61 @@
+"""Prefetcher interface.
+
+Prefetchers observe demand accesses at their cache level and return block
+addresses to fetch speculatively. The cache marks prefetched fills and
+credits ``useful`` when a demand access later hits such a block — the
+prefetch miss-rate statistics in the paper's Fig 11 row 3 come from these
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class PrefetchStats:
+    """Issue/usefulness counters for one prefetcher."""
+
+    __slots__ = ("issued", "useful", "late_or_useless")
+
+    def __init__(self) -> None:
+        self.issued = 0
+        self.useful = 0
+        self.late_or_useless = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches that saw a demand hit."""
+        if self.issued == 0:
+            return 0.0
+        return self.useful / self.issued
+
+
+class Prefetcher:
+    """Base class; subclasses implement :meth:`_candidates`."""
+
+    name = "none"
+
+    def __init__(self, block_size: int = 64, degree: int = 1) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.block_size = block_size
+        self.degree = degree
+        self.stats = PrefetchStats()
+
+    def on_access(self, pc: int, block_addr: int, hit: bool) -> List[int]:
+        """Observe a demand access; return block addresses to prefetch."""
+        candidates = self._candidates(pc, block_addr, hit)
+        self.stats.issued += len(candidates)
+        return candidates
+
+    def _candidates(self, pc: int, block_addr: int, hit: bool) -> List[int]:
+        raise NotImplementedError
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching (the '0' character in the paper's prefetch strings)."""
+
+    name = "none"
+
+    def _candidates(self, pc: int, block_addr: int, hit: bool) -> List[int]:
+        return []

@@ -1,0 +1,60 @@
+"""IP-stride prefetcher ('I' in the paper's prefetch strings).
+
+Per-PC stride detection with a confidence counter: after two consecutive
+accesses from the same instruction with the same block stride, issue
+prefetches ``degree`` strides ahead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prefetch.base import Prefetcher
+
+CONFIDENCE_MAX = 3
+CONFIDENCE_THRESHOLD = 2
+
+
+class _StrideEntry:
+    __slots__ = ("last_block", "stride", "confidence")
+
+    def __init__(self, last_block: int) -> None:
+        self.last_block = last_block
+        self.stride = 0
+        self.confidence = 0
+
+
+class IpStridePrefetcher(Prefetcher):
+    """Stride table indexed by instruction pointer."""
+
+    name = "ip_stride"
+
+    def __init__(self, block_size: int = 64, degree: int = 2,
+                 table_size: int = 1024) -> None:
+        super().__init__(block_size=block_size, degree=degree)
+        self.table_size = table_size
+        self._table: Dict[int, _StrideEntry] = {}
+
+    def _candidates(self, pc: int, block_addr: int, hit: bool) -> List[int]:
+        block = block_addr // self.block_size
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # FIFO-ish eviction: drop the oldest insertion.
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _StrideEntry(block)
+            return []
+        stride = block - entry.last_block
+        if stride == entry.stride and stride != 0:
+            if entry.confidence < CONFIDENCE_MAX:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_block = block
+        if entry.confidence >= CONFIDENCE_THRESHOLD and entry.stride != 0:
+            return [
+                (block + entry.stride * i) * self.block_size
+                for i in range(1, self.degree + 1)
+            ]
+        return []

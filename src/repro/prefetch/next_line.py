@@ -1,0 +1,20 @@
+"""Next-line prefetcher ('N' in the paper's prefetch strings)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetch.base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Fetch the next ``degree`` sequential blocks on every demand access.
+
+    Simple and aggressive: great for streaming workloads, pure pollution for
+    pointer chases — exactly the trade-off the Fig 11 prefetch row explores.
+    """
+
+    name = "next_line"
+
+    def _candidates(self, pc: int, block_addr: int, hit: bool) -> List[int]:
+        return [block_addr + self.block_size * i for i in range(1, self.degree + 1)]

@@ -1,0 +1,42 @@
+"""Simulation drivers: single-core, PInTE, 2nd-Trace, and sweeps."""
+
+from repro.sim.characterize import (
+    WorkloadProfile,
+    characterize,
+    profile_from_result,
+)
+from repro.sim.multicore import all_pairs, simulate_multiprogrammed, simulate_pair
+from repro.sim.results import SAMPLE_METRICS, Sample, SimulationResult
+from repro.sim.runner import (
+    BENCH_SCALE,
+    ExperimentScale,
+    TEST_SCALE,
+    TraceLibrary,
+    adversary_panel,
+    run_isolation,
+    run_pairs,
+    run_pinte_sweep,
+)
+from repro.sim.simulator import DEFAULT_SAMPLE_INTERVAL, simulate
+
+__all__ = [
+    "BENCH_SCALE",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "ExperimentScale",
+    "SAMPLE_METRICS",
+    "Sample",
+    "SimulationResult",
+    "TEST_SCALE",
+    "TraceLibrary",
+    "WorkloadProfile",
+    "adversary_panel",
+    "all_pairs",
+    "characterize",
+    "profile_from_result",
+    "run_isolation",
+    "run_pairs",
+    "run_pinte_sweep",
+    "simulate",
+    "simulate_multiprogrammed",
+    "simulate_pair",
+]

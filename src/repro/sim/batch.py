@@ -1,0 +1,105 @@
+"""Parallel experiment execution.
+
+The paper's Table I is a story about simulation cost; this module is the
+practical answer at reproduction scale: a process-pool runner that executes
+independent simulations in parallel (the simulator is pure Python and
+CPU-bound, so processes — not threads — are required) and an experiment
+manifest describing a campaign declaratively.
+
+Jobs are specified by *name*, not by object, so they pickle cheaply: each
+worker rebuilds its trace from the workload registry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.core import PinteConfig
+from repro.sim.multicore import simulate_pair
+from repro.sim.results import SimulationResult
+from repro.sim.runner import ExperimentScale
+from repro.sim.simulator import simulate
+from repro.trace.spec_models import get_workload
+from repro.trace.synthetic import build_trace
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation to run: isolation, PInTE, or 2nd-Trace."""
+
+    workload: str
+    mode: str = "isolation"  # isolation | pinte | pair
+    p_induce: Optional[float] = None
+    co_runner: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("isolation", "pinte", "pair"):
+            raise ValueError(f"unknown job mode {self.mode!r}")
+        if self.mode == "pinte" and self.p_induce is None:
+            raise ValueError("pinte jobs need p_induce")
+        if self.mode == "pair" and not self.co_runner:
+            raise ValueError("pair jobs need a co_runner")
+
+
+def run_job(job: Job, config: MachineConfig,
+            scale: ExperimentScale) -> SimulationResult:
+    """Execute one job (also the worker entry point)."""
+    trace = build_trace(get_workload(job.workload), scale.trace_length,
+                        scale.seed, config.llc.size)
+    if job.mode == "pair":
+        adversary = build_trace(get_workload(job.co_runner),
+                                scale.trace_length, scale.seed + 1,
+                                config.llc.size)
+        return simulate_pair(trace, adversary, config,
+                             warmup_instructions=scale.warmup_instructions,
+                             sim_instructions=scale.sim_instructions,
+                             sample_interval=scale.sample_interval,
+                             seed=scale.seed)
+    pinte = (PinteConfig(job.p_induce, seed=scale.seed)
+             if job.mode == "pinte" else None)
+    return simulate(trace, config, pinte=pinte,
+                    warmup_instructions=scale.warmup_instructions,
+                    sim_instructions=scale.sim_instructions,
+                    sample_interval=scale.sample_interval, seed=scale.seed)
+
+
+def _worker(args: Tuple[Job, MachineConfig, ExperimentScale]) -> SimulationResult:
+    return run_job(*args)
+
+
+def run_batch(jobs: Sequence[Job], config: MachineConfig,
+              scale: ExperimentScale,
+              processes: Optional[int] = None) -> List[SimulationResult]:
+    """Run jobs, in parallel when ``processes`` allows it.
+
+    ``processes=1`` (or a single job) runs inline — no pool overhead and
+    easier debugging. Results come back in job order either way.
+    """
+    jobs = list(jobs)
+    if processes is None:
+        processes = min(len(jobs), multiprocessing.cpu_count())
+    if processes <= 1 or len(jobs) <= 1:
+        return [run_job(job, config, scale) for job in jobs]
+    with multiprocessing.Pool(processes) as pool:
+        return pool.map(_worker, [(job, config, scale) for job in jobs])
+
+
+def campaign_jobs(
+    workloads: Sequence[str],
+    p_values: Sequence[float] = (),
+    panel: Dict[str, Sequence[str]] = None,
+    include_isolation: bool = True,
+) -> List[Job]:
+    """Build the standard three-context job list for a campaign."""
+    jobs: List[Job] = []
+    for workload in workloads:
+        if include_isolation:
+            jobs.append(Job(workload))
+        for p in p_values:
+            jobs.append(Job(workload, mode="pinte", p_induce=p))
+        for adversary in (panel or {}).get(workload, ()):
+            jobs.append(Job(workload, mode="pair", co_runner=adversary))
+    return jobs

@@ -1,0 +1,203 @@
+"""Multi-programmed (2nd-Trace) simulation.
+
+N workloads on N cores with private L1/L2, sharing the LLC, the DRAM
+channels and the contention tracker — the paper's baseline source of real
+contention. Scheduling is cycle-synchronised: each step advances the core
+whose clock is furthest behind, so a fast core naturally retires more
+instructions per unit of shared time, exactly like hardware. Non-primary
+traces restart when exhausted, ChampSim-style, until the primary finishes
+its budget.
+
+:func:`simulate_pair` is the paper's two-core method;
+:func:`simulate_multiprogrammed` generalises to the higher core counts the
+paper's motivation section worries about ("if a pair of workloads is not
+representative, then more than two workloads will need to be run
+concurrently which increases CPU and memory costs").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.cache.hierarchy import MemoryHierarchy, build_llc
+from repro.config import MachineConfig
+from repro.core import ContentionTracker
+from repro.cpu import Core
+from repro.dram import Dram
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import (
+    DEFAULT_SAMPLE_INTERVAL,
+    _Sampler,
+    _finalise,
+    _reset_stats,
+)
+from repro.trace.record import Trace, TraceRecord
+
+#: Address-space offset applied per core so traces never share data
+#: (they still collide in cache sets, which is what contention is).
+ADDRESS_SPACE_STRIDE = 1 << 44
+
+
+def _offset_trace(trace: Trace, core_id: int) -> List[TraceRecord]:
+    """Clone records into a per-core address space."""
+    if core_id == 0:
+        return trace.records
+    offset = core_id * ADDRESS_SPACE_STRIDE
+    return [
+        TraceRecord(
+            pc=record.pc + offset,
+            load_addr=None if record.load_addr is None else record.load_addr + offset,
+            store_addr=None if record.store_addr is None else record.store_addr + offset,
+            is_branch=record.is_branch,
+            taken=record.taken,
+            dependent=record.dependent,
+        )
+        for record in trace.records
+    ]
+
+
+def simulate_multiprogrammed(
+    traces: List[Trace],
+    config: MachineConfig,
+    warmup_instructions: int = 0,
+    sim_instructions: Optional[int] = None,
+    sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
+    seed: int = 0,
+    partitioner=None,
+    repartition_interval: int = 5_000,
+) -> List[SimulationResult]:
+    """Run ``traces[0]`` with ``traces[1:]`` as concurrent contention sources.
+
+    Returns one :class:`SimulationResult` per core, primary first. The
+    primary's instruction budget terminates the simulation; other cores
+    retire as many instructions as the shared timeline allows (their
+    results report those counts). Periodic samples are collected for the
+    primary core only.
+
+    ``partitioner`` (a :class:`~repro.cache.partition.base.Partitioner`)
+    installs per-owner LLC way quotas and is re-evaluated every
+    ``repartition_interval`` primary instructions.
+    """
+    if len(traces) < 2:
+        raise ValueError("multi-programmed simulation needs at least 2 traces")
+    n_cores = len(traces)
+    tracker = ContentionTracker()
+    llc = build_llc(config, seed)
+    dram = Dram(config.dram)
+    registry: dict = {}
+    hierarchies = [
+        MemoryHierarchy(config, core_id, llc=llc, dram=dram, tracker=tracker,
+                        registry=registry, seed=seed + core_id)
+        for core_id in range(n_cores)
+    ]
+    if partitioner is not None:
+        partitioner.install(llc)
+        for hierarchy in hierarchies:
+            hierarchy.llc_access_hook = partitioner.on_llc_access
+    cores = [Core(config.core, hierarchy) for hierarchy in hierarchies]
+    streams = [_offset_trace(trace, core_id)
+               for core_id, trace in enumerate(traces)]
+    for trace, stream in zip(traces, streams):
+        if not stream:
+            raise ValueError(f"trace {trace.name!r} is empty")
+
+    wall_start = time.perf_counter()
+    total = (sim_instructions if sim_instructions is not None else
+             max(0, len(traces[0]) - warmup_instructions))
+    indices = [0] * n_cores
+
+    def step(core_id: int) -> None:
+        stream = streams[core_id]
+        cores[core_id].execute(stream[indices[core_id]])
+        indices[core_id] += 1
+        if indices[core_id] == len(stream):
+            indices[core_id] = 0
+
+    def step_synchronised() -> int:
+        """Advance the core whose clock is furthest behind; returns its id.
+
+        Cycle-synchronised scheduling keeps all clocks aligned, so the
+        shared DRAM sees a consistent timeline — a fast core executes more
+        instructions per unit time, exactly like hardware.
+        """
+        core_id = min(range(n_cores), key=lambda i: cores[i].cycle)
+        step(core_id)
+        return core_id
+
+    # --- warm-up (until the primary has retired its warm-up budget) ---
+    warmed = 0
+    while warmed < warmup_instructions:
+        if step_synchronised() == 0:
+            warmed += 1
+    for core_id in range(n_cores):
+        _reset_stats(cores[core_id], hierarchies[core_id], tracker, core_id)
+    start_cycles = [core.cycle for core in cores]
+
+    # --- measured region ---
+    sampler = _Sampler(cores[0], llc, 0, tracker, sample_interval)
+    executed = 0
+    while executed < total:
+        if step_synchronised() == 0:
+            executed += 1
+            if executed % sample_interval == 0:
+                sampler.maybe_sample()
+            if partitioner is not None and executed % repartition_interval == 0:
+                partitioner.epoch(llc, tracker)
+
+    empty_samplers = [
+        _Sampler(cores[core_id], llc, core_id, tracker, sample_interval)
+        for core_id in range(1, n_cores)
+    ]
+    results = [_finalise(cores[0], hierarchies[0], tracker, 0, start_cycles[0],
+                         sampler, traces[0].name, "2nd-trace", wall_start,
+                         None, "+".join(t.name for t in traces[1:]), seed)]
+    for core_id in range(1, n_cores):
+        results.append(_finalise(
+            cores[core_id], hierarchies[core_id], tracker, core_id,
+            start_cycles[core_id], empty_samplers[core_id - 1],
+            traces[core_id].name, "2nd-trace", wall_start, None,
+            traces[0].name, seed,
+        ))
+    return results
+
+
+def simulate_pair(
+    primary: Trace,
+    secondary: Trace,
+    config: MachineConfig,
+    warmup_instructions: int = 0,
+    sim_instructions: Optional[int] = None,
+    sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
+    seed: int = 0,
+    return_secondary: bool = False,
+) -> SimulationResult:
+    """Run ``primary`` with ``secondary`` as the contention source.
+
+    Returns the primary core's result (the workload under study). With
+    ``return_secondary`` the result's ``extra`` carries the secondary IPC so
+    throughput studies can use both sides.
+    """
+    results = simulate_multiprogrammed(
+        [primary, secondary], config,
+        warmup_instructions=warmup_instructions,
+        sim_instructions=sim_instructions,
+        sample_interval=sample_interval,
+        seed=seed,
+    )
+    result = results[0]
+    result.co_runner = secondary.name
+    if return_secondary:
+        result.extra["secondary_ipc"] = results[1].ipc
+        result.extra["secondary_instructions"] = float(results[1].instructions)
+    return result
+
+
+def all_pairs(names: List[str]) -> List[Tuple[str, str]]:
+    """All unique unordered workload pairs — the paper's 2nd-Trace matrix
+    (``n * (n-1) / 2`` mixes for ``n`` traces)."""
+    return [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]

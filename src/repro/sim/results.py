@@ -1,0 +1,120 @@
+"""Simulation result records and periodic sampling.
+
+The paper samples every run-time metric every 10M instructions; scaled runs
+sample every ``sample_interval`` instructions. Samples carry *interval*
+(delta) metrics, so each one is the scaled equivalent of one of the paper's
+10M-instruction observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Metric keys every sample provides (the five run-time metrics of Fig 7a
+#: plus occupancy for Fig 10).
+SAMPLE_METRICS = (
+    "ipc", "miss_rate", "amat", "contention_rate", "interference_rate",
+)
+
+
+@dataclass
+class Sample:
+    """Metrics for one sampling interval (deltas, not cumulative)."""
+
+    instructions: int
+    cycles: int
+    ipc: float
+    llc_accesses: int
+    llc_misses: int
+    miss_rate: float
+    amat: float
+    thefts: int
+    interference: int
+    contention_rate: float
+    interference_rate: float
+    occupancy: float  # this core's fraction of LLC blocks at sample end
+
+    def metric(self, name: str) -> float:
+        """Fetch a metric by name (used by the KL-divergence analyses)."""
+        return float(getattr(self, name))
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation produced.
+
+    ``mode`` is "isolation", "pinte" or "2nd-trace"; ``p_induce`` is set for
+    PInTE runs and ``co_runner`` for 2nd-Trace runs.
+    """
+
+    trace_name: str
+    mode: str
+    instructions: int
+    cycles: int
+    ipc: float
+    miss_rate: float  # LLC demand miss rate
+    amat: float
+    p_induce: Optional[float] = None
+    co_runner: Optional[str] = None
+    seed: int = 0
+    contention_rate: float = 0.0
+    interference_rate: float = 0.0
+    thefts_experienced: int = 0
+    thefts_caused: int = 0
+    interference_misses: int = 0
+    llc_accesses: int = 0
+    llc_misses: int = 0
+    llc_writeback_fills: int = 0
+    l2_misses: int = 0
+    l2_accesses: int = 0
+    l1d_miss_rate: float = 0.0
+    branch_accuracy: float = 1.0
+    branch_mpki: float = 0.0
+    prefetch_issued: int = 0
+    prefetch_useful: int = 0
+    reuse_histogram: List[int] = field(default_factory=list)
+    samples: List[Sample] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+    occupancy: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def l2_mpki(self) -> float:
+        """L2 misses per kilo-instruction (Fig 6b)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.instructions
+
+    @property
+    def llc_mpki(self) -> float:
+        """LLC demand misses per kilo-instruction (Fig 6b)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 demand miss rate (Fig 11 inclusion row, secondary metric)."""
+        if self.l2_accesses == 0:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    @property
+    def prefetch_miss_rate(self) -> float:
+        """Fraction of issued prefetches never hit by demand (Fig 11 row 3)."""
+        if self.prefetch_issued == 0:
+            return 0.0
+        return 1.0 - self.prefetch_useful / self.prefetch_issued
+
+    def sample_series(self, metric: str) -> List[float]:
+        """Per-sample values of one metric, in time order."""
+        return [sample.metric(metric) for sample in self.samples]
+
+    def label(self) -> str:
+        """Short human-readable identity for reports."""
+        if self.mode == "pinte":
+            return f"{self.trace_name}@pinte({self.p_induce})"
+        if self.mode == "2nd-trace":
+            return f"{self.trace_name}+{self.co_runner}"
+        return f"{self.trace_name}@isolation"

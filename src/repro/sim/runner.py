@@ -1,0 +1,160 @@
+"""Experiment sweep helpers.
+
+The experiments in :mod:`repro.experiments` all follow the same recipe: pick
+workloads, run them in isolation, under a PInTE sweep, and/or against
+2nd-Trace adversaries, at a common scale. This module provides the shared
+machinery — a trace cache plus the three context runners — so each
+table/figure driver stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.core import PAPER_PINDUCE_SWEEP, PinteConfig
+from repro.sim.multicore import simulate_pair
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.record import Trace
+from repro.trace.spec_models import get_workload
+from repro.trace.synthetic import build_trace
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big each simulation is.
+
+    The paper warms 500M and measures 500M instructions per trace; the
+    defaults here are the scaled equivalents used by the benchmark harness.
+    """
+
+    warmup_instructions: int = 10_000
+    sim_instructions: int = 40_000
+    sample_interval: int = 4_000
+    seed: int = 1
+
+    @property
+    def trace_length(self) -> int:
+        return self.warmup_instructions + self.sim_instructions
+
+
+#: Small scale for unit/integration tests.
+TEST_SCALE = ExperimentScale(warmup_instructions=2_000, sim_instructions=8_000,
+                             sample_interval=1_000)
+#: Default scale for the benchmark harness.
+BENCH_SCALE = ExperimentScale()
+
+
+class TraceLibrary:
+    """Builds and caches synthetic traces keyed by (workload, llc, length)."""
+
+    def __init__(self, config: MachineConfig, scale: ExperimentScale) -> None:
+        self.config = config
+        self.scale = scale
+        self._cache: Dict[Tuple[str, int, int, int], Trace] = {}
+
+    def get(self, name: str, length: Optional[int] = None,
+            seed: Optional[int] = None) -> Trace:
+        length = length if length is not None else self.scale.trace_length
+        seed = seed if seed is not None else self.scale.seed
+        key = (name, self.config.llc.size, length, seed)
+        trace = self._cache.get(key)
+        if trace is None:
+            trace = build_trace(get_workload(name), length, seed,
+                                self.config.llc.size)
+            self._cache[key] = trace
+        return trace
+
+
+def run_isolation(
+    names: Sequence[str],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    library: Optional[TraceLibrary] = None,
+) -> Dict[str, SimulationResult]:
+    """One isolation run per workload."""
+    library = library or TraceLibrary(config, scale)
+    return {
+        name: simulate(
+            library.get(name), config,
+            warmup_instructions=scale.warmup_instructions,
+            sim_instructions=scale.sim_instructions,
+            sample_interval=scale.sample_interval,
+            seed=scale.seed,
+        )
+        for name in names
+    }
+
+
+def run_pinte_sweep(
+    names: Sequence[str],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    p_values: Iterable[float] = PAPER_PINDUCE_SWEEP,
+    library: Optional[TraceLibrary] = None,
+    pinte_seed: Optional[int] = None,
+) -> Dict[str, Dict[float, SimulationResult]]:
+    """PInTE runs: every workload at every ``P_induce`` configuration."""
+    library = library or TraceLibrary(config, scale)
+    sweep: Dict[str, Dict[float, SimulationResult]] = {}
+    for name in names:
+        trace = library.get(name)
+        sweep[name] = {
+            p: simulate(
+                trace, config,
+                pinte=PinteConfig(
+                    p_induce=p,
+                    seed=pinte_seed if pinte_seed is not None else scale.seed,
+                ),
+                warmup_instructions=scale.warmup_instructions,
+                sim_instructions=scale.sim_instructions,
+                sample_interval=scale.sample_interval,
+                seed=scale.seed,
+            )
+            for p in p_values
+        }
+    return sweep
+
+
+def run_pairs(
+    pairs: Sequence[Tuple[str, str]],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    library: Optional[TraceLibrary] = None,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """2nd-Trace runs: primary measured against each secondary.
+
+    The paper's 2nd-Trace protocol has no warm-up (data collected every 10M
+    from the start, early samples discarded in analysis); we mirror that by
+    warming 0 instructions and letting callers drop early samples.
+    """
+    library = library or TraceLibrary(config, scale)
+    results: Dict[Tuple[str, str], SimulationResult] = {}
+    for primary_name, secondary_name in pairs:
+        primary = library.get(primary_name)
+        secondary = library.get(secondary_name)
+        results[(primary_name, secondary_name)] = simulate_pair(
+            primary, secondary, config,
+            warmup_instructions=scale.warmup_instructions,
+            sim_instructions=scale.sim_instructions,
+            sample_interval=scale.sample_interval,
+            seed=scale.seed,
+        )
+    return results
+
+
+def adversary_panel(target: str, all_names: Sequence[str], count: int) -> List[str]:
+    """Deterministic subset of co-runners for ``target``.
+
+    The paper runs all unique pairs (17,578 for 188 traces); at reproduction
+    scale each benchmark is paired with a rotating panel of ``count``
+    adversaries chosen deterministically from the suite.
+    """
+    others = [name for name in all_names if name != target]
+    if count >= len(others):
+        return others
+    start = sum(ord(ch) for ch in target) % len(others)
+    rotated = others[start:] + others[:start]
+    return rotated[:count]

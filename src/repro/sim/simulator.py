@@ -1,0 +1,243 @@
+"""Single-core simulation: isolation and PInTE modes.
+
+``simulate(...)`` is the main entry point for one workload on one machine.
+With ``pinte=None`` it produces the paper's *Isolation* context; with a
+:class:`~repro.core.pinte_config.PinteConfig` it produces the *PInTE*
+context. The 2nd-Trace context lives in :mod:`repro.sim.multicore`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.hierarchy import MemoryHierarchy, build_llc
+from repro.config import MachineConfig
+from repro.core import ContentionTracker, PInTE, PinteConfig
+from repro.core.extensions import BackgroundDramTraffic, PeriodicPinte
+from repro.core.pinte_config import TRIGGER_PER_ACCESS
+from repro.cpu import Core, CoreStats
+from repro.sim.results import Sample, SimulationResult
+from repro.trace.record import Trace
+
+DEFAULT_SAMPLE_INTERVAL = 10_000  # scaled stand-in for the paper's 10M
+
+
+class _Sampler:
+    """Collects interval-delta samples from a running core."""
+
+    def __init__(self, core: Core, llc: Cache, owner: int,
+                 tracker: ContentionTracker, interval: int) -> None:
+        self.core = core
+        self.llc = llc
+        self.owner = owner
+        self.tracker = tracker
+        self.interval = interval
+        self.samples = []
+        self._mark()
+
+    def _state(self) -> dict:
+        counters = self.tracker.counters(self.owner)
+        return {
+            "instructions": self.core.stats.instructions,
+            "cycles": self.core.cycle,
+            "mem_cycles": self.core.stats.mem_access_cycles,
+            "mem_accesses": self.core.stats.mem_accesses,
+            "llc_accesses": counters.llc_accesses,
+            "llc_misses": counters.llc_misses,
+            "thefts": counters.thefts_experienced,
+            "interference": counters.interference_misses,
+        }
+
+    def _mark(self) -> None:
+        self._last = self._state()
+
+    def maybe_sample(self) -> None:
+        """Emit a sample if a full interval has elapsed."""
+        if self.core.stats.instructions - self._last["instructions"] < self.interval:
+            return
+        now = self._state()
+        last = self._last
+        instructions = now["instructions"] - last["instructions"]
+        cycles = now["cycles"] - last["cycles"]
+        accesses = now["llc_accesses"] - last["llc_accesses"]
+        misses = now["llc_misses"] - last["llc_misses"]
+        thefts = now["thefts"] - last["thefts"]
+        interference = now["interference"] - last["interference"]
+        mem_cycles = now["mem_cycles"] - last["mem_cycles"]
+        mem_accesses = now["mem_accesses"] - last["mem_accesses"]
+        self.samples.append(Sample(
+            instructions=instructions,
+            cycles=cycles,
+            ipc=instructions / cycles if cycles else 0.0,
+            llc_accesses=accesses,
+            llc_misses=misses,
+            miss_rate=misses / accesses if accesses else 0.0,
+            amat=mem_cycles / mem_accesses if mem_accesses else 0.0,
+            thefts=thefts,
+            interference=interference,
+            contention_rate=thefts / accesses if accesses else 0.0,
+            interference_rate=interference / accesses if accesses else 0.0,
+            occupancy=self.llc.occupancy(self.owner) / self.llc.capacity_blocks,
+        ))
+        self._last = now
+
+
+def _reset_stats(core: Core, hierarchy: MemoryHierarchy,
+                 tracker: ContentionTracker, owner: int) -> None:
+    """Clear warm-up statistics while keeping all cache/predictor state."""
+    core.stats = CoreStats()
+    core.predictor.stats.reset()
+    for cache in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2, hierarchy.llc):
+        cache.stats = CacheStats()
+        if cache.track_reuse:
+            cache.reuse_histogram = [0] * cache.assoc
+            cache.reuse_by_owner.pop(owner, None)
+    # Replace the owner's contention counters in place.
+    counters = tracker.counters(owner)
+    for name in counters.__slots__:
+        setattr(counters, name, 0)
+
+
+def _finalise(core: Core, hierarchy: MemoryHierarchy, tracker: ContentionTracker,
+              owner: int, start_cycle: int, sampler: _Sampler,
+              trace_name: str, mode: str, wall_start: float,
+              p_induce: Optional[float], co_runner: Optional[str],
+              seed: int) -> SimulationResult:
+    counters = tracker.counters(owner)
+    cycles = core.cycle - start_cycle
+    instructions = core.stats.instructions
+    llc = hierarchy.llc
+    cpi_stack = {f"cpi_{component}": value
+                 for component, value in core.stats.cpi_stack().items()}
+    return SimulationResult(
+        extra=cpi_stack,
+        trace_name=trace_name,
+        mode=mode,
+        instructions=instructions,
+        cycles=cycles,
+        ipc=instructions / cycles if cycles else 0.0,
+        miss_rate=(counters.llc_misses / counters.llc_accesses
+                   if counters.llc_accesses else 0.0),
+        amat=core.stats.amat,
+        p_induce=p_induce,
+        co_runner=co_runner,
+        seed=seed,
+        contention_rate=counters.contention_rate,
+        interference_rate=counters.interference_rate,
+        thefts_experienced=counters.thefts_experienced,
+        thefts_caused=counters.thefts_caused,
+        interference_misses=counters.interference_misses,
+        llc_accesses=counters.llc_accesses,
+        llc_misses=counters.llc_misses,
+        llc_writeback_fills=llc.stats.writeback_fills,
+        l2_misses=hierarchy.l2.stats.misses,
+        l2_accesses=hierarchy.l2.stats.accesses,
+        l1d_miss_rate=hierarchy.l1d.stats.miss_rate,
+        branch_accuracy=core.predictor.stats.accuracy,
+        branch_mpki=(1000.0 * core.predictor.stats.mispredictions / instructions
+                     if instructions else 0.0),
+        prefetch_issued=hierarchy.prefetch_issued(),
+        prefetch_useful=hierarchy.prefetch_useful(),
+        reuse_histogram=llc.owner_reuse_histogram(owner),
+        samples=sampler.samples,
+        wall_time_seconds=time.perf_counter() - wall_start,
+        occupancy=llc.occupancy(owner) / llc.capacity_blocks,
+    )
+
+
+def simulate(
+    trace: Trace,
+    config: MachineConfig,
+    pinte: Optional[PinteConfig] = None,
+    warmup_instructions: int = 0,
+    sim_instructions: Optional[int] = None,
+    sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
+    seed: int = 0,
+) -> SimulationResult:
+    """Run one workload alone (optionally under PInTE contention).
+
+    The trace is replayed from the start; statistics gathered during the
+    first ``warmup_instructions`` are discarded (cache and predictor state is
+    kept), mirroring the paper's 500M-warmup / 500M-measure protocol. If the
+    trace is shorter than warmup+sim it is restarted, ChampSim-style.
+    """
+    owner = 0
+    tracker = ContentionTracker()
+    llc = build_llc(config, seed)
+    registry: dict = {}
+    hierarchy = MemoryHierarchy(config, owner, llc=llc, tracker=tracker,
+                                registry=registry, seed=seed)
+    core = Core(config.core, hierarchy)
+    engine: Optional[PInTE] = None
+    periodic = None
+    background = None
+    if pinte is not None:
+        engine = PInTE(pinte, llc, tracker)
+        per_access = pinte.trigger == TRIGGER_PER_ACCESS
+        hierarchy.attach_pinte(engine, per_access=per_access)
+        if not per_access:
+            periodic = PeriodicPinte(engine, pinte.period_cycles)
+        if pinte.dram_background_rpkc > 0:
+            background = BackgroundDramTraffic(
+                hierarchy.dram, pinte.dram_background_rpkc, seed=pinte.seed
+            )
+
+    wall_start = time.perf_counter()
+    total = (sim_instructions if sim_instructions is not None else
+             max(0, len(trace) - warmup_instructions))
+    records = trace.records
+    n_records = len(records)
+    if n_records == 0:
+        raise ValueError(f"trace {trace.name!r} is empty")
+
+    index = 0
+    hooks_active = periodic is not None or background is not None
+
+    # --- warm-up ---
+    for _ in range(warmup_instructions):
+        core.execute(records[index])
+        index += 1
+        if index == n_records:
+            index = 0
+        if hooks_active:
+            if periodic is not None:
+                periodic.maybe_tick(core.cycle, owner)
+            if background is not None:
+                background.advance(core.cycle)
+    _reset_stats(core, hierarchy, tracker, owner)
+    if engine is not None:
+        engine.stats = type(engine.stats)()
+    start_cycle = core.cycle
+
+    # --- measured region ---
+    sampler = _Sampler(core, llc, owner, tracker, sample_interval)
+    executed = 0
+    while executed < total:
+        core.execute(records[index])
+        index += 1
+        if index == n_records:
+            index = 0
+        if hooks_active:
+            if periodic is not None:
+                periodic.maybe_tick(core.cycle, owner)
+            if background is not None:
+                background.advance(core.cycle)
+        executed += 1
+        if executed % sample_interval == 0:
+            sampler.maybe_sample()
+
+    mode = "pinte" if pinte is not None else "isolation"
+    result = _finalise(core, hierarchy, tracker, owner, start_cycle, sampler,
+                       trace.name, mode, wall_start,
+                       pinte.p_induce if pinte else None, None, seed)
+    if engine is not None:
+        result.extra["pinte_triggers"] = float(engine.stats.triggers)
+        result.extra["pinte_trigger_rate"] = engine.stats.trigger_rate
+        result.extra["pinte_invalidations"] = float(engine.stats.invalidations)
+    if periodic is not None:
+        result.extra["pinte_periodic_rounds"] = float(periodic.rounds)
+    if background is not None:
+        result.extra["dram_background_requests"] = float(background.requests)
+    return result

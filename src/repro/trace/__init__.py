@@ -1,0 +1,76 @@
+"""Trace substrate: records, synthetic SPEC-like generators, I/O, simpoints."""
+
+from repro.trace.io import read_trace, write_trace
+from repro.trace.patterns import (
+    AccessPattern,
+    MixedPhasePattern,
+    PointerChasePattern,
+    RandomPattern,
+    StencilPattern,
+    StreamPattern,
+    WorkingSetPattern,
+    reuse_distances,
+)
+from repro.trace.mixes import (
+    class_balanced_mixes,
+    pair_coverage,
+    pairs_covered,
+    random_mixes,
+)
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.simpoint import (
+    SimpointWeight,
+    uniform_weights,
+    weighted_metric,
+    weighted_metrics,
+)
+from repro.trace.spec_models import (
+    CACHE_FRIENDLY,
+    CORE_BOUND,
+    DRAM_BOUND,
+    LLC_BOUND,
+    MIXED,
+    SPEC_WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    suite_names,
+    workloads_by_class,
+    workloads_by_suite,
+)
+from repro.trace.synthetic import build_trace, generate_records
+
+__all__ = [
+    "AccessPattern",
+    "CACHE_FRIENDLY",
+    "CORE_BOUND",
+    "DRAM_BOUND",
+    "LLC_BOUND",
+    "MIXED",
+    "MixedPhasePattern",
+    "PointerChasePattern",
+    "RandomPattern",
+    "SPEC_WORKLOADS",
+    "SimpointWeight",
+    "StencilPattern",
+    "StreamPattern",
+    "Trace",
+    "TraceRecord",
+    "WorkingSetPattern",
+    "WorkloadSpec",
+    "build_trace",
+    "class_balanced_mixes",
+    "generate_records",
+    "get_workload",
+    "pair_coverage",
+    "pairs_covered",
+    "random_mixes",
+    "read_trace",
+    "reuse_distances",
+    "suite_names",
+    "uniform_weights",
+    "weighted_metric",
+    "weighted_metrics",
+    "workloads_by_class",
+    "workloads_by_suite",
+    "write_trace",
+]

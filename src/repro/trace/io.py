@@ -1,0 +1,91 @@
+"""Trace (de)serialisation.
+
+A compact binary format (one fixed-size little-endian record per
+instruction), gzip-compressed, in the spirit of ChampSim's ``.trace.gz``
+files. Used by the examples to cache generated traces and by tests to verify
+round-tripping.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.trace.record import Trace, TraceRecord
+
+#: pc, load_addr, store_addr, flags  (flags: bit0=branch, bit1=taken,
+#: bit2=dependent, bit3=has_load, bit4=has_store)
+_RECORD = struct.Struct("<QQQB")
+_FLAG_BRANCH = 1
+_FLAG_TAKEN = 2
+_FLAG_DEPENDENT = 4
+_FLAG_HAS_LOAD = 8
+_FLAG_HAS_STORE = 16
+
+MAGIC = b"PNTR1\n"
+
+
+def write_trace(trace: Union[Trace, Iterable[TraceRecord]], path: Union[str, Path],
+                name: str = "") -> int:
+    """Write a trace to ``path``; returns the number of records written."""
+    if isinstance(trace, Trace):
+        name = name or trace.name
+        records: Iterable[TraceRecord] = trace.records
+    else:
+        records = trace
+    name_bytes = name.encode("utf-8")
+    count = 0
+    with gzip.open(Path(path), "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<H", len(name_bytes)))
+        fh.write(name_bytes)
+        for record in records:
+            flags = 0
+            load = store = 0
+            if record.is_branch:
+                flags |= _FLAG_BRANCH
+            if record.taken:
+                flags |= _FLAG_TAKEN
+            if record.dependent:
+                flags |= _FLAG_DEPENDENT
+            if record.load_addr is not None:
+                flags |= _FLAG_HAS_LOAD
+                load = record.load_addr
+            if record.store_addr is not None:
+                flags |= _FLAG_HAS_STORE
+                store = record.store_addr
+            fh.write(_RECORD.pack(record.pc, load, store, flags))
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    with gzip.open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"{path}: not a PInTE trace file (bad magic {magic!r})")
+        (name_len,) = struct.unpack("<H", fh.read(2))
+        name = fh.read(name_len).decode("utf-8")
+        records: List[TraceRecord] = []
+        while True:
+            raw = fh.read(_RECORD.size)
+            if not raw:
+                break
+            if len(raw) != _RECORD.size:
+                raise ValueError(f"{path}: truncated record at offset {fh.tell()}")
+            pc, load, store, flags = _RECORD.unpack(raw)
+            records.append(
+                TraceRecord(
+                    pc=pc,
+                    load_addr=load if flags & _FLAG_HAS_LOAD else None,
+                    store_addr=store if flags & _FLAG_HAS_STORE else None,
+                    is_branch=bool(flags & _FLAG_BRANCH),
+                    taken=bool(flags & _FLAG_TAKEN),
+                    dependent=bool(flags & _FLAG_DEPENDENT),
+                )
+            )
+    return Trace(name=name or path.stem, records=records)

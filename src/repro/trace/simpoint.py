@@ -1,0 +1,69 @@
+"""Simpoint-style weighted aggregation.
+
+The paper's real-system comparison (Fig 10) applies simpoint weights when
+combining per-trace results into a benchmark-level number. This module
+implements that weighting for arbitrary metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SimpointWeight:
+    """One simpoint slice of a benchmark with its execution weight."""
+
+    trace_name: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"{self.trace_name}: weight must be non-negative")
+
+
+def normalise(weights: Sequence[SimpointWeight]) -> List[SimpointWeight]:
+    """Scale weights so they sum to 1 (the simpoint convention)."""
+    total = sum(w.weight for w in weights)
+    if total <= 0:
+        raise ValueError("weights must have a positive sum")
+    return [SimpointWeight(w.trace_name, w.weight / total) for w in weights]
+
+
+def weighted_metric(per_trace: Mapping[str, float],
+                    weights: Sequence[SimpointWeight]) -> float:
+    """Weighted average of a metric over simpoint slices.
+
+    ``per_trace`` maps trace name -> metric value. Missing traces raise so an
+    incomplete sweep cannot silently skew the aggregate.
+    """
+    missing = [w.trace_name for w in weights if w.trace_name not in per_trace]
+    if missing:
+        raise KeyError(f"missing per-trace results for: {', '.join(missing)}")
+    normalised = normalise(weights)
+    return sum(w.weight * per_trace[w.trace_name] for w in normalised)
+
+
+def uniform_weights(trace_names: Sequence[str]) -> List[SimpointWeight]:
+    """Equal weighting — what we use when no simpoint profile is available."""
+    if not trace_names:
+        raise ValueError("need at least one trace")
+    share = 1.0 / len(trace_names)
+    return [SimpointWeight(name, share) for name in trace_names]
+
+
+def weighted_metrics(per_trace: Mapping[str, Mapping[str, float]],
+                     weights: Sequence[SimpointWeight]) -> Dict[str, float]:
+    """Apply :func:`weighted_metric` to every metric key present in all traces."""
+    normalised = normalise(weights)
+    if not normalised:
+        return {}
+    first = per_trace[normalised[0].trace_name]
+    keys = set(first)
+    for weight in normalised[1:]:
+        keys &= set(per_trace[weight.trace_name])
+    return {
+        key: sum(w.weight * per_trace[w.trace_name][key] for w in normalised)
+        for key in sorted(keys)
+    }

@@ -1,0 +1,21 @@
+"""Shared low-level helpers used across the simulator substrates."""
+
+from repro.util.bitops import (
+    block_address,
+    block_offset,
+    ceil_div,
+    fold_xor,
+    ilog2,
+    is_power_of_two,
+)
+from repro.util.rng import DeterministicRng
+
+__all__ = [
+    "DeterministicRng",
+    "block_address",
+    "block_offset",
+    "ceil_div",
+    "fold_xor",
+    "ilog2",
+    "is_power_of_two",
+]

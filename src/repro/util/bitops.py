@@ -1,0 +1,53 @@
+"""Small integer/bit helpers shared by the cache, DRAM and predictor models."""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of a positive power of two.
+
+    Raises ``ValueError`` for non-powers-of-two so misconfigured cache
+    geometries fail loudly instead of silently aliasing sets.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling integer division for positive denominators."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def block_address(address: int, block_size: int) -> int:
+    """Return the block-aligned address (low offset bits cleared)."""
+    return address & ~(block_size - 1)
+
+
+def block_offset(address: int, block_size: int) -> int:
+    """Return the byte offset of ``address`` within its block."""
+    return address & (block_size - 1)
+
+
+def fold_xor(value: int, bits: int) -> int:
+    """Fold ``value`` down to ``bits`` bits by repeated XOR.
+
+    This is the classic index-hashing trick used by branch predictors and
+    set-index hash functions: it mixes high-order bits into the low-order
+    index instead of discarding them.
+    """
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded

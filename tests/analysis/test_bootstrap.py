@@ -1,0 +1,109 @@
+"""Tests for bootstrap confidence intervals."""
+
+import pytest
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_mean,
+    ipc_interval,
+    rank_with_ties,
+    statistically_tied,
+)
+from repro.sim.results import Sample, SimulationResult
+
+
+def result_with_ipcs(ipcs, name="w"):
+    samples = [
+        Sample(instructions=1000, cycles=1000, ipc=ipc, llc_accesses=1,
+               llc_misses=0, miss_rate=0.0, amat=5.0, thefts=0,
+               interference=0, contention_rate=0.0, interference_rate=0.0,
+               occupancy=0.1)
+        for ipc in ipcs
+    ]
+    mean = sum(ipcs) / len(ipcs) if ipcs else 0.0
+    return SimulationResult(trace_name=name, mode="pinte", instructions=1000,
+                            cycles=1000, ipc=mean, miss_rate=0.0, amat=5.0,
+                            samples=samples)
+
+
+class TestBootstrapMean:
+    def test_point_estimate_is_mean(self):
+        ci = bootstrap_mean([1.0, 2.0, 3.0])
+        assert ci.point == pytest.approx(2.0)
+
+    def test_interval_contains_point(self):
+        ci = bootstrap_mean([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ci.contains(ci.point)
+
+    def test_constant_sample_zero_width(self):
+        ci = bootstrap_mean([2.0] * 10)
+        assert ci.width == 0.0
+
+    def test_single_value_degenerate(self):
+        ci = bootstrap_mean([7.0])
+        assert ci.low == ci.high == 7.0
+
+    def test_deterministic(self):
+        values = [1.0, 3.0, 2.0, 5.0]
+        assert bootstrap_mean(values, seed=1) == bootstrap_mean(values, seed=1)
+
+    def test_more_spread_wider_interval(self):
+        tight = bootstrap_mean([1.0, 1.1, 0.9, 1.05, 0.95])
+        wide = bootstrap_mean([1.0, 3.0, -1.0, 2.5, -0.5])
+        assert wide.width > tight.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], resamples=2)
+
+
+class TestConfidenceInterval:
+    def test_overlap_symmetric(self):
+        a = ConfidenceInterval(0.0, 1.0, 0.5, 0.95)
+        b = ConfidenceInterval(0.8, 2.0, 1.4, 0.95)
+        c = ConfidenceInterval(1.5, 2.0, 1.75, 0.95)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+
+class TestIpcInterval:
+    def test_from_samples(self):
+        result = result_with_ipcs([0.5, 0.6, 0.55, 0.45, 0.5])
+        ci = ipc_interval(result)
+        assert 0.4 < ci.low <= ci.point <= ci.high < 0.7
+
+    def test_no_samples_degenerate(self):
+        result = result_with_ipcs([])
+        result.ipc = 0.7
+        ci = ipc_interval(result)
+        assert ci.low == ci.high == 0.7
+
+
+class TestTies:
+    def test_identical_runs_tied(self):
+        a = result_with_ipcs([0.5, 0.52, 0.48, 0.51])
+        b = result_with_ipcs([0.49, 0.51, 0.5, 0.52])
+        assert statistically_tied(a, b)
+
+    def test_distant_runs_not_tied(self):
+        a = result_with_ipcs([0.5, 0.52, 0.48, 0.51])
+        b = result_with_ipcs([1.5, 1.52, 1.48, 1.51])
+        assert not statistically_tied(a, b)
+
+    def test_rank_with_ties(self):
+        best = result_with_ipcs([1.0, 1.02, 0.98], name="best")
+        tied = result_with_ipcs([0.99, 1.01, 1.0], name="tied")
+        worse = result_with_ipcs([0.5, 0.52, 0.48], name="worse")
+        ranked = rank_with_ties([worse, best, tied])
+        assert ranked[0][0].trace_name == "best"
+        assert ranked[0][1] is True  # best ties with itself
+        assert ranked[1][1] is True  # statistically tied
+        assert ranked[2][1] is False
+
+    def test_rank_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rank_with_ties([])

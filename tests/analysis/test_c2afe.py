@@ -1,0 +1,69 @@
+"""Unit tests for C²AFE curve features."""
+
+import pytest
+
+from repro.analysis.c2afe import (
+    curve_agreement,
+    extract_features,
+    knee_point,
+    trend_slope,
+)
+
+
+FLAT = {0.0: 1.0, 0.25: 1.0, 0.5: 1.0, 0.75: 1.0, 1.0: 1.0}
+LINEAR_DOWN = {0.0: 1.0, 0.25: 0.875, 0.5: 0.75, 0.75: 0.625, 1.0: 0.5}
+KNEE_AT_HALF = {0.0: 1.0, 0.25: 1.0, 0.5: 0.95, 0.75: 0.5, 1.0: 0.2}
+
+
+class TestTrend:
+    def test_flat_curve_zero_slope(self):
+        assert trend_slope(FLAT) == pytest.approx(0.0)
+
+    def test_degrading_curve_negative(self):
+        assert trend_slope(LINEAR_DOWN) == pytest.approx(-0.5)
+
+    def test_improving_curve_positive(self):
+        curve = {x: y for x, y in zip([0, 0.5, 1.0], [0.5, 0.75, 1.0])}
+        assert trend_slope(curve) > 0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            trend_slope({0.5: 1.0})
+
+
+class TestKnee:
+    def test_flat_curve_knee_at_start(self):
+        assert knee_point(FLAT) == 0.0
+
+    def test_linear_curve_no_interior_knee(self):
+        # Every point lies on the chord; first x wins.
+        assert knee_point(LINEAR_DOWN) == 0.0
+
+    def test_bend_detected(self):
+        knee = knee_point(KNEE_AT_HALF)
+        assert knee in (0.25, 0.5)
+
+
+class TestFeatures:
+    def test_sensitivity_is_range(self):
+        features = extract_features(LINEAR_DOWN)
+        assert features.sensitivity == pytest.approx(0.5)
+
+    def test_flat_is_flat(self):
+        assert extract_features(FLAT).is_flat
+
+    def test_degrading_not_flat(self):
+        assert not extract_features(LINEAR_DOWN).is_flat
+
+
+class TestAgreement:
+    def test_flat_curves_agree(self):
+        other_flat = {0.0: 0.99, 0.5: 0.995, 1.0: 0.99}
+        assert curve_agreement(FLAT, other_flat)
+
+    def test_similar_sensitivity_agrees(self):
+        slightly_different = {x: y - 0.02 for x, y in LINEAR_DOWN.items()}
+        assert curve_agreement(LINEAR_DOWN, slightly_different)
+
+    def test_flat_vs_steep_disagrees(self):
+        assert not curve_agreement(FLAT, KNEE_AT_HALF)

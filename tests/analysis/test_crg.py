@@ -1,0 +1,110 @@
+"""Unit tests for contention rate grouping."""
+
+import pytest
+
+from repro.analysis.crg import (
+    contention_curve,
+    coverage,
+    group_centre,
+    group_of,
+    group_results,
+    match_by_group,
+)
+from repro.sim.results import SimulationResult
+
+
+def result(rate, ipc=1.0, name="w"):
+    return SimulationResult(trace_name=name, mode="pinte", instructions=1000,
+                            cycles=1000, ipc=ipc, miss_rate=0.1, amat=10.0,
+                            contention_rate=rate, interference_rate=rate)
+
+
+class TestGroupOf:
+    def test_rounds_to_nearest_ten_percent(self):
+        """The paper rounds observed rates to the nearest 10% group."""
+        assert group_of(0.04) == 0
+        assert group_of(0.06) == 1
+        assert group_of(0.14) == 1
+        assert group_of(0.97) == 10
+
+    def test_custom_width(self):
+        assert group_of(0.06, width=0.05) == 1
+        assert group_of(0.08, width=0.05) == 2
+
+    def test_group_centre_round_trip(self):
+        assert group_centre(group_of(0.31)) == pytest.approx(0.3)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            group_of(-0.1)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            group_of(0.5, width=0.0)
+
+
+class TestGroupResults:
+    def test_buckets(self):
+        results = [result(0.02), result(0.04), result(0.31)]
+        groups = group_results(results)
+        assert len(groups[0]) == 2
+        assert len(groups[3]) == 1
+
+
+class TestMatchByGroup:
+    def test_same_group_matches(self):
+        reference = [result(0.32)]
+        model = [result(0.29), result(0.55)]
+        matches = match_by_group(reference, model)
+        assert len(matches) == 1
+        assert matches[0][1].contention_rate == 0.29
+
+    def test_closest_in_group_wins(self):
+        reference = [result(0.30)]
+        model = [result(0.26), result(0.31), result(0.34)]
+        matches = match_by_group(reference, model)
+        assert matches[0][1].contention_rate == 0.31
+
+    def test_no_match_skipped(self):
+        reference = [result(0.9)]
+        model = [result(0.1)]
+        assert match_by_group(reference, model) == []
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        reference = [result(0.1), result(0.5)]
+        model = [result(0.12), result(0.48)]
+        assert coverage(reference, model) == 1.0
+
+    def test_partial_coverage(self):
+        reference = [result(0.1), result(0.9)]
+        model = [result(0.12)]
+        assert coverage(reference, model) == 0.5
+
+    def test_wider_criterion_covers_more(self):
+        reference = [result(0.13)]
+        model = [result(0.24)]
+        assert coverage(reference, model, width=0.10) == 0.0
+        assert coverage(reference, model, width=0.20) == 1.0
+
+    def test_empty_reference(self):
+        assert coverage([], [result(0.1)]) == 0.0
+
+
+class TestContentionCurve:
+    def test_curve_points(self):
+        results = [result(0.05, ipc=0.9), result(0.52, ipc=0.5),
+                   result(0.48, ipc=0.6)]
+        curve = contention_curve(results, isolation_ipc=1.0)
+        assert curve[0.0] == pytest.approx(0.9)
+        assert curve[0.5] == pytest.approx(0.55)
+
+    def test_sorted_keys(self):
+        results = [result(0.9, ipc=0.2), result(0.1, ipc=0.9)]
+        curve = contention_curve(results, isolation_ipc=1.0)
+        assert list(curve) == sorted(curve)
+
+    def test_rejects_bad_isolation(self):
+        with pytest.raises(ValueError):
+            contention_curve([result(0.1)], isolation_ipc=0.0)

@@ -1,0 +1,127 @@
+"""Unit tests for KL divergence (Eq. 5) and histogram utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.kl_divergence import (
+    bucket_samples,
+    kl_divergence,
+    normalise,
+    random_baseline_percentiles,
+    series_kl,
+)
+
+
+class TestNormalise:
+    def test_sums_to_one(self):
+        assert sum(normalise([1, 2, 3])) == pytest.approx(1.0)
+
+    def test_preserves_proportions(self):
+        p = normalise([1.0, 3.0], smoothing=0.0)
+        assert p == [0.25, 0.75]
+
+    def test_smoothing_fills_zeros(self):
+        p = normalise([0, 10])
+        assert p[0] > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalise([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalise([-1, 2])
+
+
+class TestKlDivergence:
+    def test_identical_distributions_zero(self):
+        p = [10, 20, 30, 40]
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_negative(self):
+        assert kl_divergence([1, 2, 3], [3, 2, 1]) >= 0.0
+
+    def test_asymmetric(self):
+        p, q = [9, 1], [5, 5]
+        assert kl_divergence(p, q) != kl_divergence(q, p)
+
+    def test_known_value_in_bits(self):
+        """Fair coin encoded with a 3/4 coin: D = 1 - 0.5*log2(3) bits."""
+        p = [0.5, 0.5]
+        q = [0.75, 0.25]
+        expected = 0.5 * math.log2(0.5 / 0.75) + 0.5 * math.log2(0.5 / 0.25)
+        assert kl_divergence(p, q, already_normalised=True) == pytest.approx(expected)
+
+    def test_mismatched_buckets_rejected(self):
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            kl_divergence([1, 2], [1, 2, 3])
+
+    def test_smoothing_prevents_infinite(self):
+        value = kl_divergence([10, 0], [0, 10])
+        assert math.isfinite(value)
+        assert value > 1.0  # very different distributions
+
+
+class TestBucketSamples:
+    def test_basic_binning(self):
+        counts = bucket_samples([0.0, 0.5, 0.99], 0.0, 1.0, buckets=2)
+        assert counts == [1, 2]
+
+    def test_clamping(self):
+        counts = bucket_samples([-5.0, 5.0], 0.0, 1.0, buckets=4)
+        assert counts[0] == 1
+        assert counts[-1] == 1
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            bucket_samples([1.0], 1.0, 1.0)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            bucket_samples([1.0], 0.0, 1.0, buckets=0)
+
+
+class TestSeriesKl:
+    def test_identical_series_near_zero(self):
+        series = [0.1, 0.2, 0.3, 0.4] * 10
+        assert series_kl(series, list(series)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_constant_series_zero(self):
+        assert series_kl([1.0] * 10, [1.0] * 10) == 0.0
+
+    def test_different_series_positive(self):
+        a = [0.1] * 20 + [0.9] * 5
+        b = [0.9] * 20 + [0.1] * 5
+        assert series_kl(a, b) > 0.1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_kl([], [1.0])
+
+    def test_shared_support(self):
+        """Series with disjoint ranges still compare (shared bucketing)."""
+        assert math.isfinite(series_kl([0.0] * 10, [100.0] * 10))
+
+
+class TestRandomBaseline:
+    def test_thresholds_ordered(self):
+        reference = [100, 50, 25, 12, 6, 3, 1, 1]
+        t99, t95, t90 = random_baseline_percentiles(reference, trials=300)
+        assert t99 <= t95 <= t90
+
+    def test_deterministic(self):
+        reference = [10, 5, 2, 1]
+        a = random_baseline_percentiles(reference, trials=100, seed=3)
+        b = random_baseline_percentiles(reference, trials=100, seed=3)
+        assert a == b
+
+    def test_identical_histogram_beats_thresholds(self):
+        """KL of the reference against itself (0) beats all random bounds."""
+        reference = [100, 50, 25, 12, 6, 3, 1, 1]
+        thresholds = random_baseline_percentiles(reference, trials=300)
+        assert all(t > 0 for t in thresholds)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_baseline_percentiles([])

@@ -1,0 +1,98 @@
+"""Unit tests for metrics (weighted IPC, aggregation, boxplots)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    average,
+    boxplot_stats,
+    geometric_mean,
+    metric_value,
+    summarise,
+    weighted_ipc,
+)
+from repro.sim.results import SimulationResult
+
+
+def result(name="w", ipc=1.0, mr=0.1, amat=10.0, mode="isolation"):
+    return SimulationResult(trace_name=name, mode=mode, instructions=1000,
+                            cycles=1000, ipc=ipc, miss_rate=mr, amat=amat)
+
+
+class TestWeightedIpc:
+    def test_eq1(self):
+        contention = result(ipc=0.5, mode="pinte")
+        isolation = result(ipc=1.0)
+        assert weighted_ipc(contention, isolation) == 0.5
+
+    def test_mismatched_workloads_rejected(self):
+        with pytest.raises(ValueError, match="matching workloads"):
+            weighted_ipc(result(name="a"), result(name="b"))
+
+    def test_zero_isolation_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            weighted_ipc(result(ipc=0.5), result(ipc=0.0))
+
+
+class TestMetricValue:
+    def test_high_level_metrics(self):
+        r = result(ipc=1.5, mr=0.2, amat=12.0)
+        assert metric_value(r, "ipc") == 1.5
+        assert metric_value(r, "miss_rate") == 0.2
+        assert metric_value(r, "amat") == 12.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            metric_value(result(), "flops")
+
+
+class TestAggregation:
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+
+    def test_average_empty(self):
+        assert average([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_summarise(self):
+        batch = [result(ipc=1.0, mr=0.1, amat=10.0),
+                 result(ipc=2.0, mr=0.3, amat=20.0)]
+        summary = summarise(batch)
+        assert summary["ipc"] == 1.5
+        assert summary["miss_rate"] == pytest.approx(0.2)
+        assert summary["amat"] == 15.0
+
+
+class TestBoxplot:
+    def test_median_odd(self):
+        stats = boxplot_stats([1.0, 2.0, 3.0])
+        assert stats["median"] == 2.0
+
+    def test_median_even(self):
+        stats = boxplot_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats["median"] == 2.5
+
+    def test_quartiles(self):
+        stats = boxplot_stats(list(map(float, range(1, 101))))
+        assert stats["q1"] == pytest.approx(25.75)
+        assert stats["q3"] == pytest.approx(75.25)
+
+    def test_outliers_detected(self):
+        values = [1.0] * 20 + [100.0]
+        stats = boxplot_stats(values)
+        assert stats["outliers"] == 1
+        assert stats["whisker_high"] == 1.0
+        assert stats["max"] == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    def test_single_value(self):
+        stats = boxplot_stats([5.0])
+        assert stats["median"] == stats["min"] == stats["max"] == 5.0

@@ -1,0 +1,61 @@
+"""Unit tests for Eq. 6 change-in-occupancy."""
+
+import pytest
+
+from repro.analysis.occupancy import (
+    change_in_occupancy,
+    mean_change_in_occupancy,
+    occupancy_series,
+)
+from repro.sim.results import Sample, SimulationResult
+
+
+def result_with_occupancies(occupancies):
+    samples = [
+        Sample(instructions=1000, cycles=1000, ipc=1.0, llc_accesses=10,
+               llc_misses=1, miss_rate=0.1, amat=10.0, thefts=0,
+               interference=0, contention_rate=0.0, interference_rate=0.0,
+               occupancy=occ)
+        for occ in occupancies
+    ]
+    return SimulationResult(trace_name="w", mode="2nd-trace",
+                            instructions=1000, cycles=1000, ipc=1.0,
+                            miss_rate=0.1, amat=10.0, samples=samples)
+
+
+class TestEq6:
+    def test_full_occupancy_is_zero(self):
+        assert change_in_occupancy(1.0, 1.0) == 0.0
+
+    def test_half_occupancy(self):
+        assert change_in_occupancy(0.5, 1.0) == pytest.approx(-50.0)
+
+    def test_allocation_cap(self):
+        # Occupying 0.45 of an 0.9 allocation = half the expected capacity.
+        assert change_in_occupancy(0.45, 0.9) == pytest.approx(-50.0)
+
+    def test_over_allocation_positive(self):
+        """A workload can exceed its expected share before RDT kicks in."""
+        assert change_in_occupancy(1.0, 0.9) > 0
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            change_in_occupancy(1.5, 1.0)
+        with pytest.raises(ValueError):
+            change_in_occupancy(0.5, 0.0)
+
+
+class TestSeries:
+    def test_per_sample(self):
+        result = result_with_occupancies([1.0, 0.5])
+        series = occupancy_series(result)
+        assert series[0] == 0.0
+        assert series[1] == pytest.approx(-50.0)
+
+    def test_mean(self):
+        results = [result_with_occupancies([1.0, 0.5]),
+                   result_with_occupancies([0.75])]
+        assert mean_change_in_occupancy(results) == pytest.approx(-25.0)
+
+    def test_mean_empty(self):
+        assert mean_change_in_occupancy([]) == 0.0

@@ -1,0 +1,100 @@
+"""Tests for phase detection."""
+
+import pytest
+
+from repro.analysis.phases import (
+    Phase,
+    detect_phases,
+    is_phase_changing,
+    phase_count,
+    result_phases,
+)
+from repro.sim.results import Sample, SimulationResult
+
+
+class TestDetectPhases:
+    def test_constant_series_one_phase(self):
+        phases = detect_phases([1.0] * 10)
+        assert len(phases) == 1
+        assert phases[0].length == 10
+        assert phases[0].mean == 1.0
+
+    def test_step_change_two_phases(self):
+        series = [1.0] * 6 + [5.0] * 6
+        phases = detect_phases(series, window=2)
+        assert len(phases) == 2
+        assert phases[0].mean == pytest.approx(1.0)
+        assert phases[1].mean == pytest.approx(5.0)
+
+    def test_boundary_position(self):
+        series = [1.0] * 6 + [5.0] * 6
+        phases = detect_phases(series, window=2)
+        assert phases[0].end == 6
+
+    def test_three_phases(self):
+        series = [1.0] * 6 + [5.0] * 6 + [1.0] * 6
+        assert phase_count(series, window=2) == 3
+
+    def test_noise_does_not_split(self):
+        series = [1.0, 1.05, 0.95, 1.02, 0.98, 1.01, 0.97, 1.03]
+        assert phase_count(series) == 1
+
+    def test_phases_cover_series(self):
+        series = [1.0] * 5 + [9.0] * 5 + [4.0] * 5
+        phases = detect_phases(series, window=2)
+        assert phases[0].start == 0
+        assert phases[-1].end == len(series)
+        for first, second in zip(phases, phases[1:]):
+            assert first.end == second.start
+
+    def test_short_series_single_phase(self):
+        phases = detect_phases([1.0, 5.0], window=2)
+        assert len(phases) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detect_phases([])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            detect_phases([1.0], window=0)
+
+
+def result_with_ipcs(ipcs):
+    samples = [
+        Sample(instructions=1000, cycles=1000, ipc=ipc, llc_accesses=1,
+               llc_misses=0, miss_rate=0.0, amat=5.0, thefts=0,
+               interference=0, contention_rate=0.0, interference_rate=0.0,
+               occupancy=0.1)
+        for ipc in ipcs
+    ]
+    return SimulationResult(trace_name="w", mode="isolation",
+                            instructions=1000, cycles=1000, ipc=1.0,
+                            miss_rate=0.0, amat=5.0, samples=samples)
+
+
+class TestResultPhases:
+    def test_steady_result(self):
+        result = result_with_ipcs([1.0] * 8)
+        assert not is_phase_changing(result)
+
+    def test_phase_changing_result(self):
+        result = result_with_ipcs([1.0] * 5 + [0.2] * 5)
+        assert is_phase_changing(result)
+
+    def test_no_samples_rejected(self):
+        result = result_with_ipcs([])
+        with pytest.raises(ValueError, match="no samples"):
+            result_phases(result)
+
+    def test_mixed_workload_shows_phases(self, config):
+        """The gcc-class mixed model must actually change phase in
+        simulation — that is what drives its 'mixed' sensitivity."""
+        from repro.sim import simulate
+        from repro.trace import build_trace, get_workload
+
+        trace = build_trace(get_workload("403.gcc"), 24_000, 1,
+                            config.llc.size)
+        result = simulate(trace, config, warmup_instructions=2_000,
+                          sim_instructions=22_000, sample_interval=1_000)
+        assert is_phase_changing(result, metric="miss_rate", threshold=0.8)

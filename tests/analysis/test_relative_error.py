@@ -1,0 +1,99 @@
+"""Unit tests for Eq. 4 relative error and Table II machinery."""
+
+import pytest
+
+from repro.analysis.relative_error import (
+    ErrorRow,
+    average_errors,
+    error_table,
+    relative_error,
+    result_relative_errors,
+)
+from repro.sim.results import SimulationResult
+
+
+def result(ipc=1.0, mr=0.1, amat=10.0):
+    return SimulationResult(trace_name="w", mode="pinte", instructions=1000,
+                            cycles=1000, ipc=ipc, miss_rate=mr, amat=amat)
+
+
+class TestEq4:
+    def test_sign_convention(self):
+        """Positive = PInTE underestimates (2nd-Trace larger)."""
+        assert relative_error(reference=1.1, pinte=1.0) == pytest.approx(10.0)
+        assert relative_error(reference=0.9, pinte=1.0) == pytest.approx(-10.0)
+
+    def test_exact_match_is_zero(self):
+        assert relative_error(0.5, 0.5) == 0.0
+
+    def test_zero_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_pinte_nonzero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_error(1.0, 0.0)
+
+
+class TestResultErrors:
+    def test_per_metric(self):
+        reference = result(ipc=0.9, mr=0.11, amat=11.0)
+        model = result(ipc=1.0, mr=0.10, amat=10.0)
+        errors = result_relative_errors(reference, model)
+        assert errors["ipc"] == pytest.approx(-10.0)
+        assert errors["miss_rate"] == pytest.approx(10.0)
+        assert errors["amat"] == pytest.approx(10.0)
+
+    def test_zero_metrics_handled(self):
+        reference = result(mr=0.0)
+        model = result(mr=0.0)
+        assert result_relative_errors(reference, model)["miss_rate"] == 0.0
+
+    def test_zero_model_nonzero_reference_is_inf(self):
+        errors = result_relative_errors(result(mr=0.5), result(mr=0.0))
+        assert errors["miss_rate"] == float("inf")
+
+
+class TestErrorRow:
+    def test_significance_threshold(self):
+        row = ErrorRow("w", amat=9.9, miss_rate=10.0, ipc=-10.1)
+        assert not row.amat_significant
+        assert row.mr_significant
+        assert row.ipc_significant
+
+    def test_classify_dram_dependent(self):
+        row = ErrorRow("w", amat=31.0, miss_rate=0.5, ipc=-42.0)
+        assert row.classify() == "dram_dependent"
+
+    def test_classify_core_bound(self):
+        row = ErrorRow("w", amat=0.1, miss_rate=21.0, ipc=-0.4)
+        assert row.classify() == "core_bound"
+
+    def test_classify_llc_bound(self):
+        row = ErrorRow("w", amat=0.1, miss_rate=-0.5, ipc=-71.5)
+        assert row.classify() == "llc_bound"
+
+    def test_classify_ok(self):
+        row = ErrorRow("w", amat=-0.1, miss_rate=-1.1, ipc=-0.3)
+        assert row.classify() == "ok"
+
+
+class TestAggregation:
+    def test_average_errors(self):
+        combined = average_errors([
+            {"amat": 1.0, "miss_rate": 2.0, "ipc": -4.0},
+            {"amat": 3.0, "miss_rate": 4.0, "ipc": -6.0},
+        ])
+        assert combined == {"amat": 2.0, "miss_rate": 3.0, "ipc": -5.0}
+
+    def test_average_errors_empty(self):
+        assert average_errors([]) == {"amat": 0.0, "miss_rate": 0.0, "ipc": 0.0}
+
+    def test_error_table_splits_suites(self):
+        rows = [
+            ErrorRow("400.perlbench", 1.0, 1.0, -1.0),
+            ErrorRow("600.perlbench", 3.0, 3.0, -3.0),
+        ]
+        table = error_table(rows)
+        assert table["2006"]["amat"] == 1.0
+        assert table["2017"]["amat"] == 3.0
+        assert table["all"]["amat"] == 2.0

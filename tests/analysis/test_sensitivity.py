@@ -1,0 +1,99 @@
+"""Unit tests for TPL sensitivity classification."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    HIGH,
+    LOW,
+    MIXED,
+    SensitivityReport,
+    class_shares,
+    classify,
+    classify_fraction,
+    sample_weighted_ipcs,
+    sensitive_fraction,
+)
+from repro.sim.results import Sample, SimulationResult
+
+
+def result_with_samples(ipcs, name="w"):
+    samples = [
+        Sample(instructions=1000, cycles=1000, ipc=ipc, llc_accesses=10,
+               llc_misses=1, miss_rate=0.1, amat=10.0, thefts=0,
+               interference=0, contention_rate=0.0, interference_rate=0.0,
+               occupancy=0.5)
+        for ipc in ipcs
+    ]
+    return SimulationResult(trace_name=name, mode="pinte", instructions=1000,
+                            cycles=1000, ipc=sum(ipcs) / len(ipcs),
+                            miss_rate=0.1, amat=10.0, samples=samples)
+
+
+class TestSensitiveFraction:
+    def test_all_sensitive(self):
+        assert sensitive_fraction([0.5, 0.6, 0.7], tpl=0.05) == 1.0
+
+    def test_none_sensitive(self):
+        assert sensitive_fraction([0.96, 1.0, 1.02], tpl=0.05) == 0.0
+
+    def test_boundary_not_sensitive(self):
+        """Exactly TPL loss does not exceed the threshold."""
+        assert sensitive_fraction([0.95], tpl=0.05) == 0.0
+
+    def test_empty(self):
+        assert sensitive_fraction([]) == 0.0
+
+
+class TestClassifyFraction:
+    def test_high(self):
+        assert classify_fraction(0.75) == HIGH
+        assert classify_fraction(1.0) == HIGH
+
+    def test_low(self):
+        assert classify_fraction(0.25) == LOW
+        assert classify_fraction(0.0) == LOW
+
+    def test_mixed(self):
+        assert classify_fraction(0.5) == MIXED
+
+
+class TestClassify:
+    def test_pooled_samples(self):
+        results = [result_with_samples([1.0, 1.0]),
+                   result_with_samples([0.5, 0.5])]
+        report = classify("w", results, isolation=1.0)
+        assert report.scp == 0.5
+        assert report.classification == MIXED
+        assert report.n_samples == 4
+
+    def test_insensitive_workload(self):
+        report = classify("w", [result_with_samples([0.99, 1.0, 0.98])],
+                          isolation=1.0)
+        assert report.classification == LOW
+
+    def test_sensitive_workload(self):
+        report = classify("w", [result_with_samples([0.5, 0.4, 0.3, 0.6])],
+                          isolation=1.0)
+        assert report.classification == HIGH
+
+    def test_rejects_zero_isolation(self):
+        with pytest.raises(ValueError):
+            sample_weighted_ipcs([], isolation=0.0)
+
+
+class TestClassShares:
+    def test_shares(self):
+        reports = [
+            SensitivityReport("a", 0.9, HIGH, 0.05, 10),
+            SensitivityReport("b", 0.1, LOW, 0.05, 10),
+            SensitivityReport("c", 0.2, LOW, 0.05, 10),
+            SensitivityReport("d", 0.5, MIXED, 0.05, 10),
+        ]
+        shares = class_shares(reports)
+        assert shares[HIGH] == 0.25
+        assert shares[LOW] == 0.5
+        assert shares[MIXED] == 0.25
+
+    def test_empty(self):
+        shares = class_shares([])
+        assert shares == {HIGH: 0.0, LOW: 0.0, MIXED: 0.0}

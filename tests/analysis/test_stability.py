@@ -1,0 +1,67 @@
+"""Unit tests for Eq. 3 stability statistics."""
+
+import pytest
+
+from repro.analysis.stability import (
+    median,
+    normalised_std_dev,
+    stability_by_metric,
+    std_dev,
+)
+
+
+class TestStdDev:
+    def test_constant_series(self):
+        assert std_dev([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert std_dev([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            std_dev([])
+
+
+class TestNormalisedStdDev:
+    def test_eq3(self):
+        # mean 2, std 1 -> normalised 0.5
+        assert normalised_std_dev([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        a = normalised_std_dev([1.0, 3.0])
+        b = normalised_std_dev([100.0, 300.0])
+        assert a == pytest.approx(b)
+
+    def test_zero_mean_zero_spread(self):
+        assert normalised_std_dev([0.0, 0.0]) == 0.0
+
+    def test_zero_mean_nonzero_spread_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            normalised_std_dev([-1.0, 1.0])
+
+    def test_negative_mean_uses_magnitude(self):
+        assert normalised_std_dev([-1.0, -3.0]) == pytest.approx(0.5)
+
+
+class TestStabilityByMetric:
+    def test_per_metric(self):
+        runs = [{"ipc": 1.0, "mr": 0.2}, {"ipc": 3.0, "mr": 0.2}]
+        stability = stability_by_metric(runs)
+        assert stability["ipc"] == pytest.approx(0.5)
+        assert stability["mr"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stability_by_metric([])
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])

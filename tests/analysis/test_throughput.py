@@ -1,0 +1,75 @@
+"""Unit tests for multi-programmed throughput metrics."""
+
+import pytest
+
+from repro.analysis.throughput import (
+    fairness,
+    harmonic_mean_speedup,
+    throughput_report,
+    weighted_speedup,
+)
+from repro.sim.results import SimulationResult
+
+
+def result(name, ipc):
+    return SimulationResult(trace_name=name, mode="2nd-trace",
+                            instructions=1000, cycles=1000, ipc=ipc,
+                            miss_rate=0.1, amat=10.0)
+
+
+ISO = [result("a", 1.0), result("b", 2.0)]
+
+
+class TestWeightedSpeedup:
+    def test_no_slowdown_equals_core_count(self):
+        shared = [result("a", 1.0), result("b", 2.0)]
+        assert weighted_speedup(shared, ISO) == pytest.approx(2.0)
+
+    def test_half_speed_each(self):
+        shared = [result("a", 0.5), result("b", 1.0)]
+        assert weighted_speedup(shared, ISO) == pytest.approx(1.0)
+
+    def test_order_mismatch_rejected(self):
+        shared = [result("b", 1.0), result("a", 1.0)]
+        with pytest.raises(ValueError, match="order mismatch"):
+            weighted_speedup(shared, ISO)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([result("a", 1.0)], ISO)
+
+    def test_zero_isolation_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([result("a", 1.0)], [result("a", 0.0)])
+
+
+class TestHarmonicMean:
+    def test_even_slowdown(self):
+        shared = [result("a", 0.5), result("b", 1.0)]
+        assert harmonic_mean_speedup(shared, ISO) == pytest.approx(0.5)
+
+    def test_penalises_starvation(self):
+        balanced = [result("a", 0.5), result("b", 1.0)]     # 0.5 / 0.5
+        starved = [result("a", 0.9), result("b", 0.2)]      # 0.9 / 0.1
+        assert (harmonic_mean_speedup(starved, ISO)
+                < harmonic_mean_speedup(balanced, ISO))
+
+    def test_zero_weighted_ipc(self):
+        shared = [result("a", 0.0), result("b", 1.0)]
+        assert harmonic_mean_speedup(shared, ISO) == 0.0
+
+
+class TestFairness:
+    def test_perfectly_fair(self):
+        shared = [result("a", 0.7), result("b", 1.4)]
+        assert fairness(shared, ISO) == pytest.approx(1.0)
+
+    def test_unfair(self):
+        shared = [result("a", 1.0), result("b", 0.4)]  # wIPC 1.0 vs 0.2
+        assert fairness(shared, ISO) == pytest.approx(0.2)
+
+    def test_report_keys(self):
+        shared = [result("a", 0.5), result("b", 1.0)]
+        report = throughput_report(shared, ISO)
+        assert set(report) == {"weighted_speedup", "harmonic_mean_speedup",
+                               "fairness"}

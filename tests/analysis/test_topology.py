@@ -1,0 +1,112 @@
+"""Tests for contention topology diagnostics."""
+
+import pytest
+
+from repro.analysis.topology import TheftTopology, TopologyRecorder, attach_topology
+from repro.core import ContentionTracker, PInTE, PinteConfig
+from repro.cache.cache import Cache
+
+BLOCK = 64
+
+
+class TestTheftTopology:
+    def test_record_maps_to_set(self):
+        topology = TheftTopology(n_sets=8)
+        topology.record(3 * BLOCK)
+        topology.record(3 * BLOCK + 8 * BLOCK)  # same set, next way stride
+        assert topology.counts[3] == 2
+        assert topology.total == 2
+
+    def test_coverage(self):
+        topology = TheftTopology(n_sets=4)
+        topology.record(0)
+        topology.record(BLOCK)
+        assert topology.coverage() == 0.5
+
+    def test_entropy_uniform_is_one(self):
+        topology = TheftTopology(n_sets=4)
+        for set_index in range(4):
+            topology.record(set_index * BLOCK)
+        assert topology.entropy() == pytest.approx(1.0)
+
+    def test_entropy_concentrated_is_zero(self):
+        topology = TheftTopology(n_sets=4)
+        for _ in range(10):
+            topology.record(0)
+        assert topology.entropy() == pytest.approx(0.0)
+
+    def test_entropy_empty(self):
+        assert TheftTopology(n_sets=4).entropy() == 0.0
+
+    def test_hottest_sets(self):
+        topology = TheftTopology(n_sets=4)
+        for _ in range(3):
+            topology.record(2 * BLOCK)
+        topology.record(0)
+        hottest = topology.hottest_sets(count=2)
+        assert hottest[0] == (2, 3)
+        assert hottest[1] == (0, 1)
+
+    def test_hottest_excludes_untouched(self):
+        topology = TheftTopology(n_sets=8)
+        topology.record(0)
+        assert len(topology.hottest_sets(count=8)) == 1
+
+    def test_histogram_buckets(self):
+        topology = TheftTopology(n_sets=8)
+        topology.record(0)
+        topology.record(7 * BLOCK)
+        assert topology.histogram(buckets=2) == [1, 1]
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            TheftTopology(n_sets=8).histogram(buckets=3)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TheftTopology(n_sets=3)
+
+
+class TestRecorder:
+    def test_wraps_tracker(self):
+        tracker = ContentionTracker()
+        topology = attach_topology(tracker, n_sets=8)
+        tracker.record_theft(0, 1, 2 * BLOCK)
+        assert topology.total == 1
+        assert tracker.counters(0).thefts_experienced == 1  # original ran too
+
+    def test_victim_filter(self):
+        tracker = ContentionTracker()
+        topology = attach_topology(tracker, n_sets=8, victim_owner=0)
+        tracker.record_theft(0, 1, 0)
+        tracker.record_theft(1, 0, BLOCK)
+        assert topology.total == 1
+
+    def test_detach_restores(self):
+        tracker = ContentionTracker()
+        topology = TheftTopology(8)
+        recorder = TopologyRecorder(tracker, topology)
+        recorder.detach()
+        tracker.record_theft(0, 1, 0)
+        assert topology.total == 0
+
+
+class TestWithPinte:
+    def test_pinte_thefts_follow_accessed_sets(self):
+        """Per-access PInTE steals only where the workload goes — topology
+        shows concentration, not blanketing."""
+        llc = Cache("LLC", 16 * 4 * BLOCK, 4, BLOCK, latency=1)
+        tracker = ContentionTracker()
+        topology = attach_topology(tracker, llc.n_sets)
+        engine = PInTE(PinteConfig(1.0, seed=1), llc, tracker)
+        stride = BLOCK * llc.n_sets
+        hot_sets = (2, 5)
+        for i in range(200):
+            set_index = hot_sets[i % 2]
+            for way in range(llc.assoc):
+                llc.fill(set_index * BLOCK + way * stride, 0)
+            engine.on_llc_access(set_index, i, 0)
+        assert topology.total > 0
+        assert topology.coverage() == pytest.approx(2 / 16)
+        touched = {s for s, _ in topology.hottest_sets(16)}
+        assert touched == set(hot_sets)

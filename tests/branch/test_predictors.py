@@ -1,0 +1,170 @@
+"""Unit tests for all branch predictors."""
+
+import pytest
+
+from repro.branch import PREDICTORS, make_predictor
+from repro.branch.base import AlwaysTakenPredictor, BranchStats
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.hashed_perceptron import HashedPerceptronPredictor
+from repro.branch.perceptron import PerceptronPredictor
+from repro.util.rng import DeterministicRng
+
+ALL_NAMES = ["bimodal", "gshare", "perceptron", "hashed_perceptron"]
+
+
+class TestRegistry:
+    def test_make_all(self):
+        for name in PREDICTORS:
+            predictor = make_predictor(name)
+            assert predictor.name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown branch predictor"):
+            make_predictor("oracle")
+
+
+class TestStats:
+    def test_accuracy_starts_at_one(self):
+        assert BranchStats().accuracy == 1.0
+
+    def test_accuracy_counts(self):
+        predictor = AlwaysTakenPredictor()
+        predictor.update(0x40, True)
+        predictor.update(0x40, False)
+        assert predictor.stats.lookups == 2
+        assert predictor.stats.mispredictions == 1
+        assert predictor.stats.accuracy == 0.5
+
+    def test_reset(self):
+        predictor = AlwaysTakenPredictor()
+        predictor.update(0x40, False)
+        predictor.stats.reset()
+        assert predictor.stats.lookups == 0
+        assert predictor.stats.accuracy == 1.0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestLearning:
+    def test_learns_constant_branch(self, name):
+        predictor = make_predictor(name)
+        for _ in range(200):
+            predictor.update(0x400, True)
+        predictor.stats.reset()
+        for _ in range(100):
+            predictor.update(0x400, True)
+        assert predictor.stats.accuracy > 0.95
+
+    def test_learns_never_taken(self, name):
+        predictor = make_predictor(name)
+        for _ in range(200):
+            predictor.update(0x400, False)
+        predictor.stats.reset()
+        for _ in range(100):
+            predictor.update(0x400, False)
+        assert predictor.stats.accuracy > 0.95
+
+    def test_update_returns_correctness(self, name):
+        predictor = make_predictor(name)
+        for _ in range(200):
+            predictor.update(0x400, True)
+        assert predictor.update(0x400, True) is True
+
+    def test_random_branch_near_half(self, name):
+        predictor = make_predictor(name)
+        rng = DeterministicRng(3, name)
+        outcomes = [rng.random() < 0.5 for _ in range(2000)]
+        for taken in outcomes:
+            predictor.update(0x400, taken)
+        assert 0.35 < predictor.stats.accuracy < 0.65
+
+
+class TestHistoryAdvantage:
+    def test_history_predictors_learn_alternation(self):
+        """A strict T/N/T/N pattern defeats bimodal but not gshare or the
+        perceptrons — the case-study separation the paper relies on."""
+        pattern = [True, False] * 500
+
+        def accuracy(predictor):
+            for taken in pattern:
+                predictor.update(0x400, taken)
+            predictor.stats.reset()
+            for taken in pattern[:200]:
+                predictor.update(0x400, taken)
+            return predictor.stats.accuracy
+
+        assert accuracy(BimodalPredictor()) < 0.7
+        assert accuracy(GSharePredictor()) > 0.9
+        assert accuracy(PerceptronPredictor()) > 0.9
+        assert accuracy(HashedPerceptronPredictor()) > 0.9
+
+    def test_correlated_branches(self):
+        """gshare exploits correlation between two branch sites: branch B
+        always repeats branch A's (random) outcome, so history-indexed
+        counters predict B near-perfectly while bimodal cannot."""
+        def run(predictor) -> float:
+            rng = DeterministicRng(5)
+            for _ in range(2000):
+                first = rng.random() < 0.5
+                predictor.update(0x100, first)
+                predictor.update(0x200, first)  # perfectly correlated
+            predictor.stats.reset()
+            rng2 = DeterministicRng(6)
+            correct = total = 0
+            for _ in range(500):
+                first = rng2.random() < 0.5
+                predictor.update(0x100, first)
+                correct += predictor.update(0x200, first)
+                total += 1
+            return correct / total
+
+        assert run(GSharePredictor()) > run(BimodalPredictor()) + 0.2
+
+
+class TestBimodal:
+    def test_hysteresis(self):
+        """One contrary outcome must not flip a saturated counter."""
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(0x40, True)
+        predictor.update(0x40, False)  # single not-taken
+        assert predictor.predict(0x40) is True
+
+    def test_table_size_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_size=1000)  # not a power of two
+
+    def test_aliasing_shares_counters(self):
+        predictor = BimodalPredictor(table_size=16)
+        pc_a = 0x40
+        pc_b = pc_a + 16 * 4  # same index after >>2 fold
+        for _ in range(10):
+            predictor.update(pc_a, True)
+        assert predictor.predict(pc_b) is True
+
+
+class TestPerceptron:
+    def test_threshold_formula(self):
+        predictor = PerceptronPredictor(history_bits=24)
+        assert predictor.threshold == int(1.93 * 24 + 14)
+
+    def test_weights_saturate(self):
+        predictor = PerceptronPredictor(n_perceptrons=64, history_bits=4,
+                                        weight_bits=4)
+        for _ in range(1000):
+            predictor.update(0x40, True)
+        weights = predictor._weights[predictor._index(0x40)]
+        assert all(-8 <= w <= 7 for w in weights)
+
+
+class TestHashedPerceptron:
+    def test_multiple_history_lengths(self):
+        predictor = HashedPerceptronPredictor()
+        assert len(predictor.history_lengths) == len(predictor._tables)
+
+    def test_weights_saturate(self):
+        predictor = HashedPerceptronPredictor(table_size=64, weight_bits=4)
+        for _ in range(1000):
+            predictor.update(0x40, True)
+        for table in predictor._tables:
+            assert all(-8 <= w <= 7 for w in table)

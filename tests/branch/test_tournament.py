@@ -1,0 +1,72 @@
+"""Unit tests for the tournament predictor extension."""
+
+from repro.branch import make_predictor
+from repro.branch.tournament import TournamentPredictor
+from repro.util.rng import DeterministicRng
+
+
+class TestBasics:
+    def test_registry(self):
+        assert make_predictor("tournament").name == "tournament"
+
+    def test_learns_biased_branch(self):
+        predictor = TournamentPredictor()
+        for _ in range(200):
+            predictor.update(0x400, True)
+        predictor.stats.reset()
+        for _ in range(100):
+            predictor.update(0x400, True)
+        assert predictor.stats.accuracy > 0.95
+
+    def test_learns_alternation_via_gshare(self):
+        predictor = TournamentPredictor()
+        pattern = [True, False] * 400
+        for taken in pattern:
+            predictor.update(0x400, taken)
+        predictor.stats.reset()
+        for taken in pattern[:200]:
+            predictor.update(0x400, taken)
+        assert predictor.stats.accuracy > 0.9
+
+
+class TestChooser:
+    def test_chooser_moves_to_global_on_history_patterns(self):
+        predictor = TournamentPredictor()
+        # Alternating branch: bimodal oscillates, gshare nails it -> chooser
+        # must migrate toward the global side.
+        for i in range(2000):
+            predictor.update(0x400, i % 2 == 0)
+        index = predictor._index(0x400)
+        assert predictor._chooser[index] >= 2
+
+    def test_chooser_stays_local_for_biased_branch(self):
+        predictor = TournamentPredictor()
+        # Both components agree on a heavily biased branch; the chooser only
+        # trains on disagreement, so it stays near its initial local lean.
+        for _ in range(500):
+            predictor.update(0x400, True)
+        index = predictor._index(0x400)
+        assert predictor._chooser[index] <= 2
+
+    def test_components_trained(self):
+        predictor = TournamentPredictor()
+        for _ in range(100):
+            predictor.update(0x400, True)
+        assert predictor.bimodal.predict(0x400) is True
+        assert predictor.gshare.predict(0x400) is True
+
+    def test_beats_bimodal_on_mixed_workload(self):
+        tournament = TournamentPredictor()
+        bimodal = make_predictor("bimodal")
+        rng = DeterministicRng(9)
+        # Site A: biased; site B: alternating (history-predictable).
+        outcomes = []
+        flip = True
+        for _ in range(1500):
+            outcomes.append((0x100, rng.random() < 0.95))
+            flip = not flip
+            outcomes.append((0x200, flip))
+        for pc, taken in outcomes:
+            tournament.update(pc, taken)
+            bimodal.update(pc, taken)
+        assert tournament.stats.accuracy > bimodal.stats.accuracy

@@ -1,0 +1,43 @@
+"""Unit tests for cache block state."""
+
+from repro.cache.block import SYSTEM_OWNER, CacheBlock
+
+
+class TestCacheBlock:
+    def test_initial_state(self):
+        block = CacheBlock()
+        assert not block.valid
+        assert not block.dirty
+        assert block.owner == SYSTEM_OWNER
+
+    def test_fill(self):
+        block = CacheBlock()
+        block.fill(0x1000, owner=2, dirty=True, prefetched=True)
+        assert block.valid
+        assert block.dirty
+        assert block.owner == 2
+        assert block.prefetched
+        assert block.tag == 0x1000
+
+    def test_fill_defaults_clean(self):
+        block = CacheBlock()
+        block.fill(0x1000, owner=0)
+        assert not block.dirty
+        assert not block.prefetched
+
+    def test_invalidate_clears_flags(self):
+        block = CacheBlock()
+        block.fill(0x1000, owner=0, dirty=True, prefetched=True)
+        block.invalidate()
+        assert not block.valid
+        assert not block.dirty
+        assert not block.prefetched
+
+    def test_refill_after_invalidate(self):
+        block = CacheBlock()
+        block.fill(0x1000, owner=0, dirty=True)
+        block.invalidate()
+        block.fill(0x2000, owner=1)
+        assert block.valid
+        assert not block.dirty
+        assert block.owner == 1

@@ -1,0 +1,109 @@
+"""Unit tests for the DRRIP set-dueling replacement extension."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.drrip import BRRIP_LONG_PERIOD, DrripPolicy
+
+BLOCK = 64
+
+
+class TestLeaderSets:
+    def test_leaders_disjoint(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4, n_leader_sets=4)
+        assert not (policy._srrip_leaders & policy._brrip_leaders)
+
+    def test_leader_count_capped_for_tiny_caches(self):
+        policy = DrripPolicy(n_sets=2, n_ways=4, n_leader_sets=8)
+        assert len(policy._srrip_leaders) == 1
+        assert len(policy._brrip_leaders) == 1
+
+    def test_srrip_leader_always_inserts_long(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        leader = next(iter(policy._srrip_leaders))
+        for _ in range(10):
+            policy.on_insert(leader, 0)
+            assert policy._rrpv[leader][0] == policy.insert_rrpv
+
+    def test_brrip_leader_mostly_inserts_distant(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        leader = next(iter(policy._brrip_leaders))
+        distant = 0
+        for _ in range(BRRIP_LONG_PERIOD * 2):
+            policy.on_insert(leader, 0)
+            if policy._rrpv[leader][0] == policy.max_rrpv:
+                distant += 1
+        assert distant >= BRRIP_LONG_PERIOD  # the vast majority
+
+
+class TestPsel:
+    def test_psel_starts_neutral(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        assert policy.psel == 512
+
+    def test_srrip_leader_misses_push_toward_brrip(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        leader = next(iter(policy._srrip_leaders))
+        before = policy.psel
+        for _ in range(10):
+            policy.record_miss(leader)
+        assert policy.psel == before + 10
+
+    def test_brrip_leader_misses_push_toward_srrip(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        leader = next(iter(policy._brrip_leaders))
+        before = policy.psel
+        for _ in range(10):
+            policy.record_miss(leader)
+        assert policy.psel == before - 10
+
+    def test_psel_saturates(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        leader = next(iter(policy._srrip_leaders))
+        for _ in range(5000):
+            policy.record_miss(leader)
+        assert policy.psel == 1023
+
+    def test_follower_obeys_psel(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        follower = next(s for s in range(16)
+                        if s not in policy._srrip_leaders
+                        and s not in policy._brrip_leaders)
+        # Drive PSEL to "SRRIP is better" (BRRIP leaders missing).
+        brrip_leader = next(iter(policy._brrip_leaders))
+        for _ in range(600):
+            policy.record_miss(brrip_leader)
+        policy.on_insert(follower, 0)
+        assert policy._rrpv[follower][0] == policy.insert_rrpv
+
+    def test_non_leader_misses_do_not_train(self):
+        policy = DrripPolicy(n_sets=16, n_ways=4)
+        follower = next(s for s in range(16)
+                        if s not in policy._srrip_leaders
+                        and s not in policy._brrip_leaders)
+        before = policy.psel
+        policy.record_miss(follower)
+        assert policy.psel == before
+
+
+class TestCacheIntegration:
+    def test_cache_wires_miss_hook(self):
+        cache = Cache("T", 16 * 4 * BLOCK, 4, BLOCK, latency=1, policy="drrip")
+        assert cache._policy_miss_hook is not None
+        leader = next(iter(cache.policy._srrip_leaders))
+        before = cache.policy.psel
+        cache.access(leader * BLOCK, False, 0)  # cold miss in an SRRIP leader
+        assert cache.policy.psel == before + 1
+
+    def test_registry(self):
+        policy = make_policy("drrip", 16, 4, seed=1)
+        assert policy.name == "drrip"
+
+    def test_pinte_hooks_inherited_from_rrip(self):
+        policy = DrripPolicy(n_sets=4, n_ways=4)
+        for way in range(4):
+            policy.on_insert(0, way)
+        policy.promote(0, 2)
+        assert sorted(policy.eviction_order(0)) == [0, 1, 2, 3]
+        assert policy.eviction_order(0)[-1] == 2

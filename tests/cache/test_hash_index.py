@@ -1,0 +1,72 @@
+"""Tests for XOR-folded set indexing."""
+
+import dataclasses
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import build_llc
+from repro.config import scaled_config
+
+BLOCK = 64
+
+
+class TestHashIndex:
+    def test_default_is_modulo(self):
+        cache = Cache("T", 16 * 4 * BLOCK, 4, BLOCK, latency=1)
+        assert cache.set_index(5 * BLOCK) == 5
+        assert cache.set_index((16 + 5) * BLOCK) == 5
+
+    def test_hashed_index_in_range(self):
+        cache = Cache("T", 16 * 4 * BLOCK, 4, BLOCK, latency=1,
+                      hash_index=True)
+        for i in range(500):
+            assert 0 <= cache.set_index(i * BLOCK * 37) < cache.n_sets
+
+    def test_hashing_deskews_set_stride(self):
+        """A stride of exactly n_sets blocks maps every access to one set
+        under modulo indexing but spreads under the hash."""
+        plain = Cache("P", 16 * 4 * BLOCK, 4, BLOCK, latency=1)
+        hashed = Cache("H", 16 * 4 * BLOCK, 4, BLOCK, latency=1,
+                       hash_index=True)
+        stride = plain.n_sets * BLOCK
+        plain_sets = {plain.set_index(i * stride) for i in range(64)}
+        hashed_sets = {hashed.set_index(i * stride) for i in range(64)}
+        assert len(plain_sets) == 1
+        assert len(hashed_sets) > 4
+
+    def test_hashing_reduces_conflict_misses(self):
+        plain = Cache("P", 16 * 4 * BLOCK, 4, BLOCK, latency=1)
+        hashed = Cache("H", 16 * 4 * BLOCK, 4, BLOCK, latency=1,
+                       hash_index=True)
+        stride = plain.n_sets * BLOCK
+        # Cyclic sweep over 32 conflicting blocks, twice.
+        for cache in (plain, hashed):
+            for _ in range(2):
+                for i in range(32):
+                    address = i * stride
+                    if not cache.access(address, False, 0):
+                        cache.fill(address, 0)
+        assert hashed.stats.misses < plain.stats.misses
+
+    def test_lookup_consistent_under_hash(self):
+        cache = Cache("T", 16 * 4 * BLOCK, 4, BLOCK, latency=1,
+                      hash_index=True)
+        addresses = [i * 7 * BLOCK for i in range(100)]
+        for address in addresses:
+            if not cache.access(address, False, 0):
+                cache.fill(address, 0)
+        # Every most-recently-filled address must still be findable.
+        for address in addresses[-4:]:
+            assert cache.probe(address) >= 0
+
+    def test_single_set_cache_ignores_flag(self):
+        cache = Cache("T", 4 * BLOCK, 4, BLOCK, latency=1, hash_index=True)
+        assert not cache.hash_index
+
+    def test_config_plumbs_through_build_llc(self):
+        config = scaled_config()
+        config = dataclasses.replace(
+            config, llc=dataclasses.replace(config.llc, hash_index=True))
+        llc = build_llc(config)
+        assert llc.hash_index

@@ -1,0 +1,82 @@
+"""Hierarchy instruction-fetch and bookkeeping paths not covered elsewhere."""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy, build_llc
+from repro.config import scaled_config
+
+BLOCK = 64
+CODE = 0x40_0000
+DATA = 0x10_0000_0000
+
+
+def make_hierarchy(prefetch="000", inclusion="non-inclusive"):
+    config = (scaled_config().with_prefetch_string(prefetch)
+              .with_inclusion(inclusion))
+    return MemoryHierarchy(config, 0, llc=build_llc(config), registry={})
+
+
+class TestFetchPath:
+    def test_cold_fetch_reaches_dram(self):
+        hierarchy = make_hierarchy()
+        latency = hierarchy.fetch(CODE, 0)
+        assert latency > hierarchy.l1i.latency
+        assert hierarchy.dram.stats.reads == 1
+
+    def test_warm_fetch_hits_l1i(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fetch(CODE, 0)
+        assert hierarchy.fetch(CODE, 100) == hierarchy.l1i.latency
+
+    def test_fetch_within_block_shares_line(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fetch(CODE, 0)
+        assert hierarchy.fetch(CODE + 60, 10) == hierarchy.l1i.latency
+
+    def test_l1i_prefetcher_runs_on_fetch(self):
+        hierarchy = make_hierarchy(prefetch="NN0")
+        hierarchy.fetch(CODE, 0)
+        assert hierarchy.l1i.probe(CODE + BLOCK) >= 0
+
+    def test_code_and_data_share_llc(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fetch(CODE, 0)
+        hierarchy.load(CODE, DATA, 10)
+        assert hierarchy.llc.probe(CODE & ~(BLOCK - 1)) >= 0
+        assert hierarchy.llc.probe(DATA & ~(BLOCK - 1)) >= 0
+
+
+class TestBookkeeping:
+    def test_occupancy_fraction_counts_own_blocks_only(self):
+        config = scaled_config()
+        llc = build_llc(config)
+        from repro.core import ContentionTracker
+        from repro.dram import Dram
+
+        tracker = ContentionTracker()
+        dram = Dram(config.dram)
+        registry = {}
+        h0 = MemoryHierarchy(config, 0, llc=llc, dram=dram, tracker=tracker,
+                             registry=registry)
+        h1 = MemoryHierarchy(config, 1, llc=llc, dram=dram, tracker=tracker,
+                             registry=registry)
+        for i in range(32):
+            h0.load(CODE, DATA + i * BLOCK, i)
+            h1.load(CODE, DATA + (1 << 44) + i * BLOCK, i)
+        total = (h0.llc_occupancy_fraction() + h1.llc_occupancy_fraction())
+        assert h0.llc_occupancy_fraction() > 0
+        assert total <= 1.0
+
+    def test_prefetch_counters_aggregate(self):
+        hierarchy = make_hierarchy(prefetch="NNI")
+        for i in range(16):
+            hierarchy.load(CODE, DATA + i * 2 * BLOCK, i * 100)
+        assert hierarchy.prefetch_issued() >= hierarchy.prefetch_useful()
+
+    def test_registry_registration(self):
+        registry = {}
+        config = scaled_config()
+        llc = build_llc(config)
+        h0 = MemoryHierarchy(config, 0, llc=llc, registry=registry)
+        h1 = MemoryHierarchy(config, 1, llc=llc, registry=registry)
+        assert registry == {0: h0, 1: h1}

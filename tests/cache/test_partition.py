@@ -1,0 +1,262 @@
+"""Unit and integration tests for cache partitioning (UCP / CASHT / static)."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.partition import (
+    CashtPartitioner,
+    PARTITIONERS,
+    StaticPartitioner,
+    UcpPartitioner,
+    UtilityMonitor,
+    even_split,
+)
+from repro.cache.partition.umon import ShadowSet
+from repro.config import scaled_config
+from repro.core import ContentionTracker
+from repro.sim.multicore import simulate_multiprogrammed
+from repro.trace import build_trace, get_workload
+
+BLOCK = 64
+
+
+class TestEvenSplit:
+    def test_divides_evenly(self):
+        assert even_split(16, [0, 1]) == {0: 8, 1: 8}
+
+    def test_remainder_to_early_owners(self):
+        assert even_split(16, [0, 1, 2]) == {0: 6, 1: 5, 2: 5}
+
+    def test_single_owner(self):
+        assert even_split(16, [0]) == {0: 16}
+
+
+class TestStaticPartitioner:
+    def test_default_even(self):
+        partitioner = StaticPartitioner(16, [0, 1])
+        assert partitioner.allocate() == {0: 8, 1: 8}
+
+    def test_explicit_quotas(self):
+        partitioner = StaticPartitioner(16, [0, 1], quotas={0: 12, 1: 4})
+        assert partitioner.allocate() == {0: 12, 1: 4}
+
+    def test_rejects_overbudget(self):
+        with pytest.raises(ValueError, match="exceed"):
+            StaticPartitioner(16, [0, 1], quotas={0: 12, 1: 8})
+
+    def test_rejects_wrong_owner_set(self):
+        with pytest.raises(ValueError, match="cover"):
+            StaticPartitioner(16, [0, 1], quotas={0: 16})
+
+    def test_rejects_more_owners_than_ways(self):
+        with pytest.raises(ValueError):
+            StaticPartitioner(2, [0, 1, 2])
+
+    def test_install_sets_cache_quotas(self):
+        cache = Cache("T", 16 * 4 * BLOCK, 4, BLOCK, latency=1)
+        StaticPartitioner(4, [0, 1]).install(cache)
+        assert cache.way_allocations == {0: 2, 1: 2}
+
+
+class TestQuotaEnforcement:
+    def test_owner_capped_at_quota(self):
+        cache = Cache("T", 4 * BLOCK, 4, BLOCK, latency=1)
+        cache.way_allocations = {0: 2, 1: 2}
+        stride = BLOCK * cache.n_sets
+        for i in range(4):
+            cache.fill(i * stride, owner=0)
+        blocks = cache.sets[0]
+        owner0 = sum(1 for b in blocks if b.valid and b.owner == 0)
+        assert owner0 <= 2
+
+    def test_unlisted_owner_unconstrained(self):
+        cache = Cache("T", 4 * BLOCK, 4, BLOCK, latency=1)
+        cache.way_allocations = {1: 2}
+        stride = BLOCK * cache.n_sets
+        for i in range(4):
+            cache.fill(i * stride, owner=0)
+        assert cache.occupancy(owner=0) == 4
+
+    def test_quota_protects_other_owner(self):
+        cache = Cache("T", 4 * BLOCK, 4, BLOCK, latency=1)
+        cache.way_allocations = {0: 2, 1: 2}
+        stride = BLOCK * cache.n_sets
+        cache.fill(0 * stride, owner=1)
+        cache.fill(1 * stride, owner=1)
+        for i in range(2, 10):
+            cache.fill(i * stride, owner=0)
+        assert cache.occupancy(owner=1) == 2  # untouched by owner 0's storm
+
+
+class TestShadowSet:
+    def test_miss_then_hit(self):
+        shadow = ShadowSet(4)
+        assert shadow.access(10) == -1
+        assert shadow.access(10) == 0
+
+    def test_stack_position(self):
+        shadow = ShadowSet(4)
+        shadow.access(1)
+        shadow.access(2)
+        assert shadow.access(1) == 1  # one block more recent
+
+    def test_capacity_bound(self):
+        shadow = ShadowSet(2)
+        for tag in (1, 2, 3):
+            shadow.access(tag)
+        assert shadow.access(1) == -1  # evicted from the 2-deep shadow
+
+
+class TestUtilityMonitor:
+    def test_curve_is_cumulative(self):
+        umon = UtilityMonitor(n_sets=16, n_ways=4, owners=[0], sampling=1)
+        # Re-reference one block repeatedly: position-0 hits only.
+        for _ in range(5):
+            umon.observe(0, 0)
+        curve = umon.utility_curve(0)
+        assert curve[0] == 4  # 5 accesses = 1 miss + 4 hits
+        assert curve == sorted(curve)
+
+    def test_marginal_utility(self):
+        umon = UtilityMonitor(n_sets=16, n_ways=4, owners=[0], sampling=1)
+        # Two blocks alternating: hits land at stack position 1.
+        for _ in range(6):
+            umon.observe(0, 0)
+            umon.observe(0, BLOCK * 16)  # same sampled set, different tag
+        assert umon.marginal_utility(0, 1, 2) > 0
+        assert umon.marginal_utility(0, 2, 4) == 0
+
+    def test_sampling_skips_sets(self):
+        umon = UtilityMonitor(n_sets=16, n_ways=4, owners=[0], sampling=8)
+        umon.observe(0, 1 * BLOCK)  # set 1: not sampled
+        umon.observe(0, 1 * BLOCK)
+        assert sum(umon.position_hits[0]) == 0
+
+    def test_unknown_owner_ignored(self):
+        umon = UtilityMonitor(n_sets=16, n_ways=4, owners=[0])
+        umon.observe(99, 0)  # no KeyError
+
+    def test_reset_halves(self):
+        umon = UtilityMonitor(n_sets=16, n_ways=4, owners=[0], sampling=1)
+        for _ in range(9):
+            umon.observe(0, 0)
+        umon.reset()
+        assert umon.position_hits[0][0] == 4
+
+    def test_rejects_bad_range(self):
+        umon = UtilityMonitor(n_sets=16, n_ways=4, owners=[0])
+        with pytest.raises(ValueError):
+            umon.marginal_utility(0, 3, 2)
+
+
+class TestUcp:
+    def test_greedy_favours_high_utility_owner(self):
+        ucp = UcpPartitioner(n_sets=16, n_ways=8, owners=[0, 1], sampling=1)
+        # Owner 0 reuses 4 distinct blocks (utility up to 4 ways); owner 1
+        # streams (no reuse at all).
+        for round_ in range(10):
+            for i in range(4):
+                ucp.on_llc_access(0, i * 16 * BLOCK, True)
+            ucp.on_llc_access(1, (100 + round_) * 16 * BLOCK, False)
+        ucp.observe(None, None)
+        quotas = ucp.allocate()
+        assert quotas[0] > quotas[1]
+        assert quotas[0] + quotas[1] <= 8
+
+    def test_every_owner_gets_a_way(self):
+        ucp = UcpPartitioner(n_sets=16, n_ways=4, owners=[0, 1])
+        ucp.observe(None, None)
+        quotas = ucp.allocate()
+        assert all(q >= 1 for q in quotas.values())
+
+    def test_no_utility_spreads_evenly(self):
+        ucp = UcpPartitioner(n_sets=16, n_ways=8, owners=[0, 1])
+        ucp.observe(None, None)  # no observations at all
+        quotas = ucp.allocate()
+        assert quotas[0] + quotas[1] == 8
+        assert abs(quotas[0] - quotas[1]) <= 1
+
+
+class TestCasht:
+    def _tracker_with(self, victim_interference: int, thief_caused: int):
+        tracker = ContentionTracker()
+        victim = tracker.counters(0)
+        victim.llc_accesses = 100
+        victim.interference_misses = victim_interference
+        thief = tracker.counters(1)
+        thief.llc_accesses = 100
+        thief.thefts_caused = thief_caused
+        return tracker
+
+    def test_transfers_way_to_victim(self):
+        partitioner = CashtPartitioner(8, [0, 1])
+        tracker = self._tracker_with(victim_interference=30, thief_caused=40)
+        partitioner.observe(None, tracker)
+        quotas = partitioner.allocate()
+        assert quotas[0] == 5
+        assert quotas[1] == 3
+        assert partitioner.transfers == 1
+
+    def test_no_transfer_below_floor(self):
+        partitioner = CashtPartitioner(8, [0, 1])
+        tracker = self._tracker_with(victim_interference=0, thief_caused=40)
+        partitioner.observe(None, tracker)
+        assert partitioner.allocate() == {0: 4, 1: 4}
+
+    def test_thief_keeps_min_ways(self):
+        partitioner = CashtPartitioner(4, [0, 1], min_ways=1)
+        for _ in range(10):
+            tracker = self._tracker_with(30, 40)
+            partitioner.observe(None, tracker)
+        assert partitioner.allocate()[1] >= 1
+
+    def test_epoch_deltas_not_cumulative(self):
+        partitioner = CashtPartitioner(8, [0, 1])
+        tracker = self._tracker_with(30, 40)
+        partitioner.observe(None, tracker)
+        # Same cumulative counters in the next epoch = zero new events.
+        partitioner.observe(None, tracker)
+        assert partitioner.transfers == 1
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = scaled_config()
+        aggressor = build_trace(get_workload("470.lbm"), 12_000, 2,
+                                config.llc.size)
+        victim = build_trace(get_workload("450.soplex"), 12_000, 1,
+                             config.llc.size)
+        return config, victim, aggressor
+
+    def _run(self, setup, partitioner):
+        config, victim, aggressor = setup
+        return simulate_multiprogrammed(
+            [victim, aggressor], config, warmup_instructions=3_000,
+            sim_instructions=8_000, partitioner=partitioner,
+            repartition_interval=2_000,
+        )
+
+    def test_registry_complete(self):
+        assert set(PARTITIONERS) == {"static", "ucp", "casht"}
+
+    def test_static_eliminates_thefts(self, setup):
+        config = setup[0]
+        shared = self._run(setup, None)
+        fenced = self._run(setup, StaticPartitioner(config.llc.assoc, [0, 1]))
+        assert shared[0].thefts_experienced > 0
+        assert fenced[0].thefts_experienced == 0
+
+    def test_ucp_runs_and_repartitions(self, setup):
+        config = setup[0]
+        llc_sets = config.llc.size // (config.llc.assoc * config.block_size)
+        ucp = UcpPartitioner(llc_sets, config.llc.assoc, [0, 1], sampling=4)
+        results = self._run(setup, ucp)
+        assert ucp.repartitions >= 3
+        assert results[0].thefts_experienced == 0
+
+    def test_casht_protects_victim(self, setup):
+        config = setup[0]
+        casht = CashtPartitioner(config.llc.assoc, [0, 1])
+        results = self._run(setup, casht)
+        assert results[0].thefts_experienced == 0

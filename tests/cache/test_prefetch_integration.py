@@ -1,0 +1,106 @@
+"""Integration tests: prefetchers inside the memory hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy, build_llc
+from repro.config import scaled_config
+from repro.core import ContentionTracker
+from repro.dram import Dram
+
+BLOCK = 64
+DATA = 0x10_0000_0000
+
+
+def hierarchy_with(prefetch: str, inclusion: str = "non-inclusive"):
+    config = (scaled_config().with_prefetch_string(prefetch)
+              .with_inclusion(inclusion))
+    return MemoryHierarchy(config, 0, llc=build_llc(config), registry={})
+
+
+class TestNextLineInL1:
+    def test_prefetch_fills_l1(self):
+        hierarchy = hierarchy_with("NN0")
+        hierarchy.load(0x400, DATA, 0)
+        # Next-line prefetch should have pulled DATA+64 into L1 already.
+        assert hierarchy.l1d.probe(DATA + BLOCK) >= 0
+
+    def test_demand_hit_on_prefetched_counts_useful(self):
+        hierarchy = hierarchy_with("NN0")
+        hierarchy.load(0x400, DATA, 0)
+        hierarchy.load(0x404, DATA + BLOCK, 10)
+        assert hierarchy.l1d.stats.prefetch_useful >= 1
+
+    def test_prefetch_issued_counted(self):
+        hierarchy = hierarchy_with("NN0")
+        for i in range(10):
+            hierarchy.load(0x400, DATA + i * 4096, i * 100)
+        assert hierarchy.prefetch_issued() >= 10
+
+    def test_no_prefetch_string_000(self):
+        hierarchy = hierarchy_with("000")
+        for i in range(10):
+            hierarchy.load(0x400, DATA + i * 4096, i * 100)
+        assert hierarchy.prefetch_issued() == 0
+
+    def test_duplicate_prefetch_skipped(self):
+        hierarchy = hierarchy_with("NN0")
+        hierarchy.load(0x400, DATA, 0)
+        filled_before = hierarchy.l1d.stats.prefetch_fills
+        hierarchy.load(0x404, DATA, 10)  # hit; next line already resident
+        assert hierarchy.l1d.stats.prefetch_fills == filled_before
+
+
+class TestL2Prefetchers:
+    def test_ip_stride_fills_l2(self):
+        hierarchy = hierarchy_with("NNI")
+        stride = 4 * BLOCK
+        for i in range(8):
+            hierarchy.load(0x400, DATA + i * stride, i * 200)
+        # After confidence builds, blocks ahead of the stream sit in L2.
+        ahead = DATA + 9 * stride
+        assert (hierarchy.l2.probe(ahead & ~(BLOCK - 1)) >= 0
+                or hierarchy.l2.stats.prefetch_fills > 0)
+
+    def test_prefetch_from_dram_fills_llc_non_inclusive(self):
+        hierarchy = hierarchy_with("NN0")
+        hierarchy.load(0x400, DATA, 0)
+        # The prefetched next block was fetched from DRAM -> also in LLC.
+        assert hierarchy.llc.probe(DATA + BLOCK) >= 0
+
+    def test_prefetch_bypasses_llc_when_exclusive(self):
+        hierarchy = hierarchy_with("NN0", inclusion="exclusive")
+        hierarchy.load(0x400, DATA, 0)
+        assert hierarchy.llc.probe(DATA + BLOCK) == -1
+        assert hierarchy.l1d.probe(DATA + BLOCK) >= 0
+
+
+class TestPrefetchContention:
+    def test_prefetch_fill_can_steal(self):
+        """A prefetch fill into a shared LLC evicts like a demand fill and
+        must be charged as a theft when the victim is another core."""
+        config = scaled_config().with_prefetch_string("NN0")
+        tracker = ContentionTracker()
+        llc = build_llc(config)
+        dram = Dram(config.dram)
+        registry = {}
+        h0 = MemoryHierarchy(config, 0, llc=llc, dram=dram, tracker=tracker,
+                             registry=registry)
+        h1 = MemoryHierarchy(config, 1, llc=llc, dram=dram, tracker=tracker,
+                             registry=registry)
+        # Core 1 owns every way of every set.
+        stride = BLOCK * llc.n_sets
+        for set_index in range(llc.n_sets):
+            for way in range(llc.assoc):
+                llc.fill(0x9_0000_0000 + set_index * BLOCK + way * stride, 1)
+        # Core 0 streams; its demand + prefetch fills evict core 1's data.
+        for i in range(64):
+            h0.load(0x400, DATA + i * BLOCK, i * 50)
+        assert tracker.counters(1).thefts_experienced > 0
+        assert tracker.counters(0).thefts_caused > 0
+
+    def test_prefetch_uses_dram_bandwidth(self):
+        hierarchy = hierarchy_with("NN0")
+        reads_before = hierarchy.dram.stats.reads
+        hierarchy.load(0x400, DATA, 0)
+        # Demand read + prefetch read both reached DRAM.
+        assert hierarchy.dram.stats.reads >= reads_before + 2

@@ -1,0 +1,123 @@
+"""Unit tests for contention counters and the tracker."""
+
+from repro.core.counters import STOLEN_SET_CAP, ContentionCounters, ContentionTracker
+from repro.owners import SYSTEM_OWNER
+
+
+class TestContentionCounters:
+    def test_rates_zero_without_accesses(self):
+        counters = ContentionCounters()
+        assert counters.contention_rate == 0.0
+        assert counters.interference_rate == 0.0
+
+    def test_contention_rate(self):
+        counters = ContentionCounters()
+        counters.llc_accesses = 100
+        counters.thefts_experienced = 25
+        assert counters.contention_rate == 0.25
+
+    def test_interference_rate(self):
+        counters = ContentionCounters()
+        counters.llc_accesses = 200
+        counters.interference_misses = 20
+        assert counters.interference_rate == 0.1
+
+    def test_snapshot_is_copy(self):
+        counters = ContentionCounters()
+        counters.llc_accesses = 5
+        snap = counters.snapshot()
+        counters.llc_accesses = 10
+        assert snap["llc_accesses"] == 5
+
+
+class TestTrackerAccess:
+    def test_access_counts(self):
+        tracker = ContentionTracker()
+        tracker.record_access(0, 0x1000, hit=True)
+        tracker.record_access(0, 0x2000, hit=False)
+        counters = tracker.counters(0)
+        assert counters.llc_accesses == 2
+        assert counters.llc_misses == 1
+
+    def test_owners_listed(self):
+        tracker = ContentionTracker()
+        tracker.record_access(0, 0x1000, True)
+        tracker.record_access(1, 0x2000, True)
+        assert tracker.owners == [0, 1]
+
+    def test_workload_owners_excludes_system(self):
+        tracker = ContentionTracker()
+        tracker.record_access(0, 0x1000, True)
+        tracker.counters(SYSTEM_OWNER)
+        assert tracker.workload_owners() == [0]
+
+
+class TestTheftAccounting:
+    def test_theft_updates_both_sides(self):
+        tracker = ContentionTracker()
+        tracker.record_theft(victim_owner=0, thief_owner=1, block_addr=0x1000)
+        assert tracker.counters(0).thefts_experienced == 1
+        assert tracker.counters(1).thefts_caused == 1
+
+    def test_induced_flag(self):
+        tracker = ContentionTracker()
+        tracker.record_theft(0, SYSTEM_OWNER, 0x1000, induced=True)
+        assert tracker.counters(0).induced_thefts == 1
+
+    def test_total_thefts(self):
+        tracker = ContentionTracker()
+        tracker.record_theft(0, 1, 0x1000)
+        tracker.record_theft(1, 0, 0x2000)
+        tracker.record_theft(0, SYSTEM_OWNER, 0x3000, induced=True)
+        assert tracker.total_thefts() == 3
+
+
+class TestInterferenceDetection:
+    def test_miss_on_stolen_block_is_interference(self):
+        tracker = ContentionTracker()
+        tracker.record_theft(0, 1, 0x1000)
+        tracker.record_access(0, 0x1000, hit=False)
+        assert tracker.counters(0).interference_misses == 1
+
+    def test_interference_counted_once(self):
+        tracker = ContentionTracker()
+        tracker.record_theft(0, 1, 0x1000)
+        tracker.record_access(0, 0x1000, hit=False)
+        tracker.record_access(0, 0x1000, hit=False)
+        assert tracker.counters(0).interference_misses == 1
+
+    def test_miss_on_unstolen_block_is_not_interference(self):
+        tracker = ContentionTracker()
+        tracker.record_access(0, 0x9999, hit=False)
+        assert tracker.counters(0).interference_misses == 0
+
+    def test_hit_clears_nothing(self):
+        tracker = ContentionTracker()
+        tracker.record_theft(0, 1, 0x1000)
+        tracker.record_access(0, 0x1000, hit=True)  # found elsewhere
+        tracker.record_access(0, 0x1000, hit=False)
+        assert tracker.counters(0).interference_misses == 1
+
+    def test_refill_clears_stolen(self):
+        tracker = ContentionTracker()
+        tracker.record_theft(0, 1, 0x1000)
+        tracker.record_refill(0, 0x1000)  # e.g. prefetched back
+        tracker.record_access(0, 0x1000, hit=False)
+        assert tracker.counters(0).interference_misses == 0
+
+    def test_stolen_set_capped(self):
+        tracker = ContentionTracker()
+        for i in range(STOLEN_SET_CAP + 100):
+            tracker.record_theft(0, 1, i * 64)
+        assert len(tracker._stolen[0]) == STOLEN_SET_CAP
+        # Thefts beyond the cap still count as thefts.
+        assert tracker.counters(0).thefts_experienced == STOLEN_SET_CAP + 100
+
+
+class TestTriggerBookkeeping:
+    def test_trigger_and_promotion(self):
+        tracker = ContentionTracker()
+        tracker.record_trigger(0)
+        tracker.record_promotion(SYSTEM_OWNER)
+        assert tracker.counters(0).pinte_triggers == 1
+        assert tracker.counters(SYSTEM_OWNER).induced_promotions == 1

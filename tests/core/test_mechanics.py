@@ -1,0 +1,97 @@
+"""Tests pinning the paper's Fig 2 mechanics via the narrative module."""
+
+import pytest
+
+from repro.core.mechanics import (
+    FIG2A_SCRIPT,
+    HIT,
+    INDUCED_THEFT,
+    INTERFERENCE,
+    MISS,
+    MOCKED_THEFT,
+    SELF_EVICTION,
+    THEFT,
+    TRIGGER,
+    induced_contention_narrative,
+    real_contention_narrative,
+)
+
+
+class TestRealContention:
+    @pytest.fixture(scope="class")
+    def narrative(self):
+        return real_contention_narrative(FIG2A_SCRIPT)
+
+    def test_thefts_occur_both_ways(self, narrative):
+        thefts = narrative.of_kind(THEFT)
+        assert thefts
+        victims = {event.victim_owner for event in thefts}
+        assert victims == {0, 1}
+
+    def test_counters_match_events(self, narrative):
+        thefts = narrative.of_kind(THEFT)
+        total = (narrative.tracker.counters(0).thefts_experienced
+                 + narrative.tracker.counters(1).thefts_experienced)
+        assert total == len(thefts)
+
+    def test_interference_follows_theft(self, narrative):
+        """A theft victim re-accessing its block records interference."""
+        interference = narrative.of_kind(INTERFERENCE)
+        assert interference
+        first = interference[0]
+        theft_steps = [e.step for e in narrative.of_kind(THEFT)
+                       if e.victim_owner == first.owner]
+        assert theft_steps and min(theft_steps) < first.step
+
+    def test_self_evictions_are_not_thefts(self, narrative):
+        for event in narrative.of_kind(SELF_EVICTION):
+            assert event.owner is not None
+        self_evicted = len(narrative.of_kind(SELF_EVICTION))
+        assert (narrative.tracker.counters(0).thefts_caused
+                + narrative.tracker.counters(1).thefts_caused
+                == len(narrative.of_kind(THEFT)))
+        assert self_evicted > 0  # the Fig 2a script includes them
+
+    def test_all_accesses_narrated(self, narrative):
+        hits_and_misses = len(narrative.of_kind(HIT)) + len(narrative.of_kind(MISS))
+        assert hits_and_misses == len(FIG2A_SCRIPT)
+
+
+class TestInducedContention:
+    @pytest.fixture(scope="class")
+    def narrative(self):
+        # Cyclic re-use over 4 blocks while PInTE plays the adversary.
+        return induced_contention_narrative([1, 2, 3, 4] * 4, p_induce=0.6)
+
+    def test_triggers_fire(self, narrative):
+        assert narrative.of_kind(TRIGGER)
+
+    def test_induced_thefts_recorded_as_system(self, narrative):
+        induced = narrative.of_kind(INDUCED_THEFT)
+        assert induced
+        counters = narrative.tracker.counters(0)
+        assert counters.induced_thefts == len(induced)
+        assert counters.thefts_experienced == len(induced)
+
+    def test_interference_from_induced_thefts(self, narrative):
+        assert narrative.of_kind(INTERFERENCE)
+
+    def test_mocked_thefts_on_invalid_ways(self, narrative):
+        """Promotions exceeding invalidations are the Fig 2b mocked thefts."""
+        assert narrative.of_kind(MOCKED_THEFT)
+
+    def test_zero_probability_is_pure_isolation(self):
+        narrative = induced_contention_narrative([1, 2, 3, 4] * 4,
+                                                 p_induce=0.0)
+        assert not narrative.of_kind(TRIGGER)
+        assert not narrative.of_kind(INDUCED_THEFT)
+        assert narrative.tracker.counters(0).thefts_experienced == 0
+
+    def test_event_descriptions_render(self, narrative):
+        for event in narrative.events:
+            assert event.describe()
+
+    def test_counts_summary(self, narrative):
+        counts = narrative.counts()
+        assert counts[MISS] >= 4  # at least the cold misses
+        assert sum(counts.values()) == len(narrative.events)

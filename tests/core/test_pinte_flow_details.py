@@ -1,0 +1,106 @@
+"""Fine-grained checks on the Fig 4 state-machine flow details."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.core import ContentionTracker, PInTE, PinteConfig
+from repro.owners import SYSTEM_OWNER
+
+BLOCK = 64
+
+
+def make(p=1.0, assoc=4, sets=2, policy="lru", **kw):
+    llc = Cache("LLC", assoc * sets * BLOCK, assoc, BLOCK, latency=1,
+                policy=policy)
+    tracker = ContentionTracker()
+    return PInTE(PinteConfig(p_induce=p, **kw), llc, tracker), llc, tracker
+
+
+def fill_set(llc, set_index, owner=0, dirty=False):
+    stride = BLOCK * llc.n_sets
+    for way in range(llc.assoc):
+        llc.fill(set_index * BLOCK + way * stride, owner, dirty=dirty)
+
+
+class TestFlowOrdering:
+    def test_walk_starts_at_eviction_end(self):
+        """With Blocks_evict == 1 the invalidated block is always the one
+        the replacement policy would have evicted next."""
+        engine, llc, _ = make(p=1.0, max_evictions=1)
+        for _ in range(30):
+            fill_set(llc, 0)
+            expected_way = llc.policy.eviction_order(0)[0]
+            expected_tag = llc.sets[0][expected_way].tag
+            if engine.on_llc_access(0, 0, 0):
+                assert llc.probe(expected_tag) == -1
+
+    def test_partial_set_exhaustion(self):
+        """When the draw exceeds the valid population the walk stops at the
+        set boundary (the paper's 'set has been exhausted' exit)."""
+        engine, llc, _ = make(p=1.0)
+        stride = BLOCK * llc.n_sets
+        for _ in range(50):
+            llc.fill(0, 0)
+            llc.fill(stride, 0)  # only 2 of 4 ways ever valid
+            invalidated = engine.on_llc_access(0, 0, 0)
+            assert invalidated <= 2
+
+    def test_accessed_set_only(self):
+        """Per-access induction touches only the accessed set."""
+        engine, llc, _ = make(p=1.0)
+        fill_set(llc, 0)
+        fill_set(llc, 1)
+        before_set1 = [block.tag for block in llc.sets[1] if block.valid]
+        for cycle in range(50):
+            engine.on_llc_access(0, cycle, 0)
+        after_set1 = [block.tag for block in llc.sets[1] if block.valid]
+        assert before_set1 == after_set1
+
+    def test_second_owners_blocks_also_stolen(self):
+        """The system steals from whoever owns the blocks — in a shared-LLC
+        setting PInTE can victimise both co-runners."""
+        engine, llc, tracker = make(p=1.0)
+        stride = BLOCK * llc.n_sets
+        llc.fill(0 * stride, 0)
+        llc.fill(1 * stride, 1)
+        llc.fill(2 * stride, 0)
+        llc.fill(3 * stride, 1)
+        for cycle in range(20):
+            engine.on_llc_access(0, cycle, 0)
+        assert tracker.counters(0).thefts_experienced > 0
+        assert tracker.counters(1).thefts_experienced > 0
+        assert tracker.counters(SYSTEM_OWNER).thefts_caused == (
+            tracker.counters(0).thefts_experienced
+            + tracker.counters(1).thefts_experienced)
+
+
+class TestEngineStats:
+    def test_accesses_seen_counts_every_call(self):
+        engine, llc, _ = make(p=0.0)
+        for cycle in range(100):
+            engine.on_llc_access(cycle % llc.n_sets, cycle, 0)
+        assert engine.stats.accesses_seen == 100
+
+    def test_trigger_rate_zero_before_use(self):
+        engine, _, _ = make()
+        assert engine.stats.trigger_rate == 0.0
+
+    def test_promotions_at_least_invalidations(self):
+        engine, llc, _ = make(p=1.0)
+        for cycle in range(100):
+            fill_set(llc, cycle % llc.n_sets)
+            engine.on_llc_access(cycle % llc.n_sets, cycle, 0)
+        assert engine.stats.promotions >= engine.stats.invalidations
+
+
+class TestRripInteraction:
+    def test_promote_then_invalidate_leaves_way_attractive(self):
+        """After PInTE processes a way (promote + invalidate), the next fill
+        should prefer that invalid way — the 'mock insertion' effect."""
+        engine, llc, _ = make(p=1.0, policy="rrip", max_evictions=1)
+        fill_set(llc, 0)
+        while engine.on_llc_access(0, 0, 0) == 0:
+            pass
+        stride = BLOCK * llc.n_sets
+        evicted = llc.fill(99 * stride, 0)
+        assert evicted is None  # used the invalidated way, displaced no one

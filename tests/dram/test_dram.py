@@ -1,0 +1,101 @@
+"""Unit tests for the DRAM model."""
+
+import pytest
+
+from repro.dram import Dram, DramConfig
+
+
+def make_dram(**kw):
+    return Dram(DramConfig(**kw))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        DramConfig()
+
+    def test_rejects_non_power_of_two_channels(self):
+        with pytest.raises(ValueError):
+            DramConfig(channels=3)
+
+    def test_rejects_non_positive_latency(self):
+        with pytest.raises(ValueError):
+            DramConfig(row_hit_latency=0)
+
+    def test_halved(self):
+        halved = DramConfig(channels=2, banks_per_channel=8,
+                            service_cycles=18).halved()
+        assert halved.channels == 1
+        assert halved.banks_per_channel == 4
+        assert halved.service_cycles == 36
+
+    def test_halved_floors_at_one(self):
+        halved = DramConfig(channels=1, banks_per_channel=1).halved()
+        assert halved.channels == 1
+        assert halved.banks_per_channel == 1
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram = make_dram()
+        dram.access(0x10000, 0)
+        assert dram.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = make_dram()
+        dram.access(0x10000, 0)
+        dram.access(0x10000, 1000)
+        assert dram.stats.row_hits == 1
+
+    def test_different_row_same_bank_conflicts(self):
+        config = DramConfig(channels=1, banks_per_channel=1, row_bytes=8192)
+        dram = Dram(config)
+        dram.access(0x0, 0)
+        dram.access(0x10000, 10000)  # different row, only one bank
+        assert dram.stats.row_conflicts == 1
+
+    def test_hit_faster_than_conflict(self):
+        config = DramConfig(channels=1, banks_per_channel=1)
+        dram = Dram(config)
+        dram.access(0x0, 0)
+        hit_latency = dram.access(0x0, 100000)
+        conflict_latency = dram.access(0x100000, 200000)
+        assert hit_latency < conflict_latency
+
+
+class TestQueueing:
+    def test_back_to_back_requests_queue(self):
+        dram = make_dram(channels=1)
+        dram.access(0x10000, 0)
+        second = dram.access(0x10000, 0)  # same instant -> waits for service
+        # Second request pays the channel service delay on top of a row hit.
+        assert second >= dram.config.service_cycles + dram.config.row_hit_latency
+        assert dram.stats.queue_cycles == dram.config.service_cycles
+
+    def test_spaced_requests_do_not_queue(self):
+        dram = make_dram(channels=1)
+        dram.access(0x10000, 0)
+        dram.access(0x10000, 100000)
+        assert dram.stats.queue_cycles == 0
+
+    def test_channels_independent(self):
+        dram = make_dram(channels=2)
+        # Blocks interleave across channels at block granularity.
+        dram.access(0 * 64, 0)
+        dram.access(1 * 64, 0)  # other channel, no queueing
+        assert dram.stats.queue_cycles == 0
+
+
+class TestStats:
+    def test_read_write_split(self):
+        dram = make_dram()
+        dram.access(0x0, 0, is_write=False)
+        dram.access(0x40, 0, is_write=True)
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+        assert dram.stats.accesses == 2
+
+    def test_average_latency(self):
+        dram = make_dram()
+        assert dram.stats.average_latency == 0.0
+        dram.access(0x0, 0)
+        assert dram.stats.average_latency > 0

@@ -1,0 +1,66 @@
+"""Tests for DRAM refresh modelling."""
+
+import pytest
+
+from repro.dram import Dram, DramConfig
+
+
+def refresh_dram(interval=10_000, refresh=160, **kw):
+    return Dram(DramConfig(refresh_interval_cycles=interval,
+                           refresh_cycles=refresh, **kw))
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert DramConfig().refresh_interval_cycles == 0
+
+    def test_window_must_fit_period(self):
+        with pytest.raises(ValueError):
+            DramConfig(refresh_interval_cycles=100, refresh_cycles=100)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            DramConfig(refresh_interval_cycles=-1)
+
+
+class TestRefreshBehaviour:
+    def test_access_during_refresh_stalls(self):
+        dram = refresh_dram()
+        # Arrival inside the refresh window at the start of an epoch.
+        latency = dram.access(0x1000, 10_050)
+        assert latency >= (160 - 50) + dram.config.row_miss_latency
+        assert dram.stats.refresh_stalls == 1
+
+    def test_access_outside_refresh_unaffected(self):
+        with_refresh = refresh_dram()
+        without = Dram(DramConfig())
+        assert (with_refresh.access(0x1000, 5_000)
+                == without.access(0x1000, 5_000))
+        assert with_refresh.stats.refresh_stalls == 0
+
+    def test_refresh_closes_open_row(self):
+        dram = refresh_dram()
+        dram.access(0x1000, 1_000)   # opens the row
+        dram.access(0x1000, 5_000)   # row hit within the same epoch
+        assert dram.stats.row_hits == 1
+        dram.access(0x1000, 12_000)  # next epoch: refresh closed the row
+        assert dram.stats.row_hits == 1
+        assert dram.stats.row_misses >= 2
+
+    def test_refresh_tax_accumulates(self):
+        """Random accesses over many epochs hit refresh windows at roughly
+        the duty-cycle rate."""
+        dram = refresh_dram(interval=1_000, refresh=100)
+        hits = 0
+        for i in range(200):
+            cycle = i * 1137  # phases step by 137, sampling the whole period
+            before = dram.stats.refresh_stalls
+            dram.access((i * 64) & 0x3FFFF, cycle)
+            hits += dram.stats.refresh_stalls - before
+        assert 5 <= hits <= 60  # ~10% duty cycle, loosely
+
+    def test_disabled_refresh_never_stalls(self):
+        dram = Dram(DramConfig())
+        for i in range(50):
+            dram.access(i * 64, i * 100)
+        assert dram.stats.refresh_stalls == 0

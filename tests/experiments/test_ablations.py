@@ -1,0 +1,73 @@
+"""Unit tests for the ablation drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.sim import ExperimentScale
+
+TINY = ExperimentScale(warmup_instructions=1_000, sim_instructions=5_000,
+                       sample_interval=1_000)
+
+
+class TestPromoteInvalid:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return ablations.run_promote_invalid_ablation(config, TINY)
+
+    def test_variants_present(self, result):
+        assert set(result.variants) == {"promote-invalid ON (paper)",
+                                        "promote-invalid OFF"}
+
+    def test_both_induce(self, result):
+        for variant in result.variants.values():
+            assert variant.thefts_experienced > 0
+
+    def test_report_renders(self, result):
+        text = ablations.format_report(result)
+        assert "promote_invalid" in text
+
+
+class TestMaxEvictions:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return ablations.run_max_evictions_ablation(config, TINY,
+                                                    caps=(1, 4, 0))
+
+    def test_cap_labels(self, result, config):
+        assert f"cap={config.llc.assoc} (paper)" in result.variants
+
+    def test_contention_monotone_in_cap(self, result):
+        rates = [v.contention_rate for v in result.variants.values()]
+        assert rates == sorted(rates)
+
+    def test_weighted_ipc_accessor(self, result):
+        for label in result.variants:
+            assert result.weighted_ipc(label) > 0
+
+
+class TestTriggerMode:
+    @pytest.fixture(scope="class")
+    def results(self, config):
+        return ablations.run_trigger_mode_ablation(config, TINY)
+
+    def test_one_result_per_workload(self, results):
+        assert {r.workload for r in results} == {"638.imagick", "470.lbm"}
+
+    def test_periodic_reaches_core_bound(self, results):
+        core_bound = next(r for r in results if r.workload == "638.imagick")
+        assert (core_bound.variants["periodic"].thefts_experienced
+                > core_bound.variants["per-access (paper)"].thefts_experienced)
+
+
+class TestDramBackground:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return ablations.run_dram_background_ablation(
+            config, TINY, rates=(0.0, 100.0))
+
+    def test_baseline_labelled(self, result):
+        assert any("(paper)" in label for label in result.variants)
+
+    def test_background_raises_amat(self, result):
+        amats = [v.amat for v in result.variants.values()]
+        assert amats[-1] >= amats[0]

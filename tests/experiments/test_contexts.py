@@ -1,0 +1,45 @@
+"""Unit tests for the shared context bundle."""
+
+from repro.experiments.contexts import ContextBundle, build_contexts
+
+
+class TestBundleContents:
+    def test_names(self, tiny_bundle):
+        assert tiny_bundle.names == ["435.gromacs", "453.povray", "470.lbm",
+                                     "605.mcf"]
+
+    def test_isolation_per_name(self, tiny_bundle):
+        assert set(tiny_bundle.isolation) == set(tiny_bundle.names)
+
+    def test_pinte_sweep_per_name(self, tiny_bundle):
+        for name in tiny_bundle.names:
+            assert len(tiny_bundle.pinte[name]) == 5
+
+    def test_pairs_panel_size(self, tiny_bundle):
+        for name in tiny_bundle.names:
+            assert len(tiny_bundle.pair_results(name)) == 2
+
+    def test_pair_primary_is_name(self, tiny_bundle):
+        for name in tiny_bundle.names:
+            for result in tiny_bundle.pair_results(name):
+                assert result.trace_name == name
+                assert result.co_runner != name
+
+    def test_accessors(self, tiny_bundle):
+        n = len(tiny_bundle.names)
+        assert len(tiny_bundle.all_isolation()) == n
+        assert len(tiny_bundle.all_pinte()) == n * 5
+        assert len(tiny_bundle.all_pairs()) == n * 2
+
+    def test_modes(self, tiny_bundle):
+        assert all(r.mode == "isolation" for r in tiny_bundle.all_isolation())
+        assert all(r.mode == "pinte" for r in tiny_bundle.all_pinte())
+        assert all(r.mode == "2nd-trace" for r in tiny_bundle.all_pairs())
+
+
+class TestBuildOptions:
+    def test_pairs_optional(self, config, tiny_scale):
+        bundle = build_contexts(["435.gromacs"], config, tiny_scale,
+                                p_values=(0.5,), include_pairs=False)
+        assert bundle.pairs == {}
+        assert bundle.pair_results("435.gromacs") == []

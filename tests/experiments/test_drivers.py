@@ -1,0 +1,214 @@
+"""Tests for the per-table/figure experiment drivers (on the tiny bundle)."""
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return table1.run_table1(tiny_bundle)
+
+    def test_row_counts(self, result, tiny_bundle):
+        by_source = {row.source: row for row in result.rows}
+        n = len(tiny_bundle.names)
+        assert by_source["None"].n_sims == n
+        assert by_source["PInTE"].n_sims == n * 5
+        assert by_source["2nd-Trace"].n_sims == n * 2
+
+    def test_totals_consistent(self, result):
+        for row in result.rows:
+            assert row.total == pytest.approx(row.avg * row.n_sims)
+            assert row.min <= row.avg <= row.max
+
+    def test_pair_sims_slower_on_average(self, result):
+        by_source = {row.source: row for row in result.rows}
+        assert by_source["2nd-Trace"].avg > by_source["None"].avg
+
+    def test_analytic_counts_match_paper(self, result):
+        assert result.analytic["2nd-Trace"] == 17578
+        assert result.analytic["None"] == 188
+
+    def test_experiment_ratio_shape(self, result):
+        """Fewer PInTE experiments than all-pairs (paper: 7.79x at 12 cfgs)."""
+        assert result.experiment_ratio > 1.0
+
+    def test_report_renders(self, result):
+        text = table1.format_report(result)
+        assert "Table I" in text
+        assert "PInTE" in text
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return fig1.run_fig1(tiny_bundle)
+
+    def test_histograms_count_everything(self, result):
+        assert sum(result.pair_histogram) == len(result.pair_rates)
+        assert sum(result.pinte_histogram) == len(result.pinte_rates)
+
+    def test_pinte_coverage_at_least_pairs(self, result):
+        assert result.occupied_bins("pinte") >= result.occupied_bins("pairs")
+
+    def test_rates_clamped(self, result):
+        assert all(0.0 <= rate <= 1.0 for rate in result.pinte_rates)
+
+    def test_report_renders(self, result):
+        text = fig1.format_report(result)
+        assert "Fig 1a" in text and "Fig 1b" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return table2.run_table2(tiny_bundle)
+
+    def test_row_per_benchmark(self, result, tiny_bundle):
+        assert [row.benchmark for row in result.rows] == tiny_bundle.names
+
+    def test_summary_suites(self, result):
+        assert set(result.summary) == {"2006", "2017", "all"}
+
+    def test_errors_finite(self, result):
+        for row in result.rows:
+            assert abs(row.ipc) < 1e6
+            assert abs(row.amat) < 1e6
+
+    def test_report_renders(self, result):
+        text = table2.format_report(result)
+        assert "Table II" in text
+        assert "IPC" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return fig5.run_fig5(tiny_bundle, workloads=("435.gromacs", "470.lbm"))
+
+    def test_comparisons_built(self, result):
+        assert {c.benchmark for c in result.comparisons} == {"435.gromacs",
+                                                             "470.lbm"}
+
+    def test_kl_non_negative(self, result):
+        assert all(c.kl_bits >= 0 for c in result.comparisons)
+
+    def test_histogram_arity_matches_assoc(self, result, config):
+        for comparison in result.comparisons:
+            assert len(comparison.pair_histogram) == config.llc.assoc
+
+    def test_sorted_by_alignment(self, result):
+        ordered = result.sorted_by_alignment()
+        assert ordered[0].kl_bits <= ordered[-1].kl_bits
+
+    def test_unknown_workloads_rejected(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            fig5.run_fig5(tiny_bundle, workloads=("999.nope",))
+
+    def test_report_renders(self, result):
+        assert "reuse under PInTE" in fig5.format_report(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return fig6.run_fig6(tiny_bundle)
+
+    def test_kl_per_benchmark(self, result, tiny_bundle):
+        # Every benchmark either produced a KL value or was explicitly
+        # reported as having no reuse signal at this scale.
+        covered = set(result.kl_by_benchmark) | set(result.no_signal)
+        assert covered == set(tiny_bundle.names)
+        assert set(result.kl_by_benchmark).isdisjoint(result.no_signal)
+
+    def test_thresholds_ordered(self, result):
+        t99, t95, t90 = result.thresholds
+        assert t99 <= t95 <= t90
+
+    def test_within_threshold_monotone(self, result):
+        t99, t95, t90 = result.thresholds
+        assert (result.within_threshold(t99) <= result.within_threshold(t95)
+                <= result.within_threshold(t90))
+
+    def test_root_cause_stats_present(self, result):
+        for stats in result.root_cause.values():
+            assert set(stats) == {"l2_mpki", "llc_mpki", "writeback_share"}
+
+    def test_report_renders(self, result):
+        assert "Fig 6a" in fig6.format_report(result)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return fig7.run_fig7(tiny_bundle)
+
+    def test_kl_values_non_negative(self, result):
+        for values in result.kl_by_metric.values():
+            assert all(v >= 0 for v in values)
+
+    def test_coverage_criteria(self, result):
+        assert set(result.coverage_by_criterion) == {0.05, 0.10, 0.20}
+
+    def test_coverage_monotone_in_width(self, result):
+        c = result.coverage_by_criterion
+        assert c[0.05] <= c[0.10] <= c[0.20]
+
+    def test_report_renders(self, result):
+        assert "Fig 7a" in fig7.format_report(result)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return fig8.run_fig8(tiny_bundle)
+
+    def test_entry_per_benchmark(self, result, tiny_bundle):
+        assert {e.benchmark for e in result.per_benchmark} == set(tiny_bundle.names)
+
+    def test_llc_bound_is_sensitive(self, result):
+        entry = result.by_name("470.lbm")
+        assert entry.pinte_report.classification == "high"
+
+    def test_core_bound_is_insensitive(self, result):
+        entry = result.by_name("453.povray")
+        assert entry.pinte_report.classification == "low"
+
+    def test_scp_in_unit_range(self, result):
+        for entry in result.per_benchmark:
+            assert 0.0 <= entry.pinte_report.scp <= 1.0
+
+    def test_shares_sum_to_one(self, result):
+        shares = result.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_report_renders(self, result):
+        assert "Fig 8" in fig8.format_report(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_bundle):
+        return fig9.run_fig9(tiny_bundle)
+
+    def test_stats_per_benchmark(self, result):
+        for stats in result.per_benchmark.values():
+            assert stats["pair"]["median"] > 0
+            assert stats["pinte"]["median"] > 0
+
+    def test_median_gap_non_negative(self, result):
+        for name in result.per_benchmark:
+            assert result.median_gap(name) >= 0
+
+    def test_report_renders(self, result):
+        assert "Fig 9" in fig9.format_report(result)

@@ -1,0 +1,61 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_histogram,
+    format_series,
+    format_table,
+    percent,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["A", "B"], [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "2.500" in text
+        assert "x" in lines[3]
+
+    def test_title(self):
+        text = format_table(["A"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["Name", "V"], [("longbenchname", 1)])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule)
+
+    def test_large_floats_compact(self):
+        text = format_table(["V"], [(12345.678,)])
+        assert "12345.7" in text
+
+
+class TestFormatHistogram:
+    def test_bars_scale(self):
+        text = format_histogram([1, 2, 4], ["a", "b", "c"], width=4)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 1
+        assert lines[2].count("#") == 4
+
+    def test_zero_peak(self):
+        text = format_histogram([0, 0], ["a", "b"])
+        assert "#" not in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_histogram([1], ["a", "b"])
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series([0.1, 0.2], [1.0, 0.9], "curve")
+        assert "curve" in text
+        assert "0.100" in text
+
+
+class TestPercent:
+    def test_format(self):
+        assert percent(0.5) == "50.0%"
+        assert percent(0.923) == "92.3%"

@@ -1,0 +1,59 @@
+"""Tests for the one-shot reproduction driver."""
+
+import pytest
+
+from repro.experiments.reproduce import (
+    BUNDLE_ARTIFACTS,
+    run_reproduction,
+    suite_for_name,
+)
+from repro.sim import ExperimentScale
+
+TINY = ExperimentScale(warmup_instructions=1_000, sim_instructions=4_000,
+                       sample_interval=1_000)
+
+
+class TestSuiteNames:
+    def test_known_suites(self):
+        assert len(suite_for_name("quick")) >= 4
+        assert len(suite_for_name("core")) >= len(suite_for_name("quick"))
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_for_name("everything")
+
+
+class TestRunReproduction:
+    @pytest.fixture(scope="class")
+    def reports(self, config, tmp_path_factory):
+        output = tmp_path_factory.mktemp("reports")
+        reports = run_reproduction(
+            config=config, scale=TINY,
+            suite=("435.gromacs", "453.povray", "470.lbm", "605.mcf"),
+            p_values=(0.05, 0.3, 1.0), panel_size=2,
+            output_dir=output,
+        )
+        return reports, output
+
+    def test_all_bundle_artifacts_rendered(self, reports):
+        texts, _ = reports
+        assert set(texts) == set(BUNDLE_ARTIFACTS)
+
+    def test_reports_non_empty(self, reports):
+        texts, _ = reports
+        for artifact, text in texts.items():
+            assert text.strip(), artifact
+
+    def test_files_written(self, reports):
+        texts, output = reports
+        for artifact in texts:
+            path = output / f"{artifact}.txt"
+            assert path.exists(), artifact
+            assert path.read_text().strip()
+
+    def test_headline_strings_present(self, reports):
+        texts, _ = reports
+        assert "Table I" in texts["table1"]
+        assert "Fig 1a" in texts["fig1"]
+        assert "Table II" in texts["table2"]
+        assert "Fig 8" in texts["fig8"]

@@ -1,0 +1,83 @@
+"""Sanity tests for the experiment suites and the experiments package API."""
+
+import pytest
+
+from repro.experiments import (
+    CASE_STUDY_SUITE,
+    CORE_SUITE,
+    FIG10_SUITE,
+    FIG5_WORKLOADS,
+    FULL_SUITE,
+    QUICK_SUITE,
+)
+from repro.trace import (
+    CACHE_FRIENDLY,
+    CORE_BOUND,
+    DRAM_BOUND,
+    LLC_BOUND,
+    MIXED,
+    get_workload,
+)
+
+
+class TestSuiteContents:
+    def test_full_suite_is_everything(self):
+        assert len(FULL_SUITE) == 49
+        assert FULL_SUITE == sorted(FULL_SUITE)
+
+    def test_all_suite_members_exist(self):
+        for suite in (CORE_SUITE, QUICK_SUITE, FIG10_SUITE, CASE_STUDY_SUITE,
+                      list(FIG5_WORKLOADS)):
+            for name in suite:
+                get_workload(name)  # raises on unknown names
+
+    def test_core_suite_spans_all_classes(self):
+        classes = {get_workload(name).klass for name in CORE_SUITE}
+        assert classes == {CORE_BOUND, CACHE_FRIENDLY, LLC_BOUND, DRAM_BOUND,
+                           MIXED}
+
+    def test_quick_suite_subset_of_core(self):
+        assert set(QUICK_SUITE) <= set(CORE_SUITE)
+
+    def test_fig10_suite_is_spec17(self):
+        """The paper's Fig 10 evaluates six SPEC 17 benchmarks."""
+        assert len(FIG10_SUITE) == 6
+        for name in FIG10_SUITE:
+            assert get_workload(name).suite == "spec2017"
+
+    def test_fig5_exemplars_cover_good_and_bad_alignment(self):
+        classes = {get_workload(name).klass for name in FIG5_WORKLOADS}
+        assert CORE_BOUND in classes  # the worst-alignment case
+        assert CACHE_FRIENDLY in classes  # the good-alignment case
+
+    def test_no_duplicates_within_suites(self):
+        for suite in (CORE_SUITE, QUICK_SUITE, FIG10_SUITE, CASE_STUDY_SUITE):
+            assert len(suite) == len(set(suite))
+
+
+class TestDriverRegistry:
+    def test_every_driver_importable(self):
+        from repro.experiments import (  # noqa: F401
+            ablations,
+            fig1,
+            fig3,
+            fig5,
+            fig6,
+            fig7,
+            fig8,
+            fig9,
+            fig10,
+            fig11,
+            ncore_study,
+            partition_study,
+            table1,
+            table2,
+        )
+
+    def test_drivers_expose_format_report(self):
+        import repro.experiments as experiments
+
+        for name in ("table1", "fig1", "fig3", "fig5", "fig6", "fig7",
+                     "fig8", "fig9", "fig10", "fig11"):
+            module = getattr(experiments, name)
+            assert hasattr(module, "format_report"), name

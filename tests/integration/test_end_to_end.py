@@ -1,0 +1,180 @@
+"""Integration tests: the paper's headline shapes, end to end.
+
+These exercise the full stack — trace generation, hierarchy, core, PInTE,
+analysis — and assert the qualitative results the reproduction must hold
+(DESIGN.md Section 5).
+"""
+
+import pytest
+
+from repro.analysis import kl_divergence, series_kl, weighted_ipc
+from repro.config import scaled_config
+from repro.core import PinteConfig
+from repro.sim import simulate, simulate_pair
+from repro.trace import build_trace, get_workload
+
+CFG = scaled_config()
+WARM, SIM = 4_000, 16_000
+
+
+def run(name, p=None, seed=1):
+    trace = build_trace(get_workload(name), WARM + SIM, seed, CFG.llc.size)
+    return simulate(trace, CFG,
+                    pinte=PinteConfig(p_induce=p) if p is not None else None,
+                    warmup_instructions=WARM, sim_instructions=SIM,
+                    sample_interval=2_000)
+
+
+@pytest.fixture(scope="module")
+def lbm_iso():
+    return run("470.lbm")
+
+
+@pytest.fixture(scope="module")
+def lbm_sweep():
+    return {p: run("470.lbm", p) for p in (0.05, 0.2, 0.5, 1.0)}
+
+
+class TestContentionDoseResponse:
+    def test_weighted_ipc_monotone_for_llc_bound(self, lbm_iso, lbm_sweep):
+        """More induced contention -> monotonically lower weighted IPC."""
+        wipcs = [weighted_ipc(lbm_sweep[p], lbm_iso) for p in (0.05, 0.2, 0.5, 1.0)]
+        assert all(w <= 1.02 for w in wipcs)
+        assert wipcs == sorted(wipcs, reverse=True)
+        assert wipcs[-1] < 0.6  # heavy contention really hurts
+
+    def test_miss_rate_monotone(self, lbm_iso, lbm_sweep):
+        rates = [lbm_iso.miss_rate] + [lbm_sweep[p].miss_rate
+                                       for p in (0.05, 0.2, 0.5, 1.0)]
+        assert rates == sorted(rates)
+
+    def test_contention_rate_tracks_p(self, lbm_sweep):
+        rates = [lbm_sweep[p].contention_rate for p in (0.05, 0.2, 0.5, 1.0)]
+        assert rates == sorted(rates)
+
+    def test_core_bound_immune(self):
+        iso = run("638.imagick")
+        contended = run("638.imagick", 1.0)
+        assert weighted_ipc(contended, iso) > 0.97
+
+
+class TestPinteApproximates2ndTrace:
+    """The central claim: PInTE contention looks like real contention."""
+
+    @pytest.fixture(scope="class")
+    def contexts(self):
+        trace = build_trace(get_workload("471.omnetpp"), WARM + SIM, 1,
+                            CFG.llc.size)
+        adversary = build_trace(get_workload("435.gromacs"), WARM + SIM, 2,
+                                CFG.llc.size)
+        pair = simulate_pair(trace, adversary, CFG, warmup_instructions=WARM,
+                             sim_instructions=SIM, sample_interval=2_000)
+        # Match PInTE contention to the pair's observed contention rate.
+        target = pair.contention_rate
+        pinte = None
+        for p in (0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0):
+            candidate = simulate(trace, CFG, pinte=PinteConfig(p),
+                                 warmup_instructions=WARM,
+                                 sim_instructions=SIM, sample_interval=2_000)
+            if pinte is None or (abs(candidate.contention_rate - target)
+                                 < abs(pinte.contention_rate - target)):
+                pinte = candidate
+        return pair, pinte
+
+    def test_ipc_within_tolerance(self, contexts):
+        pair, pinte = contexts
+        assert pinte.ipc == pytest.approx(pair.ipc, rel=0.25)
+
+    def test_reuse_histogram_alignment(self, contexts):
+        """omnetpp has rich LLC reuse in both contexts: low KL divergence."""
+        pair, pinte = contexts
+        assert sum(pair.reuse_histogram) > 0
+        assert kl_divergence(pair.reuse_histogram, pinte.reuse_histogram) < 0.6
+
+    def test_runtime_series_low_entropy(self, contexts):
+        # Paper: << 1 bit at 47 samples/run; with only 8 samples per run the
+        # estimator is coarser, so the bound is looser here (the bench-scale
+        # Fig 7 reproduction checks the tighter bound with more samples).
+        pair, pinte = contexts
+        divergence = series_kl(pair.sample_series("ipc"),
+                               pinte.sample_series("ipc"))
+        assert divergence < 1.6
+
+
+class TestSingleVsMultiCost:
+    def test_pinte_cheaper_than_second_trace(self):
+        """PInTE runs near isolation cost; a 2nd trace roughly doubles work."""
+        trace = build_trace(get_workload("435.gromacs"), WARM + SIM, 1,
+                            CFG.llc.size)
+        adversary = build_trace(get_workload("450.soplex"), WARM + SIM, 2,
+                                CFG.llc.size)
+        iso = simulate(trace, CFG, warmup_instructions=WARM,
+                       sim_instructions=SIM)
+        pinte = simulate(trace, CFG, pinte=PinteConfig(0.5),
+                         warmup_instructions=WARM, sim_instructions=SIM)
+        pair = simulate_pair(trace, adversary, CFG, warmup_instructions=WARM,
+                             sim_instructions=SIM)
+        assert pinte.wall_time_seconds < pair.wall_time_seconds
+        assert pinte.wall_time_seconds < 2.5 * iso.wall_time_seconds
+
+
+class TestStabilityShape:
+    def test_reruns_agree(self):
+        """Different PInTE seeds, same configuration -> near-identical
+        headline metrics (paper Fig 3)."""
+        trace = build_trace(get_workload("450.soplex"), WARM + SIM, 1,
+                            CFG.llc.size)
+        ipcs = []
+        for seed in range(4):
+            result = simulate(trace, CFG,
+                              pinte=PinteConfig(0.3, seed=seed),
+                              warmup_instructions=WARM, sim_instructions=SIM)
+            ipcs.append(result.ipc)
+        mean = sum(ipcs) / len(ipcs)
+        spread = (max(ipcs) - min(ipcs)) / mean
+        assert spread < 0.1
+
+
+class TestInclusionAndPolicySweeps:
+    @pytest.mark.parametrize("inclusion", ["non-inclusive", "inclusive",
+                                           "exclusive"])
+    def test_all_inclusions_simulate_under_pinte(self, inclusion):
+        config = CFG.with_inclusion(inclusion)
+        trace = build_trace(get_workload("435.gromacs"), 6_000, 1,
+                            config.llc.size)
+        result = simulate(trace, config, pinte=PinteConfig(0.5),
+                          warmup_instructions=1_000, sim_instructions=5_000)
+        assert result.instructions == 5_000
+        assert result.thefts_experienced >= 0
+
+    @pytest.mark.parametrize("policy", ["lru", "plru", "nmru", "rrip"])
+    def test_all_policies_simulate_under_pinte(self, policy):
+        config = CFG.with_llc_policy(policy)
+        trace = build_trace(get_workload("450.soplex"), 6_000, 1,
+                            config.llc.size)
+        result = simulate(trace, config, pinte=PinteConfig(0.5),
+                          warmup_instructions=1_000, sim_instructions=5_000)
+        assert result.thefts_experienced > 0
+
+    @pytest.mark.parametrize("prefetch", ["000", "NN0", "NNN", "NNI"])
+    def test_all_prefetch_strings_simulate(self, prefetch):
+        config = CFG.with_prefetch_string(prefetch)
+        trace = build_trace(get_workload("470.lbm"), 6_000, 1, config.llc.size)
+        result = simulate(trace, config, pinte=PinteConfig(0.3),
+                          warmup_instructions=1_000, sim_instructions=5_000)
+        if prefetch == "000":
+            assert result.prefetch_issued == 0
+        else:
+            assert result.prefetch_issued > 0
+
+    def test_prefetching_helps_streaming(self):
+        """Next-line prefetching must raise streaming IPC — the substrate
+        behaviour behind the paper's Fig 11 prefetch row."""
+        trace_cfg = CFG
+        trace = build_trace(get_workload("619.lbm"), WARM + SIM, 1,
+                            trace_cfg.llc.size)
+        plain = simulate(trace, CFG.with_prefetch_string("000"),
+                         warmup_instructions=WARM, sim_instructions=SIM)
+        prefetched = simulate(trace, CFG.with_prefetch_string("NNI"),
+                              warmup_instructions=WARM, sim_instructions=SIM)
+        assert prefetched.ipc > plain.ipc

@@ -1,0 +1,86 @@
+"""End-to-end sanity orderings: do the modelled techniques rank plausibly?
+
+These pin the substrate behaviours the Fig 11 case study builds on: better
+predictors predict better on hard branch streams, scan-resistant replacement
+beats LRU on streaming-with-reuse mixes, and prefetchers help streams.
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.sim import simulate
+from repro.trace import build_trace, get_workload
+
+CFG = scaled_config()
+WARM, SIM = 4_000, 14_000
+
+
+def run(name, config, seed=1):
+    trace = build_trace(get_workload(name), WARM + SIM, seed, config.llc.size)
+    return simulate(trace, config, warmup_instructions=WARM,
+                    sim_instructions=SIM)
+
+
+class TestBranchPredictorOrdering:
+    @pytest.fixture(scope="class")
+    def accuracies(self):
+        # deepsjeng: branch-heavy, high-entropy sites.
+        return {
+            predictor: run("631.deepsjeng",
+                           CFG.with_branch_predictor(predictor)).branch_accuracy
+            for predictor in ("bimodal", "gshare", "perceptron",
+                              "hashed_perceptron", "tournament")
+        }
+
+    def test_perceptrons_beat_bimodal(self, accuracies):
+        """Perceptron-family predictors handle the mixed easy/hard sites at
+        least as well as bimodal — the Fig 11 branching-row substrate."""
+        assert accuracies["perceptron"] >= accuracies["bimodal"] - 0.02
+        assert accuracies["hashed_perceptron"] >= accuracies["bimodal"] - 0.02
+
+    def test_gshare_pays_for_uncorrelated_history(self, accuracies):
+        """The synthetic hard branches are *independent* coin flips, so
+        history indexing only dilutes training — gshare trails bimodal here
+        (its unit tests cover the correlated patterns where it wins)."""
+        assert accuracies["gshare"] <= accuracies["bimodal"] + 0.02
+
+    def test_tournament_tracks_its_better_component(self, accuracies):
+        best_component = max(accuracies["bimodal"], accuracies["gshare"])
+        assert accuracies["tournament"] >= best_component - 0.05
+
+    def test_all_predict_most_branches(self, accuracies):
+        assert all(accuracy > 0.55 for accuracy in accuracies.values())
+
+
+class TestReplacementOrdering:
+    def test_rrip_scan_resistance_end_to_end(self):
+        """A working-set + streaming phase mix: RRIP protects the hot set
+        through scans where LRU lets the stream flush it."""
+        lru = run("401.bzip2", CFG.with_llc_policy("lru"))
+        rrip = run("401.bzip2", CFG.with_llc_policy("rrip"))
+        assert rrip.miss_rate <= lru.miss_rate + 0.02
+
+    @pytest.mark.parametrize("policy", ["lru", "plru", "nmru", "rrip",
+                                        "drrip"])
+    def test_all_policies_complete(self, policy):
+        result = run("450.soplex", CFG.with_llc_policy(policy))
+        assert result.instructions == SIM
+        assert 0.0 <= result.miss_rate <= 1.0
+
+
+class TestPrefetcherOrdering:
+    def test_stream_prefetcher_helps_streaming(self):
+        import dataclasses
+
+        base = CFG.with_prefetch_string("000")
+        config = dataclasses.replace(
+            CFG, l2=dataclasses.replace(CFG.l2, prefetcher="stream"))
+        plain = run("619.lbm", base)
+        prefetched = run("619.lbm", config)
+        assert prefetched.ipc >= plain.ipc
+
+    def test_prefetching_cannot_help_pointer_chase_much(self):
+        plain = run("429.mcf", CFG.with_prefetch_string("000"))
+        prefetched = run("429.mcf", CFG.with_prefetch_string("NNI"))
+        # Dependent chains defeat spatial prefetchers: no big win expected.
+        assert prefetched.ipc < plain.ipc * 1.5

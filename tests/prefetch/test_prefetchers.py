@@ -1,0 +1,131 @@
+"""Unit tests for the prefetchers and the prefetch-string decoder."""
+
+import pytest
+
+from repro.prefetch import (
+    PAPER_PREFETCH_STRINGS,
+    PREFETCHERS,
+    make_prefetcher,
+    prefetch_string_config,
+)
+from repro.prefetch.base import NullPrefetcher
+from repro.prefetch.ip_stride import IpStridePrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+
+BLOCK = 64
+
+
+class TestRegistry:
+    def test_all_constructible(self):
+        for name in PREFETCHERS:
+            assert make_prefetcher(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown prefetcher"):
+            make_prefetcher("markov")
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestPrefetchStrings:
+    def test_paper_strings_decode(self):
+        assert prefetch_string_config("000") == ("none", "none", "none")
+        assert prefetch_string_config("NN0") == ("next_line", "next_line", "none")
+        assert prefetch_string_config("NNN") == ("next_line", "next_line", "next_line")
+        assert prefetch_string_config("NNI") == ("next_line", "next_line", "ip_stride")
+
+    def test_all_paper_strings_valid(self):
+        for string in PAPER_PREFETCH_STRINGS:
+            assert len(prefetch_string_config(string)) == 3
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError, match="3 characters"):
+            prefetch_string_config("NN")
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError, match="bad prefetch character"):
+            prefetch_string_config("NNX")
+
+
+class TestNull:
+    def test_never_prefetches(self):
+        prefetcher = NullPrefetcher()
+        assert prefetcher.on_access(0x400, 0x1000, True) == []
+        assert prefetcher.stats.issued == 0
+
+
+class TestNextLine:
+    def test_next_block(self):
+        prefetcher = NextLinePrefetcher(block_size=BLOCK)
+        assert prefetcher.on_access(0x400, 0x1000, False) == [0x1000 + BLOCK]
+
+    def test_degree(self):
+        prefetcher = NextLinePrefetcher(block_size=BLOCK, degree=3)
+        assert prefetcher.on_access(0x400, 0x1000, False) == [
+            0x1000 + BLOCK, 0x1000 + 2 * BLOCK, 0x1000 + 3 * BLOCK
+        ]
+
+    def test_issued_counter(self):
+        prefetcher = NextLinePrefetcher(block_size=BLOCK, degree=2)
+        prefetcher.on_access(0x400, 0x1000, True)
+        prefetcher.on_access(0x400, 0x2000, True)
+        assert prefetcher.stats.issued == 4
+
+    def test_accuracy_zero_before_use(self):
+        assert NextLinePrefetcher().stats.accuracy == 0.0
+
+
+class TestIpStride:
+    def test_learns_stride_after_confidence(self):
+        prefetcher = IpStridePrefetcher(block_size=BLOCK, degree=1)
+        pc = 0x400
+        # Stride of 2 blocks: accesses at block 0, 2, 4, 6...
+        results = [prefetcher.on_access(pc, i * 2 * BLOCK, False) for i in range(5)]
+        assert results[0] == []  # table miss
+        assert results[1] == []  # confidence 0
+        # After 2 confirming strides, prefetch fires 1 stride ahead.
+        fired = [r for r in results if r]
+        assert fired
+        last = results[-1]
+        assert last == [(8 + 2) * BLOCK]
+
+    def test_no_prefetch_on_zero_stride(self):
+        prefetcher = IpStridePrefetcher(block_size=BLOCK)
+        pc = 0x400
+        for _ in range(6):
+            assert prefetcher.on_access(pc, 0x1000, False) == []
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = IpStridePrefetcher(block_size=BLOCK, degree=1)
+        pc = 0x400
+        for i in range(4):
+            prefetcher.on_access(pc, i * BLOCK, False)
+        assert prefetcher.on_access(pc, 100 * BLOCK, False) == []  # break
+        assert prefetcher.on_access(pc, 101 * BLOCK, False) == []  # rebuild
+
+    def test_independent_pcs(self):
+        prefetcher = IpStridePrefetcher(block_size=BLOCK, degree=1)
+        for i in range(5):
+            prefetcher.on_access(0x400, i * BLOCK, False)
+            prefetcher.on_access(0x800, i * 3 * BLOCK, False)
+        a = prefetcher.on_access(0x400, 5 * BLOCK, False)
+        b = prefetcher.on_access(0x800, 15 * BLOCK, False)
+        assert a == [6 * BLOCK]
+        assert b == [18 * BLOCK]
+
+    def test_table_eviction(self):
+        prefetcher = IpStridePrefetcher(block_size=BLOCK, table_size=2)
+        prefetcher.on_access(0x100, 0, False)
+        prefetcher.on_access(0x200, 0, False)
+        prefetcher.on_access(0x300, 0, False)  # evicts 0x100
+        assert len(prefetcher._table) == 2
+        assert 0x100 not in prefetcher._table
+
+    def test_degree_two(self):
+        prefetcher = IpStridePrefetcher(block_size=BLOCK, degree=2)
+        pc = 0x400
+        for i in range(5):
+            result = prefetcher.on_access(pc, i * BLOCK, False)
+        assert result == [5 * BLOCK, 6 * BLOCK]

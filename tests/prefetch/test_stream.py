@@ -1,0 +1,64 @@
+"""Unit tests for the stream prefetcher extension."""
+
+import pytest
+
+from repro.prefetch import make_prefetcher, prefetch_string_config
+from repro.prefetch.stream import CONFIRM_THRESHOLD, StreamPrefetcher
+
+BLOCK = 64
+
+
+class TestDetection:
+    def test_ascending_stream_confirmed(self):
+        prefetcher = StreamPrefetcher(block_size=BLOCK, degree=2)
+        results = [prefetcher.on_access(0x400, i * BLOCK, False)
+                   for i in range(CONFIRM_THRESHOLD + 3)]
+        assert results[-1]  # firing by the end
+        last_block = CONFIRM_THRESHOLD + 2
+        assert results[-1] == [(last_block + 1) * BLOCK, (last_block + 2) * BLOCK]
+
+    def test_descending_stream_confirmed(self):
+        prefetcher = StreamPrefetcher(block_size=BLOCK, degree=1)
+        start = 100
+        results = [prefetcher.on_access(0x400, (start - i) * BLOCK, False)
+                   for i in range(CONFIRM_THRESHOLD + 3)]
+        last_block = start - (CONFIRM_THRESHOLD + 2)
+        assert results[-1] == [(last_block - 1) * BLOCK]
+
+    def test_direction_flip_resets(self):
+        prefetcher = StreamPrefetcher(block_size=BLOCK, degree=1)
+        for i in range(5):
+            prefetcher.on_access(0x400, i * BLOCK, False)
+        assert prefetcher.on_access(0x400, 3 * BLOCK, False) == []  # reversed
+
+    def test_same_block_reaccess_ignored(self):
+        prefetcher = StreamPrefetcher(block_size=BLOCK)
+        prefetcher.on_access(0x400, 0, False)
+        assert prefetcher.on_access(0x400, 0, False) == []
+
+    def test_independent_regions(self):
+        prefetcher = StreamPrefetcher(block_size=BLOCK, degree=1)
+        # Two streams far apart; each needs its own confirmation.
+        for i in range(CONFIRM_THRESHOLD + 2):
+            a = prefetcher.on_access(0x400, i * BLOCK, False)
+            b = prefetcher.on_access(0x800, (10_000 + i) * BLOCK, False)
+        assert a and b
+
+    def test_stream_table_bounded(self):
+        prefetcher = StreamPrefetcher(block_size=BLOCK, max_streams=4)
+        for region in range(10):
+            prefetcher.on_access(0x400, region * 1_000_000 * BLOCK, False)
+        assert len(prefetcher._streams) <= 4
+
+
+class TestIntegration:
+    def test_registry(self):
+        assert make_prefetcher("stream").name == "stream"
+
+    def test_prefetch_string_s(self):
+        assert prefetch_string_config("NNS") == ("next_line", "next_line",
+                                                 "stream")
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(degree=0)

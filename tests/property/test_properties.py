@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.kl_divergence import kl_divergence, normalise, series_kl
+from repro.analysis.stability import std_dev
+from repro.cache.cache import Cache
+from repro.cache.replacement import make_policy
+from repro.core import ContentionTracker, PInTE, PinteConfig
+from repro.trace.patterns import reuse_distances
+from repro.util.bitops import fold_xor, ilog2, is_power_of_two
+from repro.util.rng import DeterministicRng
+
+BLOCK = 64
+
+histograms = st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                allow_nan=False), min_size=2, max_size=32)
+
+
+class TestKlProperties:
+    @given(histograms)
+    def test_self_divergence_zero(self, histogram):
+        assert kl_divergence(histogram, histogram) < 1e-6
+
+    @given(histograms, histograms)
+    def test_non_negative(self, p, q):
+        if len(p) != len(q):
+            q = (q * ((len(p) // len(q)) + 1))[:len(p)]
+        assert kl_divergence(p, q) >= -1e-9
+
+    @given(histograms)
+    def test_normalise_is_distribution(self, histogram):
+        p = normalise(histogram)
+        assert abs(sum(p) - 1.0) < 1e-9
+        assert all(x > 0 for x in p)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=2, max_size=64))
+    def test_series_self_kl_zero(self, series):
+        assert series_kl(series, list(series)) < 1e-6
+
+
+class TestBitopsProperties:
+    @given(st.integers(min_value=0, max_value=2**48),
+           st.integers(min_value=1, max_value=24))
+    def test_fold_xor_fits(self, value, bits):
+        assert 0 <= fold_xor(value, bits) < (1 << bits)
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_ilog2_inverts_shift(self, exponent):
+        assert ilog2(1 << exponent) == exponent
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_power_of_two_consistency(self, value):
+        if is_power_of_two(value):
+            assert 1 << ilog2(value) == value
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=8))
+    def test_reproducible(self, seed, salt):
+        a = DeterministicRng(seed, salt)
+        b = DeterministicRng(seed, salt)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_randint_in_bounds(self, low, width):
+        rng = DeterministicRng(1)
+        value = rng.randint(low, low + width)
+        assert low <= value <= low + width
+
+
+class TestStdDevProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_non_negative(self, values):
+        assert std_dev(values) >= 0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_shift_invariant(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert math.isclose(std_dev(shifted), std_dev(values), abs_tol=1e-3)
+
+
+class TestReuseDistanceProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                    max_size=100))
+    def test_distances_bounded_by_distinct_blocks(self, block_ids):
+        addresses = [b * BLOCK for b in block_ids]
+        distances = reuse_distances(addresses)
+        distinct = len(set(block_ids))
+        assert all(d < distinct for d in distances if d >= 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                    max_size=100))
+    def test_first_touch_count_equals_distinct(self, block_ids):
+        addresses = [b * BLOCK for b in block_ids]
+        distances = reuse_distances(addresses)
+        assert sum(1 for d in distances if d == -1) == len(set(block_ids))
+
+
+accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=63),  # block id
+              st.booleans()),                          # is_write
+    min_size=1, max_size=300,
+)
+
+
+class TestCacheInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(accesses, st.sampled_from(["lru", "plru", "nmru", "rrip"]))
+    def test_occupancy_never_exceeds_capacity(self, stream, policy):
+        cache = Cache("T", 8 * BLOCK, 4, BLOCK, latency=1, policy=policy)
+        for block_id, is_write in stream:
+            address = block_id * BLOCK
+            if not cache.access(address, is_write, 0):
+                cache.fill(address, 0, dirty=is_write)
+        assert cache.occupancy() <= cache.capacity_blocks
+
+    @settings(max_examples=50, deadline=None)
+    @given(accesses, st.sampled_from(["lru", "plru", "nmru", "rrip"]))
+    def test_access_after_fill_hits(self, stream, policy):
+        cache = Cache("T", 8 * BLOCK, 4, BLOCK, latency=1, policy=policy)
+        for block_id, is_write in stream:
+            address = block_id * BLOCK
+            if not cache.access(address, is_write, 0):
+                cache.fill(address, 0, dirty=is_write)
+            assert cache.probe(address) >= 0  # just filled or hit
+
+    @settings(max_examples=50, deadline=None)
+    @given(accesses)
+    def test_tag_map_matches_blocks(self, stream):
+        cache = Cache("T", 8 * BLOCK, 4, BLOCK, latency=1)
+        for block_id, is_write in stream:
+            address = block_id * BLOCK
+            if not cache.access(address, is_write, 0):
+                cache.fill(address, 0)
+            if block_id % 5 == 0:
+                cache.invalidate(address)
+        for set_index, blocks in enumerate(cache.sets):
+            valid_tags = {b.tag for b in blocks if b.valid}
+            assert valid_tags == set(cache._tags[set_index])
+
+    @settings(max_examples=50, deadline=None)
+    @given(accesses)
+    def test_hits_plus_misses_equals_accesses(self, stream):
+        cache = Cache("T", 8 * BLOCK, 4, BLOCK, latency=1)
+        for block_id, is_write in stream:
+            address = block_id * BLOCK
+            if not cache.access(address, is_write, 0):
+                cache.fill(address, 0)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+
+class TestReplacementInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(["lru", "plru", "nmru", "rrip"]),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              st.sampled_from(["hit", "insert", "promote"])),
+                    max_size=100))
+    def test_eviction_order_always_permutation(self, policy_name, events):
+        policy = make_policy(policy_name, 2, 8)
+        for way, op in events:
+            if op == "hit":
+                policy.on_hit(0, way)
+            elif op == "insert":
+                policy.on_insert(0, way)
+            else:
+                policy.promote(0, way)
+            assert sorted(policy.eviction_order(0)) == list(range(8))
+
+
+class TestPinteConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=2**16))
+    def test_thefts_match_invalidations(self, p, seed):
+        """Every induced invalidation of a workload block is exactly one
+        recorded theft — the counter conservation law."""
+        llc = Cache("LLC", 4 * 4 * BLOCK, 4, BLOCK, latency=1, policy="lru")
+        tracker = ContentionTracker()
+        engine = PInTE(PinteConfig(p_induce=p, seed=seed), llc, tracker)
+        stride = BLOCK * llc.n_sets
+        for i in range(100):
+            set_index = i % llc.n_sets
+            address = set_index * BLOCK + (i % llc.assoc) * stride
+            if not llc.access(address, False, 0):
+                llc.fill(address, 0)
+            engine.on_llc_access(set_index, i, 0)
+        assert tracker.counters(0).thefts_experienced == engine.stats.invalidations
+        assert tracker.counters(0).induced_thefts == engine.stats.invalidations
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16))
+    def test_trigger_count_bounded_by_accesses(self, seed):
+        llc = Cache("LLC", 4 * 4 * BLOCK, 4, BLOCK, latency=1)
+        engine = PInTE(PinteConfig(p_induce=0.5, seed=seed), llc,
+                       ContentionTracker())
+        for i in range(200):
+            engine.on_llc_access(i % llc.n_sets, i, 0)
+        assert engine.stats.triggers <= engine.stats.accesses_seen == 200

@@ -1,0 +1,69 @@
+"""Tests for empirical workload characterisation."""
+
+import pytest
+
+from repro.sim.characterize import (
+    WorkloadProfile,
+    characterize,
+    profile_from_result,
+)
+from repro.trace import (
+    CACHE_FRIENDLY,
+    CORE_BOUND,
+    DRAM_BOUND,
+    LLC_BOUND,
+    build_trace,
+    get_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def profiles(config):
+    names = ("453.povray", "435.gromacs", "470.lbm", "429.mcf")
+    return {
+        name: characterize(
+            build_trace(get_workload(name), 16_000, 1, config.llc.size),
+            config, warmup_instructions=4_000, sim_instructions=12_000)
+        for name in names
+    }
+
+
+class TestInference:
+    def test_core_bound_detected(self, profiles, config):
+        assert profiles["453.povray"].inferred_class(config) == CORE_BOUND
+
+    def test_cache_friendly_detected(self, profiles, config):
+        assert profiles["435.gromacs"].inferred_class(config) in (
+            CACHE_FRIENDLY, CORE_BOUND)
+
+    def test_llc_bound_detected(self, profiles, config):
+        assert profiles["470.lbm"].inferred_class(config) == LLC_BOUND
+
+    def test_dram_bound_detected(self, profiles, config):
+        assert profiles["429.mcf"].inferred_class(config) == DRAM_BOUND
+
+
+class TestProfileValues:
+    def test_metrics_sane(self, profiles):
+        for profile in profiles.values():
+            assert profile.ipc > 0
+            assert 0.0 <= profile.llc_miss_rate <= 1.0
+            assert 0.0 <= profile.branch_accuracy <= 1.0
+            assert profile.llc_apki >= 0
+
+    def test_amat_ordering(self, profiles):
+        """DRAM-bound AMAT dwarfs core-bound AMAT."""
+        assert profiles["429.mcf"].amat > 5 * profiles["453.povray"].amat
+
+    def test_apki_ordering(self, profiles):
+        """LLC-bound workloads reach the LLC far more often."""
+        assert profiles["470.lbm"].llc_apki > 10 * profiles["453.povray"].llc_apki
+
+
+class TestProfileFromResult:
+    def test_round_trip_fields(self, lbm_isolation):
+        profile = profile_from_result(lbm_isolation)
+        assert profile.name == lbm_isolation.trace_name
+        assert profile.ipc == lbm_isolation.ipc
+        assert profile.llc_apki == pytest.approx(
+            1000.0 * lbm_isolation.llc_accesses / lbm_isolation.instructions)

@@ -1,0 +1,77 @@
+"""Tests for the cache-only fast host."""
+
+import pytest
+
+from repro.core import PinteConfig
+from repro.sim import simulate
+from repro.sim.fastcache import fast_contention_sweep, simulate_cache_only
+from repro.trace import build_trace, get_workload
+
+
+@pytest.fixture(scope="module")
+def lbm(config):
+    return build_trace(get_workload("470.lbm"), 20_000, 1, config.llc.size)
+
+
+class TestCacheOnly:
+    def test_counts_memory_accesses(self, lbm, config):
+        result = simulate_cache_only(lbm, config, filter_cache=False)
+        memory_ops = sum(1 for r in lbm.records if r.is_memory)
+        assert result.accesses == memory_ops
+
+    def test_filter_cache_reduces_llc_traffic(self, lbm, config):
+        unfiltered = simulate_cache_only(lbm, config, filter_cache=False)
+        filtered = simulate_cache_only(lbm, config, filter_cache=True)
+        assert filtered.accesses <= unfiltered.accesses
+
+    def test_warmup_resets_statistics(self, config):
+        trace = build_trace(get_workload("435.gromacs"), 20_000, 1,
+                            config.llc.size)
+        cold = simulate_cache_only(trace, config, warmup_accesses=0)
+        warm = simulate_cache_only(trace, config, warmup_accesses=100)
+        assert warm.accesses == cold.accesses - 100
+        assert warm.miss_rate <= cold.miss_rate
+
+    def test_pinte_induces_contention(self, lbm, config):
+        result = simulate_cache_only(lbm, config,
+                                     pinte=PinteConfig(0.5, seed=1))
+        assert result.thefts_experienced > 0
+        assert result.contention_rate > 0
+        assert result.p_induce == 0.5
+
+    def test_rates_bounded(self, lbm, config):
+        result = simulate_cache_only(lbm, config, pinte=PinteConfig(0.3))
+        assert 0.0 <= result.miss_rate <= 1.0
+        assert result.interference_misses <= result.misses
+
+    def test_deterministic(self, lbm, config):
+        a = simulate_cache_only(lbm, config, pinte=PinteConfig(0.5, seed=7))
+        b = simulate_cache_only(lbm, config, pinte=PinteConfig(0.5, seed=7))
+        assert a.misses == b.misses
+        assert a.thefts_experienced == b.thefts_experienced
+
+
+class TestAgreementWithFullSimulator:
+    def test_miss_rate_tracks_full_model(self, lbm, config):
+        """The fast host's LLC miss rate approximates the full hierarchy's
+        for the same workload and contention level."""
+        fast = simulate_cache_only(lbm, config, pinte=PinteConfig(0.3, seed=1),
+                                   warmup_accesses=2_000)
+        full = simulate(lbm, config, pinte=PinteConfig(0.3, seed=1),
+                        warmup_instructions=5_000, sim_instructions=15_000)
+        assert fast.miss_rate == pytest.approx(full.miss_rate, abs=0.25)
+
+    def test_speed_advantage(self, lbm, config):
+        fast = simulate_cache_only(lbm, config, pinte=PinteConfig(0.3))
+        full = simulate(lbm, config, pinte=PinteConfig(0.3),
+                        warmup_instructions=0, sim_instructions=20_000)
+        assert fast.wall_time_seconds < full.wall_time_seconds
+
+
+class TestSweep:
+    def test_sweep_monotone_contention(self, lbm, config):
+        results = fast_contention_sweep(lbm, config, (0.05, 0.3, 1.0),
+                                        warmup_accesses=1_000)
+        rates = [r.contention_rate for r in results]
+        assert rates == sorted(rates)
+        assert results[-1].contention_rate > results[0].contention_rate

@@ -1,0 +1,79 @@
+"""Tests for N-core multi-programmed simulation."""
+
+import pytest
+
+from repro.sim.multicore import simulate_multiprogrammed
+from repro.trace import build_trace, get_workload
+
+
+@pytest.fixture(scope="module")
+def traces(config):
+    names = ("450.soplex", "470.lbm", "435.gromacs", "453.povray")
+    return [build_trace(get_workload(name), 8_000, 1 + i, config.llc.size)
+            for i, name in enumerate(names)]
+
+
+@pytest.fixture(scope="module")
+def four_core(traces, config):
+    return simulate_multiprogrammed(traces, config,
+                                    warmup_instructions=1_000,
+                                    sim_instructions=5_000,
+                                    sample_interval=1_000)
+
+
+class TestFourCores:
+    def test_one_result_per_core(self, four_core, traces):
+        assert len(four_core) == 4
+        assert [r.trace_name for r in four_core] == [t.name for t in traces]
+
+    def test_primary_budget_respected(self, four_core):
+        assert four_core[0].instructions == 5_000
+
+    def test_secondary_counts_follow_speed(self, four_core):
+        """povray (fast, core-bound) retires far more instructions per unit
+        of shared time than the slow streaming workloads."""
+        by_name = {r.trace_name: r for r in four_core}
+        assert (by_name["453.povray"].instructions
+                > by_name["470.lbm"].instructions)
+
+    def test_contention_among_llc_bound(self, four_core):
+        by_name = {r.trace_name: r for r in four_core}
+        assert by_name["450.soplex"].thefts_experienced > 0
+        assert by_name["470.lbm"].thefts_caused > 0
+
+    def test_samples_only_for_primary(self, four_core):
+        assert len(four_core[0].samples) == 5
+        assert all(not r.samples for r in four_core[1:])
+
+    def test_co_runner_labels(self, four_core):
+        assert four_core[0].co_runner == "470.lbm+435.gromacs+453.povray"
+        assert four_core[1].co_runner == "450.soplex"
+
+    def test_all_modes_second_trace(self, four_core):
+        assert all(r.mode == "2nd-trace" for r in four_core)
+
+
+class TestValidation:
+    def test_needs_two_traces(self, traces, config):
+        with pytest.raises(ValueError, match="at least 2"):
+            simulate_multiprogrammed(traces[:1], config)
+
+
+class TestScalingBehaviour:
+    def test_more_cores_more_contention(self, traces, config):
+        """The paper's motivation: higher core counts raise contention.
+        soplex experiences more thefts with three adversaries than one."""
+        two = simulate_multiprogrammed(traces[:2], config,
+                                       warmup_instructions=1_000,
+                                       sim_instructions=5_000)
+        four = simulate_multiprogrammed(traces, config,
+                                        warmup_instructions=1_000,
+                                        sim_instructions=5_000)
+        assert four[0].contention_rate >= two[0].contention_rate * 0.8
+
+    def test_more_cores_cost_more_wall_time(self, traces, config):
+        two = simulate_multiprogrammed(traces[:2], config,
+                                       sim_instructions=4_000)
+        four = simulate_multiprogrammed(traces, config,
+                                        sim_instructions=4_000)
+        assert four[0].wall_time_seconds > two[0].wall_time_seconds

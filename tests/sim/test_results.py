@@ -1,0 +1,79 @@
+"""Unit tests for result records and samples."""
+
+import pytest
+
+from repro.sim.results import SAMPLE_METRICS, Sample, SimulationResult
+
+
+def make_sample(**overrides):
+    defaults = dict(instructions=1000, cycles=2000, ipc=0.5, llc_accesses=100,
+                    llc_misses=20, miss_rate=0.2, amat=15.0, thefts=5,
+                    interference=3, contention_rate=0.05,
+                    interference_rate=0.03, occupancy=0.4)
+    defaults.update(overrides)
+    return Sample(**defaults)
+
+
+def make_result(**overrides):
+    defaults = dict(trace_name="w", mode="isolation", instructions=10_000,
+                    cycles=20_000, ipc=0.5, miss_rate=0.2, amat=15.0)
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestSample:
+    def test_metric_accessor(self):
+        sample = make_sample()
+        for name in SAMPLE_METRICS:
+            assert sample.metric(name) == getattr(sample, name)
+
+    def test_metric_unknown_raises(self):
+        with pytest.raises(AttributeError):
+            make_sample().metric("flops")
+
+
+class TestDerivedMetrics:
+    def test_l2_mpki(self):
+        result = make_result(l2_misses=50, l2_accesses=100)
+        assert result.l2_mpki == 5.0
+
+    def test_llc_mpki(self):
+        result = make_result(llc_misses=20)
+        assert result.llc_mpki == 2.0
+
+    def test_mpki_zero_instructions(self):
+        result = make_result(instructions=0, llc_misses=5)
+        assert result.llc_mpki == 0.0
+        assert result.l2_mpki == 0.0
+
+    def test_l2_miss_rate(self):
+        result = make_result(l2_misses=25, l2_accesses=100)
+        assert result.l2_miss_rate == 0.25
+
+    def test_l2_miss_rate_no_accesses(self):
+        assert make_result().l2_miss_rate == 0.0
+
+    def test_prefetch_miss_rate(self):
+        result = make_result(prefetch_issued=10, prefetch_useful=4)
+        assert result.prefetch_miss_rate == pytest.approx(0.6)
+
+    def test_prefetch_miss_rate_none_issued(self):
+        assert make_result().prefetch_miss_rate == 0.0
+
+
+class TestSeriesAndLabels:
+    def test_sample_series(self):
+        result = make_result(samples=[make_sample(ipc=0.1),
+                                      make_sample(ipc=0.2)])
+        assert result.sample_series("ipc") == [0.1, 0.2]
+
+    def test_label_isolation(self):
+        assert make_result().label() == "w@isolation"
+
+    def test_label_pinte(self):
+        result = make_result(mode="pinte", p_induce=0.3)
+        assert result.label() == "w@pinte(0.3)"
+
+    def test_label_pair(self):
+        result = make_result(mode="2nd-trace", co_runner="x")
+        assert result.label() == "w+x"

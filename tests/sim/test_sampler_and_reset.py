@@ -1,0 +1,114 @@
+"""Tests for the sampler internals and warm-up statistics reset."""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy, build_llc
+from repro.core import ContentionTracker
+from repro.cpu import Core
+from repro.sim.simulator import _Sampler, _reset_stats, simulate
+from repro.trace import Trace, TraceRecord, build_trace, get_workload
+
+
+def make_rig(config):
+    tracker = ContentionTracker()
+    llc = build_llc(config)
+    hierarchy = MemoryHierarchy(config, 0, llc=llc, tracker=tracker,
+                                registry={})
+    core = Core(config.core, hierarchy)
+    return core, hierarchy, llc, tracker
+
+
+class TestSampler:
+    def test_no_sample_before_interval(self, config):
+        core, hierarchy, llc, tracker = make_rig(config)
+        sampler = _Sampler(core, llc, 0, tracker, interval=1_000)
+        for i in range(500):
+            core.execute(TraceRecord(0x400000 + (i % 16) * 4))
+        sampler.maybe_sample()
+        assert sampler.samples == []
+
+    def test_sample_after_interval(self, config):
+        core, hierarchy, llc, tracker = make_rig(config)
+        sampler = _Sampler(core, llc, 0, tracker, interval=1_000)
+        for i in range(1_000):
+            core.execute(TraceRecord(0x400000 + (i % 16) * 4))
+        sampler.maybe_sample()
+        assert len(sampler.samples) == 1
+        assert sampler.samples[0].instructions == 1_000
+
+    def test_samples_are_deltas(self, config):
+        core, hierarchy, llc, tracker = make_rig(config)
+        sampler = _Sampler(core, llc, 0, tracker, interval=1_000)
+        for round_ in range(3):
+            for i in range(1_000):
+                core.execute(TraceRecord(
+                    0x400000 + (i % 16) * 4,
+                    load_addr=0x100000000 + (round_ * 1_000 + i) * 64))
+            sampler.maybe_sample()
+        assert len(sampler.samples) == 3
+        assert all(s.instructions == 1_000 for s in sampler.samples)
+        total_cycles = sum(s.cycles for s in sampler.samples)
+        assert total_cycles == core.cycle
+
+    def test_sample_metrics_consistent(self, config):
+        core, hierarchy, llc, tracker = make_rig(config)
+        sampler = _Sampler(core, llc, 0, tracker, interval=500)
+        for i in range(500):
+            core.execute(TraceRecord(0x400000,
+                                     load_addr=0x100000000 + i * 64))
+        sampler.maybe_sample()
+        sample = sampler.samples[0]
+        assert sample.llc_misses <= sample.llc_accesses
+        assert 0.0 <= sample.occupancy <= 1.0
+        assert sample.ipc == pytest.approx(sample.instructions / sample.cycles)
+
+
+class TestResetStats:
+    def test_counters_cleared_state_kept(self, config):
+        core, hierarchy, llc, tracker = make_rig(config)
+        for i in range(64):
+            core.execute(TraceRecord(0x400000,
+                                     load_addr=0x100000000 + i * 64))
+        occupancy_before = llc.occupancy()
+        _reset_stats(core, hierarchy, tracker, 0)
+        assert core.stats.instructions == 0
+        assert hierarchy.l1d.stats.accesses == 0
+        assert llc.stats.accesses == 0
+        assert tracker.counters(0).llc_accesses == 0
+        assert core.predictor.stats.lookups == 0
+        # Cache contents survive — that is the whole point of warming.
+        assert llc.occupancy() == occupancy_before
+
+    def test_reuse_histograms_cleared(self, config):
+        core, hierarchy, llc, tracker = make_rig(config)
+        for _ in range(3):
+            for i in range(32):
+                core.execute(TraceRecord(0x400000,
+                                         load_addr=0x100000000 + i * 4096))
+        _reset_stats(core, hierarchy, tracker, 0)
+        assert sum(llc.reuse_histogram) == 0
+        assert sum(llc.owner_reuse_histogram(0)) == 0
+
+
+class TestSimulateEdgeCases:
+    def test_zero_sim_instructions(self, config, gromacs_trace):
+        result = simulate(gromacs_trace, config, warmup_instructions=100,
+                          sim_instructions=0)
+        assert result.instructions == 0
+        assert result.ipc == 0.0
+
+    def test_sample_interval_larger_than_run(self, config, gromacs_trace):
+        result = simulate(gromacs_trace, config, sim_instructions=500,
+                          sample_interval=10_000)
+        assert result.samples == []
+        assert result.instructions == 500
+
+    def test_xeon_preset_runs(self):
+        from repro.config import xeon_config
+
+        config = xeon_config()
+        trace = build_trace(get_workload("619.lbm"), 4_000, 1,
+                            config.llc.size)
+        result = simulate(trace, config, sim_instructions=3_000)
+        assert result.instructions == 3_000
+        assert result.ipc > 0

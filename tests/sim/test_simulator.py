@@ -1,0 +1,114 @@
+"""Unit tests for the single-core simulator (isolation + PInTE modes)."""
+
+import pytest
+
+from repro.core import PinteConfig
+from repro.sim import simulate
+from repro.trace import Trace, TraceRecord, build_trace, get_workload
+
+
+class TestBasicRun:
+    def test_result_identity(self, lbm_trace, config, lbm_isolation):
+        assert lbm_isolation.trace_name == "470.lbm"
+        assert lbm_isolation.mode == "isolation"
+        assert lbm_isolation.p_induce is None
+
+    def test_instruction_count(self, lbm_isolation, tiny_scale):
+        assert lbm_isolation.instructions == tiny_scale.sim_instructions
+
+    def test_positive_ipc(self, lbm_isolation):
+        assert lbm_isolation.ipc > 0
+
+    def test_samples_collected(self, lbm_isolation, tiny_scale):
+        expected = tiny_scale.sim_instructions // tiny_scale.sample_interval
+        assert len(lbm_isolation.samples) == expected
+
+    def test_sample_deltas_sum_to_totals(self, lbm_isolation):
+        total = sum(s.instructions for s in lbm_isolation.samples)
+        assert total == lbm_isolation.instructions
+
+    def test_wall_time_recorded(self, lbm_isolation):
+        assert lbm_isolation.wall_time_seconds > 0
+
+    def test_empty_trace_rejected(self, config):
+        with pytest.raises(ValueError, match="empty"):
+            simulate(Trace("empty", []), config)
+
+    def test_trace_restarts_when_short(self, config):
+        trace = build_trace(get_workload("435.gromacs"), 500, 1, config.llc.size)
+        result = simulate(trace, config, sim_instructions=2000)
+        assert result.instructions == 2000
+
+
+class TestWarmup:
+    def test_warmup_stats_discarded(self, config, gromacs_trace):
+        result = simulate(gromacs_trace, config, warmup_instructions=2000,
+                          sim_instructions=2000)
+        assert result.instructions == 2000
+
+    def test_warmup_keeps_cache_state(self, config, gromacs_trace):
+        """Warmed run must have a lower measured miss rate than a cold run
+        of the same window (the whole point of warming)."""
+        cold = simulate(gromacs_trace, config, warmup_instructions=0,
+                        sim_instructions=2000)
+        warm = simulate(gromacs_trace, config, warmup_instructions=4000,
+                        sim_instructions=2000)
+        assert warm.l1d_miss_rate <= cold.l1d_miss_rate
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, config, gromacs_trace):
+        a = simulate(gromacs_trace, config, sim_instructions=3000, seed=5)
+        b = simulate(gromacs_trace, config, sim_instructions=3000, seed=5)
+        assert a.ipc == b.ipc
+        assert a.miss_rate == b.miss_rate
+        assert a.reuse_histogram == b.reuse_histogram
+
+
+class TestPinteMode:
+    def test_mode_and_p_recorded(self, lbm_pinte):
+        assert lbm_pinte.mode == "pinte"
+        assert lbm_pinte.p_induce == 0.5
+
+    def test_contention_induced(self, lbm_pinte):
+        assert lbm_pinte.thefts_experienced > 0
+        assert lbm_pinte.contention_rate > 0
+
+    def test_performance_degrades_for_llc_bound(self, lbm_isolation, lbm_pinte):
+        assert lbm_pinte.ipc < lbm_isolation.ipc
+
+    def test_insensitive_workload_unaffected(self, config, povray_trace):
+        isolation = simulate(povray_trace, config, warmup_instructions=1000,
+                             sim_instructions=4000)
+        contended = simulate(povray_trace, config, pinte=PinteConfig(1.0),
+                             warmup_instructions=1000, sim_instructions=4000)
+        assert contended.ipc == pytest.approx(isolation.ipc, rel=0.02)
+
+    def test_trigger_stats_exported(self, lbm_pinte):
+        assert lbm_pinte.extra["pinte_triggers"] > 0
+        assert 0.4 < lbm_pinte.extra["pinte_trigger_rate"] < 0.6
+
+    def test_higher_p_more_thefts(self, config, lbm_trace):
+        low = simulate(lbm_trace, config, pinte=PinteConfig(0.05),
+                       warmup_instructions=1000, sim_instructions=4000)
+        high = simulate(lbm_trace, config, pinte=PinteConfig(0.8),
+                        warmup_instructions=1000, sim_instructions=4000)
+        assert high.thefts_experienced > low.thefts_experienced
+
+
+class TestMetricsConsistency:
+    def test_miss_rate_in_unit_range(self, lbm_pinte):
+        assert 0.0 <= lbm_pinte.miss_rate <= 1.0
+
+    def test_llc_counters_consistent(self, lbm_pinte):
+        assert lbm_pinte.llc_misses <= lbm_pinte.llc_accesses
+
+    def test_interference_bounded_by_misses(self, lbm_pinte):
+        assert lbm_pinte.interference_misses <= lbm_pinte.llc_misses
+
+    def test_occupancy_in_unit_range(self, lbm_isolation):
+        assert 0.0 <= lbm_isolation.occupancy <= 1.0
+
+    def test_mpki_properties(self, lbm_isolation):
+        assert lbm_isolation.llc_mpki >= 0
+        assert lbm_isolation.l2_mpki >= lbm_isolation.llc_mpki * 0.5  # sanity

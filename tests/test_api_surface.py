@@ -1,0 +1,86 @@
+"""Public API surface checks: everything advertised exists and is importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_flow(self):
+        """The module docstring's quickstart snippet must actually work."""
+        config = repro.scaled_config()
+        trace = repro.build_trace(repro.get_workload("470.lbm"), 6_000,
+                                  seed=1, llc_bytes=config.llc.size)
+        isolation = repro.simulate(trace, config, warmup_instructions=1_000,
+                                   sim_instructions=5_000)
+        contended = repro.simulate(trace, config,
+                                   pinte=repro.PinteConfig(p_induce=0.5),
+                                   warmup_instructions=1_000,
+                                   sim_instructions=5_000)
+        assert contended.ipc / isolation.ipc < 1.0
+
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.branch",
+    "repro.cache",
+    "repro.cache.partition",
+    "repro.cache.replacement",
+    "repro.core",
+    "repro.cpu",
+    "repro.dram",
+    "repro.experiments",
+    "repro.prefetch",
+    "repro.sim",
+    "repro.trace",
+    "repro.util",
+]
+
+
+class TestSubpackageApis:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_lists_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_docstrings_present(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, module_name
+
+
+class TestRegistriesConsistent:
+    def test_replacement_policies_have_unique_names(self):
+        from repro.cache.replacement import POLICIES
+
+        for name, cls in POLICIES.items():
+            assert cls.name == name
+
+    def test_branch_predictors_have_unique_names(self):
+        from repro.branch import PREDICTORS
+
+        for name, cls in PREDICTORS.items():
+            assert cls.name == name
+
+    def test_prefetchers_have_unique_names(self):
+        from repro.prefetch import PREFETCHERS
+
+        for name, cls in PREFETCHERS.items():
+            assert cls.name == name
+
+    def test_partitioners_have_unique_names(self):
+        from repro.cache.partition import PARTITIONERS
+
+        for name, cls in PARTITIONERS.items():
+            assert cls.name == name

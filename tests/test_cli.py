@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace import read_trace
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "49 synthetic" in out
+        assert "470.lbm" in out
+
+    def test_class_filter(self, capsys):
+        assert main(["list", "--class", "core_bound"]) == 0
+        out = capsys.readouterr().out
+        assert "453.povray" in out
+        assert "470.lbm" not in out
+
+
+class TestRun:
+    ARGS = ["--instructions", "3000", "--warmup", "500"]
+
+    def test_isolation(self, capsys):
+        assert main(["run", "435.gromacs"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "isolation" in out
+        assert "IPC" in out
+
+    def test_pinte(self, capsys):
+        assert main(["run", "470.lbm", "--p-induce", "0.5"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "pinte(0.5)" in out
+
+    def test_periodic_mode(self, capsys):
+        assert main(["run", "638.imagick", "--p-induce", "1.0",
+                     "--periodic"] + self.ARGS) == 0
+
+    def test_dram_background(self, capsys):
+        assert main(["run", "470.lbm", "--p-induce", "0.3",
+                     "--dram-background", "50"] + self.ARGS) == 0
+
+    def test_versus(self, capsys):
+        assert main(["run", "470.lbm", "--versus", "450.soplex"]
+                    + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "470.lbm+450.soplex" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["run", "999.bogus"] + self.ARGS)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "470.lbm", "--machine", "cray"])
+
+
+class TestSweep:
+    def test_sweep_classifies(self, capsys):
+        assert main(["sweep", "453.povray", "--p-induce", "0.1", "0.9",
+                     "--instructions", "3000", "--warmup", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted IPC" in out
+        assert "sensitivity: LOW" in out
+
+    def test_sensitive_workload_flagged(self, capsys):
+        assert main(["sweep", "470.lbm", "--p-induce", "0.2", "0.6", "1.0",
+                     "--instructions", "6000", "--warmup", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity: HIGH" in out
+
+
+class TestCharacterize:
+    def test_runs(self, capsys):
+        assert main(["characterize", "453.povray", "--instructions", "6000",
+                     "--warmup", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Declared" in out
+        assert "core_bound" in out
+
+
+class TestMrc:
+    def test_curve_monotone(self, capsys):
+        assert main(["mrc", "470.lbm", "--length", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "Miss rate" in out
+        assert "working-set knee" in out
+
+    def test_core_bound_tiny_knee(self, capsys):
+        assert main(["mrc", "453.povray", "--length", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "knee" in out
+
+
+class TestPartitionStudyCommand:
+    def test_runs(self, capsys):
+        assert main(["partition-study", "--instructions", "6000",
+                     "--warmup", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "Partitioning study" in out
+        assert "casht" in out
+
+
+class TestTrace:
+    def test_writes_trace(self, tmp_path, capsys):
+        output = tmp_path / "out.trace.gz"
+        assert main(["trace", "435.gromacs", str(output),
+                     "--length", "2000"]) == 0
+        trace = read_trace(output)
+        assert len(trace) == 2000
+        assert trace.name == "435.gromacs"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro"

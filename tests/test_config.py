@@ -1,0 +1,93 @@
+"""Unit tests for machine configurations."""
+
+import pytest
+
+from repro.config import (
+    CacheLevelConfig,
+    CoreConfig,
+    MachineConfig,
+    scaled_config,
+    skylake_config,
+    xeon_config,
+)
+
+
+class TestPresets:
+    def test_skylake_matches_paper(self):
+        """Section III-A: 4 MB / 16-way LLC, non-inclusive, 2-channel DRAM."""
+        config = skylake_config()
+        assert config.llc.size == 4 * 1024 * 1024
+        assert config.llc.assoc == 16
+        assert config.inclusion == "non-inclusive"
+        assert config.dram.channels == 2
+
+    def test_scaled_preserves_associativities(self):
+        scaled = scaled_config()
+        skylake = skylake_config()
+        assert scaled.llc.assoc == skylake.llc.assoc
+        assert scaled.l1d.assoc == skylake.l1d.assoc
+
+    def test_scaled_prefetch_string(self):
+        config = scaled_config("NNI")
+        assert config.l1d.prefetcher == "next_line"
+        assert config.l2.prefetcher == "ip_stride"
+
+    def test_xeon_has_rdt_cap(self):
+        config = xeon_config()
+        assert config.llc_way_allocation is not None
+        assert config.llc_way_allocation < config.llc.assoc
+
+    def test_xeon_dram_halved(self):
+        assert xeon_config().dram.channels == 1
+
+
+class TestValidation:
+    def test_bad_cache_level(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(size=0, assoc=4, latency=1)
+
+    def test_bad_issue_width(self):
+        with pytest.raises(ValueError):
+            CoreConfig(issue_width=0)
+
+    def test_bad_mlp(self):
+        with pytest.raises(ValueError):
+            CoreConfig(mlp=0.5)
+
+    def test_bad_inclusion(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="x", inclusion="partial")
+
+    def test_bad_allocation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="x", llc_way_allocation=100)
+
+
+class TestDerivation:
+    def test_with_llc_policy(self):
+        config = scaled_config().with_llc_policy("nmru")
+        assert config.llc.policy == "nmru"
+        assert scaled_config().llc.policy == "rrip"  # original untouched
+
+    def test_with_inclusion(self):
+        assert scaled_config().with_inclusion("exclusive").inclusion == "exclusive"
+
+    def test_with_branch_predictor(self):
+        config = scaled_config().with_branch_predictor("bimodal")
+        assert config.core.branch_predictor == "bimodal"
+
+    def test_with_prefetch_string_resets(self):
+        config = scaled_config("NNI").with_prefetch_string("000")
+        assert config.l1d.prefetcher == "none"
+        assert config.l2.prefetcher == "none"
+
+    def test_derivations_chain(self):
+        config = (scaled_config()
+                  .with_llc_policy("lru")
+                  .with_inclusion("inclusive")
+                  .with_prefetch_string("NN0")
+                  .with_branch_predictor("gshare"))
+        assert config.llc.policy == "lru"
+        assert config.inclusion == "inclusive"
+        assert config.l1d.prefetcher == "next_line"
+        assert config.core.branch_predictor == "gshare"

@@ -1,0 +1,76 @@
+"""Unit tests for trace file I/O."""
+
+import gzip
+
+import pytest
+
+from repro.trace.io import read_trace, write_trace
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.spec_models import get_workload
+from repro.trace.synthetic import build_trace
+
+
+def sample_trace():
+    return Trace("sample", [
+        TraceRecord(0x400000),
+        TraceRecord(0x400004, load_addr=0x1000),
+        TraceRecord(0x400008, load_addr=0x2000, store_addr=0x2000),
+        TraceRecord(0x40000C, is_branch=True, taken=True),
+        TraceRecord(0x400010, load_addr=0x3000, dependent=True),
+    ])
+
+
+class TestRoundTrip:
+    def test_records_survive(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        trace = sample_trace()
+        count = write_trace(trace, path)
+        assert count == 5
+        loaded = read_trace(path)
+        assert loaded.records == trace.records
+
+    def test_name_survives(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        write_trace(sample_trace(), path)
+        assert read_trace(path).name == "sample"
+
+    def test_name_override(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        write_trace(sample_trace(), path, name="other")
+        assert read_trace(path).name == "other"
+
+    def test_iterable_input(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        write_trace(iter(sample_trace().records), path, name="it")
+        assert len(read_trace(path)) == 5
+
+    def test_synthetic_round_trip(self, tmp_path):
+        trace = build_trace(get_workload("435.gromacs"), 3000, 1, 65536)
+        path = tmp_path / "g.trace.gz"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.records == trace.records
+        assert loaded.name == trace.name
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace.gz"
+        write_trace(Trace("empty", []), path)
+        assert len(read_trace(path)) == 0
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trace.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(b"NOTATRACE")
+        with pytest.raises(ValueError, match="bad magic"):
+            read_trace(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        write_trace(sample_trace(), path)
+        raw = gzip.decompress(path.read_bytes())
+        with gzip.open(path, "wb") as fh:
+            fh.write(raw[:-3])  # chop the last record
+        with pytest.raises(ValueError, match="truncated"):
+            read_trace(path)

@@ -1,0 +1,80 @@
+"""Tests for workload-mix construction and coverage."""
+
+import pytest
+
+from repro.trace.mixes import (
+    class_balanced_mixes,
+    pair_coverage,
+    pairs_covered,
+    random_mixes,
+)
+from repro.trace.spec_models import get_workload
+
+NAMES = [f"w{i}" for i in range(10)]
+
+
+class TestRandomMixes:
+    def test_count_and_size(self):
+        mixes = random_mixes(NAMES, n_mixes=5, mix_size=2, seed=1)
+        assert len(mixes) == 5
+        assert all(len(mix) == 2 for mix in mixes)
+
+    def test_distinct_members(self):
+        for mix in random_mixes(NAMES, 10, 4, seed=2):
+            assert len(set(mix)) == 4
+
+    def test_no_duplicate_mixes(self):
+        mixes = random_mixes(NAMES, 20, 2, seed=3)
+        assert len(set(mixes)) == 20
+
+    def test_deterministic(self):
+        assert random_mixes(NAMES, 5, 3, seed=4) == random_mixes(NAMES, 5, 3,
+                                                                 seed=4)
+
+    def test_exhausting_pool_raises(self):
+        with pytest.raises(ValueError, match="distinct mixes"):
+            random_mixes(["a", "b", "c"], n_mixes=10, mix_size=2)
+
+    def test_mix_size_validation(self):
+        with pytest.raises(ValueError):
+            random_mixes(NAMES, 1, 1)
+        with pytest.raises(ValueError):
+            random_mixes(["a", "b"], 1, 3)
+
+
+class TestClassBalanced:
+    def test_one_per_class(self):
+        mixes = class_balanced_mixes(4, ["core_bound", "llc_bound"], seed=1)
+        assert len(mixes) == 4
+        for mix in mixes:
+            assert get_workload(mix[0]).klass == "core_bound"
+            assert get_workload(mix[1]).klass == "llc_bound"
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="no workloads"):
+            class_balanced_mixes(1, ["gpu_bound"])
+
+
+class TestCoverage:
+    def test_pairs_covered(self):
+        covered = pairs_covered([("a", "b", "c")])
+        assert covered == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_full_coverage(self):
+        names = ["a", "b", "c"]
+        mixes = [("a", "b"), ("a", "c"), ("b", "c")]
+        assert pair_coverage(mixes, names) == 1.0
+
+    def test_partial_coverage(self):
+        names = ["a", "b", "c", "d"]  # 6 pairs
+        assert pair_coverage([("a", "b")], names) == pytest.approx(1 / 6)
+
+    def test_paper_scale_coverage_is_tiny(self):
+        """The paper's Table I point: an affordable mix set covers a sliver
+        of the 188-trace pair matrix."""
+        names = [f"t{i}" for i in range(188)]
+        mixes = random_mixes(names, n_mixes=100, mix_size=2, seed=5)
+        assert pair_coverage(mixes, names) < 0.01
+
+    def test_empty_names(self):
+        assert pair_coverage([], []) == 0.0

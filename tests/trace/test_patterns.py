@@ -1,0 +1,175 @@
+"""Unit tests for the access-pattern generators."""
+
+import pytest
+
+from repro.trace.patterns import (
+    BLOCK,
+    MixedPhasePattern,
+    PointerChasePattern,
+    RandomPattern,
+    StencilPattern,
+    StreamPattern,
+    WorkingSetPattern,
+    pattern_summary,
+    reuse_distances,
+)
+from repro.util.rng import DeterministicRng
+
+
+def rng():
+    return DeterministicRng(1, "test")
+
+
+class TestStream:
+    def test_sequential(self):
+        pattern = StreamPattern(footprint=4 * BLOCK, stride=BLOCK)
+        r = rng()
+        assert [pattern.next_address(r) for _ in range(5)] == [
+            0, BLOCK, 2 * BLOCK, 3 * BLOCK, 0
+        ]
+
+    def test_stays_in_footprint(self):
+        pattern = StreamPattern(footprint=1024)
+        r = rng()
+        assert all(0 <= pattern.next_address(r) < 1024 for _ in range(100))
+
+    def test_reset(self):
+        pattern = StreamPattern(footprint=1024)
+        r = rng()
+        first = pattern.next_address(r)
+        pattern.next_address(r)
+        pattern.reset()
+        assert pattern.next_address(r) == first
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            StreamPattern(0)
+
+
+class TestPointerChase:
+    def test_single_cycle_covers_all_blocks(self):
+        n_blocks = 32
+        pattern = PointerChasePattern(n_blocks * BLOCK, rng())
+        r = rng()
+        seen = {pattern.next_address(r) // BLOCK for _ in range(n_blocks)}
+        assert seen == set(range(n_blocks))
+
+    def test_periodic(self):
+        n_blocks = 16
+        pattern = PointerChasePattern(n_blocks * BLOCK, rng())
+        r = rng()
+        first_lap = [pattern.next_address(r) for _ in range(n_blocks)]
+        second_lap = [pattern.next_address(r) for _ in range(n_blocks)]
+        assert first_lap == second_lap
+
+    def test_stays_in_footprint(self):
+        pattern = PointerChasePattern(2048, rng())
+        r = rng()
+        assert all(0 <= pattern.next_address(r) < 2048 for _ in range(200))
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(ValueError):
+            PointerChasePattern(BLOCK - 1, rng())
+
+
+class TestWorkingSet:
+    def test_hot_set_dominates(self):
+        pattern = WorkingSetPattern(100 * BLOCK, hot_fraction=0.2,
+                                    hot_probability=0.8)
+        r = rng()
+        hot = sum(
+            1 for _ in range(2000)
+            if pattern.next_address(r) // BLOCK < 20
+        )
+        assert hot / 2000 > 0.7
+
+    def test_stays_in_footprint(self):
+        pattern = WorkingSetPattern(4096)
+        r = rng()
+        assert all(0 <= pattern.next_address(r) < 4096 for _ in range(200))
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            WorkingSetPattern(4096, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            WorkingSetPattern(4096, hot_probability=1.5)
+
+
+class TestStencil:
+    def test_three_point_reuse(self):
+        pattern = StencilPattern(16 * 4096, row_bytes=4096)
+        r = rng()
+        a, b, c = (pattern.next_address(r) for _ in range(3))
+        assert b - a == 4096
+        assert c - b == 4096
+
+    def test_stays_in_footprint(self):
+        pattern = StencilPattern(16 * 4096, row_bytes=4096)
+        r = rng()
+        assert all(0 <= pattern.next_address(r) < 16 * 4096 for _ in range(500))
+
+    def test_rejects_small_footprint(self):
+        with pytest.raises(ValueError):
+            StencilPattern(2 * 4096, row_bytes=4096)
+
+
+class TestRandom:
+    def test_block_aligned(self):
+        pattern = RandomPattern(64 * BLOCK)
+        r = rng()
+        assert all(pattern.next_address(r) % BLOCK == 0 for _ in range(100))
+
+    def test_covers_footprint_eventually(self):
+        pattern = RandomPattern(8 * BLOCK)
+        r = rng()
+        seen = {pattern.next_address(r) // BLOCK for _ in range(500)}
+        assert seen == set(range(8))
+
+
+class TestMixedPhase:
+    def test_phase_switching(self):
+        stream = StreamPattern(4 * BLOCK)
+        random_pattern = RandomPattern(1024 * BLOCK)
+        mixed = MixedPhasePattern([stream, random_pattern], phase_length=4)
+        r = rng()
+        first_phase = [mixed.next_address(r) for _ in range(4)]
+        assert first_phase == [0, BLOCK, 2 * BLOCK, 3 * BLOCK]
+        # Next phase comes from the big random pattern: almost surely outside
+        # the 4-block stream footprint at least once.
+        second_phase = [mixed.next_address(r) for _ in range(4)]
+        assert any(address >= 4 * BLOCK for address in second_phase)
+
+    def test_footprint_is_max(self):
+        mixed = MixedPhasePattern([StreamPattern(1024), RandomPattern(8192)])
+        assert mixed.footprint == 8192
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MixedPhasePattern([])
+
+
+class TestReuseDistances:
+    def test_first_touch_is_minus_one(self):
+        assert reuse_distances([0, 64, 128]) == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([0, 0]) == [-1, 0]
+
+    def test_stack_distance(self):
+        # 0, 64, 0: one distinct block touched between reuses of 0.
+        assert reuse_distances([0, 64, 0]) == [-1, -1, 1]
+
+    def test_same_block_different_offset(self):
+        assert reuse_distances([0, 32]) == [-1, 0]
+
+
+class TestPatternSummary:
+    def test_stream_has_no_short_reuse(self):
+        median, distinct = pattern_summary(StreamPattern(1024 * BLOCK), rng(),
+                                           n=512)
+        assert distinct == 512  # never wrapped
+
+    def test_working_set_has_short_reuse(self):
+        median, distinct = pattern_summary(WorkingSetPattern(64 * BLOCK), rng(),
+                                           n=2048)
+        assert median < 32

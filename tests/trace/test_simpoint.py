@@ -1,0 +1,69 @@
+"""Unit tests for simpoint weighting."""
+
+import pytest
+
+from repro.trace.simpoint import (
+    SimpointWeight,
+    normalise,
+    uniform_weights,
+    weighted_metric,
+    weighted_metrics,
+)
+
+
+class TestNormalise:
+    def test_sums_to_one(self):
+        weights = normalise([SimpointWeight("a", 2), SimpointWeight("b", 6)])
+        assert abs(sum(w.weight for w in weights) - 1.0) < 1e-12
+        assert weights[0].weight == pytest.approx(0.25)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            normalise([SimpointWeight("a", 0.0)])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            SimpointWeight("a", -1.0)
+
+
+class TestWeightedMetric:
+    def test_weighted_average(self):
+        weights = [SimpointWeight("a", 1), SimpointWeight("b", 3)]
+        value = weighted_metric({"a": 1.0, "b": 2.0}, weights)
+        assert value == pytest.approx(1.75)
+
+    def test_missing_trace_raises(self):
+        weights = [SimpointWeight("a", 1), SimpointWeight("b", 1)]
+        with pytest.raises(KeyError, match="missing"):
+            weighted_metric({"a": 1.0}, weights)
+
+    def test_unnormalised_weights_accepted(self):
+        weights = [SimpointWeight("a", 10), SimpointWeight("b", 30)]
+        assert weighted_metric({"a": 1.0, "b": 2.0}, weights) == pytest.approx(1.75)
+
+
+class TestUniformWeights:
+    def test_equal_shares(self):
+        weights = uniform_weights(["a", "b", "c", "d"])
+        assert all(w.weight == pytest.approx(0.25) for w in weights)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            uniform_weights([])
+
+
+class TestWeightedMetrics:
+    def test_multiple_metrics(self):
+        weights = [SimpointWeight("a", 1), SimpointWeight("b", 1)]
+        per_trace = {
+            "a": {"ipc": 1.0, "mr": 0.2},
+            "b": {"ipc": 3.0, "mr": 0.4},
+        }
+        combined = weighted_metrics(per_trace, weights)
+        assert combined["ipc"] == pytest.approx(2.0)
+        assert combined["mr"] == pytest.approx(0.3)
+
+    def test_only_common_keys(self):
+        weights = [SimpointWeight("a", 1), SimpointWeight("b", 1)]
+        per_trace = {"a": {"ipc": 1.0, "extra": 5.0}, "b": {"ipc": 3.0}}
+        assert set(weighted_metrics(per_trace, weights)) == {"ipc"}

@@ -1,0 +1,110 @@
+"""Unit tests for the SPEC-like workload registry."""
+
+import pytest
+
+from repro.trace.spec_models import (
+    CACHE_FRIENDLY,
+    CORE_BOUND,
+    DRAM_BOUND,
+    LLC_BOUND,
+    MIXED,
+    SPEC_WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    suite_names,
+    workloads_by_class,
+    workloads_by_suite,
+)
+from repro.util.rng import DeterministicRng
+
+LLC_BYTES = 65536
+
+
+class TestRegistry:
+    def test_covers_all_table2_benchmarks(self):
+        """Table II lists 29 SPEC 2006 and 20 SPEC 2017 speed benchmarks."""
+        assert len(workloads_by_suite("spec2006")) == 29
+        assert len(workloads_by_suite("spec2017")) == 20
+
+    def test_every_class_represented(self):
+        for klass in (CORE_BOUND, CACHE_FRIENDLY, LLC_BOUND, DRAM_BOUND, MIXED):
+            assert workloads_by_class(klass), f"no workloads in class {klass}"
+
+    def test_paper_llc_bound_annotations(self):
+        """The paper's '+' benchmarks must be modelled as LLC-bound."""
+        for name in ("450.soplex", "471.omnetpp", "473.astar", "605.mcf"):
+            assert get_workload(name).klass == LLC_BOUND, name
+
+    def test_paper_core_bound_annotations(self):
+        """The paper's '*' benchmarks must be modelled as core-bound."""
+        for name in ("456.hmmer", "465.tonto", "638.imagick", "641.leela"):
+            assert get_workload(name).klass == CORE_BOUND, name
+
+    def test_dram_bound_annotations(self):
+        for name in ("429.mcf", "462.libquantum", "602.gcc"):
+            assert get_workload(name).klass == DRAM_BOUND, name
+
+    def test_get_workload_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("999.nope")
+
+    def test_suite_names_sorted_and_complete(self):
+        names = suite_names()
+        assert names == sorted(names)
+        assert len(names) == len(SPEC_WORKLOADS) == 49
+
+
+class TestFootprints:
+    def test_llc_bound_fit_isolation(self):
+        """LLC-bound models must (mostly) fit the LLC so contention can hurt."""
+        for spec in workloads_by_class(LLC_BOUND):
+            assert spec.footprint_factor <= 1.2, spec.name
+
+    def test_dram_bound_exceed_llc(self):
+        for spec in workloads_by_class(DRAM_BOUND):
+            assert spec.footprint_factor >= 2.0, spec.name
+
+    def test_core_bound_fit_private_caches(self):
+        for spec in workloads_by_class(CORE_BOUND):
+            assert spec.footprint_factor <= 0.1, spec.name
+
+
+class TestValidation:
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", "synthetic", CORE_BOUND, "stream", -1.0)
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", "synthetic", CORE_BOUND, "stream", 1.0,
+                         mem_fraction=1.5)
+
+    def test_mixed_requires_phases(self):
+        with pytest.raises(ValueError, match="phase_patterns"):
+            WorkloadSpec("x", "synthetic", MIXED, "mixed", 1.0)
+
+
+class TestBuildPattern:
+    def test_every_spec_builds(self):
+        for spec in SPEC_WORKLOADS.values():
+            pattern = spec.build_pattern(LLC_BYTES, DeterministicRng(1, spec.name))
+            rng = DeterministicRng(2, spec.name)
+            addresses = [pattern.next_address(rng) for _ in range(64)]
+            assert all(0 <= a < max(4096, pattern.footprint) for a in addresses)
+
+    def test_footprint_scales_with_llc(self):
+        spec = get_workload("470.lbm")
+        small = spec.build_pattern(65536, DeterministicRng(1))
+        large = spec.build_pattern(65536 * 4, DeterministicRng(1))
+        assert large.footprint == pytest.approx(4 * small.footprint, rel=0.001)
+
+    def test_minimum_footprint_clamp(self):
+        spec = get_workload("648.exchange2")  # 0.005 factor
+        pattern = spec.build_pattern(65536, DeterministicRng(1))
+        assert pattern.footprint >= 4096
+
+    def test_unknown_pattern_kind_raises(self):
+        from repro.trace.spec_models import _build_pattern
+
+        with pytest.raises(ValueError, match="unknown pattern"):
+            _build_pattern("bogus", 4096, DeterministicRng(1))

@@ -1,0 +1,109 @@
+"""Unit tests for synthetic trace generation."""
+
+import pytest
+
+from repro.trace.record import TraceRecord
+from repro.trace.spec_models import get_workload
+from repro.trace.synthetic import (
+    CODE_BASE,
+    DATA_BASE,
+    DEFAULT_BODY_SIZE,
+    PC_STRIDE,
+    build_trace,
+    generate_records,
+)
+
+LLC = 65536
+
+
+class TestDeterminism:
+    def test_same_inputs_same_trace(self):
+        spec = get_workload("435.gromacs")
+        a = list(generate_records(spec, 2000, 7, LLC))
+        b = list(generate_records(spec, 2000, 7, LLC))
+        assert a == b
+
+    def test_different_seed_different_addresses(self):
+        spec = get_workload("450.soplex")
+        a = [r.load_addr for r in generate_records(spec, 2000, 1, LLC) if r.load_addr]
+        b = [r.load_addr for r in generate_records(spec, 2000, 2, LLC) if r.load_addr]
+        assert a != b
+
+
+class TestInstructionMix:
+    def test_exact_count(self):
+        spec = get_workload("400.perlbench")
+        assert len(build_trace(spec, 12345, 1, LLC)) == 12345
+
+    def test_zero_instructions(self):
+        spec = get_workload("400.perlbench")
+        assert len(build_trace(spec, 0, 1, LLC)) == 0
+
+    def test_negative_rejected(self):
+        spec = get_workload("400.perlbench")
+        with pytest.raises(ValueError):
+            list(generate_records(spec, -1, 1, LLC))
+
+    def test_mem_fraction_approximate(self):
+        spec = get_workload("470.lbm")  # mem_fraction 0.45
+        trace = build_trace(spec, 20000, 1, LLC)
+        loads = sum(1 for r in trace if r.load_addr is not None)
+        assert abs(loads / len(trace) - spec.mem_fraction) < 0.08
+
+    def test_branch_fraction_approximate(self):
+        spec = get_workload("445.gobmk")  # branch_fraction 0.22
+        trace = build_trace(spec, 20000, 1, LLC)
+        branches = sum(1 for r in trace if r.is_branch)
+        assert abs(branches / len(trace) - spec.branch_fraction) < 0.08
+
+    def test_store_only_on_load_slots(self):
+        spec = get_workload("456.hmmer")
+        trace = build_trace(spec, 5000, 1, LLC)
+        for record in trace:
+            if record.store_addr is not None:
+                assert record.store_addr == record.load_addr
+
+    def test_always_at_least_one_branch_site(self):
+        """Even a 0-branch spec gets a loop-closing branch."""
+        from repro.trace.spec_models import WorkloadSpec
+
+        spec = WorkloadSpec("nobranch", "synthetic", "core_bound",
+                            "working_set", 0.1, branch_fraction=0.0)
+        trace = build_trace(spec, 1000, 1, LLC)
+        assert any(r.is_branch for r in trace)
+
+
+class TestAddressLayout:
+    def test_pcs_in_code_segment(self):
+        spec = get_workload("435.gromacs")
+        trace = build_trace(spec, 2000, 1, LLC)
+        for record in trace:
+            assert CODE_BASE <= record.pc < CODE_BASE + DEFAULT_BODY_SIZE * PC_STRIDE
+
+    def test_data_in_data_segment(self):
+        spec = get_workload("435.gromacs")
+        trace = build_trace(spec, 2000, 1, LLC)
+        for record in trace:
+            if record.load_addr is not None:
+                assert record.load_addr >= DATA_BASE
+
+    def test_pc_stream_loops(self):
+        """Branch PCs must repeat so predictors can learn them."""
+        spec = get_workload("435.gromacs")
+        trace = build_trace(spec, 4 * DEFAULT_BODY_SIZE, 1, LLC)
+        branch_pcs = [r.pc for r in trace if r.is_branch]
+        assert len(set(branch_pcs)) < len(branch_pcs)
+
+
+class TestDependency:
+    def test_chase_marks_dependent_loads(self):
+        spec = get_workload("429.mcf")  # dependency 0.9
+        trace = build_trace(spec, 10000, 1, LLC)
+        loads = [r for r in trace if r.load_addr is not None]
+        dependent = sum(1 for r in loads if r.dependent)
+        assert dependent / len(loads) > 0.8
+
+    def test_stream_has_no_dependent_loads(self):
+        spec = get_workload("470.lbm")  # dependency 0.0
+        trace = build_trace(spec, 5000, 1, LLC)
+        assert not any(r.dependent for r in trace)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+
+from repro.util.bitops import (
+    block_address,
+    block_offset,
+    ceil_div,
+    fold_xor,
+    ilog2,
+    is_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, 3, 5, 6, 7, 9, 12, 100, 1000):
+            assert not is_power_of_two(value)
+
+    def test_negative(self):
+        assert not is_power_of_two(-4)
+
+
+class TestIlog2:
+    def test_round_trip(self):
+        for exponent in range(24):
+            assert ilog2(1 << exponent) == exponent
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestBlockAddressing:
+    def test_block_address_aligns_down(self):
+        assert block_address(0x1234, 64) == 0x1200
+
+    def test_block_address_identity_when_aligned(self):
+        assert block_address(0x1200, 64) == 0x1200
+
+    def test_offset(self):
+        assert block_offset(0x1234, 64) == 0x34
+
+    def test_address_splits_into_block_and_offset(self):
+        address = 0xDEADBEEF
+        assert block_address(address, 64) + block_offset(address, 64) == address
+
+
+class TestFoldXor:
+    def test_small_value_unchanged(self):
+        assert fold_xor(0b101, 4) == 0b101
+
+    def test_folds_high_bits(self):
+        # 0b1_0000 folded to 4 bits: high bit XORs into position 0.
+        assert fold_xor(0b10000, 4) == 0b0001
+
+    def test_zero(self):
+        assert fold_xor(0, 8) == 0
+
+    def test_result_fits_in_bits(self):
+        for value in (0xFFFF, 0x12345678, 0xDEADBEEF):
+            assert fold_xor(value, 10) < (1 << 10)
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ValueError):
+            fold_xor(5, 0)

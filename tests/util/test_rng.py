@@ -1,0 +1,85 @@
+"""Unit tests for the deterministic RNG."""
+
+from repro.util.rng import MAX_RANDOM, DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42, "x")
+        b = DeterministicRng(42, "x")
+        assert [a.random() for _ in range(50)] == [b.random() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(2, "x")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_different_salts_differ(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(1, "y")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+class TestTriggerRatio:
+    def test_in_unit_interval(self):
+        rng = DeterministicRng(7)
+        for _ in range(1000):
+            ratio = rng.trigger_ratio()
+            assert 0.0 <= ratio <= 1.0
+
+    def test_matches_eq2_form(self):
+        """The ratio is rand/MAX_RANDOM, so it is a multiple of 1/MAX_RANDOM."""
+        rng = DeterministicRng(7)
+        ratio = rng.trigger_ratio()
+        reconstructed = round(ratio * MAX_RANDOM) / MAX_RANDOM
+        assert abs(ratio - reconstructed) < 1e-12
+
+    def test_roughly_uniform(self):
+        rng = DeterministicRng(11)
+        n = 5000
+        mean = sum(rng.trigger_ratio() for _ in range(n)) / n
+        assert 0.45 < mean < 0.55
+
+
+class TestDraws:
+    def test_randint_bounds_inclusive(self):
+        rng = DeterministicRng(3)
+        values = {rng.randint(0, 3) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    def test_choice(self):
+        rng = DeterministicRng(3)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(20))
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # vanishingly unlikely for 20 elements
+
+    def test_draw_counter(self):
+        rng = DeterministicRng(5)
+        rng.random()
+        rng.randint(0, 1)
+        rng.trigger_ratio()
+        assert rng.draws == 3
+
+
+class TestFork:
+    def test_fork_is_independent(self):
+        parent = DeterministicRng(9, "p")
+        child = parent.fork("c")
+        before = [child.random() for _ in range(5)]
+        # Draining the parent must not affect a fresh fork's stream.
+        parent2 = DeterministicRng(9, "p")
+        for _ in range(100):
+            parent2.random()
+        child2 = parent2.fork("c")
+        assert before == [child2.random() for _ in range(5)]
+
+    def test_fork_salt_chains(self):
+        rng = DeterministicRng(9, "a")
+        assert rng.fork("b").salt == "a/b"
