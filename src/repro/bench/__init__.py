@@ -1,0 +1,17 @@
+"""Performance benchmarking of the simulator's hot paths."""
+
+from repro.bench.datapath import (
+    BENCH_FILE,
+    DatapathBenchResult,
+    load_baseline,
+    run_datapath_bench,
+    write_record,
+)
+
+__all__ = [
+    "BENCH_FILE",
+    "DatapathBenchResult",
+    "load_baseline",
+    "run_datapath_bench",
+    "write_record",
+]

@@ -1,0 +1,154 @@
+"""The per-access LLC data-path microbenchmark.
+
+Every experiment in the reproduction is bottlenecked on the same two loops:
+the cache-only host (:func:`repro.sim.fastcache.simulate_cache_only`) and
+the full-timing host (:func:`repro.sim.simulator.simulate`). This module
+times both on a fixed, seed-pinned workload and records throughput so the
+perf trajectory of the data path is capturable across PRs.
+
+The committed ``benchmarks/reports/BENCH_datapath.json`` carries a
+``seed_baseline`` entry measured on the original object-per-block
+(``CacheBlock``) implementation; ``benchmarks/test_perf_datapath.py`` and
+``python -m repro bench`` compare the current tree against it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.config import scaled_config
+from repro.core import PinteConfig
+from repro.sim.fastcache import simulate_cache_only
+from repro.sim.simulator import simulate
+from repro.trace import build_trace, get_workload
+
+#: Canonical record of data-path throughput, appended to by ``repro bench``.
+BENCH_FILE = (Path(__file__).resolve().parents[3]
+              / "benchmarks" / "reports" / "BENCH_datapath.json")
+
+BENCH_WORKLOAD = "470.lbm"  # LLC-bound: maximises per-access data-path work
+BENCH_SEED = 3
+FASTCACHE_LENGTH = 120_000
+SIM_WARMUP = 4_000
+SIM_INSTRUCTIONS = 24_000
+P_INDUCE = 0.1
+
+
+@dataclass
+class DatapathBenchResult:
+    """Throughput of the two hosts (higher is better)."""
+
+    fastcache_records_per_sec: float
+    fastcache_pinte_records_per_sec: float
+    simulate_instructions_per_sec: float
+    simulate_pinte_instructions_per_sec: float
+    repeats: int
+    python: str = ""
+
+    def speedup_over(self, baseline: "DatapathBenchResult") -> dict:
+        """Per-metric throughput ratio vs ``baseline``."""
+        return {
+            "fastcache": (self.fastcache_records_per_sec
+                          / baseline.fastcache_records_per_sec),
+            "fastcache_pinte": (self.fastcache_pinte_records_per_sec
+                                / baseline.fastcache_pinte_records_per_sec),
+            "simulate": (self.simulate_instructions_per_sec
+                         / baseline.simulate_instructions_per_sec),
+            "simulate_pinte": (self.simulate_pinte_instructions_per_sec
+                               / baseline.simulate_pinte_instructions_per_sec),
+        }
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best (max) throughput over ``repeats`` runs — min-noise estimator."""
+    return max(fn() for _ in range(repeats))
+
+
+def run_datapath_bench(repeats: int = 3, scale: float = 1.0) -> DatapathBenchResult:
+    """Time both hosts on the pinned workload; returns best-of throughput.
+
+    ``scale`` shrinks the workload (quick CI smoke mode uses 0.25).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    config = scaled_config()
+    fast_length = max(2_000, int(FASTCACHE_LENGTH * scale))
+    sim_warmup = max(500, int(SIM_WARMUP * scale))
+    sim_instructions = max(2_000, int(SIM_INSTRUCTIONS * scale))
+    trace_fast = build_trace(get_workload(BENCH_WORKLOAD), fast_length,
+                             BENCH_SEED, config.llc.size)
+    trace_sim = build_trace(get_workload(BENCH_WORKLOAD),
+                            sim_warmup + sim_instructions, BENCH_SEED,
+                            config.llc.size)
+
+    def fastcache(pinte: Optional[PinteConfig]) -> float:
+        start = time.perf_counter()
+        simulate_cache_only(trace_fast, config, pinte=pinte,
+                            warmup_accesses=fast_length // 10, seed=BENCH_SEED)
+        return fast_length / (time.perf_counter() - start)
+
+    def full(pinte: Optional[PinteConfig]) -> float:
+        start = time.perf_counter()
+        simulate(trace_sim, config, pinte=pinte,
+                 warmup_instructions=sim_warmup,
+                 sim_instructions=sim_instructions, seed=BENCH_SEED)
+        return ((sim_warmup + sim_instructions)
+                / (time.perf_counter() - start))
+
+    return DatapathBenchResult(
+        fastcache_records_per_sec=_best_of(repeats, lambda: fastcache(None)),
+        fastcache_pinte_records_per_sec=_best_of(
+            repeats, lambda: fastcache(PinteConfig(P_INDUCE, seed=BENCH_SEED))),
+        simulate_instructions_per_sec=_best_of(repeats, lambda: full(None)),
+        simulate_pinte_instructions_per_sec=_best_of(
+            repeats, lambda: full(PinteConfig(P_INDUCE, seed=BENCH_SEED))),
+        repeats=repeats,
+        python=platform.python_version(),
+    )
+
+
+def load_baseline(path: Optional[Path] = None) -> Optional[DatapathBenchResult]:
+    """The committed seed baseline, or None when the record is missing."""
+    if path is None:
+        path = BENCH_FILE
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text())
+    baseline = data.get("seed_baseline")
+    if baseline is None:
+        return None
+    known = {f for f in DatapathBenchResult.__dataclass_fields__}
+    return DatapathBenchResult(**{k: v for k, v in baseline.items() if k in known})
+
+
+def write_record(result: DatapathBenchResult, path: Optional[Path] = None,
+                 as_baseline: bool = False) -> dict:
+    """Record a run in the bench file; returns the updated document.
+
+    Normal runs land in ``runs`` (an append-only trajectory) and refresh
+    ``current``; ``as_baseline`` (re)writes ``seed_baseline`` instead.
+    """
+    if path is None:
+        path = BENCH_FILE
+    document = json.loads(path.read_text()) if path.exists() else {}
+    entry = asdict(result)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    if as_baseline:
+        document["seed_baseline"] = entry
+    else:
+        document["current"] = entry
+        document.setdefault("runs", []).append(entry)
+        baseline = load_baseline(path)
+        if baseline is not None:
+            document["speedup_vs_seed"] = {
+                metric: round(value, 3)
+                for metric, value in result.speedup_over(baseline).items()
+            }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return document

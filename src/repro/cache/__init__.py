@@ -1,6 +1,6 @@
-"""Cache substrate: blocks, set-associative caches, replacement, hierarchy."""
+"""Cache substrate: flat set state, set-associative caches, replacement,
+hierarchy."""
 
-from repro.cache.block import SYSTEM_OWNER, CacheBlock
 from repro.cache.cache import Cache, CacheStats, EvictedBlock
 from repro.cache.hierarchy import MemoryHierarchy, build_llc
 from repro.cache.replacement import (
@@ -13,10 +13,12 @@ from repro.cache.replacement import (
     TreePlruPolicy,
     make_policy,
 )
+from repro.cache.state import BlockView, CacheSetState, SYSTEM_OWNER
 
 __all__ = [
+    "BlockView",
     "Cache",
-    "CacheBlock",
+    "CacheSetState",
     "CacheStats",
     "EvictedBlock",
     "LruPolicy",

@@ -1,9 +1,10 @@
 """Set-associative cache with owner tracking and reuse histograms.
 
 This is the structural layer: tag lookup, fills, evictions, invalidations,
-replacement-policy bookkeeping, per-set ownership. The *protocol* (which
-level fills when, inclusion behaviour, write-backs) lives in
-:mod:`repro.cache.hierarchy`; the contention accounting lives in
+replacement-policy bookkeeping, per-set ownership. Block metadata lives in a
+flat struct-of-arrays :class:`~repro.cache.state.CacheSetState`; the
+*protocol* (which level fills when, inclusion behaviour, write-backs) lives
+in :mod:`repro.cache.hierarchy`; the contention accounting lives in
 :mod:`repro.core.counters`.
 """
 
@@ -12,12 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement import SEEDED_POLICIES, make_policy
+from repro.cache.state import BlockView, CacheSetState
 from repro.util.bitops import fold_xor, ilog2
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictedBlock:
     """What fell out of the cache on a fill or invalidation."""
 
@@ -103,16 +104,22 @@ class Cache:
             self.policy = make_policy(policy, self.n_sets, self.assoc)
         # Optional per-miss training hook (set-dueling policies like DRRIP).
         self._policy_miss_hook = getattr(self.policy, "record_miss", None)
+        # Hot-path bound methods (the policy object is fixed for life).
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_insert = self.policy.on_insert
+        self._policy_hit_position = self.policy.hit_position
+        self._policy_victim_valid = self.policy._victim_valid
         #: Optional per-owner way quotas (cache partitioning). When an owner
         #: at/above its quota fills, the victim is forced to be one of its
         #: own blocks. Owners without an entry are unconstrained.
         self.way_allocations: dict = {}
-        self.sets: List[List[CacheBlock]] = [
-            [CacheBlock() for _ in range(assoc)] for _ in range(self.n_sets)
-        ]
+        #: Flat block metadata for every (set, way) slot.
+        self.state = CacheSetState(self.n_sets, assoc)
         # Per-set tag map (block_addr -> way) mirroring only *valid* blocks;
         # turns lookups O(1) instead of an associativity-wide scan.
         self._tags: List[dict] = [dict() for _ in range(self.n_sets)]
+        # Reusable eviction-order buffer for the quota-constrained walk.
+        self._order_scratch: List[int] = [0] * assoc
         self.stats = CacheStats()
         self.track_reuse = track_reuse
         #: Hit-position histogram (paper Fig 5): index = position in the
@@ -133,6 +140,22 @@ class Cache:
     def block_address(self, address: int) -> int:
         return address & ~(self.block_size - 1)
 
+    def block(self, set_index: int, way: int) -> BlockView:
+        """Read-only snapshot of one slot (tests, examples, debugging)."""
+        return self.state.view(set_index, way)
+
+    @property
+    def sets(self) -> List[List[BlockView]]:
+        """Read-only snapshot of every slot as nested ``[set][way]`` views.
+
+        Built fresh on each read from the flat state arrays — convenient for
+        tests, examples and debugging, far too slow for simulation loops
+        (those index :attr:`state` directly).
+        """
+        view = self.state.view
+        return [[view(set_index, way) for way in range(self.assoc)]
+                for set_index in range(self.n_sets)]
+
     # -- lookup / access ------------------------------------------------------
     def probe(self, block_addr: int) -> int:
         """Way holding ``block_addr`` or -1; no state change."""
@@ -140,37 +163,54 @@ class Cache:
 
     def access(self, block_addr: int, is_write: bool, owner: int) -> bool:
         """Demand access; updates stats and replacement state. True on hit."""
-        set_index = self.set_index(block_addr)
-        self.stats.accesses += 1
-        if is_write:
-            self.stats.stores += 1
+        block = block_addr >> self._offset_bits
+        if self.hash_index:
+            set_index = fold_xor(block, self._index_bits)
         else:
-            self.stats.loads += 1
+            set_index = block & self._set_mask
+        stats = self.stats
+        stats.accesses += 1
+        if is_write:
+            stats.stores += 1
+        else:
+            stats.loads += 1
         way = self._tags[set_index].get(block_addr, -1)
         if way >= 0:
-            block = self.sets[set_index][way]
-            self.stats.hits += 1
+            state = self.state
+            index = set_index * self.assoc + way
+            stats.hits += 1
             if is_write:
-                self.stats.store_hits += 1
-                block.dirty = True
+                stats.store_hits += 1
+                state.dirty[index] = 1
             else:
-                self.stats.load_hits += 1
-            if block.prefetched:
-                block.prefetched = False
-                self.stats.prefetch_useful += 1
+                stats.load_hits += 1
+            if state.prefetched[index]:
+                state.prefetched[index] = 0
+                stats.prefetch_useful += 1
             if self.track_reuse:
-                self._record_reuse(set_index, way, owner)
-            self.policy.on_hit(set_index, way)
+                # _record_reuse, inlined (this runs on every tracked hit).
+                position = self._policy_hit_position(set_index, way)
+                self.reuse_histogram[position] += 1
+                histogram = self.reuse_by_owner.get(owner)
+                if histogram is None:
+                    histogram = [0] * self.assoc
+                    self.reuse_by_owner[owner] = histogram
+                histogram[position] += 1
+            self._policy_on_hit(set_index, way)
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         if self._policy_miss_hook is not None:
             self._policy_miss_hook(set_index)
         return False
 
     def _record_reuse(self, set_index: int, way: int, owner: int) -> None:
-        """Record the replacement-stack position of a hit (0 = protected end)."""
-        order = self.policy.eviction_order(set_index)
-        position = self.assoc - 1 - order.index(way)
+        """Record the replacement-stack position of a hit (0 = protected end).
+
+        The position comes straight from the policy
+        (:meth:`~repro.cache.replacement.base.ReplacementPolicy.hit_position`)
+        instead of materialising the whole eviction order and scanning it.
+        """
+        position = self.policy.hit_position(set_index, way)
         self.reuse_histogram[position] += 1
         histogram = self.reuse_by_owner.get(owner)
         if histogram is None:
@@ -196,56 +236,98 @@ class Cache:
         forced to be one of the owner's own blocks instead of the global
         replacement choice.
         """
-        set_index = self.set_index(block_addr)
-        blocks = self.sets[set_index]
+        block = block_addr >> self._offset_bits
+        if self.hash_index:
+            set_index = fold_xor(block, self._index_bits)
+        else:
+            set_index = block & self._set_mask
+        state = self.state
         tags = self._tags[set_index]
+        stats = self.stats
         existing = tags.get(block_addr, -1)
         if existing >= 0:
-            block = blocks[existing]
-            block.dirty = block.dirty or dirty
+            if dirty:
+                state.dirty[set_index * self.assoc + existing] = 1
             if is_writeback_fill:
-                self.stats.writeback_fills += 1
+                stats.writeback_fills += 1
             return None
-        way = self._choose_victim(set_index, blocks, owner, max_owner_ways)
-        block = blocks[way]
+        if max_owner_ways is None and not self.way_allocations:
+            # Unconstrained fill (the common case): prefer an invalid way via
+            # the C-speed byte scan, else the policy picks among valid ones.
+            base = set_index * self.assoc
+            way = state.valid.find(0, base, base + self.assoc)
+            way = way - base if way >= 0 else self._policy_victim_valid(
+                set_index, state)
+        else:
+            way = self._choose_victim(set_index, owner, max_owner_ways)
+        index = set_index * self.assoc + way
         evicted: Optional[EvictedBlock] = None
-        if block.valid:
-            evicted = EvictedBlock(block.tag, block.dirty, block.owner, block.prefetched)
-            del tags[block.tag]
-            self.stats.evictions += 1
-            if block.dirty:
-                self.stats.writebacks += 1
-        block.fill(block_addr, owner, dirty=dirty, prefetched=prefetched)
+        # state.clear + state.install, inlined (this is the hottest write
+        # path): replacing a valid block leaves total_valid unchanged and
+        # only moves per-owner counters when the owner actually changes.
+        if state.valid[index]:
+            old_tag = state.tags[index]
+            old_dirty = state.dirty[index]
+            old_owner = state.owners[index]
+            evicted = EvictedBlock(old_tag, old_dirty != 0, old_owner,
+                                   state.prefetched[index] != 0)
+            del tags[old_tag]
+            stats.evictions += 1
+            if old_dirty:
+                stats.writebacks += 1
+            if old_owner != owner:
+                counts = state.owner_counts
+                counts[old_owner] -= 1
+                counts[owner] = counts.get(owner, 0) + 1
+                state.owners[index] = owner
+        else:
+            state.valid[index] = 1
+            state.total_valid += 1
+            counts = state.owner_counts
+            counts[owner] = counts.get(owner, 0) + 1
+            state.owners[index] = owner
+        state.tags[index] = block_addr
+        state.dirty[index] = 1 if dirty else 0
+        state.prefetched[index] = 1 if prefetched else 0
         tags[block_addr] = way
         if prefetched:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         if is_writeback_fill:
-            self.stats.writeback_fills += 1
-        self.policy.on_insert(set_index, way)
+            stats.writeback_fills += 1
+        self._policy_on_insert(set_index, way)
         return evicted
 
-    def _choose_victim(self, set_index: int, blocks: List[CacheBlock],
-                       owner: int, max_owner_ways: Optional[int]) -> int:
+    def _choose_victim(self, set_index: int, owner: int,
+                       max_owner_ways: Optional[int]) -> int:
         """Victim way, honouring an optional per-owner allocation cap.
 
         The cap is the tighter of the per-call ``max_owner_ways`` (RDT-style
         global cap) and this owner's entry in :attr:`way_allocations`
         (partitioning quota).
         """
-        quota = self.way_allocations.get(owner)
-        if quota is not None:
-            max_owner_ways = (quota if max_owner_ways is None
-                              else min(quota, max_owner_ways))
+        state = self.state
+        if self.way_allocations:
+            quota = self.way_allocations.get(owner)
+            if quota is not None:
+                max_owner_ways = (quota if max_owner_ways is None
+                                  else min(quota, max_owner_ways))
         if max_owner_ways is not None:
-            owner_ways = sum(
-                1 for block in blocks if block.valid and block.owner == owner
-            )
-            if owner_ways >= max_owner_ways:
-                for way in self.policy.eviction_order(set_index):
-                    block = blocks[way]
-                    if block.valid and block.owner == owner:
+            if state.owner_ways_in_set(set_index, owner) >= max_owner_ways:
+                base = set_index * self.assoc
+                valid = state.valid
+                owners = state.owners
+                for way in self.policy.eviction_order_into(
+                        set_index, self._order_scratch):
+                    index = base + way
+                    if valid[index] and owners[index] == owner:
                         return way
-        return self.policy.victim(set_index, blocks)
+        # policy.victim, inlined: prefer an invalid way (C-speed byte scan),
+        # else ask the policy to pick among the valid ones.
+        base = set_index * self.assoc
+        way = state.valid.find(0, base, base + self.assoc)
+        if way >= 0:
+            return way - base
+        return self.policy._victim_valid(set_index, state)
 
     def invalidate(self, block_addr: int) -> Optional[EvictedBlock]:
         """Drop ``block_addr`` if present; returns its state for write-back."""
@@ -253,40 +335,48 @@ class Cache:
         way = self._tags[set_index].pop(block_addr, -1)
         if way < 0:
             return None
-        block = self.sets[set_index][way]
-        info = EvictedBlock(block.tag, block.dirty, block.owner, block.prefetched)
-        block.invalidate()
+        state = self.state
+        index = set_index * self.assoc + way
+        info = EvictedBlock(state.tags[index], bool(state.dirty[index]),
+                            state.owners[index], bool(state.prefetched[index]))
+        state.clear(index)
         self.stats.invalidations += 1
         return info
 
     def invalidate_way(self, set_index: int, way: int) -> Optional[EvictedBlock]:
         """Drop a block by position (the PInTE engine's INVALIDATE state)."""
-        block = self.sets[set_index][way]
-        if not block.valid:
+        state = self.state
+        index = set_index * self.assoc + way
+        if not state.valid[index]:
             return None
-        info = EvictedBlock(block.tag, block.dirty, block.owner, block.prefetched)
-        self._tags[set_index].pop(block.tag, None)
-        block.invalidate()
+        tag = state.tags[index]
+        owner = state.owners[index]
+        info = EvictedBlock(tag, state.dirty[index] != 0, owner,
+                            state.prefetched[index] != 0)
+        self._tags[set_index].pop(tag, None)
+        # state.clear, inlined (PInTE's INVALIDATE path is hot).
+        state.valid[index] = 0
+        state.dirty[index] = 0
+        state.prefetched[index] = 0
+        state.total_valid -= 1
+        state.owner_counts[owner] -= 1
         self.stats.invalidations += 1
         return info
 
     def mark_dirty(self, block_addr: int) -> bool:
         """Set the dirty bit on a resident block (write-back arrival)."""
-        way = self.probe(block_addr)
+        set_index = self.set_index(block_addr)
+        way = self._tags[set_index].get(block_addr, -1)
         if way < 0:
             return False
-        self.sets[self.set_index(block_addr)][way].dirty = True
+        self.state.dirty[set_index * self.assoc + way] = 1
         return True
 
     # -- occupancy ------------------------------------------------------------
     def occupancy(self, owner: Optional[int] = None) -> int:
-        """Number of valid blocks (optionally for one owner)."""
-        count = 0
-        for blocks in self.sets:
-            for block in blocks:
-                if block.valid and (owner is None or block.owner == owner):
-                    count += 1
-        return count
+        """Number of valid blocks (optionally for one owner) — O(1), read
+        from the state layer's incrementally-maintained counters."""
+        return self.state.occupancy(owner)
 
     @property
     def capacity_blocks(self) -> int:

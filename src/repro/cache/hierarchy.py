@@ -23,8 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.cache.block import SYSTEM_OWNER
 from repro.cache.cache import Cache, EvictedBlock
+from repro.owners import SYSTEM_OWNER
 from repro.config import MachineConfig
 from repro.core.counters import ContentionTracker
 from repro.dram import Dram
@@ -121,31 +121,39 @@ class MemoryHierarchy:
 
     def _demand(self, l1: Cache, l1_prefetcher: Optional[Prefetcher],
                 pc: int, block: int, is_write: bool, cycle: int) -> int:
+        owner = self.owner
         latency = l1.latency
-        if l1.access(block, is_write, self.owner):
-            self._run_prefetcher(l1, l1_prefetcher, pc, block, True, cycle + latency)
+        if l1.access(block, is_write, owner):
+            if l1_prefetcher is not None:
+                self._run_prefetcher(l1, l1_prefetcher, pc, block, True,
+                                     cycle + latency)
             return latency
 
         # L1 miss -> L2
-        latency += self.l2.latency
-        l2_hit = self.l2.access(block, False, self.owner)
-        self._run_prefetcher(self.l2, self.l2_prefetcher, pc, block, l2_hit,
-                             cycle + latency)
+        l2 = self.l2
+        latency += l2.latency
+        l2_hit = l2.access(block, False, owner)
+        if self.l2_prefetcher is not None:
+            self._run_prefetcher(l2, self.l2_prefetcher, pc, block, l2_hit,
+                                 cycle + latency)
         if l2_hit:
             self._fill_l1(l1, block, is_write, cycle + latency)
-            self._run_prefetcher(l1, l1_prefetcher, pc, block, False, cycle + latency)
+            if l1_prefetcher is not None:
+                self._run_prefetcher(l1, l1_prefetcher, pc, block, False,
+                                     cycle + latency)
             return latency
 
         # L2 miss -> LLC
-        latency += self.llc.latency
-        llc_hit = self.llc.access(block, False, self.owner)
-        self.tracker.record_access(self.owner, block, llc_hit)
+        llc = self.llc
+        latency += llc.latency
+        llc_hit = llc.access(block, False, owner)
+        self.tracker.record_access(owner, block, llc_hit)
         if self.llc_access_hook is not None:
-            self.llc_access_hook(self.owner, block, llc_hit)
+            self.llc_access_hook(owner, block, llc_hit)
         dirty_from_llc = False
         if llc_hit:
             if self.inclusion == "exclusive":
-                info = self.llc.invalidate(block)
+                info = llc.invalidate(block)
                 dirty_from_llc = bool(info and info.dirty)
         else:
             latency += self.dram.access(block, cycle + latency, is_write=False)
@@ -154,13 +162,15 @@ class MemoryHierarchy:
 
         self._fill_l2(block, cycle + latency, dirty=dirty_from_llc)
         self._fill_l1(l1, block, is_write, cycle + latency)
-        self._run_prefetcher(l1, l1_prefetcher, pc, block, False, cycle + latency)
+        if l1_prefetcher is not None:
+            self._run_prefetcher(l1, l1_prefetcher, pc, block, False,
+                                 cycle + latency)
 
         # The PInTE hook: fires after every LLC demand access (UPDATE-ACCESS
         # has happened -- either the hit promotion or the miss fill above).
         if self.pinte is not None:
-            self.pinte.on_llc_access(self.llc.set_index(block), cycle + latency,
-                                     self.owner)
+            self.pinte.on_llc_access(llc.set_index(block), cycle + latency,
+                                     owner)
         return latency
 
     # ------------------------------------------------------------------- fills

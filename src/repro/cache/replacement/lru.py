@@ -30,8 +30,21 @@ class LruPolicy(ReplacementPolicy):
     def on_insert(self, set_index: int, way: int) -> None:
         self._touch(set_index, way)
 
-    def eviction_order(self, set_index: int) -> List[int]:
-        return list(reversed(self._stacks[set_index]))
+    def eviction_order_into(self, set_index: int, out: List[int]) -> List[int]:
+        stack = self._stacks[set_index]
+        last = self.n_ways - 1
+        for position, way in enumerate(stack):
+            out[last - position] = way
+        return out
 
     def promote(self, set_index: int, way: int) -> None:
         self._touch(set_index, way)
+
+    def _victim_valid(self, set_index, state) -> int:
+        # The eviction end is the recency stack's tail — O(1), no read-out.
+        return self._stacks[set_index][-1]
+
+    def hit_position(self, set_index: int, way: int) -> int:
+        # The recency stack is MRU-first, so the position from the protected
+        # end is just the way's index in the stack — no copy, no reversal.
+        return self._stacks[set_index].index(way)

@@ -8,10 +8,10 @@ movement through a stack.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.state import CacheSetState
 from repro.util.rng import DeterministicRng
 
 
@@ -34,7 +34,7 @@ class NmruPolicy(ReplacementPolicy):
     def promote(self, set_index: int, way: int) -> None:
         self._mru[set_index] = way
 
-    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+    def _victim_valid(self, set_index: int, state: CacheSetState) -> int:
         if self.n_ways == 1:
             return 0
         way = self._rng.randint(0, self.n_ways - 2)
@@ -42,12 +42,33 @@ class NmruPolicy(ReplacementPolicy):
             way += 1
         return way
 
-    def eviction_order(self, set_index: int) -> List[int]:
-        """Non-MRU ways (deterministic rotation for spread), MRU last."""
+    def eviction_order_into(self, set_index: int, out: List[int]) -> List[int]:
+        """Non-MRU ways (deterministic rotation for spread), MRU last.
+
+        The rotation of ``others = [w for w != mru]`` by ``set_index`` is
+        computed arithmetically: ``others[j]`` is ``j``, bumped past the MRU
+        way — no intermediate lists.
+        """
+        n_ways = self.n_ways
         mru = self._mru[set_index]
-        others = [w for w in range(self.n_ways) if w != mru]
-        # Rotate by set index so PInTE's walk doesn't always hammer way 0.
-        if others:
-            pivot = set_index % len(others)
-            others = others[pivot:] + others[:pivot]
-        return others + [mru]
+        n_others = n_ways - 1
+        if n_others:
+            # Rotate by set index so PInTE's walk doesn't always hammer way 0.
+            pivot = set_index % n_others
+            for position in range(n_others):
+                other = (pivot + position) % n_others
+                out[position] = other + 1 if other >= mru else other
+        out[n_ways - 1] = mru
+        return out
+
+    def hit_position(self, set_index: int, way: int) -> int:
+        # MRU sits at the protected end; everything else inverts the
+        # rotation above.
+        mru = self._mru[set_index]
+        if way == mru:
+            return 0
+        n_others = self.n_ways - 1
+        pivot = set_index % n_others
+        other = way - 1 if way > mru else way
+        position = (other - pivot) % n_others
+        return self.n_ways - 1 - position

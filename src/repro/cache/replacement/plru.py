@@ -8,10 +8,10 @@ partitioned-cache patent the paper cites).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.state import CacheSetState
 from repro.util.bitops import is_power_of_two
 
 
@@ -27,6 +27,9 @@ class TreePlruPolicy(ReplacementPolicy):
         # Bits stored as a heap: node i has children 2i+1 / 2i+2; n_ways - 1
         # internal nodes. Bit value 0 means "LRU side is left".
         self._bits: List[List[int]] = [[0] * (n_ways - 1) for _ in range(n_sets)]
+        # Reusable scratch for the eviction-order extraction walk.
+        self._scratch_bits: List[int] = [0] * (n_ways - 1)
+        self._scratch_taken = bytearray(n_ways)
 
     def _leaf_base(self) -> int:
         return self.n_ways - 1
@@ -56,26 +59,29 @@ class TreePlruPolicy(ReplacementPolicy):
             node = 2 * node + 1 + bits[node]
         return node - self._leaf_base()
 
-    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+    def _victim_valid(self, set_index: int, state: CacheSetState) -> int:
         return self._victim_from(self._bits[set_index], 0)
 
-    def eviction_order(self, set_index: int) -> List[int]:
+    def eviction_order_into(self, set_index: int, out: List[int]) -> List[int]:
         """Approximate full stack: repeatedly extract victims on a scratch
         copy of the tree, touching each extracted way."""
-        bits = list(self._bits[set_index])
-        order: List[int] = []
-        seen = set()
-        while len(order) < self.n_ways:
+        bits = self._scratch_bits
+        bits[:] = self._bits[set_index]
+        taken = self._scratch_taken
+        for way in range(self.n_ways):
+            taken[way] = 0
+        leaf_base = self._leaf_base()
+        for position in range(self.n_ways):
             way = self._victim_from(bits, 0)
-            if way in seen:
+            if taken[way]:
                 # Defensive: flip the lowest untouched path instead.
-                way = next(w for w in range(self.n_ways) if w not in seen)
-            order.append(way)
-            seen.add(way)
+                way = next(w for w in range(self.n_ways) if not taken[w])
+            out[position] = way
+            taken[way] = 1
             # Touch on the scratch tree so the next extraction differs.
-            node = self._leaf_base() + way
+            node = leaf_base + way
             while node > 0:
                 parent = (node - 1) // 2
                 bits[parent] = 1 if node == 2 * parent + 1 else 0
                 node = parent
-        return order
+        return out

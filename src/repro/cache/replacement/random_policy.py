@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.state import CacheSetState
 from repro.util.rng import DeterministicRng
 
 
@@ -27,10 +27,13 @@ class RandomPolicy(ReplacementPolicy):
     def promote(self, set_index: int, way: int) -> None:
         pass
 
-    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+    def _victim_valid(self, set_index: int, state: CacheSetState) -> int:
         return self._rng.randint(0, self.n_ways - 1)
 
-    def eviction_order(self, set_index: int) -> List[int]:
-        order = list(range(self.n_ways))
-        self._rng.shuffle(order)
-        return order
+    def eviction_order_into(self, set_index: int, out: List[int]) -> List[int]:
+        # Each read-out draws a fresh permutation; callers relying on RNG
+        # reproducibility (golden traces) count on exactly one shuffle here.
+        for way in range(self.n_ways):
+            out[way] = way
+        self._rng.shuffle(out)
+        return out

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.state import CacheSetState
 
 
 class RripPolicy(ReplacementPolicy):
@@ -14,18 +14,23 @@ class RripPolicy(ReplacementPolicy):
     Hits promote to RRPV 0 (near-immediate re-reference); inserts use
     ``long`` re-reference (max - 1); victims are the first way at max RRPV,
     ageing the whole set until one appears.
+
+    RRPVs are stored one ``bytearray`` per set so the victim scan, the
+    ageing step and the hit-position count all run through C-speed byte
+    primitives (``find``/``max``/``count``); this caps ``rrpv_bits`` at 8,
+    far above any published configuration (2-3 bits).
     """
 
     name = "rrip"
 
     def __init__(self, n_sets: int, n_ways: int, rrpv_bits: int = 2) -> None:
         super().__init__(n_sets, n_ways)
-        if rrpv_bits < 1:
-            raise ValueError("rrpv_bits must be >= 1")
+        if not 1 <= rrpv_bits <= 8:
+            raise ValueError("rrpv_bits must be in [1, 8]")
         self.max_rrpv = (1 << rrpv_bits) - 1
         self.insert_rrpv = self.max_rrpv - 1
-        self._rrpv: List[List[int]] = [
-            [self.max_rrpv] * n_ways for _ in range(n_sets)
+        self._rrpv: List[bytearray] = [
+            bytearray([self.max_rrpv]) * n_ways for _ in range(n_sets)
         ]
 
     def on_hit(self, set_index: int, way: int) -> None:
@@ -37,17 +42,50 @@ class RripPolicy(ReplacementPolicy):
     def promote(self, set_index: int, way: int) -> None:
         self._rrpv[set_index][way] = 0
 
-    def _victim_valid(self, set_index: int, blocks: Sequence[CacheBlock]) -> int:
+    def _victim_valid(self, set_index: int, state: CacheSetState) -> int:
+        # RRPVs never exceed max_rrpv, so "first way at max RRPV" is an
+        # exact byte search; when none matches, one ageing step of
+        # ``max_rrpv - max(rrpv)`` lands the highest way exactly on max —
+        # identical to repeating +1 ageing rounds until a victim appears.
         rrpv = self._rrpv[set_index]
-        while True:
-            for way in range(self.n_ways):
-                if rrpv[way] >= self.max_rrpv:
-                    return way
-            for way in range(self.n_ways):
-                rrpv[way] += 1
+        max_rrpv = self.max_rrpv
+        way = rrpv.find(max_rrpv)
+        if way >= 0:
+            return way
+        deficit = max_rrpv - max(rrpv)
+        for index in range(self.n_ways):
+            rrpv[index] += deficit
+        return rrpv.find(max_rrpv)
 
-    def eviction_order(self, set_index: int) -> List[int]:
+    def eviction_order_into(self, set_index: int, out: List[int]) -> List[int]:
         """Ways sorted by descending RRPV (most distant re-reference first);
         ties broken by way index, matching hardware scan order."""
         rrpv = self._rrpv[set_index]
-        return sorted(range(self.n_ways), key=lambda way: (-rrpv[way], way))
+        n_ways = self.n_ways
+        position = 0
+        # Counting sort over the (tiny) RRPV value range: for each value from
+        # most to least distant, emit matching ways in index order via the
+        # C-speed byte search.
+        for value in range(self.max_rrpv, -1, -1):
+            way = rrpv.find(value)
+            while way >= 0:
+                out[position] = way
+                position += 1
+                way = rrpv.find(value, way + 1)
+            if position == n_ways:
+                break
+        return out
+
+    def hit_position(self, set_index: int, way: int) -> int:
+        # Position from the protected end = how many ways sort *after* this
+        # one under (-rrpv, way): every way with a lower RRPV, plus
+        # equal-RRPV ways at a higher index. Counted with C-speed byte
+        # counts instead of the per-hit sort the histogram used to pay for;
+        # counting the protected side keeps the loop short for the common
+        # case (a previously-promoted block at RRPV 0 needs one count).
+        rrpv = self._rrpv[set_index]
+        mine = rrpv[way]
+        position = rrpv.count(mine, way + 1)
+        for value in range(mine):
+            position += rrpv.count(value)
+        return position

@@ -1,0 +1,148 @@
+"""Flat, array-backed cache-set state — the data-path substrate.
+
+One :class:`CacheSetState` holds the metadata of *all* sets of one cache in
+five parallel flat arrays (``tags``, ``valid``, ``dirty``, ``prefetched``,
+``owners``) indexed by ``set_index * assoc + way``. Compared with the
+previous object-per-block grid this removes an attribute-chase per field
+touch, keeps the hot arrays in a handful of contiguous buffers, and lets the
+victim scan for an invalid way run at C speed (``bytearray.find``).
+
+Occupancy is maintained *incrementally*: every install/clear updates a total
+counter and a per-owner counter, so ``occupancy()`` — polled by the sampler
+every interval — is an O(1) dict read instead of an O(n_sets x assoc) scan.
+
+The struct-of-arrays layout is also the substrate later PRs need for
+vectorising (numpy views over ``tags``/``valid``) or sharding the LLC across
+workers: the state of a set range is a contiguous slice.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.owners import SYSTEM_OWNER
+
+__all__ = ["BlockView", "CacheSetState", "SYSTEM_OWNER"]
+
+
+@dataclass(frozen=True)
+class BlockView:
+    """Read-only snapshot of one (set, way) slot — for tests and debugging.
+
+    The live state lives in the flat arrays; mutate through
+    :class:`~repro.cache.cache.Cache` or :class:`CacheSetState` methods.
+    """
+
+    tag: int
+    valid: bool
+    dirty: bool
+    owner: int
+    prefetched: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.valid:
+            return "BlockView(invalid)"
+        flags = "".join(
+            flag for flag, on in (("D", self.dirty), ("P", self.prefetched)) if on
+        )
+        return (f"BlockView(tag={self.tag:#x}, owner={self.owner}"
+                f"{', ' + flags if flags else ''})")
+
+
+class CacheSetState:
+    """Struct-of-arrays block metadata for ``n_sets`` x ``assoc`` slots."""
+
+    __slots__ = ("n_sets", "assoc", "tags", "valid", "dirty", "prefetched",
+                 "owners", "owner_counts", "total_valid")
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        if n_sets <= 0 or assoc <= 0:
+            raise ValueError("n_sets and assoc must be positive")
+        n = n_sets * assoc
+        self.n_sets = n_sets
+        self.assoc = assoc
+        #: Full block addresses; meaningful only where ``valid`` is set.
+        self.tags = array("q", bytes(8 * n))
+        self.valid = bytearray(n)
+        self.dirty = bytearray(n)
+        self.prefetched = bytearray(n)
+        self.owners = array("q", [SYSTEM_OWNER]) * n
+        #: owner -> number of valid blocks, maintained on install/clear.
+        self.owner_counts: Dict[int, int] = {}
+        self.total_valid = 0
+
+    # -- indexing -----------------------------------------------------------
+    def base(self, set_index: int) -> int:
+        """Flat index of way 0 of ``set_index``."""
+        return set_index * self.assoc
+
+    def find_invalid_way(self, set_index: int) -> int:
+        """Lowest-numbered invalid way of ``set_index``, or -1 when full."""
+        base = set_index * self.assoc
+        index = self.valid.find(0, base, base + self.assoc)
+        return -1 if index < 0 else index - base
+
+    # -- mutation ------------------------------------------------------------
+    def install(self, index: int, tag: int, owner: int, dirty: bool = False,
+                prefetched: bool = False) -> None:
+        """Fill the (invalid) slot at flat ``index``; updates counters."""
+        self.tags[index] = tag
+        self.valid[index] = 1
+        self.dirty[index] = 1 if dirty else 0
+        self.prefetched[index] = 1 if prefetched else 0
+        self.owners[index] = owner
+        self.total_valid += 1
+        counts = self.owner_counts
+        counts[owner] = counts.get(owner, 0) + 1
+
+    def clear(self, index: int) -> None:
+        """Invalidate the (valid) slot at flat ``index``; updates counters."""
+        self.valid[index] = 0
+        self.dirty[index] = 0
+        self.prefetched[index] = 0
+        self.total_valid -= 1
+        self.owner_counts[self.owners[index]] -= 1
+
+    # -- queries -------------------------------------------------------------
+    def occupancy(self, owner: Optional[int] = None) -> int:
+        """Number of valid blocks (optionally one owner's) — O(1)."""
+        if owner is None:
+            return self.total_valid
+        return self.owner_counts.get(owner, 0)
+
+    def owner_ways_in_set(self, set_index: int, owner: int) -> int:
+        """How many ways of ``set_index`` the owner holds (O(assoc) scan)."""
+        base = set_index * self.assoc
+        valid = self.valid
+        owners = self.owners
+        count = 0
+        for index in range(base, base + self.assoc):
+            if valid[index] and owners[index] == owner:
+                count += 1
+        return count
+
+    def scan_occupancy(self, owner: Optional[int] = None) -> int:
+        """Occupancy by full scan — the counters' ground truth (tests)."""
+        valid = self.valid
+        if owner is None:
+            return sum(valid)
+        owners = self.owners
+        return sum(1 for index, bit in enumerate(valid)
+                   if bit and owners[index] == owner)
+
+    def view(self, set_index: int, way: int) -> BlockView:
+        """Read-only :class:`BlockView` of one slot."""
+        index = set_index * self.assoc + way
+        return BlockView(
+            tag=self.tags[index],
+            valid=bool(self.valid[index]),
+            dirty=bool(self.dirty[index]),
+            owner=self.owners[index],
+            prefetched=bool(self.prefetched[index]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheSetState({self.n_sets}x{self.assoc}, "
+                f"{self.total_valid}/{self.n_sets * self.assoc} valid)")

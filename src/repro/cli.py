@@ -6,6 +6,7 @@ Commands:
 * ``run`` — simulate one workload (isolation / PInTE / 2nd-Trace).
 * ``sweep`` — PInTE sensitivity sweep + classification for workloads.
 * ``trace`` — generate a trace file for external tooling.
+* ``bench`` — data-path throughput microbenchmark vs the seed baseline.
 
 Every command prints plain text and returns a process exit code, so the CLI
 is scriptable; all functions are also unit-testable by calling
@@ -254,6 +255,47 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.datapath import (
+        load_baseline,
+        run_datapath_bench,
+        write_record,
+    )
+
+    if args.repeats < 1:
+        raise SystemExit("bench: --repeats must be >= 1")
+    result = run_datapath_bench(repeats=args.repeats, scale=args.scale)
+    rows = [
+        ("fastcache (records/s)", f"{result.fastcache_records_per_sec:,.0f}"),
+        ("fastcache + PInTE (records/s)",
+         f"{result.fastcache_pinte_records_per_sec:,.0f}"),
+        ("simulate (instr/s)", f"{result.simulate_instructions_per_sec:,.0f}"),
+        ("simulate + PInTE (instr/s)",
+         f"{result.simulate_pinte_instructions_per_sec:,.0f}"),
+    ]
+    baseline = load_baseline()
+    if baseline is not None:
+        rows.extend(
+            (f"speedup vs seed: {metric}", f"{ratio:.3f}x")
+            for metric, ratio in sorted(result.speedup_over(baseline).items())
+        )
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"data-path microbenchmark (best of {result.repeats}, "
+              f"scale {args.scale:g})",
+    ))
+    if args.no_record:
+        print(json.dumps(
+            {k: v for k, v in vars(result).items()}, indent=1, sort_keys=True))
+    else:
+        document = write_record(result)
+        print(f"appended run #{len(document['runs'])} to "
+              "benchmarks/reports/BENCH_datapath.json")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     config = _machine(args.machine)
     workload = get_workload(args.workload)
@@ -328,6 +370,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory to write <artifact>.txt reports")
     _add_common(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
+
+    p_bench = sub.add_parser("bench",
+                             help="data-path throughput microbenchmark")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N timing runs (default: 3)")
+    p_bench.add_argument("--scale", type=float, default=1.0,
+                         help="workload scale factor (default: 1.0)")
+    p_bench.add_argument("--no-record", action="store_true",
+                         help="print the JSON record instead of appending it "
+                              "to benchmarks/reports/BENCH_datapath.json")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_trace = sub.add_parser("trace", help="generate a trace file")
     p_trace.add_argument("workload", help="benchmark name")

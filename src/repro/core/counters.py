@@ -83,6 +83,16 @@ class ContentionTracker:
         """All owner ids seen so far (includes SYSTEM if PInTE ran)."""
         return sorted(self._counters)
 
+    def stolen_blocks(self, owner: int) -> Set[int]:
+        """The live stolen-block set for ``owner`` (created on first use).
+
+        Exposed so single-owner hosts can inline the per-access accounting
+        of :meth:`record_access`/:meth:`record_refill` in their hot loops;
+        mutations must mirror those methods exactly.
+        """
+        self.counters(owner)
+        return self._stolen[owner]
+
     # -- events ---------------------------------------------------------------
     def record_access(self, owner: int, block_addr: int, hit: bool) -> None:
         """A demand LLC access by ``owner``; detects interference on miss."""

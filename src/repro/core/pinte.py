@@ -9,7 +9,8 @@ cache), the engine:
 2. **GEN-EVICT-CNT** — draws ``Blocks_evict`` uniformly in
    ``[0, associativity]`` and initialises the way counter.
 3. **BLOCK-SELECT** — walks blocks from the eviction end of the replacement
-   stack (the policy's :meth:`eviction_order`).
+   stack (the policy's :meth:`eviction_order_into`, read into a reusable
+   buffer).
 4. **PROMOTE** — moves the selected block to the protected end, exactly as
    if the adversary had just accessed it.
 5. **INVALIDATE** — if the block was valid, clears its valid bit and queues
@@ -32,6 +33,8 @@ from repro.cache.cache import Cache
 from repro.core.counters import ContentionTracker
 from repro.core.pinte_config import PinteConfig
 from repro.util.rng import DeterministicRng
+
+__all__ = ["PInTE", "PinteStats"]
 
 
 class PinteStats:
@@ -86,6 +89,13 @@ class PInTE:
         self.stats = PinteStats()
         self._rng = DeterministicRng(config.seed, "pinte")
         self._max_evictions = config.max_evictions or llc.assoc
+        # Per-access hot-path bindings (PinteConfig is frozen, so p_induce
+        # cannot change under us).
+        self._p_induce = config.p_induce
+        self._trigger_ratio = self._rng.trigger_ratio
+        # Reusable BLOCK-SELECT walk buffer: the eviction order is read out
+        # once per trigger without allocating a list per event.
+        self._order_scratch: List[int] = [0] * llc.assoc
 
     def on_llc_access(self, set_index: int, cycle: int, accessing_owner: int) -> int:
         """Run the induction flow after one LLC demand access.
@@ -93,54 +103,81 @@ class PInTE:
         Returns the number of blocks invalidated (induced thefts) so callers
         can assert on behaviour in tests.
         """
-        self.stats.accesses_seen += 1
+        stats = self.stats
+        stats.accesses_seen += 1
         # GEN-PROBABILITY (Eq. 2): exit unless the trigger ratio falls at or
         # below the configured induction probability.
-        if self._rng.trigger_ratio() > self.config.p_induce:
+        if self._trigger_ratio() > self._p_induce:
             return 0
-        self.stats.triggers += 1
+        stats.triggers += 1
         self.tracker.record_trigger(accessing_owner)
 
         # GEN-EVICT-CNT: number of contention events for this trigger.
         blocks_evict = self._rng.randint(0, self._max_evictions)
-        self.stats.evict_draws_total += blocks_evict
+        stats.evict_draws_total += blocks_evict
         if blocks_evict == 0:
             return 0
         return self._induce(set_index, blocks_evict, cycle)
 
     def _induce(self, set_index: int, blocks_evict: int, cycle: int) -> int:
         """BLOCK-SELECT / PROMOTE / INVALIDATE / DECREMENT loop."""
-        blocks = self.llc.sets[set_index]
-        policy = self.llc.policy
+        llc = self.llc
+        state = llc.state
+        policy = llc.policy
+        stats = self.stats
+        tracker = self.tracker
+        promote = policy.promote
+        base = set_index * llc.assoc
+        valid = state.valid
+        dirty = state.dirty
+        tags = state.tags
+        owners = state.owners
+        tag_map = llc._tags[set_index]
+        promote_invalid = self.config.promote_invalid
         invalidated = 0
+        # The adversary's counters, bound on first use (not eagerly, so a
+        # walk that promotes nothing — promote_invalid=False on an empty
+        # set — leaves tracker.owners exactly as the un-inlined code would).
+        system_counters = None
         # BLOCK-SELECT walks from the eviction end of the replacement stack.
         # The order is captured once: promotions move processed blocks to the
         # protected end, which in hardware means the walk pointer only ever
         # advances (the way counter ``w`` in the paper's flow).
-        order: List[int] = policy.eviction_order(set_index)
+        order = policy.eviction_order_into(set_index, self._order_scratch)
         for way in order:
             if blocks_evict == 0:
                 break  # DECREMENT reached zero -> exit
-            block = blocks[way]
-            if not block.valid and not self.config.promote_invalid:
+            index = base + way
+            is_valid = valid[index]
+            if not is_valid and not promote_invalid:
                 continue  # ablation: skip mocked thefts entirely
             # PROMOTE: the adversary "accesses" this way.
-            policy.promote(set_index, way)
-            self.stats.promotions += 1
-            self.tracker.record_promotion(SYSTEM_OWNER)
-            if block.valid:
-                # INVALIDATE: this is the induced theft.
-                if block.dirty:
-                    self.stats.dirty_writebacks += 1
+            promote(set_index, way)
+            stats.promotions += 1
+            if system_counters is None:
+                system_counters = tracker.counters(SYSTEM_OWNER)
+            system_counters.induced_promotions += 1
+            if is_valid:
+                # INVALIDATE: this is the induced theft. The cache's
+                # invalidate_way is inlined (no EvictedBlock — the engine
+                # reads the metadata it needs straight from the state).
+                block_addr = tags[index]
+                victim_owner = owners[index]
+                if dirty[index]:
+                    stats.dirty_writebacks += 1
                     if self.writeback is not None:
-                        self.writeback(block.tag, cycle)
-                victim_owner = block.owner
-                block_addr = block.tag
-                self.llc.invalidate_way(set_index, way)
+                        self.writeback(block_addr, cycle)
+                    dirty[index] = 0
+                tag_map.pop(block_addr, None)
+                valid[index] = 0
+                state.prefetched[index] = 0
+                state.total_valid -= 1
+                state.owner_counts[victim_owner] -= 1
+                llc.stats.invalidations += 1
                 invalidated += 1
-                self.stats.invalidations += 1
+                stats.invalidations += 1
                 if victim_owner != SYSTEM_OWNER:
-                    self.tracker.record_theft(
+                    tracker.record_theft(
                         victim_owner, SYSTEM_OWNER, block_addr, induced=True
                     )
                 if self.back_invalidate is not None:

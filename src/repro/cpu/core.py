@@ -82,6 +82,12 @@ class Core:
         self._issue_cost = 1.0 / config.issue_width
         self._cycle_accumulator = 0.0
         self._last_fetch_block = -1
+        # Per-instruction hot-path bindings (cache latencies and core knobs
+        # are fixed for the life of a simulation).
+        self._l1i_latency = hierarchy.l1i.latency
+        self._l1d_latency = hierarchy.l1d.latency
+        self._mlp = config.mlp
+        self._mispredict_penalty = config.mispredict_penalty
 
     @property
     def ipc(self) -> float:
@@ -94,17 +100,17 @@ class Core:
         """Retire one instruction, advancing the core clock."""
         stats = self.stats
         cost = self._issue_cost
-        stats.base_cycles += self._issue_cost
+        stats.base_cycles += cost
         hierarchy = self.hierarchy
-        l1_latency = hierarchy.l1d.latency
+        l1_latency = self._l1d_latency
 
         # Instruction fetch: only when the PC leaves the current block.
         fetch_block = record.pc >> 6
         if fetch_block != self._last_fetch_block:
             self._last_fetch_block = fetch_block
             fetch_latency = hierarchy.fetch(record.pc, self.cycle)
-            if fetch_latency > hierarchy.l1i.latency:
-                stall = fetch_latency - hierarchy.l1i.latency
+            if fetch_latency > self._l1i_latency:
+                stall = fetch_latency - self._l1i_latency
                 cost += stall
                 stats.fetch_stall_cycles += stall
 
@@ -118,7 +124,7 @@ class Core:
                 if record.dependent:
                     stall = beyond_l1  # serialised: a true pointer chase
                 else:
-                    stall = beyond_l1 / self.config.mlp
+                    stall = beyond_l1 / self._mlp
                 cost += stall
                 stats.load_stall_cycles += stall
         if record.store_addr is not None:
@@ -134,8 +140,8 @@ class Core:
         if record.is_branch:
             stats.branches += 1
             if not self.predictor.update(record.pc, record.taken):
-                cost += self.config.mispredict_penalty
-                stats.branch_stall_cycles += self.config.mispredict_penalty
+                cost += self._mispredict_penalty
+                stats.branch_stall_cycles += self._mispredict_penalty
 
         stats.instructions += 1
         self._cycle_accumulator += cost

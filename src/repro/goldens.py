@@ -1,0 +1,186 @@
+"""Golden-trace capture harnesses for data-path equivalence testing.
+
+The functions here replay a pinned workload/policy/contention matrix through
+the three hosts (full ``simulate()``, the fastcache host, and a direct
+Cache+PInTE eviction-sequence harness) and return every observable that a
+data-path change could disturb: miss counts, theft/interference counters,
+reuse histograms, occupancy, exact eviction sequences and RNG draw counts.
+
+``tests/golden/golden_traces.json`` holds the output of these harnesses as
+captured from the original object-per-block implementation, immediately
+before the flat-array ``CacheSetState`` refactor;
+``tests/integration/test_golden_equivalence.py`` asserts the current data
+path reproduces it bit-for-bit. Regenerate the file (only for an
+*intentional* behaviour change) with ``scripts/capture_goldens.py``.
+"""
+
+from __future__ import annotations
+
+from repro.config import scaled_config
+from repro.core import PInTE, PinteConfig
+from repro.core.counters import ContentionTracker
+from repro.cache.cache import Cache
+from repro.sim.fastcache import simulate_cache_only
+from repro.sim.simulator import simulate
+from repro.trace import build_trace, get_workload
+
+#: One workload per behaviour class (cache-friendly / LLC-bound / DRAM-bound).
+GOLDEN_WORKLOADS = ("400.perlbench", "470.lbm", "429.mcf")
+GOLDEN_POLICIES = ("lru", "rrip", "plru")
+GOLDEN_SEED = 7
+WARMUP = 2_000
+SIM = 8_000
+P_INDUCE = 0.1
+
+#: Fastcache harness parameters.
+FASTCACHE_LENGTH = 30_000
+FASTCACHE_WARMUP = 2_000
+
+
+def _round(value: float) -> float:
+    """Stable float key for JSON round-tripping (12 significant digits)."""
+    return float(f"{value:.12g}")
+
+
+def full_sim_goldens() -> dict:
+    """End-to-end ``simulate()`` counters for the golden matrix."""
+    goldens = {}
+    for workload in GOLDEN_WORKLOADS:
+        config = scaled_config()
+        trace = build_trace(get_workload(workload), WARMUP + SIM, GOLDEN_SEED,
+                            config.llc.size)
+        for policy in GOLDEN_POLICIES:
+            machine = config.with_llc_policy(policy)
+            for mode, pinte in (("isolation", None),
+                                ("pinte", PinteConfig(P_INDUCE, seed=GOLDEN_SEED))):
+                result = simulate(trace, machine, pinte=pinte,
+                                  warmup_instructions=WARMUP,
+                                  sim_instructions=SIM, seed=GOLDEN_SEED)
+                key = f"{workload}/{policy}/{mode}"
+                goldens[key] = {
+                    "instructions": result.instructions,
+                    "cycles": result.cycles,
+                    "llc_accesses": result.llc_accesses,
+                    "llc_misses": result.llc_misses,
+                    "miss_rate": _round(result.miss_rate),
+                    "thefts_experienced": result.thefts_experienced,
+                    "interference_misses": result.interference_misses,
+                    "llc_writeback_fills": result.llc_writeback_fills,
+                    "reuse_histogram": list(result.reuse_histogram),
+                    "occupancy": _round(result.occupancy),
+                    "ipc": _round(result.ipc),
+                    "pinte_invalidations": int(
+                        result.extra.get("pinte_invalidations", 0)),
+                    "pinte_triggers": int(result.extra.get("pinte_triggers", 0)),
+                }
+    return goldens
+
+
+def fastcache_goldens() -> dict:
+    """Cache-only host counters for the golden matrix."""
+    goldens = {}
+    for workload in GOLDEN_WORKLOADS:
+        for policy in GOLDEN_POLICIES:
+            config = scaled_config().with_llc_policy(policy)
+            trace = build_trace(get_workload(workload), FASTCACHE_LENGTH,
+                                GOLDEN_SEED, config.llc.size)
+            for mode, pinte in (("isolation", None),
+                                ("pinte", PinteConfig(P_INDUCE, seed=GOLDEN_SEED))):
+                result = simulate_cache_only(
+                    trace, config, pinte=pinte,
+                    warmup_accesses=FASTCACHE_WARMUP, seed=GOLDEN_SEED)
+                goldens[f"{workload}/{policy}/{mode}"] = {
+                    "accesses": result.accesses,
+                    "misses": result.misses,
+                    "thefts_experienced": result.thefts_experienced,
+                    "interference_misses": result.interference_misses,
+                    "reuse_histogram": list(result.reuse_histogram),
+                }
+    return goldens
+
+
+def victim_sequence_goldens() -> dict:
+    """Exact eviction sequences from a direct Cache(+PInTE) harness.
+
+    A small LLC fed a deterministic pointer-chase-ish pattern from two
+    owners; every eviction (tag, owner, dirty) and every induced
+    invalidation is recorded in order. Any change in victim selection, RNG
+    consumption or promotion behaviour shows up here immediately.
+    """
+    goldens = {}
+    for policy in GOLDEN_POLICIES + ("nmru", "random", "drrip"):
+        for with_pinte in (False, True):
+            cache = Cache("LLC", size=4096, assoc=8, block_size=64,
+                          policy=policy, policy_seed=GOLDEN_SEED,
+                          track_reuse=True)
+            tracker = ContentionTracker()
+            engine = None
+            if with_pinte:
+                engine = PInTE(PinteConfig(0.2, seed=GOLDEN_SEED), cache, tracker)
+            evictions = []
+            original_fill = cache.fill
+
+            def fill(block, owner, _original=original_fill, _log=evictions, **kw):
+                evicted = _original(block, owner, **kw)
+                if evicted is not None:
+                    _log.append([evicted.tag, evicted.owner, int(evicted.dirty)])
+                return evicted
+
+            cache.fill = fill
+            for step in range(4_000):
+                owner = step % 2
+                # Two interleaved strided streams with periodic revisits:
+                # hits, misses, and conflict evictions in every set.
+                base = (step * 3 + owner * 17) % 96
+                block = (base * 64) + owner * (1 << 20)
+                is_write = step % 5 == 0
+                hit = cache.access(block, is_write, owner)
+                tracker.record_access(owner, block, hit)
+                if not hit:
+                    cache.fill(block, owner, dirty=is_write)
+                    tracker.record_refill(owner, block)
+                if engine is not None:
+                    engine.on_llc_access(cache.set_index(block), step, owner)
+            key = f"{policy}/{'pinte' if with_pinte else 'isolation'}"
+            stats = cache.stats
+            counters0 = tracker.counters(0)
+            counters1 = tracker.counters(1)
+            goldens[key] = {
+                "evictions": evictions[:600],
+                "n_evictions": len(evictions),
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "writebacks": stats.writebacks,
+                "invalidations": stats.invalidations,
+                "occupancy": cache.occupancy(),
+                "occupancy_owner0": cache.occupancy(0),
+                "occupancy_owner1": cache.occupancy(1),
+                "reuse_histogram": list(cache.reuse_histogram),
+                "reuse_owner0": cache.owner_reuse_histogram(0),
+                "reuse_owner1": cache.owner_reuse_histogram(1),
+                "thefts_owner0": counters0.thefts_experienced,
+                "thefts_owner1": counters1.thefts_experienced,
+                "interference_owner0": counters0.interference_misses,
+                "interference_owner1": counters1.interference_misses,
+                "pinte_invalidations": engine.stats.invalidations if engine else 0,
+                "pinte_promotions": engine.stats.promotions if engine else 0,
+                "pinte_rng_draws": engine._rng.draws if engine else 0,
+            }
+    return goldens
+
+
+def capture_all() -> dict:
+    """The full golden payload, matrix metadata included."""
+    return {
+        "matrix": {
+            "workloads": list(GOLDEN_WORKLOADS),
+            "policies": list(GOLDEN_POLICIES),
+            "seed": GOLDEN_SEED,
+            "warmup": WARMUP,
+            "sim": SIM,
+            "p_induce": P_INDUCE,
+        },
+        "full_sim": full_sim_goldens(),
+        "fastcache": fastcache_goldens(),
+        "victim_sequences": victim_sequence_goldens(),
+    }

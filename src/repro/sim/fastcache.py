@@ -85,19 +85,36 @@ def simulate_cache_only(
     wall_start = time.perf_counter()
     seen = 0
     counters = tracker.counters(owner)
+    stolen = tracker.stolen_blocks(owner)
     warm = True
+
+    # Hot loop: every callable and container is bound to a local, and the
+    # single-owner contention accounting is inlined (same arithmetic as
+    # ContentionTracker.record_access/record_refill, minus two calls per
+    # LLC access).
+    llc_access = llc.access
+    llc_fill = llc.fill
+    llc_set_index = llc.set_index
+    # Plain-modulo indexing (the default) is inlined as shift+mask below.
+    llc_hashed = llc.hash_index
+    llc_offset_bits = llc._offset_bits
+    llc_set_mask = llc._set_mask
+    l2_access = l2.access if l2 is not None else None
+    l2_fill = l2.fill if l2 is not None else None
+    engine_tick = engine.on_llc_access if engine is not None else None
 
     for record in trace.records:
         address = record.load_addr
+        is_store = record.store_addr is not None
         if address is None:
+            if not is_store:
+                continue
             address = record.store_addr
-            if address is None:
-                continue
         block = address & block_mask
-        if l2 is not None:
-            if l2.access(block, record.store_addr is not None, owner):
+        if l2_access is not None:
+            if l2_access(block, is_store, owner):
                 continue
-            l2.fill(block, owner, dirty=record.store_addr is not None)
+            l2_fill(block, owner, dirty=is_store)
         if warm and seen >= warmup_accesses:
             # End of warm-up: drop statistics, keep all cache state.
             warm = False
@@ -106,13 +123,19 @@ def simulate_cache_only(
             llc.reuse_by_owner.pop(owner, None)
             for name in counters.__slots__:
                 setattr(counters, name, 0)
-        hit = llc.access(block, False, owner)
-        tracker.record_access(owner, block, hit)
+        hit = llc_access(block, False, owner)
+        counters.llc_accesses += 1
         if not hit:
-            llc.fill(block, owner)
-            tracker.record_refill(owner, block)
-        if engine is not None:
-            engine.on_llc_access(llc.set_index(block), seen, owner)
+            counters.llc_misses += 1
+            if block in stolen:
+                counters.interference_misses += 1
+                stolen.discard(block)
+            llc_fill(block, owner)
+            stolen.discard(block)
+        if engine_tick is not None:
+            engine_tick(llc_set_index(block) if llc_hashed
+                        else (block >> llc_offset_bits) & llc_set_mask,
+                        seen, owner)
         seen += 1
 
     return FastCacheResult(

@@ -137,11 +137,15 @@ def simulate_multiprogrammed(
     # --- measured region ---
     sampler = _Sampler(cores[0], llc, 0, tracker, sample_interval)
     executed = 0
+    # One sample per full interval of *primary* retirements — the executed
+    # count is the single authority, matching the single-core host.
+    next_sample = sample_interval
     while executed < total:
         if step_synchronised() == 0:
             executed += 1
-            if executed % sample_interval == 0:
-                sampler.maybe_sample()
+            if executed == next_sample:
+                sampler.sample()
+                next_sample += sample_interval
             if partitioner is not None and executed % repartition_interval == 0:
                 partitioner.epoch(llc, tracker)
 

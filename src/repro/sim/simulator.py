@@ -25,7 +25,16 @@ DEFAULT_SAMPLE_INTERVAL = 10_000  # scaled stand-in for the paper's 10M
 
 
 class _Sampler:
-    """Collects interval-delta samples from a running core."""
+    """Collects interval-delta samples from a running core.
+
+    The *host* owns the sampling cadence: it calls :meth:`sample` exactly
+    once per elapsed interval of retired instructions. The sampler itself
+    never second-guesses that decision — an earlier design double-gated
+    emission (host modulo AND an internal instruction-delta re-check), which
+    silently dropped or shifted samples whenever the two conditions
+    disagreed, e.g. when instruction accounting diverged from the host's
+    executed-record count.
+    """
 
     def __init__(self, core: Core, llc: Cache, owner: int,
                  tracker: ContentionTracker, interval: int) -> None:
@@ -53,10 +62,8 @@ class _Sampler:
     def _mark(self) -> None:
         self._last = self._state()
 
-    def maybe_sample(self) -> None:
-        """Emit a sample if a full interval has elapsed."""
-        if self.core.stats.instructions - self._last["instructions"] < self.interval:
-            return
+    def sample(self) -> None:
+        """Emit one interval-delta sample (the caller owns the cadence)."""
         now = self._state()
         last = self._last
         instructions = now["instructions"] - last["instructions"]
@@ -213,9 +220,13 @@ def simulate(
 
     # --- measured region ---
     sampler = _Sampler(core, llc, owner, tracker, sample_interval)
+    execute = core.execute
     executed = 0
+    # Sampling cadence: the executed-record count is the single authority —
+    # exactly one sample per full interval, no matter how warm-up aligned.
+    next_sample = sample_interval
     while executed < total:
-        core.execute(records[index])
+        execute(records[index])
         index += 1
         if index == n_records:
             index = 0
@@ -225,8 +236,9 @@ def simulate(
             if background is not None:
                 background.advance(core.cycle)
         executed += 1
-        if executed % sample_interval == 0:
-            sampler.maybe_sample()
+        if executed == next_sample:
+            sampler.sample()
+            next_sample += sample_interval
 
     mode = "pinte" if pinte is not None else "isolation"
     result = _finalise(core, hierarchy, tracker, owner, start_cycle, sampler,

@@ -27,12 +27,25 @@ class DeterministicRng:
         self.seed = seed
         self.salt = salt
         self._random = random.Random(f"{seed}:{salt}")
+        self._getrandbits = self._random.getrandbits
         self.draws = 0
 
     def trigger_ratio(self) -> float:
-        """Draw ``Random Number / Max Random Number`` in [0, 1] (Eq. 2)."""
+        """Draw ``Random Number / Max Random Number`` in [0, 1] (Eq. 2).
+
+        The draw is ``randint(0, MAX_RANDOM)`` with CPython's rejection
+        sampling inlined: ``randint`` resolves to ``_randbelow(2**30)``,
+        which draws ``getrandbits(31)`` until the value is below ``2**30``.
+        Replicating that loop here keeps the random stream bit-identical to
+        the ``randint`` call while skipping three frame pushes per draw —
+        this is the hottest RNG call in the simulator (once per LLC access).
+        """
         self.draws += 1
-        return self._random.randint(0, MAX_RANDOM) / MAX_RANDOM
+        getrandbits = self._getrandbits
+        value = getrandbits(31)
+        while value > MAX_RANDOM:
+            value = getrandbits(31)
+        return value / MAX_RANDOM
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in the inclusive range [low, high]."""

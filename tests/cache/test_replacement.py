@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement import POLICIES, make_policy
 from repro.cache.replacement.lru import LruPolicy
 from repro.cache.replacement.nmru import NmruPolicy
@@ -12,13 +11,15 @@ from repro.cache.replacement.rrip import RripPolicy
 ALL = ["lru", "plru", "nmru", "rrip", "random"]
 
 
-def valid_blocks(n):
-    blocks = []
-    for i in range(n):
-        block = CacheBlock()
-        block.fill(i * 64, owner=0)
-        blocks.append(block)
-    return blocks
+from repro.cache.state import CacheSetState
+
+
+def full_state(n_ways, n_sets=2):
+    """A CacheSetState with every way of set 0 valid."""
+    state = CacheSetState(n_sets, n_ways)
+    for way in range(n_ways):
+        state.install(way, way * 64, owner=0)
+    return state
 
 
 class TestRegistry:
@@ -42,15 +43,15 @@ class TestInterfaceContracts:
 
     def test_victim_prefers_invalid(self, name):
         policy = make_policy(name, 2, 4)
-        blocks = valid_blocks(4)
-        blocks[2].invalidate()
-        assert policy.victim(0, blocks) == 2
+        state = full_state(4)
+        state.clear(2)
+        assert policy.victim(0, state) == 2
 
     def test_victim_in_range(self, name):
         policy = make_policy(name, 2, 4)
-        blocks = valid_blocks(4)
+        state = full_state(4)
         for _ in range(20):
-            assert 0 <= policy.victim(0, blocks) < 4
+            assert 0 <= policy.victim(0, state) < 4
 
     def test_eviction_order_is_permutation(self, name):
         policy = make_policy(name, 2, 8)
@@ -101,7 +102,7 @@ class TestLru:
         policy = LruPolicy(1, 4)
         for way in (0, 1, 2, 3):
             policy.on_insert(0, way)
-        assert policy._victim_valid(0, valid_blocks(4)) == 0
+        assert policy._victim_valid(0, full_state(4)) == 0
 
 
 class TestPlru:
@@ -112,14 +113,14 @@ class TestPlru:
     def test_victim_avoids_recent(self):
         policy = TreePlruPolicy(1, 4)
         policy.on_insert(0, 2)
-        assert policy._victim_valid(0, valid_blocks(4)) != 2
+        assert policy._victim_valid(0, full_state(4)) != 2
 
     def test_round_robin_when_all_touched(self):
         """Touching every way leaves a victim that was touched earliest."""
         policy = TreePlruPolicy(1, 8)
         for way in range(8):
             policy.on_hit(0, way)
-        victim = policy._victim_valid(0, valid_blocks(8))
+        victim = policy._victim_valid(0, full_state(8))
         assert victim != 7  # 7 was most recent
 
     def test_eviction_order_ends_near_mru(self):
@@ -135,7 +136,7 @@ class TestNmru:
         policy = NmruPolicy(1, 4)
         policy.on_hit(0, 2)
         for _ in range(50):
-            assert policy._victim_valid(0, valid_blocks(4)) != 2
+            assert policy._victim_valid(0, full_state(4)) != 2
 
     def test_mru_last_in_order(self):
         policy = NmruPolicy(1, 4)
@@ -144,7 +145,7 @@ class TestNmru:
 
     def test_single_way(self):
         policy = NmruPolicy(1, 1)
-        assert policy._victim_valid(0, valid_blocks(1)) == 0
+        assert policy._victim_valid(0, full_state(1)) == 0
 
 
 class TestRrip:
@@ -165,7 +166,7 @@ class TestRrip:
             policy.on_insert(0, way)
         policy.on_hit(0, 1)
         # all at 2 except way1 at 0; ageing pushes 0/2/3 to 3 first.
-        victim = policy._victim_valid(0, valid_blocks(4))
+        victim = policy._victim_valid(0, full_state(4))
         assert victim != 1
 
     def test_ageing_terminates(self):
@@ -173,7 +174,7 @@ class TestRrip:
         for way in range(4):
             policy.on_insert(0, way)
             policy.on_hit(0, way)  # all at RRPV 0
-        assert 0 <= policy._victim_valid(0, valid_blocks(4)) < 4
+        assert 0 <= policy._victim_valid(0, full_state(4)) < 4
 
     def test_eviction_order_by_rrpv(self):
         policy = RripPolicy(1, 4)
@@ -187,12 +188,12 @@ class TestRrip:
         """A one-pass scan should not displace a re-referenced block —
         the property that makes RRIP beat LRU on streaming workloads."""
         policy = RripPolicy(1, 4)
-        blocks = valid_blocks(4)
+        state = full_state(4, n_sets=1)
         policy.on_insert(0, 0)
         policy.on_hit(0, 0)  # way 0 is hot (RRPV 0)
         for way in (1, 2, 3):
             policy.on_insert(0, way)  # scan data at RRPV 2
-        victim = policy._victim_valid(0, blocks)
+        victim = policy._victim_valid(0, state)
         assert victim != 0
 
     def test_rejects_zero_bits(self):
@@ -204,6 +205,39 @@ class TestRandomPolicy:
     def test_deterministic_given_seed(self):
         a = make_policy("random", 1, 8, seed=3)
         b = make_policy("random", 1, 8, seed=3)
-        blocks = valid_blocks(8)
-        assert [a._victim_valid(0, blocks) for _ in range(10)] == \
-               [b._victim_valid(0, blocks) for _ in range(10)]
+        state = full_state(8, n_sets=1)
+        assert [a._victim_valid(0, state) for _ in range(10)] == \
+               [b._victim_valid(0, state) for _ in range(10)]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestStackReadout:
+    """Contracts of the allocation-free PInTE/readout interface."""
+
+    def test_eviction_order_into_fills_caller_buffer(self, name):
+        policy = make_policy(name, 2, 8)
+        out = [-1] * 8
+        result = policy.eviction_order_into(0, out)
+        assert result is out
+        assert sorted(out) == list(range(8))
+
+    def test_hit_position_matches_eviction_order(self, name):
+        if name == "random":
+            return  # random re-draws a fresh order per read-out
+        policy = make_policy(name, 2, 8)
+        for way in (3, 5, 1):
+            policy.on_insert(0, way)
+            policy.on_hit(0, way)
+        order = policy.eviction_order(0)
+        for way in range(8):
+            assert policy.hit_position(0, way) == 7 - order.index(way)
+
+    def test_victim_valid_is_order_head(self, name):
+        if name in ("random", "nmru"):
+            return  # their victims are (seeded) draws, not the order head
+        policy = make_policy(name, 2, 4)
+        for way in range(4):
+            policy.on_insert(0, way)
+        policy.on_hit(0, 2)
+        state = full_state(4)
+        assert policy._victim_valid(0, state) == policy.eviction_order(0)[0]

@@ -1,0 +1,164 @@
+"""Unit tests for the flat struct-of-arrays cache state layer."""
+
+import random
+
+import pytest
+
+from repro.cache.state import SYSTEM_OWNER, BlockView, CacheSetState
+from repro.cache.cache import Cache
+
+
+class TestInitialState:
+    def test_all_invalid(self):
+        state = CacheSetState(4, 2)
+        assert state.total_valid == 0
+        assert all(bit == 0 for bit in state.valid)
+        assert all(owner == SYSTEM_OWNER for owner in state.owners)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheSetState(0, 4)
+        with pytest.raises(ValueError):
+            CacheSetState(4, 0)
+
+
+class TestInstallClear:
+    def test_install_sets_metadata(self):
+        state = CacheSetState(2, 4)
+        state.install(5, 0x1000, owner=2, dirty=True, prefetched=True)
+        view = state.view(1, 1)  # flat index 5 = set 1, way 1
+        assert view == BlockView(tag=0x1000, valid=True, dirty=True,
+                                 owner=2, prefetched=True)
+
+    def test_install_defaults_clean(self):
+        state = CacheSetState(1, 4)
+        state.install(0, 0x1000, owner=0)
+        view = state.view(0, 0)
+        assert view.valid and not view.dirty and not view.prefetched
+
+    def test_clear_resets_flags(self):
+        state = CacheSetState(1, 4)
+        state.install(0, 0x1000, owner=0, dirty=True, prefetched=True)
+        state.clear(0)
+        view = state.view(0, 0)
+        assert not view.valid and not view.dirty and not view.prefetched
+
+    def test_refill_after_clear(self):
+        state = CacheSetState(1, 4)
+        state.install(0, 0x1000, owner=0, dirty=True)
+        state.clear(0)
+        state.install(0, 0x2000, owner=1)
+        view = state.view(0, 0)
+        assert view.valid and not view.dirty and view.owner == 1
+
+
+class TestFindInvalidWay:
+    def test_finds_lowest(self):
+        state = CacheSetState(2, 4)
+        state.install(4, 0x0, owner=0)   # set 1, way 0
+        state.install(6, 0x40, owner=0)  # set 1, way 2
+        assert state.find_invalid_way(1) == 1
+        assert state.find_invalid_way(0) == 0
+
+    def test_full_set_returns_minus_one(self):
+        state = CacheSetState(1, 2)
+        state.install(0, 0x0, owner=0)
+        state.install(1, 0x40, owner=0)
+        assert state.find_invalid_way(0) == -1
+
+    def test_scoped_to_one_set(self):
+        state = CacheSetState(2, 2)
+        state.install(0, 0x0, owner=0)
+        state.install(1, 0x40, owner=0)  # set 0 full, set 1 empty
+        assert state.find_invalid_way(0) == -1
+        assert state.find_invalid_way(1) == 0
+
+
+class TestOccupancyCounters:
+    def test_incremental_counts(self):
+        state = CacheSetState(2, 4)
+        state.install(0, 0x0, owner=0)
+        state.install(1, 0x40, owner=1)
+        state.install(4, 0x80, owner=1)
+        assert state.occupancy() == 3
+        assert state.occupancy(0) == 1
+        assert state.occupancy(1) == 2
+        state.clear(1)
+        assert state.occupancy() == 2
+        assert state.occupancy(1) == 1
+
+    def test_unknown_owner_is_zero(self):
+        state = CacheSetState(1, 4)
+        assert state.occupancy(7) == 0
+
+    def test_matches_scan_after_random_ops(self):
+        """Counter-maintained occupancy equals a full scan after a long
+        randomized install/clear sequence (the O(1) acceptance check)."""
+        rng = random.Random(1234)
+        state = CacheSetState(8, 4)
+        n = 8 * 4
+        for _ in range(2_000):
+            index = rng.randrange(n)
+            if state.valid[index]:
+                state.clear(index)
+            else:
+                state.install(index, rng.randrange(1 << 20) * 64,
+                              owner=rng.randrange(3),
+                              dirty=rng.random() < 0.5,
+                              prefetched=rng.random() < 0.2)
+            assert state.occupancy() == state.scan_occupancy()
+        for owner in range(3):
+            assert state.occupancy(owner) == state.scan_occupancy(owner)
+
+
+class TestCacheOccupancyO1:
+    def test_cache_counters_match_scan_after_random_ops(self):
+        """Cache.occupancy() (counter-backed) agrees with a ground-truth
+        scan after a randomized access/fill/invalidate sequence — including
+        the inlined fill/invalidate paths that bypass install()/clear()."""
+        rng = random.Random(99)
+        cache = Cache("L", size=4096, assoc=4, block_size=64, policy="lru")
+        owners = (0, 1, 2)
+        blocks = [addr * 64 for addr in range(64)]
+        for _ in range(3_000):
+            block = rng.choice(blocks)
+            owner = rng.choice(owners)
+            op = rng.random()
+            if op < 0.5:
+                if not cache.access(block, rng.random() < 0.3, owner):
+                    cache.fill(block, owner, dirty=rng.random() < 0.3)
+            elif op < 0.8:
+                cache.fill(block, owner, dirty=rng.random() < 0.3,
+                           prefetched=rng.random() < 0.2)
+            else:
+                cache.invalidate(block)
+        state = cache.state
+        assert cache.occupancy() == state.scan_occupancy()
+        for owner in owners:
+            assert cache.occupancy(owner) == state.scan_occupancy(owner)
+
+    def test_tag_map_agrees_with_state(self):
+        rng = random.Random(5)
+        cache = Cache("L", size=2048, assoc=4, block_size=64, policy="rrip")
+        for _ in range(1_000):
+            cache.fill(rng.randrange(256) * 64, owner=rng.randrange(2))
+            if rng.random() < 0.3:
+                cache.invalidate(rng.randrange(256) * 64)
+        for set_index in range(cache.n_sets):
+            for way in range(cache.assoc):
+                view = cache.block(set_index, way)
+                if view.valid:
+                    assert cache._tags[set_index][view.tag] == way
+        total_tags = sum(len(tags) for tags in cache._tags)
+        assert total_tags == cache.occupancy() == cache.state.scan_occupancy()
+
+
+class TestBlockView:
+    def test_repr_invalid(self):
+        assert "invalid" in repr(CacheSetState(1, 1).view(0, 0))
+
+    def test_repr_flags(self):
+        state = CacheSetState(1, 1)
+        state.install(0, 0x1000, owner=3, dirty=True)
+        text = repr(state.view(0, 0))
+        assert "owner=3" in text and "D" in text

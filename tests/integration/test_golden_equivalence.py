@@ -1,0 +1,103 @@
+"""Golden-trace equivalence: the data path must be bit-identical to the seed.
+
+``tests/golden/golden_traces.json`` was captured from the original
+object-per-block implementation immediately before the flat-array
+``CacheSetState`` refactor. These tests replay the exact same harnesses
+(shared via :mod:`repro.goldens`) and assert every observable — miss counts,
+theft/interference counters, reuse histograms, occupancy, exact eviction
+sequences, and RNG draw counts — is unchanged. Any divergence means the
+refactor altered behaviour, not just representation.
+
+The captures are session-scoped fixtures so the whole matrix runs once per
+pytest invocation regardless of how many assertions consume it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import goldens
+
+GOLDEN_FILE = Path(__file__).resolve().parent.parent / "golden" / "golden_traces.json"
+
+GOLDEN = json.loads(GOLDEN_FILE.read_text())
+
+FULL_SIM_KEYS = sorted(GOLDEN["full_sim"])
+FASTCACHE_KEYS = sorted(GOLDEN["fastcache"])
+VICTIM_KEYS = sorted(GOLDEN["victim_sequences"])
+
+
+@pytest.fixture(scope="session")
+def full_sim_capture():
+    return goldens.full_sim_goldens()
+
+
+@pytest.fixture(scope="session")
+def fastcache_capture():
+    return goldens.fastcache_goldens()
+
+
+@pytest.fixture(scope="session")
+def victim_capture():
+    return goldens.victim_sequence_goldens()
+
+
+class TestMatrixPinned:
+    """The harness constants must match what the golden file was built from."""
+
+    def test_matrix_matches(self):
+        assert GOLDEN["matrix"] == {
+            "workloads": list(goldens.GOLDEN_WORKLOADS),
+            "policies": list(goldens.GOLDEN_POLICIES),
+            "seed": goldens.GOLDEN_SEED,
+            "warmup": goldens.WARMUP,
+            "sim": goldens.SIM,
+            "p_induce": goldens.P_INDUCE,
+        }
+
+    def test_expected_config_counts(self):
+        assert len(FULL_SIM_KEYS) == 18
+        assert len(FASTCACHE_KEYS) == 18
+        assert len(VICTIM_KEYS) == 12
+
+
+class TestFullSimEquivalence:
+    """End-to-end simulate(): cycles, misses, thefts, histograms, IPC."""
+
+    @pytest.mark.parametrize("key", FULL_SIM_KEYS)
+    def test_config(self, full_sim_capture, key):
+        assert key in full_sim_capture, f"capture missing config {key}"
+        assert full_sim_capture[key] == GOLDEN["full_sim"][key]
+
+    def test_no_extra_configs(self, full_sim_capture):
+        assert sorted(full_sim_capture) == FULL_SIM_KEYS
+
+
+class TestFastcacheEquivalence:
+    """Cache-only host: accesses, misses, contention counters, histograms."""
+
+    @pytest.mark.parametrize("key", FASTCACHE_KEYS)
+    def test_config(self, fastcache_capture, key):
+        assert key in fastcache_capture, f"capture missing config {key}"
+        assert fastcache_capture[key] == GOLDEN["fastcache"][key]
+
+    def test_no_extra_configs(self, fastcache_capture):
+        assert sorted(fastcache_capture) == FASTCACHE_KEYS
+
+
+class TestVictimSequenceEquivalence:
+    """Exact eviction order, RNG draw counts, occupancy, per-owner reuse."""
+
+    @pytest.mark.parametrize("key", VICTIM_KEYS)
+    def test_config(self, victim_capture, key):
+        assert key in victim_capture, f"capture missing config {key}"
+        expected = GOLDEN["victim_sequences"][key]
+        actual = victim_capture[key]
+        assert sorted(actual) == sorted(expected)
+        for field in expected:
+            assert actual[field] == expected[field], (
+                f"{key}: field {field!r} diverged")
+
+    def test_no_extra_configs(self, victim_capture):
+        assert sorted(victim_capture) == VICTIM_KEYS

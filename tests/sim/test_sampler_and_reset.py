@@ -19,22 +19,18 @@ def make_rig(config):
 
 
 class TestSampler:
-    def test_no_sample_before_interval(self, config):
+    """The host owns the cadence: ``sample()`` emits exactly when called."""
+
+    def test_sample_emits_unconditionally(self, config):
+        # The sampler never second-guesses the host — even a short interval
+        # worth of work produces a sample when the host asks for one.
         core, hierarchy, llc, tracker = make_rig(config)
         sampler = _Sampler(core, llc, 0, tracker, interval=1_000)
         for i in range(500):
             core.execute(TraceRecord(0x400000 + (i % 16) * 4))
-        sampler.maybe_sample()
-        assert sampler.samples == []
-
-    def test_sample_after_interval(self, config):
-        core, hierarchy, llc, tracker = make_rig(config)
-        sampler = _Sampler(core, llc, 0, tracker, interval=1_000)
-        for i in range(1_000):
-            core.execute(TraceRecord(0x400000 + (i % 16) * 4))
-        sampler.maybe_sample()
+        sampler.sample()
         assert len(sampler.samples) == 1
-        assert sampler.samples[0].instructions == 1_000
+        assert sampler.samples[0].instructions == 500
 
     def test_samples_are_deltas(self, config):
         core, hierarchy, llc, tracker = make_rig(config)
@@ -44,7 +40,7 @@ class TestSampler:
                 core.execute(TraceRecord(
                     0x400000 + (i % 16) * 4,
                     load_addr=0x100000000 + (round_ * 1_000 + i) * 64))
-            sampler.maybe_sample()
+            sampler.sample()
         assert len(sampler.samples) == 3
         assert all(s.instructions == 1_000 for s in sampler.samples)
         total_cycles = sum(s.cycles for s in sampler.samples)
@@ -56,11 +52,54 @@ class TestSampler:
         for i in range(500):
             core.execute(TraceRecord(0x400000,
                                      load_addr=0x100000000 + i * 64))
-        sampler.maybe_sample()
+        sampler.sample()
         sample = sampler.samples[0]
         assert sample.llc_misses <= sample.llc_accesses
         assert 0.0 <= sample.occupancy <= 1.0
         assert sample.ipc == pytest.approx(sample.instructions / sample.cycles)
+
+
+class TestSamplingCadence:
+    """One sample per full interval of the measured region — no more, no
+    less. The earlier double-gated design (host modulo AND an internal
+    instruction-delta re-check) silently dropped samples whenever warm-up
+    left the two conditions misaligned."""
+
+    def test_exact_sample_count(self, config, gromacs_trace):
+        result = simulate(gromacs_trace, config, sim_instructions=5_000,
+                          sample_interval=1_000)
+        assert len(result.samples) == 5
+        assert all(s.instructions == 1_000 for s in result.samples)
+
+    def test_warmup_not_multiple_of_interval(self, config, gromacs_trace):
+        # Warm-up misaligns the retirement counter from the interval grid;
+        # the executed-record count alone must still yield 4 full samples.
+        result = simulate(gromacs_trace, config, warmup_instructions=1_357,
+                          sim_instructions=4_000, sample_interval=1_000)
+        assert len(result.samples) == 4
+        assert all(s.instructions == 1_000 for s in result.samples)
+
+    def test_partial_tail_interval_not_sampled(self, config, gromacs_trace):
+        result = simulate(gromacs_trace, config, sim_instructions=2_500,
+                          sample_interval=1_000)
+        assert len(result.samples) == 2
+
+    def test_samples_cover_measured_region_exactly(self, config,
+                                                   gromacs_trace):
+        result = simulate(gromacs_trace, config, warmup_instructions=777,
+                          sim_instructions=3_000, sample_interval=1_000)
+        assert sum(s.instructions for s in result.samples) == 3_000
+        assert sum(s.cycles for s in result.samples) == result.cycles
+
+    def test_pair_host_samples_primary_only(self, config, gromacs_trace,
+                                            lbm_trace):
+        from repro.sim.multicore import simulate_pair
+
+        result = simulate_pair(gromacs_trace, lbm_trace, config,
+                               warmup_instructions=501,
+                               sim_instructions=2_000, sample_interval=500)
+        assert len(result.samples) == 4
+        assert all(s.instructions == 500 for s in result.samples)
 
 
 class TestResetStats:

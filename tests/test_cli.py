@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -111,6 +113,38 @@ class TestTrace:
         trace = read_trace(output)
         assert len(trace) == 2000
         assert trace.name == "435.gromacs"
+
+
+class TestBench:
+    def test_no_record_prints_json(self, capsys):
+        assert main(["bench", "--scale", "0.05", "--repeats", "1",
+                     "--no-record"]) == 0
+        out = capsys.readouterr().out
+        assert "data-path microbenchmark" in out
+        assert "fastcache (records/s)" in out
+        # --no-record emits the JSON record instead of touching the file.
+        assert '"fastcache_records_per_sec"' in out
+
+    def test_record_appends_to_bench_file(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.datapath as datapath
+
+        bench_file = tmp_path / "BENCH_datapath.json"
+        monkeypatch.setattr(datapath, "BENCH_FILE", bench_file)
+        assert main(["bench", "--scale", "0.05", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "appended run #1" in out
+        document = json.loads(bench_file.read_text())
+        assert len(document["runs"]) == 1
+        assert document["current"]["repeats"] == 1
+        assert document["current"]["fastcache_records_per_sec"] > 0
+
+    def test_speedup_shown_when_baseline_exists(self, capsys):
+        assert main(["bench", "--scale", "0.05", "--repeats", "1",
+                     "--no-record"]) == 0
+        out = capsys.readouterr().out
+        # The repo ships a seed baseline, so ratios must be reported.
+        assert "speedup vs seed: fastcache" in out
+        assert "speedup vs seed: simulate" in out
 
 
 class TestParser:
