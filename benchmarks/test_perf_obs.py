@@ -1,0 +1,84 @@
+"""Observability overhead benchmark: tracing must be free when off, cheap
+when on.
+
+Records enabled-mode overhead for both hosts to
+``benchmarks/reports/BENCH_obs.json`` (the PR's acceptance artifact) and
+asserts two gates:
+
+* disabled instrumentation keeps the plain data path inside the existing
+  seed-baseline regression floors (the same 30% gate CI's perf-smoke uses);
+* enabling event tracing costs at most half the throughput (measured
+  locally at ~8% on the cache-only host and ~3% end-to-end — the bound is
+  deliberately loose so only a structural regression trips it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datapath import DatapathBenchResult, load_baseline
+from repro.bench.obs import run_obs_overhead_bench, write_record
+
+#: Same floor as CI's perf-smoke: >30% plain-path regression fails.
+DISABLED_FLOOR = 0.7
+#: Enabled-mode tracing may cost at most half the throughput.
+ENABLED_FLOOR = 0.5
+
+
+@pytest.fixture(scope="module")
+def obs_result():
+    """One measured run shared by every assertion; best-of-5 for stability."""
+    return run_obs_overhead_bench(repeats=5)
+
+
+@pytest.fixture(scope="module")
+def seed_baseline():
+    baseline = load_baseline()
+    if baseline is None:
+        pytest.skip("no seed_baseline recorded in BENCH_datapath.json")
+    return baseline
+
+
+def test_record_obs_overhead(obs_result, write_report):
+    """Persist the run and echo the overhead ratios."""
+    write_record(obs_result)
+    lines = ["observability overhead (throughput, higher is better):"]
+    for metric, value in sorted(vars(obs_result).items()):
+        if isinstance(value, float):
+            lines.append(f"  {metric:44s} {value:12.0f}")
+    lines.append("enabled/plain throughput ratio (1.0 = tracing is free):")
+    lines.append(f"  {'fastcache':44s} "
+                 f"{obs_result.fastcache_enabled_ratio:10.3f}")
+    lines.append(f"  {'simulate':44s} "
+                 f"{obs_result.simulate_enabled_ratio:10.3f}")
+    write_report("BENCH_obs_summary", "\n".join(lines))
+
+
+def test_disabled_instrumentation_within_gate(obs_result, seed_baseline):
+    """The plain hosts (instrumentation compiled in, tracing off) must stay
+    inside the same regression floor the CI perf-smoke enforces."""
+    plain = DatapathBenchResult(
+        fastcache_records_per_sec=obs_result.fastcache_plain_records_per_sec,
+        fastcache_pinte_records_per_sec=(
+            obs_result.fastcache_plain_records_per_sec),
+        simulate_instructions_per_sec=(
+            obs_result.simulate_plain_instructions_per_sec),
+        simulate_pinte_instructions_per_sec=(
+            obs_result.simulate_plain_instructions_per_sec),
+        repeats=obs_result.repeats,
+    )
+    speedups = plain.speedup_over(seed_baseline)
+    # The obs bench runs with PInTE enabled, so gate on the pinte metrics.
+    for metric in ("fastcache_pinte", "simulate_pinte"):
+        assert speedups[metric] >= DISABLED_FLOOR, (
+            f"{metric} {speedups[metric]:.2f}x vs seed with tracing "
+            f"disabled — instrumentation is not free")
+
+
+def test_enabled_tracing_overhead_bounded(obs_result):
+    assert obs_result.fastcache_enabled_ratio >= ENABLED_FLOOR, (
+        f"event tracing costs {1 - obs_result.fastcache_enabled_ratio:.0%} "
+        f"of cache-only throughput")
+    assert obs_result.simulate_enabled_ratio >= ENABLED_FLOOR, (
+        f"event tracing costs {1 - obs_result.simulate_enabled_ratio:.0%} "
+        f"of full-host throughput")

@@ -45,3 +45,29 @@ def mean_change_in_occupancy(results: Sequence[SimulationResult],
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+def per_set_contention(heatmap) -> List[float]:
+    """Each set's share of all contention events, from a
+    :class:`~repro.obs.heatmap.ContentionHeatmap`.
+
+    Eq. 6 treats the LLC as one pool; the event trace lets it be evaluated
+    per set — a uniform distribution means capacity is being lost evenly, a
+    concentrated one means a few sets carry the contention (and set-aware
+    mitigation would help).
+    """
+    totals = heatmap.set_totals()
+    grand_total = sum(totals)
+    if grand_total == 0:
+        return [0.0] * len(totals)
+    return [count / grand_total for count in totals]
+
+
+def contention_concentration(heatmap, top_fraction: float = 0.1) -> float:
+    """Fraction of contention landing in the hottest ``top_fraction`` of
+    sets (1.0 = fully concentrated, ``top_fraction`` = perfectly uniform)."""
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    shares = sorted(per_set_contention(heatmap), reverse=True)
+    top_sets = max(1, int(len(shares) * top_fraction))
+    return sum(shares[:top_sets])

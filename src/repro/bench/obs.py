@@ -1,0 +1,141 @@
+"""Observability overhead microbenchmark.
+
+The observability layer makes two promises the test suite must be able to
+check on every PR:
+
+* **disabled is free** — with no trace attached, the emission sites are one
+  attribute load plus a branch on the fill/invalidate paths, so the plain
+  data path must stay inside the existing seed-baseline gates (covered by
+  :mod:`repro.bench.datapath`; this module re-measures the plain hosts so
+  the two numbers come from the same process and machine);
+* **enabled is cheap** — event tracing sits on miss paths only, so turning
+  it on should cost percents, not multiples.
+
+``run_obs_overhead_bench`` times both hosts plain and with an attached
+:class:`~repro.obs.events.EventTrace`, and reports the enabled/plain
+throughput ratio per host (1.0 = free, 0.5 = tracing halves throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.datapath import (
+    BENCH_SEED,
+    BENCH_WORKLOAD,
+    FASTCACHE_LENGTH,
+    P_INDUCE,
+    SIM_INSTRUCTIONS,
+    SIM_WARMUP,
+    _best_of,
+)
+from repro.config import scaled_config
+from repro.core import PinteConfig
+from repro.obs import Observation
+from repro.sim.fastcache import simulate_cache_only
+from repro.sim.simulator import simulate
+from repro.trace import build_trace, get_workload
+
+#: Canonical record of observability overhead, one entry per recorded run.
+BENCH_FILE = (Path(__file__).resolve().parents[3]
+              / "benchmarks" / "reports" / "BENCH_obs.json")
+
+#: Ring capacity used for the enabled-mode runs: large enough that the
+#: bench never wraps, so ring-eviction cost is not part of the measurement.
+EVENT_CAPACITY = 1 << 20
+
+
+@dataclass
+class ObsOverheadResult:
+    """Plain vs tracing-enabled throughput of both hosts."""
+
+    fastcache_plain_records_per_sec: float
+    fastcache_enabled_records_per_sec: float
+    simulate_plain_instructions_per_sec: float
+    simulate_enabled_instructions_per_sec: float
+    repeats: int
+    python: str = ""
+
+    @property
+    def fastcache_enabled_ratio(self) -> float:
+        """Enabled/plain throughput on the cache-only host (1.0 = free)."""
+        return (self.fastcache_enabled_records_per_sec
+                / self.fastcache_plain_records_per_sec)
+
+    @property
+    def simulate_enabled_ratio(self) -> float:
+        """Enabled/plain throughput on the full-timing host (1.0 = free)."""
+        return (self.simulate_enabled_instructions_per_sec
+                / self.simulate_plain_instructions_per_sec)
+
+
+def run_obs_overhead_bench(repeats: int = 3,
+                           scale: float = 1.0) -> ObsOverheadResult:
+    """Time both hosts plain and with event tracing enabled.
+
+    Uses the same pinned workload/seed as the data-path bench so the plain
+    numbers are directly comparable to ``BENCH_datapath.json``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    config = scaled_config()
+    fast_length = max(2_000, int(FASTCACHE_LENGTH * scale))
+    sim_warmup = max(500, int(SIM_WARMUP * scale))
+    sim_instructions = max(2_000, int(SIM_INSTRUCTIONS * scale))
+    pinte = PinteConfig(P_INDUCE, seed=BENCH_SEED)
+    trace_fast = build_trace(get_workload(BENCH_WORKLOAD), fast_length,
+                             BENCH_SEED, config.llc.size)
+    trace_sim = build_trace(get_workload(BENCH_WORKLOAD),
+                            sim_warmup + sim_instructions, BENCH_SEED,
+                            config.llc.size)
+
+    def fastcache(observe: Optional[Observation]) -> float:
+        start = time.perf_counter()
+        simulate_cache_only(trace_fast, config, pinte=pinte, seed=BENCH_SEED,
+                            observe=observe)
+        return fast_length / (time.perf_counter() - start)
+
+    def full(observe: Optional[Observation]) -> float:
+        start = time.perf_counter()
+        simulate(trace_sim, config, pinte=pinte,
+                 warmup_instructions=sim_warmup,
+                 sim_instructions=sim_instructions, seed=BENCH_SEED,
+                 observe=observe)
+        return ((sim_warmup + sim_instructions)
+                / (time.perf_counter() - start))
+
+    return ObsOverheadResult(
+        fastcache_plain_records_per_sec=_best_of(
+            repeats, lambda: fastcache(None)),
+        fastcache_enabled_records_per_sec=_best_of(
+            repeats,
+            lambda: fastcache(Observation.with_events(EVENT_CAPACITY))),
+        simulate_plain_instructions_per_sec=_best_of(
+            repeats, lambda: full(None)),
+        simulate_enabled_instructions_per_sec=_best_of(
+            repeats, lambda: full(Observation.with_events(EVENT_CAPACITY))),
+        repeats=repeats,
+        python=platform.python_version(),
+    )
+
+
+def write_record(result: ObsOverheadResult,
+                 path: Optional[Path] = None) -> dict:
+    """Append a run to the obs bench file; returns the updated document."""
+    if path is None:
+        path = BENCH_FILE
+    document = json.loads(path.read_text()) if path.exists() else {}
+    entry = asdict(result)
+    entry["fastcache_enabled_ratio"] = round(result.fastcache_enabled_ratio, 4)
+    entry["simulate_enabled_ratio"] = round(result.simulate_enabled_ratio, 4)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["current"] = entry
+    document.setdefault("runs", []).append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return document

@@ -121,6 +121,10 @@ class Cache:
         # Reusable eviction-order buffer for the quota-constrained walk.
         self._order_scratch: List[int] = [0] * assoc
         self.stats = CacheStats()
+        #: Optional :class:`~repro.obs.events.EventTrace` (observability).
+        #: ``None`` keeps every emission site a single load+branch on the
+        #: fill/invalidate paths; set via ``EventTrace.attach(cache)``.
+        self._events = None
         self.track_reuse = track_reuse
         #: Hit-position histogram (paper Fig 5): index = position in the
         #: replacement stack counted from the protected end (0 = MRU-most).
@@ -295,6 +299,20 @@ class Cache:
         if is_writeback_fill:
             stats.writeback_fills += 1
         self._policy_on_insert(set_index, way)
+        events = self._events
+        if events is not None:
+            events.record("fill", set_index, way, owner,
+                          "prefetch" if prefetched else
+                          "writeback" if is_writeback_fill else "demand",
+                          block_addr)
+            if evicted is not None:
+                events.record(
+                    "evict", set_index, way, evicted.owner,
+                    "replace" if evicted.owner == owner else "theft",
+                    evicted.tag)
+                if evicted.dirty:
+                    events.record("writeback", set_index, way, evicted.owner,
+                                  "evict", evicted.tag)
         return evicted
 
     def _choose_victim(self, set_index: int, owner: int,
@@ -341,6 +359,9 @@ class Cache:
                             state.owners[index], bool(state.prefetched[index]))
         state.clear(index)
         self.stats.invalidations += 1
+        if self._events is not None:
+            self._events.record("invalidate", set_index, way, info.owner,
+                                "protocol", info.tag)
         return info
 
     def invalidate_way(self, set_index: int, way: int) -> Optional[EvictedBlock]:
@@ -361,6 +382,9 @@ class Cache:
         state.total_valid -= 1
         state.owner_counts[owner] -= 1
         self.stats.invalidations += 1
+        if self._events is not None:
+            self._events.record("invalidate", set_index, way, owner,
+                                "protocol", tag)
         return info
 
     def mark_dirty(self, block_addr: int) -> bool:

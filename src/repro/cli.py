@@ -3,7 +3,10 @@
 Commands:
 
 * ``list`` — enumerate the synthetic SPEC-like workload models.
-* ``run`` — simulate one workload (isolation / PInTE / 2nd-Trace).
+* ``run`` — simulate one workload (isolation / PInTE / 2nd-Trace); can
+  dump the unified metric registry, a JSONL event log, a Chrome trace and
+  a machine-readable JSON result.
+* ``obs`` — inspect a JSONL event log (kind summary, hottest sets, heatmap).
 * ``sweep`` — PInTE sensitivity sweep + classification for workloads.
 * ``trace`` — generate a trace file for external tooling.
 * ``bench`` — data-path throughput microbenchmark vs the seed baseline.
@@ -76,11 +79,45 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_or_print(text: str, destination: str, what: str) -> None:
+    """Send ``text`` to stdout (``-``) or a file (with a confirmation line)."""
+    if destination == "-":
+        print(text)
+    else:
+        Path(destination).write_text(text + "\n")
+        print(f"wrote {what} to {destination}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        Observation,
+        format_metrics,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+    from repro.sim.serialize import result_to_dict
+
     config = _machine(args.machine)
     workload = get_workload(args.workload)
     length = args.warmup + args.instructions
-    trace = build_trace(workload, length, args.seed, config.llc.size)
+
+    # Any observability output opts the run into the obs layer; event
+    # tracing itself is only switched on when an event consumer asked for it.
+    observe = None
+    if args.events or args.chrome_trace or args.metrics:
+        if args.events or args.chrome_trace:
+            observe = Observation.with_events(args.event_capacity)
+        else:
+            observe = Observation()
+    profiler = observe.profiler if observe is not None else None
+
+    if profiler is not None:
+        with profiler.span("trace-gen"):
+            trace = build_trace(workload, length, args.seed, config.llc.size)
+    else:
+        trace = build_trace(workload, length, args.seed, config.llc.size)
 
     pinte = None
     if args.p_induce is not None:
@@ -97,29 +134,90 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = simulate_pair(trace, adversary, config,
                                warmup_instructions=args.warmup,
                                sim_instructions=args.instructions,
-                               seed=args.seed)
+                               seed=args.seed, observe=observe)
     else:
         result = simulate(trace, config, pinte=pinte,
                           warmup_instructions=args.warmup,
-                          sim_instructions=args.instructions, seed=args.seed)
+                          sim_instructions=args.instructions, seed=args.seed,
+                          observe=observe)
 
+    def report() -> None:
+        # `--json -` is the machine-readable mode: the result document owns
+        # stdout, so the human table is suppressed.
+        if args.json != "-":
+            print(format_table(
+                ["Metric", "Value"],
+                [
+                    ("context", result.label()),
+                    ("instructions", result.instructions),
+                    ("cycles", result.cycles),
+                    ("IPC", f"{result.ipc:.4f}"),
+                    ("LLC miss rate", f"{result.miss_rate:.4f}"),
+                    ("AMAT (cycles)", f"{result.amat:.2f}"),
+                    ("contention rate", f"{result.contention_rate:.4f}"),
+                    ("interference rate", f"{result.interference_rate:.4f}"),
+                    ("thefts experienced", result.thefts_experienced),
+                    ("branch accuracy", f"{result.branch_accuracy:.4f}"),
+                    ("LLC occupancy", f"{result.occupancy:.3f}"),
+                ],
+                title=f"{args.workload} on {config.name}",
+            ))
+        if args.json:
+            _write_or_print(json.dumps(result_to_dict(result), sort_keys=True),
+                            args.json, "result JSON")
+        if args.metrics:
+            _write_or_print(format_metrics(observe.registry), args.metrics,
+                            "metrics")
+        if args.events:
+            count = write_events_jsonl(observe.events, args.events)
+            print(f"wrote {count} events to {args.events}"
+                  + (f" ({observe.events.dropped} dropped past capacity)"
+                     if observe.events.dropped else ""))
+
+    if profiler is not None:
+        with profiler.span("report"):
+            report()
+        if args.chrome_trace:
+            count = write_chrome_trace(args.chrome_trace, trace=observe.events,
+                                       profiler=profiler,
+                                       run_label=result.label())
+            print(f"wrote {count} trace events to {args.chrome_trace}")
+    else:
+        report()
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import build_heatmap, load_events_jsonl
+
+    events, meta = load_events_jsonl(args.events)
+    retained: dict = {}
+    for event in events:
+        retained[event.kind] = retained.get(event.kind, 0) + 1
+    totals = meta.get("counts", retained)
+    rows = [(kind, totals.get(kind, 0), retained.get(kind, 0))
+            for kind in sorted(set(totals) | set(retained))]
     print(format_table(
-        ["Metric", "Value"],
-        [
-            ("context", result.label()),
-            ("instructions", result.instructions),
-            ("cycles", result.cycles),
-            ("IPC", f"{result.ipc:.4f}"),
-            ("LLC miss rate", f"{result.miss_rate:.4f}"),
-            ("AMAT (cycles)", f"{result.amat:.2f}"),
-            ("contention rate", f"{result.contention_rate:.4f}"),
-            ("interference rate", f"{result.interference_rate:.4f}"),
-            ("thefts experienced", result.thefts_experienced),
-            ("branch accuracy", f"{result.branch_accuracy:.4f}"),
-            ("LLC occupancy", f"{result.occupancy:.3f}"),
-        ],
-        title=f"{args.workload} on {config.name}",
+        ["Kind", "Total", "Retained"], rows,
+        title=f"{len(events)} events from {args.events}"
+              + (f" ({meta['dropped']} dropped)" if meta.get("dropped")
+                 else ""),
     ))
+    if not events:
+        return 0
+    n_sets = args.sets or max(event.set_index for event in events) + 1
+    kinds = tuple(args.kinds.split(","))
+    heatmap = build_heatmap(events, n_sets=n_sets, interval=args.interval,
+                            kinds=kinds)
+    hottest = heatmap.hottest_sets(args.top)
+    if not hottest:
+        print(f"no {'/'.join(kinds)} events to map")
+        return 0
+    print(format_table(
+        ["Set", "Events"], hottest,
+        title=f"hottest sets ({'+'.join(kinds)})",
+    ))
+    print(heatmap.render(max_rows=args.top))
     return 0
 
 
@@ -327,8 +425,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="background DRAM requests per kilocycle")
     p_run.add_argument("--versus", default=None,
                        help="run 2nd-Trace mode against this workload")
+    p_run.add_argument("--json", default=None, metavar="PATH",
+                       help="write the full result as JSON "
+                            "('-' for stdout, suppresses the table)")
+    p_run.add_argument("--metrics", default=None, metavar="PATH",
+                       help="dump the unified metric registry "
+                            "('-' for stdout)")
+    p_run.add_argument("--events", default=None, metavar="PATH",
+                       help="trace cache/PInTE events to a JSONL file")
+    p_run.add_argument("--chrome-trace", default=None, metavar="PATH",
+                       help="write a Chrome trace_event file "
+                            "(load in ui.perfetto.dev)")
+    p_run.add_argument("--event-capacity", type=int, default=1 << 16,
+                       help="event ring capacity (default: 65536)")
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_obs = sub.add_parser("obs", help="inspect a JSONL event log")
+    p_obs.add_argument("events", help="JSONL file written by run --events")
+    p_obs.add_argument("--top", type=int, default=10,
+                       help="hottest sets to show (default: 10)")
+    p_obs.add_argument("--kinds", default="theft,evict",
+                       help="comma-separated event kinds for the heatmap "
+                            "(default: theft,evict)")
+    p_obs.add_argument("--interval", type=int, default=1_000,
+                       help="heatmap column width in cycles (default: 1000)")
+    p_obs.add_argument("--sets", type=int, default=None,
+                       help="cache sets (default: inferred from the log)")
+    p_obs.set_defaults(func=cmd_obs)
 
     p_sweep = sub.add_parser("sweep", help="PInTE sensitivity sweep")
     p_sweep.add_argument("workloads", nargs="+", help="benchmark names")

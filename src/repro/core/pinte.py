@@ -86,6 +86,9 @@ class PInTE:
         #: invalidation; wired by inclusive hierarchies so induced thefts
         #: also evict private-cache copies.
         self.back_invalidate: Optional[Callable[[int, int], None]] = None
+        #: Optional :class:`~repro.obs.events.EventTrace`; ``None`` keeps the
+        #: induction loop free of tracing work (one load+branch per trigger).
+        self._events = None
         self.stats = PinteStats()
         self._rng = DeterministicRng(config.seed, "pinte")
         self._max_evictions = config.max_evictions or llc.assoc
@@ -134,6 +137,7 @@ class PInTE:
         owners = state.owners
         tag_map = llc._tags[set_index]
         promote_invalid = self.config.promote_invalid
+        events = self._events
         invalidated = 0
         # The adversary's counters, bound on first use (not eagerly, so a
         # walk that promotes nothing — promote_invalid=False on an empty
@@ -168,6 +172,9 @@ class PInTE:
                     if self.writeback is not None:
                         self.writeback(block_addr, cycle)
                     dirty[index] = 0
+                    if events is not None:
+                        events.record("writeback", set_index, way,
+                                      victim_owner, "pinte", block_addr)
                 tag_map.pop(block_addr, None)
                 valid[index] = 0
                 state.prefetched[index] = 0
@@ -180,9 +187,16 @@ class PInTE:
                     tracker.record_theft(
                         victim_owner, SYSTEM_OWNER, block_addr, induced=True
                     )
+                if events is not None:
+                    events.record("theft", set_index, way, victim_owner,
+                                  "pinte", block_addr)
                 if self.back_invalidate is not None:
                     self.back_invalidate(block_addr, cycle)
-            # else: promotion of an invalid block is the mocked theft of
-            # Fig 2b -- the way now looks like a fresh adversary insertion.
+            elif events is not None:
+                # Promotion of an invalid block is the mocked theft of
+                # Fig 2b -- the way now looks like a fresh adversary
+                # insertion.
+                events.record("promote", set_index, way, SYSTEM_OWNER,
+                              "mocked-theft", 0)
             blocks_evict -= 1  # DECREMENT
         return invalidated

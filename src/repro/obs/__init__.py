@@ -1,0 +1,106 @@
+"""Unified observability layer: metrics, event tracing, profiling.
+
+Everything the simulator can tell you about a run flows through this
+package:
+
+* :mod:`repro.obs.registry` — a central :class:`MetricRegistry` of named
+  counters/gauges/histograms that absorbs the scattered per-subsystem stats
+  objects behind stable dotted names (``llc.miss``, ``pinte.theft``,
+  ``core0.ipc``, ...).
+* :mod:`repro.obs.events` — a bounded ring buffer of structured
+  eviction/theft/fill/writeback events emitted from the cache layer and the
+  PInTE engine; a no-op when tracing is off.
+* :mod:`repro.obs.sampler` — the interval sampler shared by both timing
+  hosts (formerly duplicated), now with a tail-flushing ``finalize()``.
+* :mod:`repro.obs.export` — JSONL event dumps and Chrome ``trace_event``
+  files loadable in Perfetto.
+* :mod:`repro.obs.heatmap` — set x interval contention matrices feeding
+  :mod:`repro.analysis.occupancy` and the ``repro obs`` inspector.
+* :mod:`repro.obs.profile` — wall-clock phase spans (trace-gen / warmup /
+  simulate / report), surfaced in ``SimulationResult`` and the batch runner.
+
+An :class:`Observation` bundles the opt-in pieces for one run::
+
+    from repro.obs import Observation
+
+    obs = Observation.with_events()
+    result = simulate(trace, config, observe=obs)
+    obs.registry.value("llc.miss")          # unified metric namespace
+    obs.events.events()                     # structured event records
+    obs.profiler.totals()                   # wall-clock phase breakdown
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    EVENT_KINDS,
+    Event,
+    EventTrace,
+    disable_tracing,
+    enable_tracing,
+    tracing_enabled,
+)
+from repro.obs.export import (
+    load_events_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.heatmap import ContentionHeatmap, build_heatmap
+from repro.obs.profile import PhaseProfiler, Span
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    collect_host_metrics,
+    format_metrics,
+)
+from repro.obs.sampler import IntervalSampler
+
+__all__ = [
+    "ContentionHeatmap",
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "EVENT_KINDS",
+    "Event",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "IntervalSampler",
+    "MetricRegistry",
+    "Observation",
+    "PhaseProfiler",
+    "Span",
+    "build_heatmap",
+    "collect_host_metrics",
+    "disable_tracing",
+    "enable_tracing",
+    "format_metrics",
+    "load_events_jsonl",
+    "tracing_enabled",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]
+
+
+@dataclass
+class Observation:
+    """Per-run observability bundle handed to a host via ``observe=``.
+
+    ``events`` is opt-in (it is the only piece with measurable cost when
+    on); the profiler is always present, and ``registry`` is filled by the
+    host at finalisation.
+    """
+
+    events: Optional[EventTrace] = None
+    profiler: PhaseProfiler = field(default_factory=PhaseProfiler)
+    registry: Optional[MetricRegistry] = None
+
+    @classmethod
+    def with_events(cls, capacity: int = DEFAULT_CAPACITY) -> "Observation":
+        """An observation with event tracing enabled at ``capacity``."""
+        return cls(events=EventTrace(capacity))

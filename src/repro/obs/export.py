@@ -1,0 +1,146 @@
+"""Exporters: JSONL event dumps and Chrome ``trace_event`` files.
+
+Two interchange formats cover the tooling spectrum:
+
+* **JSONL** — one event object per line, trivially consumed by ``jq``,
+  pandas or the ``repro obs`` inspector. A ``#meta`` header line carries
+  the ring bookkeeping (recorded/dropped/per-kind counts) so consumers can
+  detect truncation without re-counting.
+* **Chrome trace** — the ``trace_event`` JSON format loadable in Perfetto
+  (ui.perfetto.dev) and ``chrome://tracing``. Cache events become instant
+  events on one track per owner (cycle axis); profiler phases become
+  complete (``X``) events on a ``phases`` track (wall-clock axis).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.events import Event, EventTrace
+from repro.obs.profile import PhaseProfiler
+
+__all__ = [
+    "load_events_jsonl",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]
+
+#: Meta-line marker; lines starting with this are not events.
+META_PREFIX = "#meta "
+
+
+def write_events_jsonl(trace: EventTrace, path: Union[str, Path]) -> int:
+    """Dump a trace's retained events as JSONL; returns events written."""
+    meta = {
+        "recorded": trace.recorded,
+        "dropped": trace.dropped,
+        "capacity": trace.capacity,
+        "counts": dict(trace.counts),
+    }
+    lines = [META_PREFIX + json.dumps(meta, sort_keys=True)]
+    events = trace.events()
+    for event in events:
+        lines.append(json.dumps({
+            "seq": event.seq,
+            "cycle": event.cycle,
+            "kind": event.kind,
+            "set": event.set_index,
+            "way": event.way,
+            "owner": event.owner,
+            "cause": event.cause,
+            "tag": event.tag,
+        }, sort_keys=True))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(events)
+
+
+def load_events_jsonl(path: Union[str, Path]) -> tuple:
+    """Read a JSONL dump; returns ``(events, meta)``.
+
+    ``meta`` is ``{}`` for headerless files (e.g. hand-built fixtures).
+    """
+    events: List[Event] = []
+    meta: dict = {}
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(META_PREFIX):
+            meta = json.loads(line[len(META_PREFIX):])
+            continue
+        payload = json.loads(line)
+        events.append(Event(
+            seq=payload["seq"],
+            cycle=payload["cycle"],
+            kind=payload["kind"],
+            set_index=payload["set"],
+            way=payload["way"],
+            owner=payload["owner"],
+            cause=payload.get("cause", ""),
+            tag=payload.get("tag", 0),
+        ))
+    return events, meta
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    trace: Optional[EventTrace] = None,
+    profiler: Optional[PhaseProfiler] = None,
+    run_label: str = "repro",
+) -> int:
+    """Write a Chrome ``trace_event`` file; returns trace events written.
+
+    Cycles map 1:1 onto the microsecond timestamp axis (``ts``) — Perfetto
+    renders them as a relative timeline, which is exactly how cycle counts
+    read. Phase spans use real microseconds on their own track.
+    """
+    trace_events: List[dict] = [
+        {"ph": "M", "pid": 0, "name": "process_name",
+         "args": {"name": run_label}},
+    ]
+    if trace is not None:
+        owners = set()
+        for event in trace.events():
+            owners.add(event.owner)
+            trace_events.append({
+                "name": event.kind,
+                "cat": "cache",
+                "ph": "i",
+                "s": "t",
+                "ts": event.cycle,
+                "pid": 0,
+                "tid": 100 + event.owner,
+                "args": {
+                    "set": event.set_index,
+                    "way": event.way,
+                    "owner": event.owner,
+                    "cause": event.cause,
+                    "tag": event.tag,
+                },
+            })
+        for owner in sorted(owners):
+            trace_events.append({
+                "ph": "M", "pid": 0, "tid": 100 + owner,
+                "name": "thread_name",
+                "args": {"name": f"owner {owner} (cycles)"},
+            })
+    if profiler is not None:
+        for span in profiler.spans:
+            trace_events.append({
+                "name": span.name,
+                "cat": "phase",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 0,
+                "tid": 1,
+            })
+        trace_events.append({
+            "ph": "M", "pid": 0, "tid": 1, "name": "thread_name",
+            "args": {"name": "phases (wall clock)"},
+        })
+    document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(document))
+    return len(trace_events)

@@ -1,0 +1,120 @@
+"""Per-set contention heatmap: set x interval event matrix.
+
+The occupancy-channel literature treats *set-granular* occupancy traces as
+the primitive for contention analysis; this module builds that view from an
+event trace. Rows are cache sets, columns are cycle intervals, cells count
+the selected event kinds (thefts and evictions by default) — i.e. *where*
+and *when* contention landed, not just how much of it there was.
+
+Feeds :mod:`repro.analysis.occupancy` (per-set occupancy-loss proxies) and
+the ``repro obs`` CLI inspector (hottest-set tables and an ASCII render).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.obs.events import Event
+
+__all__ = ["ContentionHeatmap", "build_heatmap"]
+
+#: ASCII intensity ramp for the terminal rendering.
+_RAMP = " .:-=+*#%@"
+
+
+class ContentionHeatmap:
+    """Dense set x interval count matrix with summary accessors."""
+
+    def __init__(self, n_sets: int, interval: int, kinds: Tuple[str, ...],
+                 matrix: List[List[int]]) -> None:
+        self.n_sets = n_sets
+        #: Cycle width of one column.
+        self.interval = interval
+        self.kinds = kinds
+        #: ``matrix[set_index][bucket]`` = event count.
+        self.matrix = matrix
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.matrix[0]) if self.matrix and self.matrix[0] else 0
+
+    def set_totals(self) -> List[int]:
+        """Events per set, summed over time."""
+        return [sum(row) for row in self.matrix]
+
+    def interval_totals(self) -> List[int]:
+        """Events per interval, summed over sets."""
+        return [sum(column) for column in zip(*self.matrix)] if self.matrix else []
+
+    def total(self) -> int:
+        return sum(self.set_totals())
+
+    def hottest_sets(self, k: int = 10) -> List[Tuple[int, int]]:
+        """Top-``k`` ``(set_index, count)`` pairs, hottest first."""
+        totals = self.set_totals()
+        ranked = sorted(range(self.n_sets), key=lambda s: (-totals[s], s))
+        return [(s, totals[s]) for s in ranked[:k] if totals[s] > 0]
+
+    def render(self, max_rows: int = 16, width: int = 64) -> str:
+        """ASCII heatmap of the hottest ``max_rows`` sets over time."""
+        if self.total() == 0:
+            return "(no matching events)"
+        hot = self.hottest_sets(max_rows)
+        n_cols = min(width, self.n_intervals)
+        lines = [f"set x interval heatmap ({'+'.join(self.kinds)}; "
+                 f"{self.interval} cycles/col, hottest {len(hot)} sets)"]
+        peak = max(count for _, count in hot)
+        for set_index, _ in hot:
+            row = self.matrix[set_index]
+            cells = _rebin(row, n_cols)
+            cell_peak = max(max(cells), 1)
+            scale = (len(_RAMP) - 1) / cell_peak
+            bar = "".join(_RAMP[int(round(cell * scale))] for cell in cells)
+            lines.append(f"  set {set_index:5d} |{bar}| {sum(row)}")
+        lines.append(f"  peak set total: {peak}")
+        return "\n".join(lines)
+
+
+def _rebin(row: Sequence[int], n_cols: int) -> List[int]:
+    """Merge a row into at most ``n_cols`` columns (sum within each)."""
+    if len(row) <= n_cols:
+        return list(row)
+    out = [0] * n_cols
+    for index, value in enumerate(row):
+        out[index * n_cols // len(row)] += value
+    return out
+
+
+def build_heatmap(
+    events: Iterable[Event],
+    n_sets: int,
+    interval: int = 1_000,
+    kinds: Tuple[str, ...] = ("theft", "evict"),
+    owner: int = None,
+) -> ContentionHeatmap:
+    """Bin events into a set x interval matrix.
+
+    ``kinds`` selects which event kinds count (thefts + natural evictions by
+    default — the contention view); ``owner`` optionally restricts to one
+    victim. Events whose set index falls outside ``n_sets`` raise, so a
+    mismatched geometry fails loudly instead of silently truncating.
+    """
+    if n_sets < 1:
+        raise ValueError("n_sets must be >= 1")
+    if interval < 1:
+        raise ValueError("interval must be >= 1")
+    wanted = set(kinds)
+    selected = [event for event in events
+                if event.kind in wanted
+                and (owner is None or event.owner == owner)]
+    n_buckets = 0
+    if selected:
+        last_cycle = max(event.cycle for event in selected)
+        n_buckets = last_cycle // interval + 1
+    matrix = [[0] * n_buckets for _ in range(n_sets)]
+    for event in selected:
+        if not 0 <= event.set_index < n_sets:
+            raise ValueError(
+                f"event set {event.set_index} outside geometry ({n_sets} sets)")
+        matrix[event.set_index][event.cycle // interval] += 1
+    return ContentionHeatmap(n_sets, interval, tuple(kinds), matrix)

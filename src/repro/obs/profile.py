@@ -1,0 +1,66 @@
+"""Wall-clock phase profiling for runs and campaigns.
+
+Every simulation passes through the same phases — ``trace-gen``,
+``warmup``, ``simulate``, ``report`` — but until now only the total wall
+time was recorded. :class:`PhaseProfiler` collects named spans (start
+offset + duration, wall-clock seconds) cheaply enough to stay always-on:
+two ``perf_counter`` calls per span, nothing per instruction.
+
+Spans are exported two ways: as ``phase_<name>_seconds`` entries in
+``SimulationResult.extra`` (so they serialise with the run) and as Chrome
+``trace_event`` complete events via :mod:`repro.obs.export`, which makes a
+run's phase structure visible on the Perfetto timeline next to its cache
+events.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, NamedTuple
+
+__all__ = ["PhaseProfiler", "Span"]
+
+
+class Span(NamedTuple):
+    """One completed phase (wall-clock seconds, relative to profiler birth)."""
+
+    name: str
+    start: float
+    duration: float
+
+
+class PhaseProfiler:
+    """Collects named wall-clock spans; nestable and re-enterable."""
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.spans: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str):
+        """Context manager timing one phase."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            end = time.perf_counter()
+            self.spans.append(Span(name, start - self.origin, end - start))
+
+    def add_span(self, name: str, start: float, duration: float) -> None:
+        """Record an externally-timed span (offsets in seconds)."""
+        self.spans.append(Span(name, start, duration))
+
+    def totals(self) -> Dict[str, float]:
+        """Summed seconds per phase name (a phase may recur, e.g. in sweeps)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's spans in, rebasing onto this origin."""
+        offset = other.origin - self.origin
+        for span in other.spans:
+            self.spans.append(Span(span.name, span.start + offset,
+                                   span.duration))

@@ -13,11 +13,13 @@ worker rebuilds its trace from the workload registry.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
 from repro.core import PinteConfig
+from repro.obs.profile import PhaseProfiler
 from repro.sim.multicore import simulate_pair
 from repro.sim.results import SimulationResult
 from repro.sim.runner import ExperimentScale
@@ -72,19 +74,36 @@ def _worker(args: Tuple[Job, MachineConfig, ExperimentScale]) -> SimulationResul
 
 def run_batch(jobs: Sequence[Job], config: MachineConfig,
               scale: ExperimentScale,
-              processes: Optional[int] = None) -> List[SimulationResult]:
+              processes: Optional[int] = None,
+              profiler: Optional[PhaseProfiler] = None) -> List[SimulationResult]:
     """Run jobs, in parallel when ``processes`` allows it.
 
     ``processes=1`` (or a single job) runs inline — no pool overhead and
-    easier debugging. Results come back in job order either way.
+    easier debugging. Results come back in job order either way. A
+    ``profiler`` gets one wall-clock span per job (inline) or one for the
+    whole pool (parallel — per-job spans would need cross-process clocks).
     """
     jobs = list(jobs)
     if processes is None:
         processes = min(len(jobs), multiprocessing.cpu_count())
     if processes <= 1 or len(jobs) <= 1:
-        return [run_job(job, config, scale) for job in jobs]
+        results = []
+        for job_index, job in enumerate(jobs):
+            start = time.perf_counter()
+            results.append(run_job(job, config, scale))
+            if profiler is not None:
+                profiler.add_span(f"job{job_index}:{job.workload}",
+                                  start - profiler.origin,
+                                  time.perf_counter() - start)
+        return results
+    start = time.perf_counter()
     with multiprocessing.Pool(processes) as pool:
-        return pool.map(_worker, [(job, config, scale) for job in jobs])
+        results = pool.map(_worker, [(job, config, scale) for job in jobs])
+    if profiler is not None:
+        profiler.add_span(f"batch[{len(jobs)} jobs x{processes}]",
+                          start - profiler.origin,
+                          time.perf_counter() - start)
+    return results
 
 
 def campaign_jobs(

@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.cache.cache import Cache
 from repro.config import MachineConfig
 from repro.core import ContentionTracker, PInTE, PinteConfig
+from repro.obs import Observation, collect_host_metrics
 from repro.trace.record import Trace
 
 
@@ -61,13 +62,18 @@ def simulate_cache_only(
     warmup_accesses: int = 0,
     filter_cache: bool = True,
     seed: int = 0,
+    observe: Optional[Observation] = None,
 ) -> FastCacheResult:
     """Replay a trace's memory accesses through the LLC alone.
 
     ``filter_cache`` interposes an L2-sized cache so only its misses reach
     the LLC — roughly the access stream the full hierarchy would deliver.
     ``warmup_accesses`` LLC accesses are replayed before statistics reset.
+    ``observe`` works as in :func:`repro.sim.simulator.simulate`; this host
+    has no core clock, so event timestamps count LLC accesses instead.
     """
+    from repro.sim.simulator import _observation_events
+
     owner = 0
     llc = Cache("LLC", config.llc.size, config.llc.assoc, config.block_size,
                 latency=config.llc.latency, policy=config.llc.policy,
@@ -80,6 +86,14 @@ def simulate_cache_only(
     engine: Optional[PInTE] = None
     if pinte is not None:
         engine = PInTE(pinte, llc, tracker)
+
+    events = _observation_events(observe)
+    if events is not None:
+        events.attach(llc)
+        if engine is not None:
+            events.attach(engine)
+        # No core clock here: timestamp events with the LLC access count.
+        events.clock = lambda: seen
 
     block_mask = ~(config.block_size - 1)
     wall_start = time.perf_counter()
@@ -138,6 +152,16 @@ def simulate_cache_only(
                         seen, owner)
         seen += 1
 
+    wall_seconds = time.perf_counter() - wall_start
+    if events is not None:
+        events.detach_all()
+    if observe is not None:
+        profiler = observe.profiler
+        profiler.add_span("simulate", wall_start - profiler.origin,
+                          wall_seconds)
+        observe.registry = collect_host_metrics(
+            observe.registry, llc=llc, tracker=tracker, engine=engine,
+            events=events)
     return FastCacheResult(
         trace_name=trace.name,
         p_induce=pinte.p_induce if pinte else None,
@@ -146,7 +170,7 @@ def simulate_cache_only(
         thefts_experienced=counters.thefts_experienced,
         interference_misses=counters.interference_misses,
         reuse_histogram=llc.owner_reuse_histogram(owner),
-        wall_time_seconds=time.perf_counter() - wall_start,
+        wall_time_seconds=wall_seconds,
     )
 
 

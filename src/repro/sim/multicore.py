@@ -25,11 +25,13 @@ from repro.config import MachineConfig
 from repro.core import ContentionTracker
 from repro.cpu import Core
 from repro.dram import Dram
+from repro.obs import Observation, collect_host_metrics
+from repro.obs.sampler import IntervalSampler
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import (
     DEFAULT_SAMPLE_INTERVAL,
-    _Sampler,
     _finalise,
+    _observation_events,
     _reset_stats,
 )
 from repro.trace.record import Trace, TraceRecord
@@ -66,6 +68,7 @@ def simulate_multiprogrammed(
     seed: int = 0,
     partitioner=None,
     repartition_interval: int = 5_000,
+    observe: Optional[Observation] = None,
 ) -> List[SimulationResult]:
     """Run ``traces[0]`` with ``traces[1:]`` as concurrent contention sources.
 
@@ -102,6 +105,13 @@ def simulate_multiprogrammed(
         if not stream:
             raise ValueError(f"trace {trace.name!r} is empty")
 
+    events = _observation_events(observe)
+    if events is not None:
+        events.attach(llc)
+        # The shared timeline: all core clocks stay aligned, so the primary's
+        # clock is a faithful timestamp for every owner's events.
+        events.clock = lambda: cores[0].cycle
+
     wall_start = time.perf_counter()
     total = (sim_instructions if sim_instructions is not None else
              max(0, len(traces[0]) - warmup_instructions))
@@ -132,10 +142,14 @@ def simulate_multiprogrammed(
             warmed += 1
     for core_id in range(n_cores):
         _reset_stats(cores[core_id], hierarchies[core_id], tracker, core_id)
+    if events is not None:
+        events.clear()  # warm-up events go with the warm-up statistics
     start_cycles = [core.cycle for core in cores]
+    warmup_seconds = time.perf_counter() - wall_start
 
     # --- measured region ---
-    sampler = _Sampler(cores[0], llc, 0, tracker, sample_interval)
+    measure_start = time.perf_counter()
+    sampler = IntervalSampler(cores[0], llc, 0, tracker, sample_interval)
     executed = 0
     # One sample per full interval of *primary* retirements — the executed
     # count is the single authority, matching the single-core host.
@@ -148,9 +162,11 @@ def simulate_multiprogrammed(
                 next_sample += sample_interval
             if partitioner is not None and executed % repartition_interval == 0:
                 partitioner.epoch(llc, tracker)
+    sampler.finalize()
+    measure_seconds = time.perf_counter() - measure_start
 
     empty_samplers = [
-        _Sampler(cores[core_id], llc, core_id, tracker, sample_interval)
+        IntervalSampler(cores[core_id], llc, core_id, tracker, sample_interval)
         for core_id in range(1, n_cores)
     ]
     results = [_finalise(cores[0], hierarchies[0], tracker, 0, start_cycles[0],
@@ -163,6 +179,20 @@ def simulate_multiprogrammed(
             traces[core_id].name, "2nd-trace", wall_start, None,
             traces[0].name, seed,
         ))
+    for result in results:
+        result.extra["phase_warmup_seconds"] = warmup_seconds
+        result.extra["phase_simulate_seconds"] = measure_seconds
+    if events is not None:
+        events.detach_all()
+    if observe is not None:
+        profiler = observe.profiler
+        origin = profiler.origin
+        profiler.add_span("warmup", wall_start - origin, warmup_seconds)
+        profiler.add_span("simulate", measure_start - origin, measure_seconds)
+        observe.registry = collect_host_metrics(
+            observe.registry, cores=cores, hierarchies=hierarchies,
+            llc=llc, tracker=tracker, events=events,
+            start_cycles=start_cycles)
     return results
 
 
@@ -175,6 +205,7 @@ def simulate_pair(
     sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
     seed: int = 0,
     return_secondary: bool = False,
+    observe: Optional[Observation] = None,
 ) -> SimulationResult:
     """Run ``primary`` with ``secondary`` as the contention source.
 
@@ -188,6 +219,7 @@ def simulate_pair(
         sim_instructions=sim_instructions,
         sample_interval=sample_interval,
         seed=seed,
+        observe=observe,
     )
     result = results[0]
     result.co_runner = secondary.name

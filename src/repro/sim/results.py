@@ -37,7 +37,14 @@ class Sample:
 
     def metric(self, name: str) -> float:
         """Fetch a metric by name (used by the KL-divergence analyses)."""
-        return float(getattr(self, name))
+        try:
+            value = getattr(self, name)
+        except AttributeError:
+            raise ValueError(
+                f"unknown sample metric {name!r}; "
+                f"available: {', '.join(SAMPLE_METRICS)}"
+            ) from None
+        return float(value)
 
 
 @dataclass

@@ -18,77 +18,25 @@ from repro.core import ContentionTracker, PInTE, PinteConfig
 from repro.core.extensions import BackgroundDramTraffic, PeriodicPinte
 from repro.core.pinte_config import TRIGGER_PER_ACCESS
 from repro.cpu import Core, CoreStats
-from repro.sim.results import Sample, SimulationResult
+from repro.obs import Observation, collect_host_metrics
+from repro.obs import events as obs_events
+from repro.obs.sampler import IntervalSampler
+from repro.sim.results import SimulationResult
 from repro.trace.record import Trace
 
 DEFAULT_SAMPLE_INTERVAL = 10_000  # scaled stand-in for the paper's 10M
 
+#: Backwards-compatible alias: the sampler both hosts share now lives in
+#: :mod:`repro.obs.sampler` (it was duplicated per-host before).
+_Sampler = IntervalSampler
 
-class _Sampler:
-    """Collects interval-delta samples from a running core.
 
-    The *host* owns the sampling cadence: it calls :meth:`sample` exactly
-    once per elapsed interval of retired instructions. The sampler itself
-    never second-guesses that decision — an earlier design double-gated
-    emission (host modulo AND an internal instruction-delta re-check), which
-    silently dropped or shifted samples whenever the two conditions
-    disagreed, e.g. when instruction accounting diverged from the host's
-    executed-record count.
-    """
-
-    def __init__(self, core: Core, llc: Cache, owner: int,
-                 tracker: ContentionTracker, interval: int) -> None:
-        self.core = core
-        self.llc = llc
-        self.owner = owner
-        self.tracker = tracker
-        self.interval = interval
-        self.samples = []
-        self._mark()
-
-    def _state(self) -> dict:
-        counters = self.tracker.counters(self.owner)
-        return {
-            "instructions": self.core.stats.instructions,
-            "cycles": self.core.cycle,
-            "mem_cycles": self.core.stats.mem_access_cycles,
-            "mem_accesses": self.core.stats.mem_accesses,
-            "llc_accesses": counters.llc_accesses,
-            "llc_misses": counters.llc_misses,
-            "thefts": counters.thefts_experienced,
-            "interference": counters.interference_misses,
-        }
-
-    def _mark(self) -> None:
-        self._last = self._state()
-
-    def sample(self) -> None:
-        """Emit one interval-delta sample (the caller owns the cadence)."""
-        now = self._state()
-        last = self._last
-        instructions = now["instructions"] - last["instructions"]
-        cycles = now["cycles"] - last["cycles"]
-        accesses = now["llc_accesses"] - last["llc_accesses"]
-        misses = now["llc_misses"] - last["llc_misses"]
-        thefts = now["thefts"] - last["thefts"]
-        interference = now["interference"] - last["interference"]
-        mem_cycles = now["mem_cycles"] - last["mem_cycles"]
-        mem_accesses = now["mem_accesses"] - last["mem_accesses"]
-        self.samples.append(Sample(
-            instructions=instructions,
-            cycles=cycles,
-            ipc=instructions / cycles if cycles else 0.0,
-            llc_accesses=accesses,
-            llc_misses=misses,
-            miss_rate=misses / accesses if accesses else 0.0,
-            amat=mem_cycles / mem_accesses if mem_accesses else 0.0,
-            thefts=thefts,
-            interference=interference,
-            contention_rate=thefts / accesses if accesses else 0.0,
-            interference_rate=interference / accesses if accesses else 0.0,
-            occupancy=self.llc.occupancy(self.owner) / self.llc.capacity_blocks,
-        ))
-        self._last = now
+def _observation_events(observe: Optional[Observation]):
+    """The event trace for this run: the observation's, else the module-level
+    globally-enabled one, else ``None`` (tracing fully off)."""
+    if observe is not None and observe.events is not None:
+        return observe.events
+    return obs_events.ACTIVE
 
 
 def _reset_stats(core: Core, hierarchy: MemoryHierarchy,
@@ -162,6 +110,7 @@ def simulate(
     sim_instructions: Optional[int] = None,
     sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
     seed: int = 0,
+    observe: Optional[Observation] = None,
 ) -> SimulationResult:
     """Run one workload alone (optionally under PInTE contention).
 
@@ -169,6 +118,12 @@ def simulate(
     first ``warmup_instructions`` are discarded (cache and predictor state is
     kept), mirroring the paper's 500M-warmup / 500M-measure protocol. If the
     trace is shorter than warmup+sim it is restarted, ChampSim-style.
+
+    ``observe`` opts into the observability layer: its event trace (if any)
+    is attached to the LLC and engine for the duration of the run, phase
+    spans land on its profiler, and a unified
+    :class:`~repro.obs.registry.MetricRegistry` is left on
+    ``observe.registry`` at the end.
     """
     owner = 0
     tracker = ContentionTracker()
@@ -191,12 +146,21 @@ def simulate(
                 hierarchy.dram, pinte.dram_background_rpkc, seed=pinte.seed
             )
 
+    events = _observation_events(observe)
+    if events is not None:
+        events.attach(llc)
+        if engine is not None:
+            events.attach(engine)
+        events.clock = lambda: core.cycle
+
     wall_start = time.perf_counter()
     total = (sim_instructions if sim_instructions is not None else
              max(0, len(trace) - warmup_instructions))
     records = trace.records
     n_records = len(records)
     if n_records == 0:
+        if events is not None:
+            events.detach_all()
         raise ValueError(f"trace {trace.name!r} is empty")
 
     index = 0
@@ -216,10 +180,16 @@ def simulate(
     _reset_stats(core, hierarchy, tracker, owner)
     if engine is not None:
         engine.stats = type(engine.stats)()
+    if events is not None:
+        # Warm-up events are discarded with the warm-up statistics, so the
+        # trace's per-kind counts stay consistent with the absorbed metrics.
+        events.clear()
     start_cycle = core.cycle
+    warmup_seconds = time.perf_counter() - wall_start
 
     # --- measured region ---
-    sampler = _Sampler(core, llc, owner, tracker, sample_interval)
+    measure_start = time.perf_counter()
+    sampler = IntervalSampler(core, llc, owner, tracker, sample_interval)
     execute = core.execute
     executed = 0
     # Sampling cadence: the executed-record count is the single authority —
@@ -239,11 +209,15 @@ def simulate(
         if executed == next_sample:
             sampler.sample()
             next_sample += sample_interval
+    sampler.finalize()
+    measure_seconds = time.perf_counter() - measure_start
 
     mode = "pinte" if pinte is not None else "isolation"
     result = _finalise(core, hierarchy, tracker, owner, start_cycle, sampler,
                        trace.name, mode, wall_start,
                        pinte.p_induce if pinte else None, None, seed)
+    result.extra["phase_warmup_seconds"] = warmup_seconds
+    result.extra["phase_simulate_seconds"] = measure_seconds
     if engine is not None:
         result.extra["pinte_triggers"] = float(engine.stats.triggers)
         result.extra["pinte_trigger_rate"] = engine.stats.trigger_rate
@@ -252,4 +226,15 @@ def simulate(
         result.extra["pinte_periodic_rounds"] = float(periodic.rounds)
     if background is not None:
         result.extra["dram_background_requests"] = float(background.requests)
+    if events is not None:
+        events.detach_all()
+    if observe is not None:
+        profiler = observe.profiler
+        origin = profiler.origin
+        profiler.add_span("warmup", wall_start - origin, warmup_seconds)
+        profiler.add_span("simulate", measure_start - origin, measure_seconds)
+        observe.registry = collect_host_metrics(
+            observe.registry, cores=(core,), hierarchies=(hierarchy,),
+            llc=llc, tracker=tracker, engine=engine, events=events,
+            start_cycles=(start_cycle,))
     return result

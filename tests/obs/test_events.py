@@ -1,0 +1,148 @@
+"""Tests for the bounded event ring buffer and the global tracing flag."""
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs.events import EVENT_KINDS, EventTrace
+
+
+class TestRecording:
+    def test_record_and_read_out(self):
+        trace = EventTrace(capacity=16)
+        trace.record("fill", 3, 1, 0, "demand", 0x1000)
+        trace.record("evict", 3, 1, 1, "theft", 0x2000)
+        events = trace.events()
+        assert [e.kind for e in events] == ["fill", "evict"]
+        assert events[0].set_index == 3
+        assert events[0].cause == "demand"
+        assert events[1].owner == 1
+        assert events[1].tag == 0x2000
+        assert [e.seq for e in events] == [0, 1]
+
+    def test_clock_binding(self):
+        trace = EventTrace(capacity=4)
+        trace.clock = lambda: 1234
+        trace.record("fill", 0, 0, 0)
+        assert trace.events()[0].cycle == 1234
+
+    def test_without_clock_sequence_stands_in(self):
+        trace = EventTrace(capacity=4)
+        trace.record("fill", 0, 0, 0)
+        trace.record("fill", 0, 0, 0)
+        assert [e.cycle for e in trace.events()] == [0, 1]
+
+    def test_counts_track_kinds(self):
+        trace = EventTrace(capacity=8)
+        for _ in range(3):
+            trace.record("fill", 0, 0, 0)
+        trace.record("theft", 0, 0, 0)
+        assert trace.counts == {"fill": 3, "theft": 1}
+
+    def test_kinds_constant_is_complete(self):
+        assert set(EVENT_KINDS) == {
+            "fill", "evict", "writeback", "invalidate", "theft", "promote"}
+
+
+class TestRingBounds:
+    def test_wrap_keeps_newest_in_order(self):
+        trace = EventTrace(capacity=4)
+        for i in range(7):
+            trace.record("fill", i, 0, 0)
+        assert trace.recorded == 7
+        assert trace.dropped == 3
+        assert len(trace) == 4
+        # The retained window is the newest four, oldest first.
+        assert [e.set_index for e in trace.events()] == [3, 4, 5, 6]
+        assert [e.seq for e in trace.events()] == [3, 4, 5, 6]
+
+    def test_counts_survive_wrap(self):
+        trace = EventTrace(capacity=2)
+        for _ in range(5):
+            trace.record("fill", 0, 0, 0)
+        trace.record("theft", 0, 0, 0)
+        assert trace.counts == {"fill": 5, "theft": 1}
+        assert trace.recorded - trace.dropped == len(trace) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+    def test_clear_resets_everything(self):
+        trace = EventTrace(capacity=2)
+        for _ in range(5):
+            trace.record("fill", 0, 0, 0)
+        trace.clear()
+        assert trace.recorded == trace.dropped == len(trace) == 0
+        assert trace.counts == {}
+        assert trace.events() == []
+
+
+class TestAttachment:
+    class _Host:
+        _events = None
+
+    def test_attach_and_detach(self):
+        trace = EventTrace(capacity=4)
+        host = self._Host()
+        trace.attach(host)
+        assert host._events is trace
+        trace.detach_all()
+        assert host._events is None
+
+    def test_detach_leaves_foreign_trace_alone(self):
+        # If something re-attached a different trace in between, detach_all
+        # must not clobber it.
+        trace_a = EventTrace(capacity=4)
+        trace_b = EventTrace(capacity=4)
+        host = self._Host()
+        trace_a.attach(host)
+        trace_b.attach(host)
+        trace_a.detach_all()
+        assert host._events is trace_b
+
+
+class TestGlobalFlag:
+    def test_enable_disable_roundtrip(self):
+        assert not obs_events.tracing_enabled()
+        trace = obs_events.enable_tracing(capacity=32)
+        try:
+            assert obs_events.tracing_enabled()
+            assert obs_events.ACTIVE is trace
+            assert trace.capacity == 32
+        finally:
+            obs_events.disable_tracing()
+        assert not obs_events.tracing_enabled()
+        assert obs_events.ACTIVE is None
+
+    def test_host_attaches_active_trace(self, config, gromacs_trace):
+        from repro.sim import simulate
+
+        trace = obs_events.enable_tracing()
+        try:
+            simulate(gromacs_trace, config, sim_instructions=2_000)
+            assert trace.recorded > 0
+        finally:
+            obs_events.disable_tracing()
+
+    def test_disabled_tracing_records_nothing(self, config, gromacs_trace):
+        from repro.cache.cache import Cache
+        from repro.core.pinte import PInTE
+        from repro.sim import simulate
+
+        result = simulate(gromacs_trace, config, sim_instructions=2_000)
+        assert result.instructions == 2_000  # ran fine with no trace attached
+
+    def test_explicit_observation_wins_over_active(self, config,
+                                                   gromacs_trace):
+        from repro.obs import Observation
+        from repro.sim import simulate
+
+        active = obs_events.enable_tracing()
+        try:
+            observe = Observation.with_events()
+            simulate(gromacs_trace, config, sim_instructions=2_000,
+                     observe=observe)
+            assert observe.events.recorded > 0
+            assert active.recorded == 0
+        finally:
+            obs_events.disable_tracing()

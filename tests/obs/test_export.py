@@ -1,0 +1,93 @@
+"""Tests for the JSONL and Chrome trace exporters."""
+
+import json
+
+from repro.obs import (
+    PhaseProfiler,
+    load_events_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.events import EventTrace
+
+
+def make_trace(n_events=5, capacity=16):
+    trace = EventTrace(capacity=capacity)
+    for i in range(n_events):
+        trace.record("fill" if i % 2 == 0 else "theft", i, i % 4, 0,
+                     "demand" if i % 2 == 0 else "pinte", 0x1000 + i * 64)
+    return trace
+
+
+class TestJsonl:
+    def test_roundtrip_preserves_events(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "events.jsonl"
+        written = write_events_jsonl(trace, path)
+        events, meta = load_events_jsonl(path)
+        assert written == len(events) == 5
+        assert events == trace.events()
+        assert meta["recorded"] == 5
+        assert meta["dropped"] == 0
+        assert meta["capacity"] == 16
+        assert meta["counts"] == {"fill": 3, "theft": 2}
+
+    def test_meta_reports_truncation(self, tmp_path):
+        trace = make_trace(n_events=10, capacity=4)
+        path = tmp_path / "events.jsonl"
+        written = write_events_jsonl(trace, path)
+        events, meta = load_events_jsonl(path)
+        assert written == len(events) == 4
+        assert meta["recorded"] == 10
+        assert meta["dropped"] == 6
+        # Totals keep counting past the ring, so consumers can detect loss.
+        assert sum(meta["counts"].values()) == 10
+
+    def test_headerless_file_loads_with_empty_meta(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps({
+            "seq": 0, "cycle": 10, "kind": "theft", "set": 1, "way": 2,
+            "owner": 0}) + "\n")
+        events, meta = load_events_jsonl(path)
+        assert meta == {}
+        assert len(events) == 1
+        assert events[0].cause == ""  # optional fields default
+        assert events[0].tag == 0
+
+
+class TestChromeTrace:
+    def test_document_structure(self, tmp_path):
+        trace = make_trace()
+        profiler = PhaseProfiler()
+        profiler.add_span("warmup", 0.0, 0.25)
+        profiler.add_span("simulate", 0.25, 1.0)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, trace=trace, profiler=profiler,
+                           run_label="unit")
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 5
+        assert all(e["s"] == "t" for e in instants)
+        assert instants[0]["ts"] == trace.events()[0].cycle
+        assert instants[0]["args"]["set"] == 0
+
+        phases = [e for e in events if e["ph"] == "X"]
+        assert {p["name"] for p in phases} == {"warmup", "simulate"}
+        simulate_span = next(p for p in phases if p["name"] == "simulate")
+        assert simulate_span["dur"] == 1.0 * 1e6  # seconds -> microseconds
+
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metadata}
+        assert "unit" in names  # process_name carries the run label
+
+    def test_events_only_and_profile_only(self, tmp_path):
+        trace = make_trace(n_events=2)
+        count = write_chrome_trace(tmp_path / "a.json", trace=trace)
+        assert count > 0
+        profiler = PhaseProfiler()
+        profiler.add_span("report", 0.0, 0.1)
+        count = write_chrome_trace(tmp_path / "b.json", profiler=profiler)
+        document = json.loads((tmp_path / "b.json").read_text())
+        assert any(e.get("ph") == "X" for e in document["traceEvents"])

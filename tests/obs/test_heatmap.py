@@ -1,0 +1,98 @@
+"""Tests for the set x interval contention heatmap."""
+
+import pytest
+
+from repro.analysis import contention_concentration, per_set_contention
+from repro.obs.events import Event
+from repro.obs.heatmap import ContentionHeatmap, build_heatmap
+
+
+def event(kind="theft", set_index=0, cycle=0, owner=0):
+    return Event(seq=0, cycle=cycle, kind=kind, set_index=set_index,
+                 way=0, owner=owner, cause="", tag=0)
+
+
+class TestBuildHeatmap:
+    def test_bins_by_set_and_interval(self):
+        events = [
+            event(set_index=0, cycle=0),
+            event(set_index=0, cycle=999),
+            event(set_index=0, cycle=1_000),
+            event(set_index=3, cycle=2_500),
+        ]
+        heatmap = build_heatmap(events, n_sets=4, interval=1_000)
+        assert heatmap.matrix[0] == [2, 1, 0]
+        assert heatmap.matrix[3] == [0, 0, 1]
+        assert heatmap.total() == 4
+        assert heatmap.n_intervals == 3
+
+    def test_kind_filter(self):
+        events = [event(kind="theft"), event(kind="fill"),
+                  event(kind="evict")]
+        heatmap = build_heatmap(events, n_sets=1, kinds=("theft", "evict"))
+        assert heatmap.total() == 2
+        only_fills = build_heatmap(events, n_sets=1, kinds=("fill",))
+        assert only_fills.total() == 1
+
+    def test_owner_filter(self):
+        events = [event(owner=0), event(owner=1), event(owner=1)]
+        heatmap = build_heatmap(events, n_sets=1, owner=1)
+        assert heatmap.total() == 2
+
+    def test_out_of_geometry_set_raises(self):
+        with pytest.raises(ValueError, match="outside geometry"):
+            build_heatmap([event(set_index=9)], n_sets=4)
+
+    def test_no_events_yields_empty_matrix(self):
+        heatmap = build_heatmap([], n_sets=4)
+        assert heatmap.total() == 0
+        assert heatmap.n_intervals == 0
+        assert heatmap.render() == "(no matching events)"
+
+
+class TestSummaries:
+    def make(self):
+        return ContentionHeatmap(4, 100, ("theft",), [
+            [5, 0], [0, 0], [1, 2], [0, 1],
+        ])
+
+    def test_totals(self):
+        heatmap = self.make()
+        assert heatmap.set_totals() == [5, 0, 3, 1]
+        assert heatmap.interval_totals() == [6, 3]
+        assert heatmap.total() == 9
+
+    def test_hottest_sets_excludes_zero(self):
+        heatmap = self.make()
+        assert heatmap.hottest_sets(10) == [(0, 5), (2, 3), (3, 1)]
+        assert heatmap.hottest_sets(1) == [(0, 5)]
+
+    def test_render_lists_hot_sets(self):
+        rendered = self.make().render(max_rows=2)
+        assert "set     0" in rendered
+        assert "set     2" in rendered
+        assert "set     1" not in rendered
+
+
+class TestOccupancyHelpers:
+    def test_per_set_contention_shares(self):
+        heatmap = ContentionHeatmap(4, 100, ("theft",), [
+            [6, 0], [2, 0], [0, 0], [0, 0],
+        ])
+        assert per_set_contention(heatmap) == [0.75, 0.25, 0.0, 0.0]
+
+    def test_per_set_contention_empty(self):
+        heatmap = ContentionHeatmap(2, 100, ("theft",), [[0], [0]])
+        assert per_set_contention(heatmap) == [0.0, 0.0]
+
+    def test_concentration_bounds(self):
+        concentrated = ContentionHeatmap(10, 100, ("theft",),
+                                         [[100]] + [[0]] * 9)
+        assert contention_concentration(concentrated, 0.1) == 1.0
+        uniform = ContentionHeatmap(10, 100, ("theft",), [[10]] * 10)
+        assert contention_concentration(uniform, 0.1) == pytest.approx(0.1)
+
+    def test_concentration_validates_fraction(self):
+        heatmap = ContentionHeatmap(2, 100, ("theft",), [[1], [1]])
+        with pytest.raises(ValueError):
+            contention_concentration(heatmap, 0.0)

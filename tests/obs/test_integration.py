@@ -1,0 +1,141 @@
+"""End-to-end observability: one run -> events JSONL + Chrome trace whose
+counts are consistent with the MetricRegistry totals (the PR's acceptance
+invariant), across all three hosts."""
+
+import json
+
+import pytest
+
+from repro.core import PinteConfig
+from repro.obs import Observation, build_heatmap, load_events_jsonl
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def observed_run(config, lbm_trace, tmp_path_factory):
+    """One PInTE run with every exporter engaged."""
+    from repro.obs import write_chrome_trace, write_events_jsonl
+
+    observe = Observation.with_events()
+    result = simulate(lbm_trace, config, pinte=PinteConfig(p_induce=0.5),
+                      warmup_instructions=1_000, sim_instructions=5_000,
+                      observe=observe)
+    out = tmp_path_factory.mktemp("obs")
+    events_path = out / "events.jsonl"
+    chrome_path = out / "chrome.json"
+    write_events_jsonl(observe.events, events_path)
+    write_chrome_trace(chrome_path, trace=observe.events,
+                       profiler=observe.profiler)
+    return result, observe, events_path, chrome_path
+
+
+class TestSingleCoreConsistency:
+    def test_jsonl_lines_match_ring_bookkeeping(self, observed_run):
+        _, observe, events_path, _ = observed_run
+        events, meta = load_events_jsonl(events_path)
+        trace = observe.events
+        assert len(events) == trace.recorded - trace.dropped
+        assert meta["recorded"] == trace.recorded
+        assert meta["counts"] == trace.counts
+
+    def test_event_counts_match_registry_totals(self, observed_run):
+        _, observe, _, _ = observed_run
+        registry = observe.registry
+        counts = observe.events.counts
+        # Registry events.* mirror the per-kind totals exactly.
+        for kind, count in counts.items():
+            assert registry.value(f"events.{kind}") == count
+        # And the event stream agrees with the absorbed subsystem stats:
+        assert counts.get("evict", 0) == registry.value("llc.eviction")
+        assert counts.get("theft", 0) == registry.value("pinte.theft")
+        assert (counts.get("invalidate", 0) + counts.get("theft", 0)
+                == registry.value("llc.invalidation"))
+        assert (counts.get("writeback", 0)
+                == registry.value("llc.writeback")
+                + registry.value("pinte.writeback"))
+
+    def test_demand_fills_match_llc_misses(self, observed_run):
+        _, observe, events_path, _ = observed_run
+        events, _ = load_events_jsonl(events_path)
+        assert observe.events.dropped == 0  # ring held the whole run
+        demand_fills = sum(1 for e in events
+                           if e.kind == "fill" and e.cause == "demand")
+        assert demand_fills == observe.registry.value("llc.miss")
+
+    def test_registry_matches_result_metrics(self, observed_run):
+        result, observe, _, _ = observed_run
+        registry = observe.registry
+        assert registry.value("core0.instructions") == result.instructions
+        assert registry.value("core0.ipc") == pytest.approx(result.ipc)
+        assert (registry.value("core0.contention.theft_experienced")
+                == result.thefts_experienced)
+
+    def test_chrome_trace_instants_match_retained_events(self, observed_run):
+        _, observe, _, chrome_path = observed_run
+        document = json.loads(chrome_path.read_text())
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(observe.events)
+        phases = {e["name"] for e in document["traceEvents"]
+                  if e["ph"] == "X"}
+        assert {"warmup", "simulate"} <= phases
+
+    def test_heatmap_total_matches_theft_count(self, observed_run, config):
+        _, observe, _, _ = observed_run
+        n_sets = config.llc.size // (config.llc.assoc * config.block_size)
+        heatmap = build_heatmap(observe.events.events(), n_sets=n_sets,
+                                kinds=("theft",))
+        assert heatmap.total() == observe.events.counts.get("theft", 0)
+
+    def test_observability_does_not_change_results(self, config, lbm_trace):
+        plain = simulate(lbm_trace, config, pinte=PinteConfig(p_induce=0.5),
+                         warmup_instructions=1_000, sim_instructions=5_000)
+        observed = simulate(lbm_trace, config,
+                            pinte=PinteConfig(p_induce=0.5),
+                            warmup_instructions=1_000,
+                            sim_instructions=5_000,
+                            observe=Observation.with_events())
+        assert observed.ipc == plain.ipc
+        assert observed.llc_misses == plain.llc_misses
+        assert observed.thefts_experienced == plain.thefts_experienced
+
+
+class TestMulticoreHost:
+    def test_pair_events_consistent_with_registry(self, config, lbm_trace,
+                                                  gromacs_trace):
+        from repro.sim import simulate_pair
+
+        observe = Observation.with_events()
+        simulate_pair(gromacs_trace, lbm_trace, config,
+                      warmup_instructions=500, sim_instructions=2_000,
+                      observe=observe)
+        registry = observe.registry
+        counts = observe.events.counts
+        assert counts.get("evict", 0) == registry.value("llc.eviction")
+        # Natural inter-core thefts appear as evict events with cause=theft.
+        theft_evicts = sum(1 for e in observe.events.events()
+                           if e.kind == "evict" and e.cause == "theft")
+        assert observe.events.dropped == 0
+        total_thefts = sum(
+            registry.value(f"core{i}.contention.theft_experienced")
+            for i in range(2))
+        assert theft_evicts == total_thefts
+        # Both cores' metrics landed in the one registry.
+        assert registry.value("core0.instructions") == 2_000
+        assert registry.value("core1.instructions") > 0
+
+
+class TestFastCacheHost:
+    def test_cache_only_events_consistent_with_registry(self, config,
+                                                        lbm_trace):
+        from repro.sim.fastcache import simulate_cache_only
+
+        observe = Observation.with_events()
+        result = simulate_cache_only(lbm_trace, config,
+                                     pinte=PinteConfig(p_induce=0.3),
+                                     observe=observe)
+        registry = observe.registry
+        counts = observe.events.counts
+        assert counts.get("theft", 0) == registry.value("pinte.theft")
+        assert counts.get("evict", 0) == registry.value("llc.eviction")
+        assert registry.value("llc.access") == result.accesses
+        assert observe.profiler.totals().keys() == {"simulate"}

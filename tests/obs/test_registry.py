@@ -1,0 +1,109 @@
+"""Tests for the central metric registry."""
+
+import pytest
+
+from repro.cache.cache import CacheStats
+from repro.obs import MetricRegistry, format_metrics
+from repro.obs.events import EventTrace
+
+
+class TestMetricKinds:
+    def test_counter_get_or_create(self):
+        registry = MetricRegistry()
+        registry.count("llc.miss")
+        registry.count("llc.miss", 4)
+        assert registry.value("llc.miss") == 5
+        assert registry.get("llc.miss").kind == "counter"
+
+    def test_gauge_set_overwrites(self):
+        registry = MetricRegistry()
+        registry.set("core0.ipc", 0.5)
+        registry.set("core0.ipc", 0.75)
+        assert registry.value("core0.ipc") == 0.75
+
+    def test_histogram_observe_and_grow(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("llc.reuse", 4)
+        histogram.observe(0)
+        histogram.observe(6, 3)  # grows past the initial bin count
+        assert registry.value("llc.reuse") == [1, 0, 0, 0, 0, 0, 3]
+
+    def test_kind_collision_fails_loudly(self):
+        registry = MetricRegistry()
+        registry.count("llc.miss")
+        with pytest.raises(TypeError, match="counter"):
+            registry.gauge("llc.miss")
+
+    def test_unknown_metric_raises_keyerror(self):
+        registry = MetricRegistry()
+        with pytest.raises(KeyError, match="no.such.metric"):
+            registry.get("no.such.metric")
+
+    def test_names_sorted_and_contains(self):
+        registry = MetricRegistry()
+        registry.count("b.x")
+        registry.count("a.y")
+        assert registry.names() == ["a.y", "b.x"]
+        assert "a.y" in registry
+        assert "c.z" not in registry
+        assert len(registry) == 2
+
+    def test_total_sums_counters_under_prefix_only(self):
+        registry = MetricRegistry()
+        registry.count("events.fill", 3)
+        registry.count("events.theft", 2)
+        registry.set("events.rate", 99.0)  # gauges are excluded
+        registry.count("eventsx.other", 7)  # prefix match is dot-exact
+        assert registry.total("events") == 5
+
+
+class TestAbsorption:
+    def test_absorb_cache_maps_every_slot(self):
+        stats = CacheStats()
+        stats.accesses = 10
+        stats.hits = 6
+        stats.misses = 4
+        stats.evictions = 2
+        stats.invalidations = 1
+        stats.writebacks = 3
+        registry = MetricRegistry()
+        registry.absorb_cache("llc", stats)
+        assert registry.value("llc.access") == 10
+        assert registry.value("llc.hit") == 6
+        assert registry.value("llc.miss") == 4
+        assert registry.value("llc.eviction") == 2
+        assert registry.value("llc.invalidation") == 1
+        assert registry.value("llc.writeback") == 3
+        assert registry.value("llc.miss_rate") == pytest.approx(0.4)
+
+    def test_absorb_events_registers_all_kinds(self):
+        trace = EventTrace(capacity=8)
+        trace.record("fill", 0, 0, 0)
+        trace.record("theft", 1, 2, 0, "pinte", 0x40)
+        registry = MetricRegistry()
+        registry.absorb_events(trace)
+        assert registry.value("events.fill") == 1
+        assert registry.value("events.theft") == 1
+        # Kinds with no occurrences still exist, at zero.
+        assert registry.value("events.evict") == 0
+        assert registry.value("events.promote") == 0
+        assert registry.value("events.recorded") == 2
+        assert registry.value("events.dropped") == 0
+
+    def test_absorb_is_additive_across_runs(self):
+        stats = CacheStats()
+        stats.misses = 4
+        registry = MetricRegistry()
+        registry.absorb_cache("llc", stats)
+        registry.absorb_cache("llc", stats)
+        assert registry.value("llc.miss") == 8
+
+
+class TestFormatMetrics:
+    def test_one_sorted_line_per_metric(self):
+        registry = MetricRegistry()
+        registry.count("llc.miss", 7)
+        registry.set("core0.ipc", 0.5)
+        registry.histogram("llc.reuse").from_counts([1, 2])
+        lines = format_metrics(registry).splitlines()
+        assert lines == ["core0.ipc 0.5", "llc.miss 7", "llc.reuse [1 2]"]

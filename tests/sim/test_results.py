@@ -27,9 +27,26 @@ class TestSample:
         for name in SAMPLE_METRICS:
             assert sample.metric(name) == getattr(sample, name)
 
-    def test_metric_unknown_raises(self):
-        with pytest.raises(AttributeError):
+    def test_metric_unknown_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown sample metric"):
             make_sample().metric("flops")
+        with pytest.raises(ValueError, match="ipc"):
+            make_sample().metric("flops")  # the message lists valid names
+
+    def test_metric_returns_float(self):
+        sample = make_sample()
+        value = sample.metric("instructions")
+        assert isinstance(value, float)
+        assert value == 1000.0
+
+    def test_zero_cycle_sample_rates_are_zero(self):
+        # The sampler guards every divide; a degenerate interval must not
+        # produce NaN/inf when rebuilt from serialised data.
+        sample = make_sample(instructions=0, cycles=0, llc_accesses=0,
+                             llc_misses=0, ipc=0.0, miss_rate=0.0, amat=0.0,
+                             contention_rate=0.0, interference_rate=0.0)
+        for name in SAMPLE_METRICS:
+            assert sample.metric(name) == 0.0
 
 
 class TestDerivedMetrics:
@@ -66,6 +83,14 @@ class TestSeriesAndLabels:
         result = make_result(samples=[make_sample(ipc=0.1),
                                       make_sample(ipc=0.2)])
         assert result.sample_series("ipc") == [0.1, 0.2]
+
+    def test_sample_series_empty_run(self):
+        assert make_result().sample_series("ipc") == []
+
+    def test_sample_series_unknown_metric(self):
+        result = make_result(samples=[make_sample()])
+        with pytest.raises(ValueError, match="unknown sample metric"):
+            result.sample_series("flops")
 
     def test_label_isolation(self):
         assert make_result().label() == "w@isolation"

@@ -79,10 +79,23 @@ class TestSamplingCadence:
         assert len(result.samples) == 4
         assert all(s.instructions == 1_000 for s in result.samples)
 
-    def test_partial_tail_interval_not_sampled(self, config, gromacs_trace):
+    def test_partial_tail_interval_flushed(self, config, gromacs_trace):
+        # The final 500 instructions don't fill an interval, but they are
+        # still measured work — ``finalize()`` flushes them as a short
+        # last sample instead of silently dropping them.
         result = simulate(gromacs_trace, config, sim_instructions=2_500,
                           sample_interval=1_000)
-        assert len(result.samples) == 2
+        assert len(result.samples) == 3
+        assert [s.instructions for s in result.samples] == [1_000, 1_000, 500]
+        assert sum(s.cycles for s in result.samples) == result.cycles
+
+    def test_aligned_run_has_no_tail_sample(self, config, gromacs_trace):
+        # finalize() is a no-op when the last interval ended exactly at the
+        # instruction budget — no empty trailing sample.
+        result = simulate(gromacs_trace, config, sim_instructions=3_000,
+                          sample_interval=1_000)
+        assert len(result.samples) == 3
+        assert all(s.instructions == 1_000 for s in result.samples)
 
     def test_samples_cover_measured_region_exactly(self, config,
                                                    gromacs_trace):
@@ -137,9 +150,12 @@ class TestSimulateEdgeCases:
         assert result.ipc == 0.0
 
     def test_sample_interval_larger_than_run(self, config, gromacs_trace):
+        # A run shorter than one interval still yields its (partial) sample
+        # via the tail flush — previously these runs lost all sample data.
         result = simulate(gromacs_trace, config, sim_instructions=500,
                           sample_interval=10_000)
-        assert result.samples == []
+        assert len(result.samples) == 1
+        assert result.samples[0].instructions == 500
         assert result.instructions == 500
 
     def test_xeon_preset_runs(self):

@@ -39,6 +39,7 @@ SUBPACKAGES = [
     "repro.cpu",
     "repro.dram",
     "repro.experiments",
+    "repro.obs",
     "repro.prefetch",
     "repro.sim",
     "repro.trace",

@@ -59,6 +59,110 @@ class TestRun:
             main(["run", "470.lbm", "--machine", "cray"])
 
 
+class TestRunObservability:
+    ARGS = ["--instructions", "3000", "--warmup", "500"]
+
+    def test_json_to_stdout_suppresses_table(self, capsys):
+        assert main(["run", "435.gromacs", "--json", "-"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # the whole stdout is one JSON document
+        assert payload["trace_name"] == "435.gromacs"
+        assert payload["instructions"] == 3000
+        assert payload["samples"]  # serialised samples ride along
+
+    def test_json_to_file_keeps_table(self, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        assert main(["run", "435.gromacs", "--json", str(output)]
+                    + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out  # human table still printed
+        payload = json.loads(output.read_text())
+        assert payload["mode"] == "isolation"
+
+    def test_json_roundtrips_through_serialize(self, tmp_path):
+        from repro.sim.serialize import result_from_dict
+
+        output = tmp_path / "result.json"
+        assert main(["run", "470.lbm", "--p-induce", "0.5",
+                     "--json", str(output)] + self.ARGS) == 0
+        result = result_from_dict(json.loads(output.read_text()))
+        assert result.mode == "pinte"
+        assert result.p_induce == 0.5
+
+    def test_metrics_dump(self, capsys):
+        assert main(["run", "470.lbm", "--p-induce", "0.5",
+                     "--metrics", "-"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "llc.miss " in out
+        assert "pinte.theft " in out
+        assert "core0.ipc " in out
+
+    def test_events_and_chrome_trace(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        chrome_path = tmp_path / "chrome.json"
+        assert main(["run", "470.lbm", "--p-induce", "0.5",
+                     "--events", str(events_path),
+                     "--chrome-trace", str(chrome_path)] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "events to" in out
+
+        from repro.obs import load_events_jsonl
+
+        events, meta = load_events_jsonl(events_path)
+        assert events
+        assert meta["recorded"] == len(events) + meta["dropped"]
+
+        document = json.loads(chrome_path.read_text())
+        phase_names = {e["name"] for e in document["traceEvents"]
+                       if e["ph"] == "X"}
+        assert {"trace-gen", "warmup", "simulate", "report"} <= phase_names
+
+    def test_event_capacity_bounds_the_log(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main(["run", "470.lbm", "--p-induce", "0.5",
+                     "--events", str(events_path),
+                     "--event-capacity", "64"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "dropped past capacity" in out
+        from repro.obs import load_events_jsonl
+
+        events, meta = load_events_jsonl(events_path)
+        assert len(events) == 64
+        assert meta["dropped"] > 0
+
+
+class TestObsCommand:
+    def _write_log(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        assert main(["run", "470.lbm", "--p-induce", "0.5",
+                     "--events", str(events_path),
+                     "--instructions", "3000", "--warmup", "500"]) == 0
+        return events_path
+
+    def test_summarises_log(self, tmp_path, capsys):
+        events_path = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", str(events_path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "theft" in out
+        assert "hottest sets" in out
+        assert "heatmap" in out
+
+    def test_kind_filter(self, tmp_path, capsys):
+        events_path = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", str(events_path), "--kinds", "fill"]) == 0
+        out = capsys.readouterr().out
+        assert "(fill)" in out
+
+    def test_empty_log(self, tmp_path, capsys):
+        events_path = tmp_path / "empty.jsonl"
+        events_path.write_text("")
+        assert main(["obs", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 events" in out
+
+
 class TestSweep:
     def test_sweep_classifies(self, capsys):
         assert main(["sweep", "453.povray", "--p-induce", "0.1", "0.9",
