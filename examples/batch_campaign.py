@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
-"""Run a contention campaign in parallel and persist the results.
+"""Run a fault-tolerant contention campaign and keep every result.
 
-Demonstrates the campaign infrastructure: declare jobs (isolation + PInTE
-sweep + 2nd-Trace panel) with :func:`repro.sim.batch.campaign_jobs`, execute
-them across worker processes with :func:`repro.sim.batch.run_batch`, save
-everything to JSON/CSV with :mod:`repro.sim.serialize`, and reload for
-analysis without re-simulating.
+Demonstrates the campaign subsystem (``repro.campaign``): declare jobs
+with :func:`~repro.campaign.campaign_jobs`, execute them through
+:func:`~repro.campaign.run_campaign` — worker processes with per-job
+timeouts, bounded retries and failure capture — into an append-only JSONL
+result store, then resume the same campaign (everything is skipped by
+deterministic job id) and reload the results for analysis without
+re-simulating. An injected transient fault shows retries healing a job
+instead of poisoning the run.
+
+The CLI equivalent is ``repro campaign run|status|resume``; the full
+story (manifest formats, ids, shard semantics) is docs/CAMPAIGNS.md.
 
 Usage::
 
@@ -17,9 +23,16 @@ from pathlib import Path
 
 from repro import scaled_config
 from repro.analysis import weighted_ipc
+from repro.campaign import (
+    ResultStore,
+    RetryPolicy,
+    campaign_jobs,
+    fault_workload,
+    run_campaign,
+)
 from repro.sim import ExperimentScale
-from repro.sim.batch import campaign_jobs, run_batch
-from repro.sim.serialize import load_results, results_to_csv, save_results
+from repro.sim.batch import Job
+from repro.sim.serialize import results_to_csv
 
 WORKLOADS = ["435.gromacs", "450.soplex", "470.lbm", "453.povray"]
 P_VALUES = (0.1, 0.5, 1.0)
@@ -28,27 +41,45 @@ SCALE = ExperimentScale(warmup_instructions=5_000, sim_instructions=20_000,
 
 
 def main() -> None:
+    """Run, resume and analyse a small persistent campaign."""
     output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("campaign_out")
     processes = int(sys.argv[2]) if len(sys.argv) > 2 else 2
-    output.mkdir(parents=True, exist_ok=True)
+    store = output / "results.jsonl"
 
     panel = {name: [other for other in WORKLOADS if other != name][:1]
              for name in WORKLOADS}
     jobs = campaign_jobs(WORKLOADS, p_values=P_VALUES, panel=panel)
-    print(f"running {len(jobs)} simulations on {processes} processes...")
-    results = run_batch(jobs, scaled_config(), SCALE, processes=processes)
+    # One deliberately flaky job: fails its first attempt, then simulates
+    # 450.soplex normally — the retry path in action.
+    jobs.append(Job(fault_workload("flaky", 1, "450.soplex")))
 
-    json_path = output / "results.json"
+    print(f"running {len(jobs)} jobs on {processes} processes "
+          f"into {store} ...")
+    report = run_campaign(
+        jobs, scaled_config(), SCALE, processes=processes,
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=0.1),
+        timeout_seconds=600, store=store, resume=store.exists())
+    print(f"done: {report.executed} executed, {report.skipped} resumed, "
+          f"{report.failed} failed, {report.retries} retries "
+          f"in {report.wall_time_seconds:.1f}s")
+
+    # Run the campaign again: every job id is already stored, so nothing
+    # re-simulates — this is what `repro campaign resume` does after a
+    # crash or across machines.
+    again = run_campaign(jobs, scaled_config(), SCALE, processes=processes,
+                         store=store, resume=True)
+    print(f"resume pass: {again.skipped} of {again.total} jobs "
+          "skipped (already stored)")
+
+    # Reload from the store (proving persistence round-trips) + CSV export.
+    loaded = list(ResultStore(store).load().result_objects().values())
     csv_path = output / "results.csv"
-    save_results(results, json_path)
-    results_to_csv(results, csv_path)
-    print(f"wrote {json_path} and {csv_path}")
+    results_to_csv(loaded, csv_path)
+    print(f"wrote {csv_path}")
 
-    # Reload (proving persistence round-trips) and summarise.
-    loaded = load_results(json_path)
     isolation = {r.trace_name: r for r in loaded if r.mode == "isolation"}
     print(f"\n{'context':>28}  {'wIPC':>6}  {'contention':>10}")
-    for result in loaded:
+    for result in sorted(loaded, key=lambda r: r.label()):
         if result.mode == "isolation":
             continue
         weighted = weighted_ipc(result, isolation[result.trace_name])

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Docstring lint for the public surface of ``src/repro``.
+
+Every module, and every public (non-underscore) module-level function and
+class, must carry a docstring. This is the check CI runs (the
+``docstring-lint`` job) and ``tests/test_docstrings.py`` wraps, so gaps
+fail fast locally too.
+
+Usage::
+
+    python scripts/check_docstrings.py [root]
+
+``root`` defaults to ``src/repro`` relative to the repository root. Exits
+non-zero listing every offender as ``path:line: missing docstring ...``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def missing_docstrings(path: Path) -> list:
+    """``(line, description)`` pairs for every gap in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    gaps = []
+    if ast.get_docstring(tree) is None:
+        gaps.append((1, "module docstring"))
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            gaps.append((node.lineno, f"{kind} {node.name!r}"))
+    return gaps
+
+
+def main(argv: list) -> int:
+    """Walk the tree, print offenders, return the exit status."""
+    root = Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "src" / "repro"
+    failures = 0
+    for path in sorted(root.rglob("*.py")):
+        for line, description in missing_docstrings(path):
+            rel = path.relative_to(REPO_ROOT) if path.is_relative_to(
+                REPO_ROOT) else path
+            print(f"{rel}:{line}: missing docstring for {description}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} missing docstring(s) under {root}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,570 @@
+"""Fault-tolerant campaign execution: retries, timeouts, resume, shards.
+
+The paper's Table I argument is that PInTE turns an O(N²) 2nd-Trace
+campaign into O(N·|P_induce|) single-trace runs — which makes the *runner*
+the scalability bottleneck of a reproduction. This engine replaces the
+bare ``multiprocessing.Pool`` batch runner with a scheduler built for
+campaign scale:
+
+* **one worker process per in-flight job** — a crash (segfault,
+  ``os._exit``) or a hang takes down one job, never the pool;
+* **per-job timeouts** — an overdue worker is killed and the job retried;
+* **bounded retry with exponential backoff** — transient failures heal
+  themselves; permanent ones are captured (exception type, message, full
+  traceback) as a :class:`JobFailure` record instead of aborting;
+* **graceful degradation** — the campaign always runs to completion and
+  ships a failure manifest next to the result store;
+* **resume** — jobs whose deterministic id (:mod:`repro.campaign.ids`)
+  already has a stored result are skipped, so a driver killed mid-run
+  loses at most one in-flight job per worker;
+* **sharding** — ``shard=(i, n)`` selects a disjoint, exhaustive subset of
+  the campaign for this machine.
+
+Execution modes: with ``processes <= 1`` and no timeout, jobs run inline
+in this process — no pool, so ``pdb``/profilers attach naturally and
+KeyboardInterrupt is clean. Setting ``timeout_seconds`` forces worker
+subprocesses even at ``processes=1``, because a hung job can only be
+killed from outside its process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, replace
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.faults import parse_fault
+from repro.campaign.ids import job_id, shard_jobs
+from repro.campaign.store import ResultStore, write_failure_manifest
+from repro.config import MachineConfig
+from repro.sim.batch import Job, run_job
+from repro.sim.results import SimulationResult
+from repro.sim.runner import ExperimentScale
+from repro.sim.serialize import result_from_dict
+
+__all__ = [
+    "CampaignError",
+    "CampaignReport",
+    "JobFailure",
+    "RetryPolicy",
+    "execute_job",
+    "run_campaign",
+]
+
+#: Progress callback: receives one plain-dict event per state change.
+ProgressCallback = Callable[[dict], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failing job is retried."""
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_after(self, attempt: int) -> float:
+        """Seconds to wait before the attempt following ``attempt``."""
+        delay = self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+        return min(self.max_backoff_seconds, delay)
+
+    def to_dict(self) -> dict:
+        """Manifest-serialisable form."""
+        return {"max_attempts": self.max_attempts,
+                "backoff_seconds": self.backoff_seconds,
+                "backoff_factor": self.backoff_factor,
+                "max_backoff_seconds": self.max_backoff_seconds}
+
+
+@dataclass
+class JobFailure:
+    """One job that exhausted its retries — recorded, never raised.
+
+    ``kind`` is ``"error"`` (exception in the worker), ``"timeout"`` (killed
+    past the deadline) or ``"crash"`` (worker died without reporting).
+    """
+
+    job_id: str
+    job: Job
+    kind: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    def to_record(self) -> dict:
+        """Store/manifest-serialisable form."""
+        return {"kind": self.kind, "error_type": self.error_type,
+                "message": self.message, "traceback": self.traceback,
+                "attempts": self.attempts}
+
+
+class CampaignError(RuntimeError):
+    """Raised only when ``raise_on_failure=True`` (the ``run_batch`` shim)."""
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        first = failures[0]
+        super().__init__(
+            f"{len(failures)} campaign job(s) failed; first: "
+            f"{first.error_type}: {first.message}")
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign pass (including resumed results)."""
+
+    total: int
+    executed: int
+    skipped: int
+    failed: int
+    retries: int
+    results: List[SimulationResult]
+    failures: List[JobFailure]
+    results_by_id: Dict[str, SimulationResult]
+    job_ids: List[str]
+    wall_time_seconds: float
+    store_path: Optional[Path] = None
+    failure_manifest_path: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every selected job has a stored result."""
+        return not self.failures and self.skipped + self.executed == self.total
+
+
+def execute_job(job: Job, config: MachineConfig, scale: ExperimentScale,
+                attempt: int = 1) -> SimulationResult:
+    """Run one job, honouring ``__fault:`` injection names.
+
+    This is the single entry point both the inline path and the worker
+    subprocesses call, so fault behaviour is identical in either mode.
+    """
+    fault = parse_fault(job.workload)
+    if fault is None:
+        return run_job(job, config, scale)
+    real_workload = fault.apply(attempt)  # may raise / hang / kill us
+    return run_job(replace(job, workload=real_workload), config, scale)
+
+
+def _job_label(job: Job) -> str:
+    """Short human label for progress lines."""
+    if job.mode == "pinte":
+        return f"{job.workload}@p={job.p_induce}"
+    if job.mode == "pair":
+        return f"{job.workload}+{job.co_runner}"
+    return job.workload
+
+
+@dataclass
+class _Pending:
+    """One not-yet-finished job in the scheduler."""
+
+    index: int
+    job: Job
+    jid: str
+    attempt: int = 1
+    ready_time: float = 0.0
+
+
+@dataclass
+class _Running:
+    """One in-flight worker process."""
+
+    item: _Pending
+    proc: multiprocessing.Process
+    started: float
+    deadline: Optional[float]
+
+
+def _worker_main(conn, job: Job, config: MachineConfig,
+                 scale: ExperimentScale, attempt: int) -> None:
+    """Subprocess entry point: run one job, report over the pipe."""
+    try:
+        result = execute_job(job, config, scale, attempt)
+        conn.send(("ok", result))
+    except BaseException as exc:  # full capture is the point
+        conn.send(("err", type(exc).__name__, str(exc),
+                   traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class _Progress:
+    """Progress/ETA bookkeeping shared by both execution paths."""
+
+    def __init__(self, total: int, skipped: int, workers: int,
+                 callback: Optional[ProgressCallback], registry) -> None:
+        self.total = total
+        self.done = skipped
+        self.failed = 0
+        self.retries = 0
+        self.workers = max(1, workers)
+        self.callback = callback
+        self.registry = registry
+        self._durations: List[float] = []
+        if registry is not None:
+            registry.set("campaign.jobs_total", total)
+            registry.count("campaign.skipped", skipped)
+
+    def eta_seconds(self) -> Optional[float]:
+        """Naive ETA: average job wall time x remaining / workers."""
+        remaining = self.total - self.done - self.failed
+        if not self._durations or remaining <= 0:
+            return 0.0 if remaining <= 0 else None
+        average = sum(self._durations) / len(self._durations)
+        return remaining * average / self.workers
+
+    def _emit(self, event: str, item: _Pending, **extra) -> None:
+        if self.registry is not None:
+            eta = self.eta_seconds()
+            if eta is not None:
+                self.registry.set("campaign.eta_seconds", eta)
+        if self.callback is not None:
+            self.callback({
+                "event": event,
+                "job_id": item.jid,
+                "label": _job_label(item.job),
+                "attempt": item.attempt,
+                "completed": self.done,
+                "failed": self.failed,
+                "total": self.total,
+                "eta_seconds": self.eta_seconds(),
+                **extra,
+            })
+
+    def success(self, item: _Pending, wall: float) -> None:
+        self.done += 1
+        self._durations.append(wall)
+        if self.registry is not None:
+            self.registry.count("campaign.success")
+        self._emit("done", item, wall_time_seconds=wall)
+
+    def failure(self, item: _Pending, kind: str) -> None:
+        self.failed += 1
+        if self.registry is not None:
+            self.registry.count("campaign.failure")
+            if kind == "timeout":
+                self.registry.count("campaign.timeout")
+        self._emit("failed", item, failure_kind=kind)
+
+    def retry(self, item: _Pending, kind: str, delay: float) -> None:
+        self.retries += 1
+        if self.registry is not None:
+            self.registry.count("campaign.retry")
+        self._emit("retry", item, failure_kind=kind, retry_delay=delay)
+
+
+class _CampaignRun:
+    """One pass of the scheduler over the pending jobs."""
+
+    def __init__(self, config: MachineConfig, scale: ExperimentScale,
+                 retry: RetryPolicy, timeout: Optional[float],
+                 store: Optional[ResultStore], progress: _Progress,
+                 profiler) -> None:
+        self.config = config
+        self.scale = scale
+        self.retry = retry
+        self.timeout = timeout
+        self.store = store
+        self.progress = progress
+        self.profiler = profiler
+        self.results_by_id: Dict[str, SimulationResult] = {}
+        self.failures: List[JobFailure] = []
+
+    # -- shared outcome handling -------------------------------------------
+    def _record_success(self, item: _Pending, result: SimulationResult,
+                        wall: float) -> None:
+        self.results_by_id[item.jid] = result
+        if self.store is not None:
+            self.store.append_result(item.jid, item.job, result,
+                                     attempts=item.attempt,
+                                     wall_time_seconds=wall)
+        self.progress.success(item, wall)
+
+    def _attempt_failed(self, item: _Pending, kind: str, error_type: str,
+                        message: str, trace: str) -> Optional[_Pending]:
+        """Handle one failed attempt; returns the retry item, if any."""
+        if item.attempt < self.retry.max_attempts:
+            delay = self.retry.delay_after(item.attempt)
+            self.progress.retry(item, kind, delay)
+            return replace(item, attempt=item.attempt + 1,
+                           ready_time=time.monotonic() + delay)
+        failure = JobFailure(job_id=item.jid, job=item.job, kind=kind,
+                             error_type=error_type, message=message,
+                             traceback=trace, attempts=item.attempt)
+        self.failures.append(failure)
+        if self.store is not None:
+            self.store.append_failure(item.jid, item.job,
+                                      failure.to_record())
+        self.progress.failure(item, kind)
+        return None
+
+    # -- inline execution ---------------------------------------------------
+    def run_inline(self, pending: List[_Pending]) -> None:
+        """Sequential in-process execution (``pdb``-able, no timeouts)."""
+        for item in pending:
+            while True:
+                start = time.perf_counter()
+                try:
+                    result = execute_job(item.job, self.config, self.scale,
+                                         item.attempt)
+                except Exception as exc:  # KeyboardInterrupt passes through
+                    retry_item = self._attempt_failed(
+                        item, "error", type(exc).__name__, str(exc),
+                        traceback.format_exc())
+                    if retry_item is None:
+                        break
+                    wait = retry_item.ready_time - time.monotonic()
+                    if wait > 0:
+                        time.sleep(wait)
+                    item = retry_item
+                    continue
+                wall = time.perf_counter() - start
+                if self.profiler is not None:
+                    self.profiler.add_span(
+                        f"job{item.index}:{item.job.workload}",
+                        start - self.profiler.origin, wall)
+                self._record_success(item, result, wall)
+                break
+
+    # -- subprocess execution -----------------------------------------------
+    def _launch(self, item: _Pending,
+                in_flight: Dict[object, _Running]) -> None:
+        recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
+        proc = multiprocessing.Process(
+            target=_worker_main,
+            args=(send_conn, item.job, self.config, self.scale, item.attempt),
+            daemon=True)
+        proc.start()
+        send_conn.close()
+        now = time.monotonic()
+        deadline = now + self.timeout if self.timeout is not None else None
+        in_flight[recv_conn] = _Running(item, proc, now, deadline)
+
+    def _reap(self, conn, running: _Running,
+              waiting: List[_Pending]) -> None:
+        """Consume one finished worker's report (or its corpse)."""
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            payload = None
+        conn.close()
+        running.proc.join()
+        wall = time.monotonic() - running.started
+        if payload is not None and payload[0] == "ok":
+            self._record_success(running.item, payload[1], wall)
+            return
+        if payload is not None:
+            _, error_type, message, trace = payload
+            retry_item = self._attempt_failed(running.item, "error",
+                                              error_type, message, trace)
+        else:
+            code = running.proc.exitcode
+            retry_item = self._attempt_failed(
+                running.item, "crash", "WorkerCrash",
+                f"worker exited with code {code} before reporting", "")
+        if retry_item is not None:
+            waiting.append(retry_item)
+
+    def _kill_overdue(self, in_flight: Dict[object, _Running],
+                      waiting: List[_Pending]) -> None:
+        now = time.monotonic()
+        for conn, running in list(in_flight.items()):
+            if running.deadline is None or now < running.deadline:
+                continue
+            if conn.poll():  # finished just under the wire — reap normally
+                continue
+            del in_flight[conn]
+            running.proc.terminate()
+            running.proc.join(5.0)
+            if running.proc.is_alive():  # pragma: no cover — stubborn child
+                running.proc.kill()
+                running.proc.join()
+            conn.close()
+            retry_item = self._attempt_failed(
+                running.item, "timeout", "JobTimeout",
+                f"job exceeded {self.timeout:g}s and was killed",
+                "")
+            if retry_item is not None:
+                waiting.append(retry_item)
+
+    def run_parallel(self, pending: List[_Pending], processes: int) -> None:
+        """Process-per-job scheduler with deadlines and backoff."""
+        waiting = list(pending)
+        in_flight: Dict[object, _Running] = {}
+        batch_start = time.perf_counter()
+        try:
+            while waiting or in_flight:
+                now = time.monotonic()
+                waiting.sort(key=lambda item: (item.ready_time, item.index))
+                while (waiting and len(in_flight) < processes
+                       and waiting[0].ready_time <= now):
+                    self._launch(waiting.pop(0), in_flight)
+                if not in_flight:
+                    # Everything pending is backing off; sleep it out.
+                    time.sleep(max(0.0, waiting[0].ready_time
+                                   - time.monotonic()))
+                    continue
+                timeout = self._wait_budget(waiting, in_flight, processes)
+                for conn in _connection_wait(list(in_flight), timeout):
+                    self._reap(conn, in_flight.pop(conn), waiting)
+                self._kill_overdue(in_flight, waiting)
+        except BaseException:
+            for running in in_flight.values():
+                running.proc.terminate()
+            for running in in_flight.values():
+                running.proc.join(5.0)
+            raise
+        if self.profiler is not None:
+            self.profiler.add_span(
+                f"batch[{len(pending)} jobs x{processes}]",
+                batch_start - self.profiler.origin,
+                time.perf_counter() - batch_start)
+
+    def _wait_budget(self, waiting: List[_Pending],
+                     in_flight: Dict[object, _Running],
+                     processes: int) -> Optional[float]:
+        """How long the scheduler may block waiting on worker pipes."""
+        now = time.monotonic()
+        budgets = [running.deadline - now
+                   for running in in_flight.values()
+                   if running.deadline is not None]
+        if waiting and len(in_flight) < processes:
+            budgets.append(waiting[0].ready_time - now)
+        if not budgets:
+            return None  # block until some worker reports
+        return max(0.0, min(budgets))
+
+
+def run_campaign(
+    jobs: Sequence[Job],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    *,
+    processes: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout_seconds: Optional[float] = None,
+    store: Optional[Union[str, Path, ResultStore]] = None,
+    resume: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
+    observe=None,
+    progress: Optional[ProgressCallback] = None,
+    raise_on_failure: bool = False,
+) -> CampaignReport:
+    """Run a campaign to completion, whatever the workers do.
+
+    ``store`` (a path or :class:`ResultStore`) enables persistence: every
+    outcome is appended as it lands, and ``resume=True`` skips jobs whose
+    id already has a stored result (prior *failures* are retried — they
+    are usually transient). Without ``resume``, an existing non-empty
+    store is refused rather than silently extended.
+
+    ``shard=(i, n)`` restricts this invocation to a deterministic,
+    disjoint 1/n-th of the campaign (see :func:`repro.campaign.ids.shard_jobs`).
+
+    ``observe`` (a :class:`repro.obs.Observation`) receives campaign
+    counters/gauges in its registry and per-job/batch spans in its
+    profiler. ``progress`` gets one dict per job state change.
+
+    With ``raise_on_failure`` the first permanent failure raises
+    :class:`CampaignError` *after* the campaign completes — the default is
+    graceful degradation: finish everything, report failures in the
+    returned :class:`CampaignReport` and the on-disk failure manifest.
+    """
+    wall_start = time.perf_counter()
+    retry = retry if retry is not None else RetryPolicy()
+    jobs = list(jobs)
+    if shard is not None:
+        jobs = shard_jobs(jobs, shard[0], shard[1], config, scale)
+    ids = [job_id(job, config, scale) for job in jobs]
+
+    result_store: Optional[ResultStore] = None
+    stored: Dict[str, dict] = {}
+    if store is not None:
+        result_store = (store if isinstance(store, ResultStore)
+                        else ResultStore(store))
+        if result_store.exists():
+            if not resume:
+                raise FileExistsError(
+                    f"{result_store.path} already holds campaign records; "
+                    "resume it (repro campaign resume / resume=True) or "
+                    "pick a fresh store path")
+            stored = result_store.load().results
+        result_store.ensure_header()
+
+    registry = profiler = None
+    if observe is not None:
+        if observe.registry is None:
+            from repro.obs import MetricRegistry
+            observe.registry = MetricRegistry()
+        registry = observe.registry
+        profiler = observe.profiler
+
+    pending: List[_Pending] = []
+    resumed: Dict[str, SimulationResult] = {}
+    for index, (job, jid) in enumerate(zip(jobs, ids)):
+        record = stored.get(jid)
+        if record is not None:
+            resumed[jid] = result_from_dict(record["result"])
+        else:
+            pending.append(_Pending(index, job, jid))
+    skipped = len(resumed)
+
+    if processes is None:
+        processes = min(len(pending), multiprocessing.cpu_count()) or 1
+    inline = (timeout_seconds is None
+              and (processes <= 1 or len(pending) <= 1))
+    workers = 1 if inline else max(1, processes)
+
+    progress_state = _Progress(total=len(jobs), skipped=skipped,
+                               workers=workers, callback=progress,
+                               registry=registry)
+    runner = _CampaignRun(config, scale, retry, timeout_seconds,
+                          result_store, progress_state, profiler)
+    runner.results_by_id.update(resumed)
+    if pending:
+        if inline:
+            runner.run_inline(pending)
+        else:
+            runner.run_parallel(pending, workers)
+
+    failure_manifest_path = None
+    if result_store is not None:
+        # Rebuild the failure manifest from the store so it reflects every
+        # still-outstanding failure, not just this pass's.
+        contents = result_store.load()
+        failure_manifest_path = write_failure_manifest(
+            result_store.path,
+            [contents.failures[jid] for jid in sorted(contents.failures)])
+
+    wall = time.perf_counter() - wall_start
+    if registry is not None:
+        registry.set("campaign.wall_seconds", wall)
+    report = CampaignReport(
+        total=len(jobs),
+        executed=len(runner.results_by_id) - skipped,
+        skipped=skipped,
+        failed=len(runner.failures),
+        retries=progress_state.retries,
+        results=[runner.results_by_id[jid] for jid in ids
+                 if jid in runner.results_by_id],
+        failures=runner.failures,
+        results_by_id=dict(runner.results_by_id),
+        job_ids=ids,
+        wall_time_seconds=wall,
+        store_path=result_store.path if result_store is not None else None,
+        failure_manifest_path=failure_manifest_path,
+    )
+    if raise_on_failure and report.failures:
+        raise CampaignError(report.failures)
+    return report

@@ -1,0 +1,119 @@
+"""Deterministic fault injection for exercising campaign robustness.
+
+A campaign job whose workload name starts with ``__fault:`` does not name a
+real workload model; it names a failure behaviour the worker acts out
+before (or instead of) simulating. That makes the engine's retry, timeout
+and failure-capture paths testable in CI with ordinary jobs — no
+monkeypatching inside worker processes.
+
+Grammar (examples)::
+
+    __fault:raise                 always raise InjectedFault
+    __fault:exit                  kill the worker process (exit code 17)
+    __fault:hang                  block for an hour (trips the job timeout)
+    __fault:flaky:2+470.lbm       raise on attempts 1..2, then simulate
+                                  470.lbm normally — a transient failure
+
+``flaky`` requires a real workload after ``+`` so the job eventually
+produces a result; the always-failing kinds ignore any ``+workload``
+suffix. Behaviour depends only on the attempt number the engine passes in,
+so it is deterministic across processes and resumes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "FAULT_PREFIX",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_workload",
+    "parse_fault",
+]
+
+#: Workload-name prefix marking a fault-injection job.
+FAULT_PREFIX = "__fault:"
+
+#: How long a ``hang`` fault blocks — far beyond any sane job timeout.
+HANG_SECONDS = 3600.0
+
+#: Exit code used by the ``exit`` fault (distinctive in failure records).
+EXIT_CODE = 17
+
+_KINDS = ("raise", "exit", "hang", "flaky")
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by ``raise``/``flaky`` faults (a stand-in for any
+    transient worker exception)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Parsed form of a ``__fault:`` workload name."""
+
+    kind: str
+    #: ``flaky`` only: raise on attempts ``1..fail_attempts``.
+    fail_attempts: int = 0
+    #: Workload simulated once the fault stops firing (``flaky`` only).
+    real_workload: Optional[str] = None
+
+    def apply(self, attempt: int) -> str:
+        """Act out the fault for ``attempt`` (1-based).
+
+        Returns the real workload name to simulate when the fault does not
+        fire; raises (or hangs, or kills the process) when it does.
+        """
+        if self.kind == "raise":
+            raise InjectedFault(f"injected failure (attempt {attempt})")
+        if self.kind == "exit":
+            os._exit(EXIT_CODE)
+        if self.kind == "hang":
+            time.sleep(HANG_SECONDS)
+            raise InjectedFault("hang fault outlived its sleep")
+        if attempt <= self.fail_attempts:  # flaky
+            raise InjectedFault(
+                f"injected transient failure "
+                f"(attempt {attempt}/{self.fail_attempts})")
+        return self.real_workload
+
+
+def parse_fault(workload: str) -> Optional[FaultSpec]:
+    """Parse a workload name; ``None`` when it is not a fault job."""
+    if not workload.startswith(FAULT_PREFIX):
+        return None
+    body = workload[len(FAULT_PREFIX):]
+    real: Optional[str] = None
+    if "+" in body:
+        body, real = body.split("+", 1)
+    parts = body.split(":")
+    kind = parts[0]
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; known: {', '.join(_KINDS)}")
+    if kind == "flaky":
+        if len(parts) != 2:
+            raise ValueError("flaky fault needs a count: __fault:flaky:N+real")
+        if not real:
+            raise ValueError(
+                "flaky fault needs a real workload: __fault:flaky:N+real")
+        return FaultSpec(kind, fail_attempts=int(parts[1]), real_workload=real)
+    if len(parts) != 1:
+        raise ValueError(f"fault kind {kind!r} takes no parameter")
+    return FaultSpec(kind)
+
+
+def fault_workload(kind: str, fail_attempts: int = 0,
+                   real_workload: Optional[str] = None) -> str:
+    """Build (and validate) a fault workload name — the test-facing helper."""
+    name = FAULT_PREFIX + kind
+    if kind == "flaky":
+        name += f":{fail_attempts}"
+    if real_workload:
+        name += f"+{real_workload}"
+    parse_fault(name)  # validate eagerly so typos fail at build time
+    return name

@@ -1,0 +1,281 @@
+"""On-disk campaign state: JSONL result store, manifests, failure reports.
+
+The store is an append-only JSONL file — one self-describing record per
+line — because append-only is the only write pattern that survives a
+driver killed at an arbitrary instant (the acceptance test for this
+subsystem). Records:
+
+* ``header``  — format marker plus campaign metadata; first line only.
+* ``result``  — one completed job: id, job spec, attempts, wall time and
+  the full serialised :class:`~repro.sim.results.SimulationResult`.
+* ``failure`` — one permanently-failed job: id, job spec and the captured
+  error (type, message, traceback, attempt count, failure kind).
+
+Appends are atomic in practice: a single ``write`` of one ``\\n``-terminated
+line to a file opened in append mode, followed by flush+fsync. A SIGKILL
+can at worst truncate the final line, which :meth:`ResultStore.load`
+tolerates (and only there — corruption mid-file still raises).
+
+Alongside the store live two derived documents:
+
+* ``<store>.manifest.json`` — the campaign manifest: every job plus the
+  machine/scale/retry/timeout/shard settings, written by ``campaign run``
+  and read back by ``campaign status``/``resume``.
+* ``<store>.failures.json`` — the failure manifest, rewritten after every
+  campaign pass so "what still needs attention" is one ``cat`` away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.config import MachineConfig
+from repro.campaign.ids import job_from_dict, job_to_dict
+from repro.sim.batch import Job
+from repro.sim.results import SimulationResult
+from repro.sim.runner import ExperimentScale
+from repro.sim.serialize import result_from_dict, result_to_dict
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "STORE_FORMAT",
+    "FAILURES_FORMAT",
+    "ResultStore",
+    "StoreContents",
+    "failures_path_for",
+    "load_campaign_manifest",
+    "manifest_path_for",
+    "write_campaign_manifest",
+    "write_failure_manifest",
+]
+
+#: Format marker in the store header record.
+STORE_FORMAT = "pinte-campaign-v1"
+#: Format marker in campaign manifests.
+MANIFEST_FORMAT = "pinte-campaign-manifest-v1"
+#: Format marker in failure manifests.
+FAILURES_FORMAT = "pinte-campaign-failures-v1"
+
+
+@dataclass
+class StoreContents:
+    """Everything read back from one store file.
+
+    Later records win: a success recorded on resume supersedes an earlier
+    failure for the same id, and duplicate appends are harmless.
+    """
+
+    results: Dict[str, dict] = field(default_factory=dict)
+    failures: Dict[str, dict] = field(default_factory=dict)
+    header: Optional[dict] = None
+    #: Count of truncated/partial trailing lines skipped during load.
+    truncated_lines: int = 0
+
+    def result_objects(self) -> Dict[str, SimulationResult]:
+        """Deserialise every stored success into a ``SimulationResult``."""
+        return {job_id: result_from_dict(record["result"])
+                for job_id, record in self.results.items()}
+
+    def job_for(self, job_id: str) -> Job:
+        """The job spec recorded for ``job_id`` (success or failure)."""
+        record = self.results.get(job_id) or self.failures[job_id]
+        return job_from_dict(record["job"])
+
+
+class ResultStore:
+    """Append-only JSONL store for one campaign's job outcomes."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # -- writing -----------------------------------------------------------
+    def exists(self) -> bool:
+        """True when the store file exists and is non-empty."""
+        try:
+            return self.path.stat().st_size > 0
+        except FileNotFoundError:
+            return False
+
+    def _repair_tail(self) -> None:
+        """Drop a partial trailing record left by a killed writer.
+
+        Without this, the next append would glue onto the unterminated
+        line and corrupt it *mid-file* — unrecoverable instead of merely
+        incomplete. The check is O(1) (one byte) when the store is clean.
+        """
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) == b"\n":
+                    return
+                handle.seek(0)
+                cut = handle.read().rfind(b"\n") + 1
+                handle.truncate(cut)
+        except FileNotFoundError:
+            pass
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_tail()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def ensure_header(self, meta: Optional[dict] = None) -> None:
+        """Write the header record if the store is new/empty."""
+        if not self.exists():
+            self._append({"kind": "header", "format": STORE_FORMAT,
+                          "created": time.time(), **(meta or {})})
+
+    def append_result(self, job_id: str, job: Job, result: SimulationResult,
+                      attempts: int, wall_time_seconds: float) -> None:
+        """Record one successful job."""
+        self._append({
+            "kind": "result",
+            "job_id": job_id,
+            "job": job_to_dict(job),
+            "attempts": attempts,
+            "wall_time_seconds": wall_time_seconds,
+            "result": result_to_dict(result),
+        })
+
+    def append_failure(self, job_id: str, job: Job, failure: dict) -> None:
+        """Record one permanently-failed job (after all retries)."""
+        self._append({
+            "kind": "failure",
+            "job_id": job_id,
+            "job": job_to_dict(job),
+            "failure": failure,
+        })
+
+    # -- reading -----------------------------------------------------------
+    def load(self) -> StoreContents:
+        """Read the store back, tolerating a truncated final line."""
+        contents = StoreContents()
+        try:
+            lines = self.path.read_text(encoding="utf-8").split("\n")
+        except FileNotFoundError:
+            return contents
+        if lines and lines[-1] == "":
+            lines.pop()
+        for number, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) - 1:
+                    # A driver killed mid-append leaves a partial last line;
+                    # that job simply reruns on resume.
+                    contents.truncated_lines += 1
+                    continue
+                raise ValueError(
+                    f"{self.path}:{number + 1}: corrupt store record")
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("format") != STORE_FORMAT:
+                    raise ValueError(
+                        f"{self.path}: not a {STORE_FORMAT} store "
+                        f"(format={record.get('format')!r})")
+                contents.header = record
+            elif kind == "result":
+                contents.results[record["job_id"]] = record
+                contents.failures.pop(record["job_id"], None)
+            elif kind == "failure":
+                contents.failures[record["job_id"]] = record
+            else:
+                raise ValueError(
+                    f"{self.path}:{number + 1}: unknown record kind {kind!r}")
+        return contents
+
+    def completed_ids(self) -> Dict[str, dict]:
+        """Ids with a stored *successful* result (what ``--resume`` skips)."""
+        return self.load().results
+
+
+# -- campaign manifest ------------------------------------------------------
+
+def manifest_path_for(store_path: Union[str, Path]) -> Path:
+    """Where the campaign manifest lives for a given store path."""
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.stem.split(".")[0]
+                                + ".manifest.json")
+
+
+def failures_path_for(store_path: Union[str, Path]) -> Path:
+    """Where the failure manifest lives for a given store path."""
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.stem.split(".")[0]
+                                + ".failures.json")
+
+
+def write_campaign_manifest(
+    store_path: Union[str, Path],
+    jobs: Sequence[Job],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    *,
+    machine_preset: Optional[str] = None,
+    retry: Optional[dict] = None,
+    timeout_seconds: Optional[float] = None,
+    shard: Optional[tuple] = None,
+    processes: Optional[int] = None,
+) -> Path:
+    """Write ``<store>.manifest.json`` describing the whole campaign."""
+    path = manifest_path_for(store_path)
+    document = {
+        "format": MANIFEST_FORMAT,
+        "store": Path(store_path).name,
+        "machine_preset": machine_preset or config.name,
+        "machine_config": dataclasses.asdict(config),
+        "scale": dataclasses.asdict(scale),
+        "jobs": [job_to_dict(job) for job in jobs],
+        "retry": retry,
+        "timeout_seconds": timeout_seconds,
+        "shard": list(shard) if shard else None,
+        "processes": processes,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_campaign_manifest(path: Union[str, Path]) -> dict:
+    """Read a campaign manifest and deserialise its job list in place."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{path}: not a {MANIFEST_FORMAT} manifest "
+            f"(format={document.get('format')!r})")
+    document["jobs"] = [job_from_dict(payload)
+                        for payload in document["jobs"]]
+    document["scale"] = ExperimentScale(**document["scale"])
+    return document
+
+
+def write_failure_manifest(store_path: Union[str, Path],
+                           failures: Sequence[dict]) -> Path:
+    """(Re)write ``<store>.failures.json`` from permanent-failure records.
+
+    Always written — an empty ``failures`` list is the explicit "all clear"
+    that distinguishes a clean campaign from one whose manifest was lost.
+    """
+    path = failures_path_for(store_path)
+    document = {
+        "format": FAILURES_FORMAT,
+        "store": Path(store_path).name,
+        "count": len(failures),
+        "failures": list(failures),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return path

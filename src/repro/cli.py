@@ -6,6 +6,9 @@ Commands:
 * ``run`` — simulate one workload (isolation / PInTE / 2nd-Trace); can
   dump the unified metric registry, a JSONL event log, a Chrome trace and
   a machine-readable JSON result.
+* ``campaign run|status|resume`` — the fault-tolerant campaign engine:
+  persistent JSONL result store, retries, per-job timeouts, resume,
+  ``i/n`` sharding, failure manifests (see docs/CAMPAIGNS.md).
 * ``obs`` — inspect a JSONL event log (kind summary, hottest sets, heatmap).
 * ``sweep`` — PInTE sensitivity sweep + classification for workloads.
 * ``trace`` — generate a trace file for external tooling.
@@ -62,6 +65,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list`` — table of workload models, optionally by class."""
     rows = []
     for name in suite_names():
         spec = SPEC_WORKLOADS[name]
@@ -89,6 +93,7 @@ def _write_or_print(text: str, destination: str, what: str) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run`` — one simulation with optional observability dumps."""
     import json
 
     from repro.obs import (
@@ -188,6 +193,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs`` — summarise a JSONL event log and map hot sets."""
     from repro.obs import build_heatmap, load_events_jsonl
 
     events, meta = load_events_jsonl(args.events)
@@ -222,6 +228,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep`` — P_induce sweep + sensitivity class per workload."""
     config = _machine(args.machine)
     scale = ExperimentScale(warmup_instructions=args.warmup,
                             sim_instructions=args.instructions,
@@ -264,6 +271,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
+    """``repro characterize`` — declared vs measured behaviour classes."""
     from repro.sim.characterize import characterize
 
     config = _machine(args.machine)
@@ -292,6 +300,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_mrc(args: argparse.Namespace) -> int:
+    """``repro mrc`` — miss-rate curve and working-set knee of a workload."""
     from repro.analysis.mrc import trace_mrc, working_set_knee
 
     config = _machine(args.machine)
@@ -316,6 +325,7 @@ def cmd_mrc(args: argparse.Namespace) -> int:
 
 
 def cmd_partition_study(args: argparse.Namespace) -> int:
+    """``repro partition-study`` — LLC partitioning schemes vs thefts."""
     from repro.experiments import partition_study
     from repro.sim import ExperimentScale
 
@@ -331,6 +341,7 @@ def cmd_partition_study(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
+    """``repro reproduce`` — regenerate every paper table/figure report."""
     from repro.experiments.reproduce import run_reproduction, suite_for_name
     from repro.sim import ExperimentScale
 
@@ -345,6 +356,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         panel_size=args.panel,
         include_standalone=args.full,
         output_dir=Path(args.output) if args.output else None,
+        processes=args.processes,
     )
     for artifact in sorted(reports):
         print(f"\n{'=' * 72}\n[{artifact}]\n{reports[artifact]}")
@@ -354,6 +366,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench`` — data-path throughput vs the committed baseline."""
     import json
 
     from repro.bench.datapath import (
@@ -394,7 +407,181 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_progress(event: dict) -> None:
+    """Progress printer shared by ``campaign run`` and ``resume``."""
+    kind = event["event"]
+    if kind == "retry":
+        print(f"    {event['label']} attempt {event['attempt']} failed "
+              f"({event['failure_kind']}); retrying in "
+              f"{event['retry_delay']:.1f}s")
+        return
+    if kind == "done":
+        status = "ok"
+    elif kind == "failed":
+        status = f"FAILED ({event['failure_kind']})"
+    else:
+        return
+    eta = event.get("eta_seconds")
+    eta_text = f"  eta {eta:.0f}s" if eta else ""
+    print(f"[{event['completed'] + event['failed']}/{event['total']}] "
+          f"{event['label']}: {status}{eta_text}")
+
+
+def _campaign_summary(report) -> None:
+    """Print the end-of-campaign report table (+ failure details)."""
+    rows = [
+        ("jobs selected", report.total),
+        ("executed", report.executed),
+        ("resumed (skipped)", report.skipped),
+        ("failed", report.failed),
+        ("retries", report.retries),
+        ("wall time", f"{report.wall_time_seconds:.1f}s"),
+    ]
+    if report.store_path is not None:
+        rows.append(("result store", report.store_path))
+        rows.append(("failure manifest", report.failure_manifest_path))
+    print(format_table(["Campaign", "Value"], rows, title="campaign summary"))
+    for failure in report.failures:
+        print(f"  FAILED {failure.job_id} "
+              f"{failure.job.workload}[{failure.job.mode}]: "
+              f"{failure.kind}/{failure.error_type}: {failure.message} "
+              f"(after {failure.attempts} attempt(s))")
+
+
+def _campaign_scale(args: argparse.Namespace):
+    """Build the ExperimentScale a campaign command describes."""
+    return ExperimentScale(warmup_instructions=args.warmup,
+                           sim_instructions=args.instructions,
+                           sample_interval=max(1, args.instructions // 10),
+                           seed=args.seed)
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """``repro campaign run`` — start (or resume) a stored campaign."""
+    from repro.campaign import (
+        RetryPolicy,
+        campaign_jobs,
+        parse_shard,
+        run_campaign,
+        write_campaign_manifest,
+    )
+    from repro.sim import adversary_panel
+    from repro.sim.batch import Job
+
+    config = _machine(args.machine)
+    scale = _campaign_scale(args)
+    panel = {}
+    if args.panel:
+        panel = {name: adversary_panel(name, args.workloads, args.panel)
+                 for name in args.workloads}
+    jobs = campaign_jobs(args.workloads,
+                         p_values=tuple(args.p_induce or ()), panel=panel)
+    for inject in args.inject or ():
+        name = inject if inject.startswith("__fault:") else f"__fault:{inject}"
+        jobs.append(Job(name))
+    shard = parse_shard(args.shard) if args.shard else None
+    retry = RetryPolicy(max_attempts=args.retries,
+                        backoff_seconds=args.backoff)
+    if not args.resume:
+        manifest = write_campaign_manifest(
+            args.store, jobs, config, scale, machine_preset=args.machine,
+            retry=retry.to_dict(), timeout_seconds=args.timeout,
+            shard=shard, processes=args.processes)
+        print(f"wrote campaign manifest to {manifest}")
+    report = run_campaign(jobs, config, scale, processes=args.processes,
+                          retry=retry, timeout_seconds=args.timeout,
+                          store=args.store, resume=args.resume, shard=shard,
+                          progress=_campaign_progress)
+    _campaign_summary(report)
+    return 1 if args.strict and report.failures else 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """``repro campaign status`` — progress of a stored campaign."""
+    from repro.campaign import (
+        ResultStore,
+        job_id,
+        load_campaign_manifest,
+        manifest_path_for,
+    )
+
+    contents = ResultStore(args.store).load()
+    rows = [("stored results", len(contents.results)),
+            ("stored failures", len(contents.failures))]
+    if contents.truncated_lines:
+        rows.append(("truncated lines (will rerun)", contents.truncated_lines))
+    manifest_path = manifest_path_for(args.store)
+    if manifest_path.exists():
+        manifest = load_campaign_manifest(manifest_path)
+        config = _machine(manifest["machine_preset"])
+        scale = manifest["scale"]
+        ids = [job_id(job, config, scale) for job in manifest["jobs"]]
+        done = sum(1 for jid in ids if jid in contents.results)
+        failed = sum(1 for jid in ids if jid in contents.failures)
+        rows = [
+            ("campaign jobs", len(ids)),
+            ("completed", done),
+            ("failed", failed),
+            ("pending", len(ids) - done - failed),
+        ] + rows
+        if manifest.get("shard"):
+            index, count = manifest["shard"]
+            rows.append(("last run shard", f"{index}/{count}"))
+    else:
+        rows.append(("manifest", f"missing ({manifest_path})"))
+    print(format_table(["Campaign", "Value"], rows,
+                       title=f"status of {args.store}"))
+    for jid in sorted(contents.failures):
+        failure = contents.failures[jid]["failure"]
+        job = contents.failures[jid]["job"]
+        print(f"  FAILED {jid} {job['workload']}[{job['mode']}]: "
+              f"{failure['kind']}/{failure['error_type']}: "
+              f"{failure['message']}")
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    """``repro campaign resume`` — finish a stored campaign's pending jobs.
+
+    Reads the manifest next to the store; by default the *whole* campaign
+    is resumed (all shards), so one machine can mop up after a sharded
+    run. Completed jobs are skipped by id; recorded failures are retried.
+    """
+    from repro.campaign import (
+        RetryPolicy,
+        load_campaign_manifest,
+        manifest_path_for,
+        parse_shard,
+        run_campaign,
+    )
+
+    manifest_path = manifest_path_for(args.store)
+    if not manifest_path.exists():
+        raise SystemExit(f"no campaign manifest at {manifest_path}; "
+                         "was this store created by `repro campaign run`?")
+    manifest = load_campaign_manifest(manifest_path)
+    config = _machine(manifest["machine_preset"])
+    scale = manifest["scale"]
+    retry_fields = dict(manifest.get("retry") or {})
+    if args.retries is not None:
+        retry_fields["max_attempts"] = args.retries
+    if args.backoff is not None:
+        retry_fields["backoff_seconds"] = args.backoff
+    timeout = (args.timeout if args.timeout is not None
+               else manifest.get("timeout_seconds"))
+    shard = parse_shard(args.shard) if args.shard else None
+    report = run_campaign(manifest["jobs"], config, scale,
+                          processes=args.processes,
+                          retry=RetryPolicy(**retry_fields),
+                          timeout_seconds=timeout, store=args.store,
+                          resume=True, shard=shard,
+                          progress=_campaign_progress)
+    _campaign_summary(report)
+    return 1 if args.strict and report.failures else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace`` — export one synthetic trace to a file."""
     config = _machine(args.machine)
     workload = get_workload(args.workload)
     trace = build_trace(workload, args.length, args.seed, config.llc.size)
@@ -404,6 +591,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the full ``repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PInTE (IISWC 2022) reproduction toolkit",
@@ -440,6 +628,66 @@ def build_parser() -> argparse.ArgumentParser:
                        help="event ring capacity (default: 65536)")
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="fault-tolerant campaign engine (see docs/CAMPAIGNS.md)")
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command",
+                                             required=True)
+
+    c_run = campaign_sub.add_parser(
+        "run", help="run a campaign into a JSONL result store")
+    c_run.add_argument("--store", required=True, metavar="PATH",
+                       help="JSONL result store (manifest written next to it)")
+    c_run.add_argument("--workloads", nargs="+", required=True,
+                       help="benchmark names")
+    c_run.add_argument("--p-induce", type=float, nargs="*", default=None,
+                       help="PInTE sweep values (one job per workload each)")
+    c_run.add_argument("--panel", type=int, default=0,
+                       help="2nd-Trace adversaries per workload (default: 0)")
+    c_run.add_argument("--processes", type=int, default=None,
+                       help="worker processes (default: one per CPU); "
+                            "1 with no --timeout runs inline")
+    c_run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="kill+retry any job running longer than this")
+    c_run.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="attempts per job before recording a failure "
+                            "(default: 3)")
+    c_run.add_argument("--backoff", type=float, default=0.5, metavar="SECONDS",
+                       help="base retry backoff, doubled per attempt "
+                            "(default: 0.5)")
+    c_run.add_argument("--shard", default=None, metavar="I/N",
+                       help="run only this machine's 1/N-th of the campaign")
+    c_run.add_argument("--resume", action="store_true",
+                       help="skip jobs already stored (same as "
+                            "`campaign resume`, but re-deriving jobs from "
+                            "the flags rather than the manifest)")
+    c_run.add_argument("--inject", action="append", default=None,
+                       metavar="FAULT",
+                       help="append a fault-injection job, e.g. raise, "
+                            "hang, flaky:2+470.lbm (testing/CI)")
+    c_run.add_argument("--strict", action="store_true",
+                       help="exit 1 if any job failed permanently")
+    _add_common(c_run)
+    c_run.set_defaults(func=cmd_campaign_run)
+
+    c_status = campaign_sub.add_parser(
+        "status", help="show completed/failed/pending for a stored campaign")
+    c_status.add_argument("store", help="JSONL result store path")
+    c_status.set_defaults(func=cmd_campaign_status)
+
+    c_resume = campaign_sub.add_parser(
+        "resume", help="finish a stored campaign (skips completed job ids)")
+    c_resume.add_argument("store", help="JSONL result store path")
+    c_resume.add_argument("--processes", type=int, default=None)
+    c_resume.add_argument("--timeout", type=float, default=None)
+    c_resume.add_argument("--retries", type=int, default=None)
+    c_resume.add_argument("--backoff", type=float, default=None)
+    c_resume.add_argument("--shard", default=None, metavar="I/N",
+                          help="resume only one shard (default: whole "
+                               "campaign)")
+    c_resume.add_argument("--strict", action="store_true",
+                          help="exit 1 if any job failed permanently")
+    c_resume.set_defaults(func=cmd_campaign_resume)
 
     p_obs = sub.add_parser("obs", help="inspect a JSONL event log")
     p_obs.add_argument("events", help="JSONL file written by run --events")
@@ -492,6 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="include the standalone Fig 3/10/11 campaigns")
     p_repro.add_argument("--output", default=None,
                          help="directory to write <artifact>.txt reports")
+    p_repro.add_argument("--processes", type=int, default=None,
+                         help="fan the context campaign out over N worker "
+                              "processes (identical results)")
     _add_common(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
 

@@ -138,6 +138,7 @@ def run_dram_background_ablation(
 
 
 def format_report(result: AblationResult) -> str:
+    """Render every ablation's table in one report."""
     return format_table(
         ["Variant", "wIPC", "MR", "contention", "interference"],
         result.rows(),

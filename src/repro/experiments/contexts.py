@@ -10,7 +10,7 @@ one experiment campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
 from repro.core import PAPER_PINDUCE_SWEEP
@@ -64,9 +64,19 @@ def build_contexts(
     p_values: Sequence[float] = PAPER_PINDUCE_SWEEP,
     panel_size: int = DEFAULT_PANEL_SIZE,
     include_pairs: bool = True,
+    processes: Optional[int] = None,
 ) -> ContextBundle:
-    """Run isolation + PInTE sweep (+ 2nd-Trace panel) for every benchmark."""
+    """Run isolation + PInTE sweep (+ 2nd-Trace panel) for every benchmark.
+
+    ``processes > 1`` fans the campaign out through
+    :func:`repro.campaign.run_campaign` (worker processes, retries,
+    failure isolation) and produces results identical to the serial path
+    — the jobs pin the same trace seeds the serial runners use.
+    """
     names = list(names)
+    if processes is not None and processes > 1:
+        return _build_contexts_parallel(names, config, scale, p_values,
+                                        panel_size, include_pairs, processes)
     library = TraceLibrary(config, scale)
     isolation = run_isolation(names, config, scale, library=library)
     pinte = run_pinte_sweep(names, config, scale, p_values=p_values,
@@ -86,3 +96,49 @@ def build_contexts(
         pinte=pinte,
         pairs=pairs,
     )
+
+
+def _build_contexts_parallel(
+    names: List[str],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    p_values: Sequence[float],
+    panel_size: int,
+    include_pairs: bool,
+    processes: int,
+) -> ContextBundle:
+    """Campaign-engine fan-out behind :func:`build_contexts`.
+
+    Serial ``run_pairs`` builds both traces at ``scale.seed`` (the shared
+    :class:`TraceLibrary`); the pair jobs pin ``co_seed=scale.seed`` to
+    match, so the parallel bundle is bit-identical to the serial one.
+    """
+    from repro.campaign.engine import run_campaign
+    from repro.sim.batch import Job
+
+    jobs: List[Job] = [Job(name) for name in names]
+    for name in names:
+        jobs.extend(Job(name, mode="pinte", p_induce=p) for p in p_values)
+    panels: Dict[str, List[str]] = {}
+    if include_pairs and panel_size > 0:
+        for name in names:
+            panels[name] = adversary_panel(name, names, panel_size)
+            jobs.extend(Job(name, mode="pair", co_runner=other,
+                            co_seed=scale.seed) for other in panels[name])
+    report = run_campaign(jobs, config, scale, processes=processes,
+                          raise_on_failure=True)
+    by_position = dict(zip(jobs, report.results))
+    isolation = {name: by_position[Job(name)] for name in names}
+    pinte = {
+        name: {p: by_position[Job(name, mode="pinte", p_induce=p)]
+               for p in p_values}
+        for name in names
+    }
+    pairs = {
+        name: [by_position[Job(name, mode="pair", co_runner=other,
+                               co_seed=scale.seed)]
+               for other in panel]
+        for name, panel in panels.items()
+    }
+    return ContextBundle(config=config, scale=scale, names=names,
+                         isolation=isolation, pinte=pinte, pairs=pairs)

@@ -19,6 +19,7 @@ N_BINS = 10
 
 @dataclass
 class Fig1Result:
+    """Contention-rate coverage data behind Fig 1."""
     pair_rates: List[float]
     pinte_rates: List[float]
     pair_histogram: List[int]
@@ -46,6 +47,7 @@ def _bin_rates(rates: List[float]) -> List[int]:
 
 
 def run_fig1(bundle: ContextBundle) -> Fig1Result:
+    """Bin contention rates of the bundle's pair and PInTE runs."""
     pair_rates = [r.contention_rate for r in bundle.all_pairs()]
     # Contention rates can exceed 1.0 under aggressive PInTE settings (several
     # blocks stolen per access); clamp into the top bin like the paper's
@@ -60,6 +62,7 @@ def run_fig1(bundle: ContextBundle) -> Fig1Result:
 
 
 def format_report(result: Fig1Result) -> str:
+    """Render the two coverage histograms side by side."""
     labels = [f"{10 * i}-{10 * (i + 1)}%" for i in range(N_BINS)]
     parts = [
         format_histogram(result.pair_histogram, labels,

@@ -45,6 +45,7 @@ class Fig10Point:
 @dataclass
 class Fig10Result:
     #: benchmark -> scatter under "real" (2nd-Trace on the xeon config)
+    """Occupancy-change scatter points for the real-proxy and PInTE runs."""
     real_points: Dict[str, List[Fig10Point]]
     #: benchmark -> scatter under PInTE
     pinte_points: Dict[str, List[Fig10Point]]
@@ -85,6 +86,7 @@ def run_fig10(
     p_values: Sequence[float] = FIG10_PINDUCE,
     panel_size: int = 3,
 ) -> Fig10Result:
+    """Run the xeon-config 2nd-Trace proxy against the PInTE sweep."""
     config = config if config is not None else xeon_config()
     scale = scale if scale is not None else ExperimentScale()
     names = list(names)
@@ -121,6 +123,7 @@ def run_fig10(
 
 
 def format_report(result: Fig10Result) -> str:
+    """Render per-benchmark occupancy slopes and classification agreement."""
     rows = []
     agreement = result.classification_agreement()
     for name in sorted(result.real_points):

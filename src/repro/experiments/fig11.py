@@ -103,6 +103,7 @@ class DimensionSweep:
 
 @dataclass
 class Fig11Result:
+    """Winner-per-contention-level sweeps for each design dimension."""
     sweeps: Dict[str, DimensionSweep]
     p_values: Tuple[float, ...]
     workloads: Tuple[str, ...]
@@ -122,6 +123,7 @@ def run_fig11(
     p_values: Sequence[float] = FIG11_PINDUCE,
     dimensions: Sequence[Dimension] = DIMENSIONS,
 ) -> Fig11Result:
+    """Sweep P_induce and rank the design options at each contention level."""
     workloads = tuple(workloads)
     p_values = tuple(p_values)
     sweeps: Dict[str, DimensionSweep] = {}
@@ -188,6 +190,7 @@ def run_fig11(
 
 
 def format_report(result: Fig11Result) -> str:
+    """Render one winners table per design dimension."""
     parts: List[str] = []
     for name, sweep in result.sweeps.items():
         rows = []

@@ -21,6 +21,7 @@ from repro.sim import ExperimentScale, TraceLibrary, run_pinte_sweep
 @dataclass
 class Fig3Result:
     #: benchmark -> metric -> list of normalised std devs (one per P_induce)
+    """Normalised stability standard deviations behind Fig 3."""
     per_benchmark: Dict[str, Dict[str, List[float]]]
     #: p_induce -> metric -> list of normalised std devs (one per benchmark)
     per_config: Dict[float, Dict[str, List[float]]]
@@ -85,6 +86,7 @@ def run_fig3(
 
 
 def format_report(result: Fig3Result) -> str:
+    """Render per-benchmark and per-P_induce stability tables."""
     left = format_table(
         ["Benchmark", "median norm-std MR", "median norm-std IPC"],
         [

@@ -37,6 +37,7 @@ class ReuseComparison:
 
 @dataclass
 class Fig5Result:
+    """Reuse-histogram comparisons for the Fig 5 exemplars."""
     comparisons: List[ReuseComparison]
 
     def by_name(self, benchmark: str) -> ReuseComparison:
@@ -73,6 +74,7 @@ def average_reuse_histogram(results: Sequence[SimulationResult]) -> List[float]:
 
 def compare_reuse(benchmark: str, pairs: Sequence[SimulationResult],
                   pinte: Sequence[SimulationResult]) -> ReuseComparison:
+    """Average each context's reuse histograms and take their KL divergence."""
     pair_histogram = average_reuse_histogram(pairs)
     pinte_histogram = average_reuse_histogram(pinte)
     return ReuseComparison(
@@ -86,6 +88,7 @@ def compare_reuse(benchmark: str, pairs: Sequence[SimulationResult],
 
 def run_fig5(bundle: ContextBundle,
              workloads: Sequence[str] = FIG5_WORKLOADS) -> Fig5Result:
+    """Compare reuse behaviour for each exemplar workload in the bundle."""
     comparisons = []
     for name in workloads:
         if name not in bundle.names:
@@ -99,6 +102,7 @@ def run_fig5(bundle: ContextBundle,
 
 
 def format_report(result: Fig5Result) -> str:
+    """Render one reuse-histogram panel per exemplar."""
     parts = []
     for comparison in result.comparisons:
         if not comparison.has_signal:

@@ -20,6 +20,7 @@ from repro.experiments.reporting import format_table, percent
 @dataclass
 class Fig6Result:
     #: benchmark -> KL divergence (bits) between averaged reuse histograms
+    """Per-benchmark reuse KL divergence plus root-cause metrics."""
     kl_by_benchmark: Dict[str, float]
     #: calibration thresholds for (99%, 95%, 90%) random baselines
     thresholds: List[float]
@@ -48,6 +49,7 @@ class Fig6Result:
 
 
 def run_fig6(bundle: ContextBundle) -> Fig6Result:
+    """Compute reuse KL per benchmark and the write-back root-cause columns."""
     kl_by_benchmark: Dict[str, float] = {}
     root_cause: Dict[str, Dict[str, float]] = {}
     no_signal: List[str] = []
@@ -87,6 +89,7 @@ def run_fig6(bundle: ContextBundle) -> Fig6Result:
 
 
 def format_report(result: Fig6Result) -> str:
+    """Render the KL table with its calibration thresholds."""
     table = format_table(
         ["Benchmark", "KL (bits)", "L2 MPKI", "LLC MPKI", "WB share"],
         [

@@ -25,6 +25,7 @@ RUNTIME_METRICS = ("ipc", "miss_rate", "amat", "contention_rate",
 @dataclass
 class Fig7Result:
     #: metric -> list of KL divergences (one per matched experiment pair)
+    """Run-time metric KL divergences and CRG coverage fractions."""
     kl_by_metric: Dict[str, List[float]]
     #: CRG group width -> fraction of 2nd-Trace results matched by PInTE
     coverage_by_criterion: Dict[float, float]
@@ -41,6 +42,7 @@ class Fig7Result:
 
 def run_fig7(bundle: ContextBundle,
              criteria=PAPER_CRG_CRITERIA) -> Fig7Result:
+    """Compute metric entropy and CRG coverage over matched experiment pairs."""
     kl_by_metric: Dict[str, List[float]] = {m: [] for m in RUNTIME_METRICS}
     for name in bundle.names:
         pairs = bundle.pair_results(name)
@@ -67,6 +69,7 @@ def run_fig7(bundle: ContextBundle,
 
 
 def format_report(result: Fig7Result) -> str:
+    """Render the metric-KL table and coverage-by-criterion rows."""
     rows = []
     for metric in RUNTIME_METRICS:
         values = result.kl_by_metric[metric]

@@ -37,6 +37,7 @@ class BenchmarkSensitivity:
 
 @dataclass
 class Fig8Result:
+    """Sensitivity curves and classifications for every benchmark."""
     per_benchmark: List[BenchmarkSensitivity]
     tpl: float
 
@@ -57,6 +58,7 @@ class Fig8Result:
 
 def run_fig8(bundle: ContextBundle, tpl: float = DEFAULT_TPL,
              group_width: float = 0.10) -> Fig8Result:
+    """Build both contexts' sensitivity curves and classify each benchmark."""
     per_benchmark: List[BenchmarkSensitivity] = []
     for name in bundle.names:
         isolation = bundle.isolation[name]
@@ -99,6 +101,7 @@ def run_fig8(bundle: ContextBundle, tpl: float = DEFAULT_TPL,
 
 
 def format_report(result: Fig8Result) -> str:
+    """Render curve, class and agreement columns per benchmark."""
     rows = []
     for entry in result.per_benchmark:
         curve = ", ".join(f"{x:.1f}:{y:.2f}"

@@ -18,6 +18,7 @@ from repro.experiments.reporting import format_table
 @dataclass
 class Fig9Result:
     #: benchmark -> {"pair": stats, "pinte": stats} boxplot summaries
+    """Per-benchmark AMAT boxplot summaries for both contexts."""
     per_benchmark: Dict[str, Dict[str, Dict[str, float]]]
 
     def median_gap(self, benchmark: str) -> float:
@@ -40,6 +41,7 @@ def _sample_amats(results) -> List[float]:
 
 
 def run_fig9(bundle: ContextBundle) -> Fig9Result:
+    """Summarise per-sample AMAT distributions under pair and PInTE contention."""
     per_benchmark: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in bundle.names:
         pair_amats = _sample_amats(bundle.pair_results(name))
@@ -56,6 +58,7 @@ def run_fig9(bundle: ContextBundle) -> Fig9Result:
 
 
 def format_report(result: Fig9Result) -> str:
+    """Render the AMAT five-number summaries per benchmark."""
     rows = []
     for name in sorted(result.per_benchmark):
         stats = result.per_benchmark[name]

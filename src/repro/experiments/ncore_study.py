@@ -27,6 +27,7 @@ DEFAULT_PINDUCE = (0.05, 0.2, 0.5, 1.0)
 
 @dataclass
 class NcoreResult:
+    """Coverage and cost measurements for one core count."""
     victim: str
     #: core count -> the victim's result in that co-run
     by_cores: Dict[int, SimulationResult]
@@ -54,6 +55,7 @@ def run_ncore_study(
     adversaries: Sequence[str] = DEFAULT_ADVERSARIES,
     p_values: Sequence[float] = DEFAULT_PINDUCE,
 ) -> NcoreResult:
+    """Measure contention coverage and wall-clock cost as core count grows."""
     library = TraceLibrary(config, scale)
     victim_trace = library.get(victim)
     adversary_traces = [
@@ -81,6 +83,7 @@ def run_ncore_study(
 
 
 def format_report(result: NcoreResult) -> str:
+    """Render the core-count study tables."""
     rows: List[tuple] = []
     for cores in sorted(result.by_cores):
         run = result.by_cores[cores]

@@ -54,6 +54,7 @@ class SchemeOutcome:
 
 @dataclass
 class PartitionStudyResult:
+    """Theft and throughput outcomes for every partitioning scheme."""
     workloads: Tuple[str, str]
     outcomes: Dict[str, SchemeOutcome]
 
@@ -83,6 +84,7 @@ def run_partition_study(
     schemes: Sequence[str] = SCHEMES,
     repartition_interval: int = 4_000,
 ) -> PartitionStudyResult:
+    """Run the victim/aggressor pair under each partitioning scheme."""
     library = TraceLibrary(config, scale)
     victim = library.get(workloads[0])
     aggressor = library.get(workloads[1], seed=scale.seed + 1)
@@ -117,6 +119,7 @@ def run_partition_study(
 
 
 def format_report(result: PartitionStudyResult) -> str:
+    """Render the partitioning comparison table."""
     victim_name, aggressor_name = result.workloads
     rows = []
     for scheme, outcome in result.outcomes.items():

@@ -35,6 +35,7 @@ class RuntimeRow:
 
 @dataclass
 class Table1Result:
+    """Measured wall-clock rows plus the analytic full-scale counts."""
     rows: List[RuntimeRow]
     #: full-scale analytic counts (the paper's 188-trace design)
     analytic: Dict[str, int]
@@ -96,6 +97,7 @@ def run_table1(bundle: ContextBundle) -> Table1Result:
 
 
 def format_report(result: Table1Result) -> str:
+    """Render the run-time and experiment-count tables."""
     table = format_table(
         ["Source", "# Sims", "Avg (s)", "Std", "Max", "Min", "Total (s)"],
         [

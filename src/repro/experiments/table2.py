@@ -24,6 +24,7 @@ from repro.experiments.reporting import format_table
 
 @dataclass
 class Table2Result:
+    """Per-benchmark average relative errors with significance flags."""
     rows: List[ErrorRow]
     summary: Dict[str, Dict[str, float]]
     matched_counts: Dict[str, int]
@@ -36,6 +37,7 @@ class Table2Result:
 
 
 def run_table2(bundle: ContextBundle, group_width: float = 0.10) -> Table2Result:
+    """Match mixes to PInTE runs by CRG and average the Eq. 4 errors."""
     rows: List[ErrorRow] = []
     matched_counts: Dict[str, int] = {}
     for name in bundle.names:
@@ -75,6 +77,7 @@ def _annotate(row: ErrorRow) -> str:
 
 
 def format_report(result: Table2Result) -> str:
+    """Render the relative-error table with significance annotations."""
     table = format_table(
         ["Benchmark", "AMAT %", "MR %", "IPC %", "flag", "matches"],
         [

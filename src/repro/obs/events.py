@@ -155,4 +155,5 @@ def disable_tracing() -> None:
 
 
 def tracing_enabled() -> bool:
+    """True while a global event trace is installed."""
     return ACTIVE is not None

@@ -1,21 +1,25 @@
-"""Parallel experiment execution.
+"""Job manifests and the backward-compatible batch runner.
 
-The paper's Table I is a story about simulation cost; this module is the
-practical answer at reproduction scale: a process-pool runner that executes
-independent simulations in parallel (the simulator is pure Python and
-CPU-bound, so processes — not threads — are required) and an experiment
-manifest describing a campaign declaratively.
+The paper's Table I is a story about simulation cost; at reproduction
+scale the practical answer is :mod:`repro.campaign` — a fault-tolerant
+scheduler with retries, timeouts, a persistent result store, resume and
+sharding. This module keeps the two pieces the rest of the codebase (and
+older callers) build on:
 
-Jobs are specified by *name*, not by object, so they pickle cheaply: each
-worker rebuilds its trace from the workload registry.
+* :class:`Job` / :func:`run_job` / :func:`campaign_jobs` — the declarative
+  job vocabulary every campaign is written in. Jobs are specified by
+  *name*, not by object, so they pickle cheaply: each worker rebuilds its
+  trace from the workload registry.
+* :func:`run_batch` — a thin shim over
+  :func:`repro.campaign.run_campaign` preserving the original "list in,
+  results in job order out" contract (no retries, no store, first failure
+  raises).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import MachineConfig
 from repro.core import PinteConfig
@@ -30,12 +34,18 @@ from repro.trace.synthetic import build_trace
 
 @dataclass(frozen=True)
 class Job:
-    """One simulation to run: isolation, PInTE, or 2nd-Trace."""
+    """One simulation to run: isolation, PInTE, or 2nd-Trace.
+
+    ``co_seed`` optionally pins the adversary trace's seed in ``pair``
+    mode; the default (``None``) keeps the historical ``scale.seed + 1``
+    so paired runs never share a trace stream by accident.
+    """
 
     workload: str
     mode: str = "isolation"  # isolation | pinte | pair
     p_induce: Optional[float] = None
     co_runner: Optional[str] = None
+    co_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("isolation", "pinte", "pair"):
@@ -48,12 +58,14 @@ class Job:
 
 def run_job(job: Job, config: MachineConfig,
             scale: ExperimentScale) -> SimulationResult:
-    """Execute one job (also the worker entry point)."""
+    """Execute one job (also the campaign worker entry point)."""
     trace = build_trace(get_workload(job.workload), scale.trace_length,
                         scale.seed, config.llc.size)
     if job.mode == "pair":
+        co_seed = (job.co_seed if job.co_seed is not None
+                   else scale.seed + 1)
         adversary = build_trace(get_workload(job.co_runner),
-                                scale.trace_length, scale.seed + 1,
+                                scale.trace_length, co_seed,
                                 config.llc.size)
         return simulate_pair(trace, adversary, config,
                              warmup_instructions=scale.warmup_instructions,
@@ -68,42 +80,36 @@ def run_job(job: Job, config: MachineConfig,
                     sample_interval=scale.sample_interval, seed=scale.seed)
 
 
-def _worker(args: Tuple[Job, MachineConfig, ExperimentScale]) -> SimulationResult:
-    return run_job(*args)
-
-
 def run_batch(jobs: Sequence[Job], config: MachineConfig,
               scale: ExperimentScale,
               processes: Optional[int] = None,
               profiler: Optional[PhaseProfiler] = None) -> List[SimulationResult]:
     """Run jobs, in parallel when ``processes`` allows it.
 
-    ``processes=1`` (or a single job) runs inline — no pool overhead and
-    easier debugging. Results come back in job order either way. A
-    ``profiler`` gets one wall-clock span per job (inline) or one for the
-    whole pool (parallel — per-job spans would need cross-process clocks).
+    Backward-compatible shim over :func:`repro.campaign.run_campaign`:
+    no retries, no result store, and the first job failure raises
+    :class:`repro.campaign.CampaignError` once the batch finishes.
+
+    ``processes=1`` (or a single job) executes **inline in this process**
+    — no pool, no worker subprocesses — so ``pdb`` and profilers attach
+    naturally and KeyboardInterrupt stops the run cleanly. Results come
+    back in job order either way. A ``profiler`` gets one wall-clock span
+    per job (inline) or one for the whole pool (parallel — per-job spans
+    would need cross-process clocks).
     """
+    from repro.campaign.engine import RetryPolicy, run_campaign
+
     jobs = list(jobs)
-    if processes is None:
-        processes = min(len(jobs), multiprocessing.cpu_count())
-    if processes <= 1 or len(jobs) <= 1:
-        results = []
-        for job_index, job in enumerate(jobs):
-            start = time.perf_counter()
-            results.append(run_job(job, config, scale))
-            if profiler is not None:
-                profiler.add_span(f"job{job_index}:{job.workload}",
-                                  start - profiler.origin,
-                                  time.perf_counter() - start)
-        return results
-    start = time.perf_counter()
-    with multiprocessing.Pool(processes) as pool:
-        results = pool.map(_worker, [(job, config, scale) for job in jobs])
+    if not jobs:
+        return []
+    observe = None
     if profiler is not None:
-        profiler.add_span(f"batch[{len(jobs)} jobs x{processes}]",
-                          start - profiler.origin,
-                          time.perf_counter() - start)
-    return results
+        from repro.obs import Observation
+        observe = Observation(profiler=profiler)
+    report = run_campaign(jobs, config, scale, processes=processes,
+                          retry=RetryPolicy(max_attempts=1),
+                          observe=observe, raise_on_failure=True)
+    return report.results
 
 
 def campaign_jobs(

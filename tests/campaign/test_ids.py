@@ -1,0 +1,107 @@
+"""Tests for deterministic job ids and shard partitioning."""
+
+import pytest
+
+from repro.campaign.ids import (
+    ID_SCHEME,
+    canonical_job_payload,
+    job_from_dict,
+    job_id,
+    job_to_dict,
+    parse_shard,
+    shard_jobs,
+)
+from repro.config import scaled_config
+from repro.sim import ExperimentScale
+from repro.sim.batch import Job, campaign_jobs
+
+TINY = ExperimentScale(warmup_instructions=500, sim_instructions=2_000,
+                       sample_interval=500)
+
+
+class TestJobDict:
+    def test_round_trip(self):
+        job = Job("470.lbm", mode="pair", co_runner="450.soplex", co_seed=7)
+        assert job_from_dict(job_to_dict(job)) == job
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown job fields"):
+            job_from_dict({"workload": "470.lbm", "llc_ways": 16})
+
+
+class TestJobId:
+    def test_stable_across_calls(self, config):
+        job = Job("470.lbm", mode="pinte", p_induce=0.5)
+        assert job_id(job, config, TINY) == job_id(job, config, TINY)
+
+    def test_shape(self, config):
+        jid = job_id(Job("470.lbm"), config, TINY)
+        assert len(jid) == 16
+        int(jid, 16)  # hex digits only
+
+    def test_sensitive_to_job_fields(self, config):
+        base = job_id(Job("470.lbm"), config, TINY)
+        assert job_id(Job("453.povray"), config, TINY) != base
+        assert job_id(Job("470.lbm", mode="pinte", p_induce=0.5),
+                      config, TINY) != base
+
+    def test_sensitive_to_scale(self, config):
+        job = Job("470.lbm")
+        other = ExperimentScale(warmup_instructions=500,
+                                sim_instructions=2_000,
+                                sample_interval=500, seed=99)
+        assert job_id(job, config, TINY) != job_id(job, config, other)
+
+    def test_sensitive_to_machine(self, config):
+        import dataclasses
+        job = Job("470.lbm")
+        smaller = dataclasses.replace(
+            config, llc=dataclasses.replace(config.llc, assoc=4))
+        assert job_id(job, config, TINY) != job_id(job, smaller, TINY)
+
+    def test_scheme_versioned_into_payload(self, config):
+        payload = canonical_job_payload(Job("470.lbm"), config, TINY)
+        assert payload["scheme"] == ID_SCHEME
+
+
+class TestParseShard:
+    def test_parses(self):
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("3/4") == (3, 4)
+
+    @pytest.mark.parametrize("text", ["2/2", "-1/2", "0/0", "1", "a/b"])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+
+class TestShardJobs:
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        names = ["435.gromacs", "450.soplex", "453.povray", "470.lbm"]
+        panel = {n: [m for m in names if m != n][:2] for n in names}
+        return campaign_jobs(names, p_values=(0.1, 0.5, 1.0), panel=panel)
+
+    def test_disjoint_and_exhaustive(self, jobs, config):
+        shards = [shard_jobs(jobs, i, 3, config, TINY) for i in range(3)]
+        merged = [job for shard in shards for job in shard]
+        assert len(merged) == len(jobs)
+        assert sorted(map(repr, merged)) == sorted(map(repr, jobs))
+
+    def test_balanced_within_one(self, jobs, config):
+        sizes = [len(shard_jobs(jobs, i, 3, config, TINY)) for i in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_order_independent(self, jobs, config):
+        shuffled = list(reversed(jobs))
+        for i in range(3):
+            assert (shard_jobs(jobs, i, 3, config, TINY)
+                    == shard_jobs(shuffled, i, 3, config, TINY))
+
+    def test_single_shard_is_identity_set(self, jobs, config):
+        shard = shard_jobs(jobs, 0, 1, config, TINY)
+        assert sorted(map(repr, shard)) == sorted(map(repr, jobs))
+
+    def test_bad_index_rejected(self, jobs, config):
+        with pytest.raises(ValueError):
+            shard_jobs(jobs, 2, 2, config, TINY)

@@ -1,0 +1,165 @@
+"""Tests for the JSONL result store and campaign/failure manifests."""
+
+import json
+
+import pytest
+
+from repro.campaign.ids import job_id
+from repro.campaign.store import (
+    FAILURES_FORMAT,
+    MANIFEST_FORMAT,
+    STORE_FORMAT,
+    ResultStore,
+    failures_path_for,
+    load_campaign_manifest,
+    manifest_path_for,
+    write_campaign_manifest,
+    write_failure_manifest,
+)
+from repro.sim import ExperimentScale
+from repro.sim.batch import Job, run_job
+
+TINY = ExperimentScale(warmup_instructions=500, sim_instructions=2_000,
+                       sample_interval=500)
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    return run_job(Job("435.gromacs"), config, TINY)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "results.jsonl")
+
+
+class TestResultStore:
+    def test_missing_file_loads_empty(self, store):
+        contents = store.load()
+        assert contents.results == {} and contents.failures == {}
+        assert not store.exists()
+
+    def test_header_written_once(self, store):
+        store.ensure_header({"note": "first"})
+        store.ensure_header({"note": "second"})
+        lines = store.path.read_text().strip().split("\n")
+        assert len(lines) == 1
+        header = store.load().header
+        assert header["format"] == STORE_FORMAT
+        assert header["note"] == "first"
+
+    def test_result_round_trip(self, store, config, result):
+        job = Job("435.gromacs")
+        jid = job_id(job, config, TINY)
+        store.ensure_header()
+        store.append_result(jid, job, result, attempts=2,
+                            wall_time_seconds=1.5)
+        contents = store.load()
+        assert list(contents.results) == [jid]
+        assert contents.results[jid]["attempts"] == 2
+        assert contents.job_for(jid) == job
+        loaded = contents.result_objects()[jid]
+        assert loaded.trace_name == result.trace_name
+        assert loaded.ipc == result.ipc
+        assert loaded.thefts_experienced == result.thefts_experienced
+
+    def test_failure_round_trip(self, store):
+        job = Job("__fault:raise")
+        store.append_failure("deadbeef00000000", job,
+                             {"kind": "error", "error_type": "InjectedFault",
+                              "message": "boom", "traceback": "tb",
+                              "attempts": 3})
+        contents = store.load()
+        failure = contents.failures["deadbeef00000000"]
+        assert failure["failure"]["error_type"] == "InjectedFault"
+        assert contents.job_for("deadbeef00000000") == job
+
+    def test_later_result_supersedes_failure(self, store, config, result):
+        job = Job("435.gromacs")
+        jid = job_id(job, config, TINY)
+        store.append_failure(jid, job, {"kind": "timeout", "attempts": 3,
+                                        "error_type": "JobTimeout",
+                                        "message": "", "traceback": ""})
+        store.append_result(jid, job, result, attempts=1,
+                            wall_time_seconds=0.1)
+        contents = store.load()
+        assert jid in contents.results
+        assert jid not in contents.failures
+
+    def test_truncated_final_line_tolerated(self, store, config, result):
+        job = Job("435.gromacs")
+        jid = job_id(job, config, TINY)
+        store.append_result(jid, job, result, attempts=1,
+                            wall_time_seconds=0.1)
+        with open(store.path, "a") as handle:
+            handle.write('{"kind": "result", "job_id": "tru')  # SIGKILLed
+        contents = store.load()
+        assert contents.truncated_lines == 1
+        assert list(contents.results) == [jid]
+
+    def test_append_after_truncation_repairs_tail(self, store, config,
+                                                  result):
+        """Appending over a SIGKILL-truncated tail must not corrupt the
+        store mid-file — the partial line is dropped first."""
+        job = Job("435.gromacs")
+        jid = job_id(job, config, TINY)
+        store.ensure_header()
+        with open(store.path, "a") as handle:
+            handle.write('{"kind": "result", "job_id": "tru')
+        store.append_result(jid, job, result, attempts=1,
+                            wall_time_seconds=0.1)
+        contents = store.load()  # no mid-file corruption error
+        assert contents.truncated_lines == 0
+        assert list(contents.results) == [jid]
+
+    def test_mid_file_corruption_raises(self, store, config, result):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text('not json\n{"kind": "header", '
+                              f'"format": "{STORE_FORMAT}"}}\n')
+        with pytest.raises(ValueError, match="corrupt store record"):
+            store.load()
+
+    def test_foreign_format_rejected(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text('{"kind": "header", "format": "other-v9"}\n')
+        with pytest.raises(ValueError, match="not a pinte-campaign"):
+            store.load()
+
+    def test_unknown_record_kind_rejected(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text('{"kind": "mystery"}\n\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            store.load()
+
+
+class TestManifests:
+    def test_paths_derive_from_store_stem(self, tmp_path):
+        store_path = tmp_path / "run7.jsonl"
+        assert manifest_path_for(store_path) == tmp_path / "run7.manifest.json"
+        assert failures_path_for(store_path) == tmp_path / "run7.failures.json"
+
+    def test_campaign_manifest_round_trip(self, tmp_path, config):
+        jobs = [Job("470.lbm"),
+                Job("470.lbm", mode="pinte", p_induce=0.5)]
+        path = write_campaign_manifest(
+            tmp_path / "results.jsonl", jobs, config, TINY,
+            machine_preset="scaled", retry={"max_attempts": 3},
+            timeout_seconds=60.0, shard=(1, 4), processes=2)
+        document = load_campaign_manifest(path)
+        assert document["format"] == MANIFEST_FORMAT
+        assert document["jobs"] == jobs  # deserialised back into Job objects
+        assert document["scale"] == TINY
+        assert document["shard"] == [1, 4]
+        assert document["timeout_seconds"] == 60.0
+
+    def test_campaign_manifest_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "x.manifest.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError, match="not a pinte-campaign-manifest"):
+            load_campaign_manifest(path)
+
+    def test_failure_manifest_always_written(self, tmp_path):
+        path = write_failure_manifest(tmp_path / "results.jsonl", [])
+        document = json.loads(path.read_text())
+        assert document["format"] == FAILURES_FORMAT
+        assert document["count"] == 0 and document["failures"] == []

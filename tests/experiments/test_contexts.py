@@ -43,3 +43,30 @@ class TestBuildOptions:
                                 p_values=(0.5,), include_pairs=False)
         assert bundle.pairs == {}
         assert bundle.pair_results("435.gromacs") == []
+
+    def test_parallel_bundle_matches_serial(self, config, tiny_scale):
+        """Campaign-engine fan-out must be bit-identical to the serial
+        path (pair jobs pin the serial runners' trace seeds)."""
+        from repro.sim.serialize import result_to_dict
+
+        names = ["435.gromacs", "470.lbm"]
+        serial = build_contexts(names, config, tiny_scale, p_values=(0.5,),
+                                panel_size=1)
+        parallel = build_contexts(names, config, tiny_scale, p_values=(0.5,),
+                                  panel_size=1, processes=2)
+
+        def comparable(result):
+            record = result_to_dict(result)
+            record.pop("wall_time_seconds", None)
+            record["extra"] = {k: v for k, v in record["extra"].items()
+                               if not k.endswith("_seconds")}
+            return record
+
+        for name in names:
+            assert (comparable(serial.isolation[name])
+                    == comparable(parallel.isolation[name]))
+            assert (comparable(serial.pinte[name][0.5])
+                    == comparable(parallel.pinte[name][0.5]))
+            for a, b in zip(serial.pair_results(name),
+                            parallel.pair_results(name)):
+                assert comparable(a) == comparable(b)

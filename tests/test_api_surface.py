@@ -35,6 +35,7 @@ SUBPACKAGES = [
     "repro.cache",
     "repro.cache.partition",
     "repro.cache.replacement",
+    "repro.campaign",
     "repro.core",
     "repro.cpu",
     "repro.dram",

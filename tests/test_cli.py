@@ -251,6 +251,82 @@ class TestBench:
         assert "speedup vs seed: simulate" in out
 
 
+class TestCampaignCommands:
+    ARGS = ["--instructions", "2000", "--warmup", "500"]
+
+    def _store(self, tmp_path):
+        return str(tmp_path / "results.jsonl")
+
+    def test_run_writes_store_and_manifests(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "453.povray",
+                     "--p-induce", "0.5", "--processes", "1"]
+                    + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "campaign summary" in out
+        assert "executed" in out
+        assert (tmp_path / "results.jsonl").exists()
+        assert (tmp_path / "results.manifest.json").exists()
+        assert (tmp_path / "results.failures.json").exists()
+        manifest = json.loads((tmp_path / "results.manifest.json").read_text())
+        assert len(manifest["jobs"]) == 4  # 2 isolation + 2 pinte
+
+    def test_injected_failure_reported_not_fatal(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs",
+                     "--inject", "raise", "--retries", "2",
+                     "--backoff", "0.01", "--processes", "1"]
+                    + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "retrying" in out
+        assert "FAILED" in out and "InjectedFault" in out
+
+    def test_strict_exit_code_on_failure(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs",
+                     "--inject", "raise", "--retries", "1",
+                     "--strict", "--processes", "1"] + self.ARGS) == 1
+
+    def test_status_and_resume_flow(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        # Shard 0/2 first — the campaign is deliberately left incomplete.
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "453.povray",
+                     "--p-induce", "0.5", "--shard", "0/2",
+                     "--processes", "1"] + self.ARGS) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "campaign jobs" in out and "pending" in out
+        assert "0/2" in out
+
+        assert main(["campaign", "resume", store, "--processes", "1"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", store]) == 0
+        out = capsys.readouterr().out
+        contents_done = [line for line in out.splitlines()
+                         if "completed" in line]
+        assert contents_done and "4" in contents_done[0]
+        assert any("pending" in line and "0" in line
+                   for line in out.splitlines())
+
+    def test_resume_without_manifest_fails(self, tmp_path):
+        store = tmp_path / "results.jsonl"
+        store.write_text("")
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["campaign", "resume", str(store)])
+
+    def test_status_missing_manifest_still_reports(self, tmp_path, capsys):
+        store = tmp_path / "orphan.jsonl"
+        store.write_text("")
+        assert main(["campaign", "status", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "missing" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

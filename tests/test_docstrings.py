@@ -1,0 +1,15 @@
+"""The docstring lint (scripts/check_docstrings.py) must stay clean."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_public_surface_fully_documented():
+    """Every module and public module-level def/class has a docstring."""
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docstrings.py")],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, f"\n{proc.stdout}{proc.stderr}"
