@@ -1,0 +1,51 @@
+"""Trace-tier throughput benchmark: columnar vs object-list paths.
+
+The columnar trace refactor targets >=2x on trace generation
+(``build_packed`` vs materialising ``generate_records``) and >=3x on
+trace load (``PNTR2`` column blocks vs the legacy per-record ``PNTR1``
+decode). Both baselines are still live code, so each run measures them
+directly; results append to ``benchmarks/reports/BENCH_trace.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.trace import run_trace_bench, write_record
+
+#: ISSUE acceptance targets (columnar vs object-list, same run).
+GENERATE_TARGET = 2.0
+LOAD_TARGET = 3.0
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    """One measured run shared by every assertion; best-of-5 for stability."""
+    return run_trace_bench(repeats=5)
+
+
+def test_record_run(bench_result, write_report):
+    """Append the measurement to the bench file and echo the speedups."""
+    document = write_record(bench_result)
+    lines = ["trace tier throughput (records / sec):"]
+    for metric, value in sorted(vars(bench_result).items()):
+        if isinstance(value, float):
+            lines.append(f"  {metric:40s} {value:12.0f}")
+    lines.append("speedup columnar vs object-list:")
+    for metric, ratio in sorted(
+            document["speedup_columnar_vs_objects"].items()):
+        lines.append(f"  {metric:40s} {ratio:10.3f}x")
+    write_report("BENCH_trace_summary", "\n".join(lines))
+
+
+def test_generation_speedup(bench_result):
+    speedup = bench_result.speedups()["generate"]
+    assert speedup >= GENERATE_TARGET, (
+        f"build_packed {speedup:.2f}x vs object generation, "
+        f"target {GENERATE_TARGET}x")
+
+
+def test_load_speedup(bench_result):
+    speedup = bench_result.speedups()["load"]
+    assert speedup >= LOAD_TARGET, (
+        f"PNTR2 load {speedup:.2f}x vs PNTR1, target {LOAD_TARGET}x")

@@ -7,11 +7,14 @@ from repro.bench.datapath import (
     run_datapath_bench,
     write_record,
 )
+from repro.bench.trace import TraceBenchResult, run_trace_bench
 
 __all__ = [
     "BENCH_FILE",
     "DatapathBenchResult",
+    "TraceBenchResult",
     "load_baseline",
     "run_datapath_bench",
+    "run_trace_bench",
     "write_record",
 ]

@@ -1,0 +1,140 @@
+"""Trace-tier throughput benchmark: columnar vs object-list paths.
+
+The columnar refactor targets two hot paths outside the simulators:
+
+* **generation** — :func:`repro.trace.synthetic.build_packed` (streaming
+  straight into columns) vs materialising the record-object stream from
+  :func:`repro.trace.synthetic.generate_records` (the pre-refactor path,
+  still live as the reference implementation);
+* **load** — bulk ``PNTR2`` column-block reads vs the legacy per-record
+  ``PNTR1`` decode. Both formats remain writable/readable, so the
+  baseline is measured live rather than against a committed snapshot.
+
+``benchmarks/test_perf_trace.py`` asserts the ISSUE acceptance ratios
+(>=2x generation, >=3x load) and appends each run to
+``benchmarks/reports/BENCH_trace.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.config import scaled_config
+from repro.trace import build_packed, generate_records, get_workload
+from repro.trace.io import read_trace, write_trace
+
+#: Canonical record of trace-tier throughput, appended to per run.
+BENCH_FILE = (Path(__file__).resolve().parents[3]
+              / "benchmarks" / "reports" / "BENCH_trace.json")
+
+BENCH_WORKLOAD = "470.lbm"
+BENCH_SEED = 3
+TRACE_LENGTH = 400_000
+
+
+@dataclass
+class TraceBenchResult:
+    """Records/sec through each path (higher is better)."""
+
+    generate_objects_records_per_sec: float
+    generate_packed_records_per_sec: float
+    load_v1_records_per_sec: float
+    load_v2_records_per_sec: float
+    trace_length: int
+    repeats: int
+    python: str = ""
+
+    def speedups(self) -> dict:
+        """Columnar-over-object ratios for the two measured paths."""
+        return {
+            "generate": (self.generate_packed_records_per_sec
+                         / self.generate_objects_records_per_sec),
+            "load": (self.load_v2_records_per_sec
+                     / self.load_v1_records_per_sec),
+        }
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best (max) throughput over ``repeats`` runs — min-noise estimator."""
+    return max(fn() for _ in range(repeats))
+
+
+def run_trace_bench(repeats: int = 3, scale: float = 1.0) -> TraceBenchResult:
+    """Time generation and load through both paths on a pinned workload.
+
+    ``scale`` shrinks the trace (quick CI smoke mode uses a fraction).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    config = scaled_config()
+    length = max(10_000, int(TRACE_LENGTH * scale))
+    workload = get_workload(BENCH_WORKLOAD)
+    llc = config.llc.size
+
+    def generate_objects() -> float:
+        start = time.perf_counter()
+        records = list(generate_records(workload, length, BENCH_SEED, llc))
+        elapsed = time.perf_counter() - start
+        assert len(records) == length
+        return length / elapsed
+
+    def generate_packed() -> float:
+        start = time.perf_counter()
+        packed = build_packed(workload, length, BENCH_SEED, llc)
+        elapsed = time.perf_counter() - start
+        assert len(packed) == length
+        return length / elapsed
+
+    packed = build_packed(workload, length, BENCH_SEED, llc)
+    with tempfile.TemporaryDirectory(prefix="bench-trace-") as tmp:
+        v1 = Path(tmp) / "v1.trace.gz"
+        v2 = Path(tmp) / "v2.trace.gz"
+        write_trace(packed, v1, version=1)
+        write_trace(packed, v2, version=2)
+
+        def load(path: Path) -> float:
+            start = time.perf_counter()
+            trace = read_trace(path)
+            elapsed = time.perf_counter() - start
+            assert len(trace) == length
+            return length / elapsed
+
+        return TraceBenchResult(
+            generate_objects_records_per_sec=_best_of(repeats,
+                                                      generate_objects),
+            generate_packed_records_per_sec=_best_of(repeats,
+                                                     generate_packed),
+            load_v1_records_per_sec=_best_of(repeats, lambda: load(v1)),
+            load_v2_records_per_sec=_best_of(repeats, lambda: load(v2)),
+            trace_length=length,
+            repeats=repeats,
+            python=platform.python_version(),
+        )
+
+
+def write_record(result: TraceBenchResult,
+                 path: Optional[Path] = None) -> dict:
+    """Record a run in the bench file; returns the updated document.
+
+    Runs land in ``runs`` (an append-only trajectory); ``current`` and
+    ``speedup_columnar_vs_objects`` always reflect the latest run.
+    """
+    if path is None:
+        path = BENCH_FILE
+    document = json.loads(path.read_text()) if path.exists() else {}
+    entry = asdict(result)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["current"] = entry
+    document.setdefault("runs", []).append(entry)
+    document["speedup_columnar_vs_objects"] = {
+        metric: round(value, 3) for metric, value in result.speedups().items()
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return document

@@ -143,17 +143,21 @@ class CampaignReport:
 
 
 def execute_job(job: Job, config: MachineConfig, scale: ExperimentScale,
-                attempt: int = 1) -> SimulationResult:
+                attempt: int = 1, trace_store=None) -> SimulationResult:
     """Run one job, honouring ``__fault:`` injection names.
 
     This is the single entry point both the inline path and the worker
     subprocesses call, so fault behaviour is identical in either mode.
+    ``trace_store`` (a :class:`~repro.trace.store.TraceStore` or directory
+    path) is forwarded to :func:`repro.sim.batch.run_job` so workers serve
+    traces from the shared on-disk cache.
     """
     fault = parse_fault(job.workload)
     if fault is None:
-        return run_job(job, config, scale)
+        return run_job(job, config, scale, trace_store=trace_store)
     real_workload = fault.apply(attempt)  # may raise / hang / kill us
-    return run_job(replace(job, workload=real_workload), config, scale)
+    return run_job(replace(job, workload=real_workload), config, scale,
+                   trace_store=trace_store)
 
 
 def _job_label(job: Job) -> str:
@@ -187,10 +191,12 @@ class _Running:
 
 
 def _worker_main(conn, job: Job, config: MachineConfig,
-                 scale: ExperimentScale, attempt: int) -> None:
+                 scale: ExperimentScale, attempt: int,
+                 trace_store=None) -> None:
     """Subprocess entry point: run one job, report over the pipe."""
     try:
-        result = execute_job(job, config, scale, attempt)
+        result = execute_job(job, config, scale, attempt,
+                             trace_store=trace_store)
         conn.send(("ok", result))
     except BaseException as exc:  # full capture is the point
         conn.send(("err", type(exc).__name__, str(exc),
@@ -270,7 +276,7 @@ class _CampaignRun:
     def __init__(self, config: MachineConfig, scale: ExperimentScale,
                  retry: RetryPolicy, timeout: Optional[float],
                  store: Optional[ResultStore], progress: _Progress,
-                 profiler) -> None:
+                 profiler, trace_store=None) -> None:
         self.config = config
         self.scale = scale
         self.retry = retry
@@ -278,6 +284,7 @@ class _CampaignRun:
         self.store = store
         self.progress = progress
         self.profiler = profiler
+        self.trace_store = trace_store
         self.results_by_id: Dict[str, SimulationResult] = {}
         self.failures: List[JobFailure] = []
 
@@ -285,6 +292,17 @@ class _CampaignRun:
     def _record_success(self, item: _Pending, result: SimulationResult,
                         wall: float) -> None:
         self.results_by_id[item.jid] = result
+        # Workers have their own registries; the trace-cache tallies come
+        # home through ``result.extra`` and are absorbed here so the
+        # campaign-level registry sees hits/misses across all processes.
+        registry = self.progress.registry
+        if registry is not None:
+            hits = int(result.extra.get("trace_cache_hits", 0))
+            if hits:
+                registry.count("trace.cache.hit", hits)
+            misses = int(result.extra.get("trace_cache_misses", 0))
+            if misses:
+                registry.count("trace.cache.miss", misses)
         if self.store is not None:
             self.store.append_result(item.jid, item.job, result,
                                      attempts=item.attempt,
@@ -317,7 +335,8 @@ class _CampaignRun:
                 start = time.perf_counter()
                 try:
                     result = execute_job(item.job, self.config, self.scale,
-                                         item.attempt)
+                                         item.attempt,
+                                         trace_store=self.trace_store)
                 except Exception as exc:  # KeyboardInterrupt passes through
                     retry_item = self._attempt_failed(
                         item, "error", type(exc).__name__, str(exc),
@@ -343,7 +362,8 @@ class _CampaignRun:
         recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
         proc = multiprocessing.Process(
             target=_worker_main,
-            args=(send_conn, item.job, self.config, self.scale, item.attempt),
+            args=(send_conn, item.job, self.config, self.scale, item.attempt,
+                  self.trace_store),
             daemon=True)
         proc.start()
         send_conn.close()
@@ -460,6 +480,7 @@ def run_campaign(
     observe=None,
     progress: Optional[ProgressCallback] = None,
     raise_on_failure: bool = False,
+    trace_store: Optional[Union[str, Path]] = None,
 ) -> CampaignReport:
     """Run a campaign to completion, whatever the workers do.
 
@@ -471,6 +492,13 @@ def run_campaign(
 
     ``shard=(i, n)`` restricts this invocation to a deterministic,
     disjoint 1/n-th of the campaign (see :func:`repro.campaign.ids.shard_jobs`).
+
+    ``trace_store`` (a directory path or
+    :class:`~repro.trace.store.TraceStore`) makes every worker consult the
+    shared on-disk trace cache before generating, so a sharded campaign
+    builds each trace once per machine. Per-job hit/miss tallies travel
+    home in ``result.extra`` and are absorbed into the observation
+    registry as ``trace.cache.hit`` / ``trace.cache.miss``.
 
     ``observe`` (a :class:`repro.obs.Observation`) receives campaign
     counters/gauges in its registry and per-job/batch spans in its
@@ -530,7 +558,8 @@ def run_campaign(
                                workers=workers, callback=progress,
                                registry=registry)
     runner = _CampaignRun(config, scale, retry, timeout_seconds,
-                          result_store, progress_state, profiler)
+                          result_store, progress_state, profiler,
+                          trace_store=trace_store)
     runner.results_by_id.update(resumed)
     if pending:
         if inline:

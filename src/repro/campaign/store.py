@@ -229,6 +229,7 @@ def write_campaign_manifest(
     timeout_seconds: Optional[float] = None,
     shard: Optional[tuple] = None,
     processes: Optional[int] = None,
+    trace_cache: Optional[str] = None,
 ) -> Path:
     """Write ``<store>.manifest.json`` describing the whole campaign."""
     path = manifest_path_for(store_path)
@@ -243,6 +244,7 @@ def write_campaign_manifest(
         "timeout_seconds": timeout_seconds,
         "shard": list(shard) if shard else None,
         "processes": processes,
+        "trace_cache": trace_cache,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")

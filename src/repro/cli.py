@@ -11,8 +11,12 @@ Commands:
   ``i/n`` sharding, failure manifests (see docs/CAMPAIGNS.md).
 * ``obs`` — inspect a JSONL event log (kind summary, hottest sets, heatmap).
 * ``sweep`` — PInTE sensitivity sweep + classification for workloads.
-* ``trace`` — generate a trace file for external tooling.
-* ``bench`` — data-path throughput microbenchmark vs the seed baseline.
+* ``trace build|info|cache`` — generate trace files for external tooling,
+  inspect them, and manage the shared on-disk trace store
+  (``cache prime|ls|clear``).
+* ``bench`` — hot-path throughput microbenchmarks (``--suite datapath``
+  vs the committed seed baseline; ``--suite trace`` columnar vs
+  object-list trace generation/load).
 
 Every command prints plain text and returns a process exit code, so the CLI
 is scriptable; all functions are also unit-testable by calling
@@ -357,6 +361,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         include_standalone=args.full,
         output_dir=Path(args.output) if args.output else None,
         processes=args.processes,
+        trace_store=args.trace_cache,
     )
     for artifact in sorted(reports):
         print(f"\n{'=' * 72}\n[{artifact}]\n{reports[artifact]}")
@@ -365,8 +370,42 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_trace(args: argparse.Namespace) -> int:
+    """``repro bench --suite trace`` — trace generation/load throughput."""
+    import json
+
+    from repro.bench.trace import run_trace_bench, write_record
+
+    result = run_trace_bench(repeats=args.repeats, scale=args.scale)
+    rows = [
+        ("generate, object list (records/s)",
+         f"{result.generate_objects_records_per_sec:,.0f}"),
+        ("generate, columnar (records/s)",
+         f"{result.generate_packed_records_per_sec:,.0f}"),
+        ("load PNTR1 (records/s)", f"{result.load_v1_records_per_sec:,.0f}"),
+        ("load PNTR2 (records/s)", f"{result.load_v2_records_per_sec:,.0f}"),
+    ]
+    rows.extend(
+        (f"speedup columnar: {metric}", f"{ratio:.3f}x")
+        for metric, ratio in sorted(result.speedups().items())
+    )
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"trace-tier microbenchmark (best of {result.repeats}, "
+              f"scale {args.scale:g})",
+    ))
+    if args.no_record:
+        print(json.dumps(
+            {k: v for k, v in vars(result).items()}, indent=1, sort_keys=True))
+    else:
+        document = write_record(result)
+        print(f"appended run #{len(document['runs'])} to "
+              "benchmarks/reports/BENCH_trace.json")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``repro bench`` — data-path throughput vs the committed baseline."""
+    """``repro bench`` — hot-path throughput microbenchmarks."""
     import json
 
     from repro.bench.datapath import (
@@ -377,6 +416,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.repeats < 1:
         raise SystemExit("bench: --repeats must be >= 1")
+    if args.suite == "trace":
+        return _bench_trace(args)
     result = run_datapath_bench(repeats=args.repeats, scale=args.scale)
     rows = [
         ("fastcache (records/s)", f"{result.fastcache_records_per_sec:,.0f}"),
@@ -486,12 +527,14 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         manifest = write_campaign_manifest(
             args.store, jobs, config, scale, machine_preset=args.machine,
             retry=retry.to_dict(), timeout_seconds=args.timeout,
-            shard=shard, processes=args.processes)
+            shard=shard, processes=args.processes,
+            trace_cache=args.trace_cache)
         print(f"wrote campaign manifest to {manifest}")
     report = run_campaign(jobs, config, scale, processes=args.processes,
                           retry=retry, timeout_seconds=args.timeout,
                           store=args.store, resume=args.resume, shard=shard,
-                          progress=_campaign_progress)
+                          progress=_campaign_progress,
+                          trace_store=args.trace_cache)
     _campaign_summary(report)
     return 1 if args.strict and report.failures else 0
 
@@ -527,8 +570,24 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         if manifest.get("shard"):
             index, count = manifest["shard"]
             rows.append(("last run shard", f"{index}/{count}"))
+        if manifest.get("trace_cache"):
+            rows.append(("trace cache", manifest["trace_cache"]))
     else:
         rows.append(("manifest", f"missing ({manifest_path})"))
+    # Trace-build cost: summed from the stored results' extras, which is
+    # how worker-process tallies come home (each worker has its own
+    # in-memory registry).
+    cache_hits = cache_misses = 0
+    gen_seconds = 0.0
+    for record in contents.results.values():
+        extra = record["result"].get("extra") or {}
+        cache_hits += int(extra.get("trace_cache_hits", 0))
+        cache_misses += int(extra.get("trace_cache_misses", 0))
+        gen_seconds += float(extra.get("phase_trace_gen_seconds", 0.0))
+    if cache_hits or cache_misses:
+        rows.append(("trace cache hits", cache_hits))
+        rows.append(("trace generations (cache misses)", cache_misses))
+        rows.append(("trace build time", f"{gen_seconds:.2f}s"))
     print(format_table(["Campaign", "Value"], rows,
                        title=f"status of {args.store}"))
     for jid in sorted(contents.failures):
@@ -570,23 +629,89 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
     timeout = (args.timeout if args.timeout is not None
                else manifest.get("timeout_seconds"))
     shard = parse_shard(args.shard) if args.shard else None
+    trace_cache = (args.trace_cache if args.trace_cache is not None
+                   else manifest.get("trace_cache"))
     report = run_campaign(manifest["jobs"], config, scale,
                           processes=args.processes,
                           retry=RetryPolicy(**retry_fields),
                           timeout_seconds=timeout, store=args.store,
                           resume=True, shard=shard,
-                          progress=_campaign_progress)
+                          progress=_campaign_progress,
+                          trace_store=trace_cache)
     _campaign_summary(report)
     return 1 if args.strict and report.failures else 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    """``repro trace`` — export one synthetic trace to a file."""
+def cmd_trace_build(args: argparse.Namespace) -> int:
+    """``repro trace build`` — export one synthetic trace to a file."""
     config = _machine(args.machine)
     workload = get_workload(args.workload)
     trace = build_trace(workload, args.length, args.seed, config.llc.size)
-    count = write_trace(trace, args.output)
-    print(f"wrote {count} records for {args.workload} to {args.output}")
+    count = write_trace(trace, args.output, version=args.format)
+    print(f"wrote {count} records for {args.workload} to {args.output} "
+          f"(PNTR{args.format})")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    """``repro trace info`` — summarise a trace file's contents."""
+    import gzip
+
+    from repro.trace import read_trace
+    from repro.trace.packed import (
+        FLAG_BRANCH,
+        FLAG_HAS_LOAD,
+        FLAG_HAS_STORE,
+        as_packed,
+    )
+
+    path = Path(args.path)
+    with gzip.open(path, "rb") as handle:
+        magic = handle.read(6)
+    packed = as_packed(read_trace(path))
+    flags = packed.flags
+    rows = [
+        ("file", path),
+        ("format", magic.strip().decode("ascii", "replace")),
+        ("name", packed.name),
+        ("records", len(packed)),
+        ("size on disk", f"{path.stat().st_size:,} bytes"),
+        ("loads", sum(1 for f in flags if f & FLAG_HAS_LOAD)),
+        ("stores", sum(1 for f in flags if f & FLAG_HAS_STORE)),
+        ("branches", sum(1 for f in flags if f & FLAG_BRANCH)),
+    ]
+    print(format_table(["Trace", "Value"], rows, title=f"trace {path.name}"))
+    return 0
+
+
+def cmd_trace_cache(args: argparse.Namespace) -> int:
+    """``repro trace cache prime|ls|clear`` — manage the shared store."""
+    from repro.trace.store import TraceStore
+
+    store = TraceStore(args.dir)
+    if args.cache_command == "prime":
+        config = _machine(args.machine)
+        length = args.length
+        generated, reused = store.prime(args.workloads, config.llc.size,
+                                        length, args.seed)
+        print(f"primed {store.root}: {generated} generated, "
+              f"{reused} already cached "
+              f"(llc={config.llc.size}, length={length}, seed={args.seed})")
+        return 0
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"trace store {store.root} is empty")
+            return 0
+        rows = [(entry.path.name,
+                 f"{entry.name}  {entry.records:,} records  "
+                 f"{entry.size_bytes:,} bytes")
+                for entry in entries]
+        print(format_table(["File", "Contents"], rows,
+                           title=f"trace store {store.root}"))
+        return 0
+    removed = store.clear()  # cache_command == "clear"
+    print(f"removed {removed} trace file(s) from {store.root}")
     return 0
 
 
@@ -667,6 +792,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "hang, flaky:2+470.lbm (testing/CI)")
     c_run.add_argument("--strict", action="store_true",
                        help="exit 1 if any job failed permanently")
+    c_run.add_argument("--trace-cache", default=None, metavar="PATH",
+                       help="shared on-disk trace store directory: workers "
+                            "load traces from it instead of regenerating "
+                            "(prime with `repro trace cache prime`)")
     _add_common(c_run)
     c_run.set_defaults(func=cmd_campaign_run)
 
@@ -687,6 +816,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "campaign)")
     c_resume.add_argument("--strict", action="store_true",
                           help="exit 1 if any job failed permanently")
+    c_resume.add_argument("--trace-cache", default=None, metavar="PATH",
+                          help="trace store directory (default: the one "
+                               "recorded in the campaign manifest)")
     c_resume.set_defaults(func=cmd_campaign_resume)
 
     p_obs = sub.add_parser("obs", help="inspect a JSONL event log")
@@ -743,29 +875,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("--processes", type=int, default=None,
                          help="fan the context campaign out over N worker "
                               "processes (identical results)")
+    p_repro.add_argument("--trace-cache", default=None, metavar="PATH",
+                         help="shared on-disk trace store directory")
     _add_common(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
 
     p_bench = sub.add_parser("bench",
-                             help="data-path throughput microbenchmark")
+                             help="hot-path throughput microbenchmarks")
+    p_bench.add_argument("--suite", choices=("datapath", "trace"),
+                         default="datapath",
+                         help="which microbenchmark to run (default: datapath)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="best-of-N timing runs (default: 3)")
     p_bench.add_argument("--scale", type=float, default=1.0,
                          help="workload scale factor (default: 1.0)")
     p_bench.add_argument("--no-record", action="store_true",
                          help="print the JSON record instead of appending it "
-                              "to benchmarks/reports/BENCH_datapath.json")
+                              "to the benchmarks/reports/ bench file")
     p_bench.set_defaults(func=cmd_bench)
 
-    p_trace = sub.add_parser("trace", help="generate a trace file")
-    p_trace.add_argument("workload", help="benchmark name")
-    p_trace.add_argument("output", help="output path (.trace.gz)")
-    p_trace.add_argument("--length", type=int, default=100_000,
+    p_trace = sub.add_parser(
+        "trace", help="trace files and the shared on-disk trace store")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_build = trace_sub.add_parser("build", help="generate a trace file")
+    t_build.add_argument("workload", help="benchmark name")
+    t_build.add_argument("output", help="output path (.trace.gz)")
+    t_build.add_argument("--length", type=int, default=100_000,
                          help="instructions to generate (default: 100000)")
-    p_trace.add_argument("--machine", default="scaled",
+    t_build.add_argument("--machine", default="scaled",
                          choices=sorted(CONFIGS))
-    p_trace.add_argument("--seed", type=int, default=1)
-    p_trace.set_defaults(func=cmd_trace)
+    t_build.add_argument("--seed", type=int, default=1)
+    t_build.add_argument("--format", type=int, default=2, choices=(1, 2),
+                         help="on-disk format: 2=columnar PNTR2 (default), "
+                              "1=legacy PNTR1")
+    t_build.set_defaults(func=cmd_trace_build)
+
+    t_info = trace_sub.add_parser("info", help="summarise a trace file")
+    t_info.add_argument("path", help="trace file (.trace.gz, any version)")
+    t_info.set_defaults(func=cmd_trace_info)
+
+    t_cache = trace_sub.add_parser(
+        "cache", help="manage the shared on-disk trace store")
+    cache_sub = t_cache.add_subparsers(dest="cache_command", required=True)
+    tc_prime = cache_sub.add_parser(
+        "prime", help="pre-build traces into the store")
+    tc_prime.add_argument("--dir", required=True, metavar="PATH",
+                          help="trace store directory")
+    tc_prime.add_argument("--workloads", nargs="+", required=True,
+                          help="benchmark names to prime")
+    tc_prime.add_argument("--length", type=int, default=50_000,
+                          help="trace length in instructions "
+                               "(default: 50000 = campaign default "
+                               "warmup+instructions)")
+    tc_prime.add_argument("--machine", default="scaled",
+                          choices=sorted(CONFIGS))
+    tc_prime.add_argument("--seed", type=int, default=1)
+    tc_prime.set_defaults(func=cmd_trace_cache)
+    tc_ls = cache_sub.add_parser("ls", help="list cached traces")
+    tc_ls.add_argument("--dir", required=True, metavar="PATH")
+    tc_ls.set_defaults(func=cmd_trace_cache)
+    tc_clear = cache_sub.add_parser("clear", help="delete cached traces")
+    tc_clear.add_argument("--dir", required=True, metavar="PATH")
+    tc_clear.set_defaults(func=cmd_trace_cache)
 
     return parser
 

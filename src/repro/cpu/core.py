@@ -14,6 +14,13 @@ from __future__ import annotations
 from repro.branch import make_predictor
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.config import CoreConfig
+from repro.trace.packed import (
+    FLAG_BRANCH,
+    FLAG_DEPENDENT,
+    FLAG_HAS_LOAD,
+    FLAG_HAS_STORE,
+    FLAG_TAKEN,
+)
 from repro.trace.record import TraceRecord
 
 #: Stores retire through a write buffer; their latency is overlapped far more
@@ -150,3 +157,165 @@ class Core:
         if whole:
             self.cycle += whole
             self._cycle_accumulator -= whole
+
+    def execute_cols(self, pc: int, load_addr: int, store_addr: int,
+                     flags: int) -> None:
+        """Retire one instruction given trace column values (no record).
+
+        ``load_addr``/``store_addr`` are meaningful only when the matching
+        ``FLAG_HAS_LOAD``/``FLAG_HAS_STORE`` bit is set in ``flags``; the
+        arithmetic is identical to :meth:`execute`, so the two paths
+        produce bit-identical timing for the same stream.
+        """
+        stats = self.stats
+        cost = self._issue_cost
+        stats.base_cycles += cost
+        hierarchy = self.hierarchy
+        l1_latency = self._l1d_latency
+
+        fetch_block = pc >> 6
+        if fetch_block != self._last_fetch_block:
+            self._last_fetch_block = fetch_block
+            fetch_latency = hierarchy.fetch(pc, self.cycle)
+            if fetch_latency > self._l1i_latency:
+                stall = fetch_latency - self._l1i_latency
+                cost += stall
+                stats.fetch_stall_cycles += stall
+
+        if flags & FLAG_HAS_LOAD:
+            latency = hierarchy.load(pc, load_addr, self.cycle)
+            stats.loads += 1
+            stats.mem_accesses += 1
+            stats.mem_access_cycles += latency
+            beyond_l1 = latency - l1_latency
+            if beyond_l1 > 0:
+                if flags & FLAG_DEPENDENT:
+                    stall = beyond_l1  # serialised: a true pointer chase
+                else:
+                    stall = beyond_l1 / self._mlp
+                cost += stall
+                stats.load_stall_cycles += stall
+        if flags & FLAG_HAS_STORE:
+            latency = hierarchy.store(pc, store_addr, self.cycle)
+            stats.stores += 1
+            stats.mem_accesses += 1
+            stats.mem_access_cycles += latency
+            beyond_l1 = latency - l1_latency
+            if beyond_l1 > 0:
+                stall = beyond_l1 / STORE_OVERLAP
+                cost += stall
+                stats.store_stall_cycles += stall
+        if flags & FLAG_BRANCH:
+            stats.branches += 1
+            if not self.predictor.update(pc, bool(flags & FLAG_TAKEN)):
+                cost += self._mispredict_penalty
+                stats.branch_stall_cycles += self._mispredict_penalty
+
+        stats.instructions += 1
+        self._cycle_accumulator += cost
+        whole = int(self._cycle_accumulator)
+        if whole:
+            self.cycle += whole
+            self._cycle_accumulator -= whole
+
+    def execute_block(self, pcs, loads, stores, flags, start: int,
+                      count: int) -> None:
+        """Retire ``count`` consecutive instructions from trace columns.
+
+        The hot-loop fast path behind :func:`repro.sim.simulator.simulate`:
+        one call per block instead of one per instruction, with the core's
+        clock, fetch state and statistics held in locals for the duration
+        and flushed back at the block boundary. Only safe when nothing
+        outside the core needs a per-instruction view of ``self.cycle``
+        (no periodic PInTE / background-DRAM hooks, no event tracing) —
+        callers with such hooks must use :meth:`execute_cols` per
+        instruction. Bit-identical to ``count`` :meth:`execute_cols` calls.
+        """
+        stats = self.stats
+        hierarchy = self.hierarchy
+        fetch = hierarchy.fetch
+        load = hierarchy.load
+        store = hierarchy.store
+        predictor_update = self.predictor.update
+        issue_cost = self._issue_cost
+        l1i_latency = self._l1i_latency
+        l1d_latency = self._l1d_latency
+        mlp = self._mlp
+        mispredict_penalty = self._mispredict_penalty
+        last_fetch_block = self._last_fetch_block
+        cycle = self.cycle
+        accumulator = self._cycle_accumulator
+        instructions = stats.instructions
+        n_loads = stats.loads
+        n_stores = stats.stores
+        n_branches = stats.branches
+        mem_access_cycles = stats.mem_access_cycles
+        mem_accesses = stats.mem_accesses
+        base_cycles = stats.base_cycles
+        fetch_stall_cycles = stats.fetch_stall_cycles
+        load_stall_cycles = stats.load_stall_cycles
+        store_stall_cycles = stats.store_stall_cycles
+        branch_stall_cycles = stats.branch_stall_cycles
+
+        for index in range(start, start + count):
+            flag = flags[index]
+            pc = pcs[index]
+            cost = issue_cost
+            base_cycles += issue_cost
+            fetch_block = pc >> 6
+            if fetch_block != last_fetch_block:
+                last_fetch_block = fetch_block
+                fetch_latency = fetch(pc, cycle)
+                if fetch_latency > l1i_latency:
+                    stall = fetch_latency - l1i_latency
+                    cost += stall
+                    fetch_stall_cycles += stall
+            if flag & FLAG_HAS_LOAD:
+                latency = load(pc, loads[index], cycle)
+                n_loads += 1
+                mem_accesses += 1
+                mem_access_cycles += latency
+                beyond_l1 = latency - l1d_latency
+                if beyond_l1 > 0:
+                    if flag & FLAG_DEPENDENT:
+                        stall = beyond_l1
+                    else:
+                        stall = beyond_l1 / mlp
+                    cost += stall
+                    load_stall_cycles += stall
+            if flag & FLAG_HAS_STORE:
+                latency = store(pc, stores[index], cycle)
+                n_stores += 1
+                mem_accesses += 1
+                mem_access_cycles += latency
+                beyond_l1 = latency - l1d_latency
+                if beyond_l1 > 0:
+                    stall = beyond_l1 / STORE_OVERLAP
+                    cost += stall
+                    store_stall_cycles += stall
+            if flag & FLAG_BRANCH:
+                n_branches += 1
+                if not predictor_update(pc, bool(flag & FLAG_TAKEN)):
+                    cost += mispredict_penalty
+                    branch_stall_cycles += mispredict_penalty
+            instructions += 1
+            accumulator += cost
+            whole = int(accumulator)
+            if whole:
+                cycle += whole
+                accumulator -= whole
+
+        self._last_fetch_block = last_fetch_block
+        self.cycle = cycle
+        self._cycle_accumulator = accumulator
+        stats.instructions = instructions
+        stats.loads = n_loads
+        stats.stores = n_stores
+        stats.branches = n_branches
+        stats.mem_access_cycles = mem_access_cycles
+        stats.mem_accesses = mem_accesses
+        stats.base_cycles = base_cycles
+        stats.fetch_stall_cycles = fetch_stall_cycles
+        stats.load_stall_cycles = load_stall_cycles
+        stats.store_stall_cycles = store_stall_cycles
+        stats.branch_stall_cycles = branch_stall_cycles

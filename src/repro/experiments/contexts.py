@@ -65,6 +65,7 @@ def build_contexts(
     panel_size: int = DEFAULT_PANEL_SIZE,
     include_pairs: bool = True,
     processes: Optional[int] = None,
+    trace_store=None,
 ) -> ContextBundle:
     """Run isolation + PInTE sweep (+ 2nd-Trace panel) for every benchmark.
 
@@ -72,12 +73,19 @@ def build_contexts(
     :func:`repro.campaign.run_campaign` (worker processes, retries,
     failure isolation) and produces results identical to the serial path
     — the jobs pin the same trace seeds the serial runners use.
+
+    ``trace_store`` (a :class:`~repro.trace.store.TraceStore` or directory
+    path) serves traces from the shared on-disk cache on both paths.
     """
     names = list(names)
     if processes is not None and processes > 1:
         return _build_contexts_parallel(names, config, scale, p_values,
-                                        panel_size, include_pairs, processes)
-    library = TraceLibrary(config, scale)
+                                        panel_size, include_pairs, processes,
+                                        trace_store)
+    if trace_store is not None and not hasattr(trace_store, "get_or_build"):
+        from repro.trace.store import TraceStore
+        trace_store = TraceStore(trace_store)
+    library = TraceLibrary(config, scale, store=trace_store)
     isolation = run_isolation(names, config, scale, library=library)
     pinte = run_pinte_sweep(names, config, scale, p_values=p_values,
                             library=library)
@@ -106,6 +114,7 @@ def _build_contexts_parallel(
     panel_size: int,
     include_pairs: bool,
     processes: int,
+    trace_store=None,
 ) -> ContextBundle:
     """Campaign-engine fan-out behind :func:`build_contexts`.
 
@@ -126,7 +135,7 @@ def _build_contexts_parallel(
             jobs.extend(Job(name, mode="pair", co_runner=other,
                             co_seed=scale.seed) for other in panels[name])
     report = run_campaign(jobs, config, scale, processes=processes,
-                          raise_on_failure=True)
+                          raise_on_failure=True, trace_store=trace_store)
     by_position = dict(zip(jobs, report.results))
     isolation = {name: by_position[Job(name)] for name in names}
     pinte = {

@@ -47,18 +47,22 @@ def run_reproduction(
     include_standalone: bool = False,
     output_dir: Optional[Path] = None,
     processes: Optional[int] = None,
+    trace_store=None,
 ) -> Dict[str, str]:
     """Run the campaign and return ``{artifact: report text}``.
 
     With ``output_dir`` each report is also written to ``<artifact>.txt``.
     ``processes > 1`` fans the shared context bundle out through the
     campaign engine (:mod:`repro.campaign`); results are identical to the
-    serial path.
+    serial path. ``trace_store`` (a directory path or
+    :class:`~repro.trace.store.TraceStore`) serves traces from the shared
+    on-disk cache instead of regenerating them.
     """
     config = config or scaled_config()
     scale = scale or ExperimentScale()
     bundle = build_contexts(list(suite), config, scale, p_values=p_values,
-                            panel_size=panel_size, processes=processes)
+                            panel_size=panel_size, processes=processes,
+                            trace_store=trace_store)
     reports: Dict[str, str] = {
         "table1": table1.format_report(table1.run_table1(bundle)),
         "fig1": fig1.format_report(fig1.run_fig1(bundle)),

@@ -18,8 +18,9 @@ older callers) build on:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.config import MachineConfig
 from repro.core import PinteConfig
@@ -29,6 +30,7 @@ from repro.sim.results import SimulationResult
 from repro.sim.runner import ExperimentScale
 from repro.sim.simulator import simulate
 from repro.trace.spec_models import get_workload
+from repro.trace.store import TraceStore
 from repro.trace.synthetic import build_trace
 
 
@@ -56,28 +58,72 @@ class Job:
             raise ValueError("pair jobs need a co_runner")
 
 
-def run_job(job: Job, config: MachineConfig,
-            scale: ExperimentScale) -> SimulationResult:
-    """Execute one job (also the campaign worker entry point)."""
-    trace = build_trace(get_workload(job.workload), scale.trace_length,
-                        scale.seed, config.llc.size)
+def _coerce_store(
+        trace_store: "Optional[Union[TraceStore, str]]") -> Optional[TraceStore]:
+    """Accept a :class:`TraceStore`, a directory path, or ``None``."""
+    if trace_store is None or isinstance(trace_store, TraceStore):
+        return trace_store
+    return TraceStore(trace_store)
+
+
+def _job_trace(name: str, seed: int, config: MachineConfig,
+               scale: ExperimentScale, store: Optional[TraceStore]):
+    """One job input trace — from the shared store when available."""
+    if store is not None:
+        return store.get_or_build(name, config.llc.size, scale.trace_length,
+                                  seed)
+    return build_trace(get_workload(name), scale.trace_length, seed,
+                       config.llc.size)
+
+
+def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
+            trace_store: "Optional[Union[TraceStore, str]]" = None,
+            ) -> SimulationResult:
+    """Execute one job (also the campaign worker entry point).
+
+    ``trace_store`` — a :class:`~repro.trace.store.TraceStore` or a
+    directory path — serves input traces from the shared on-disk cache
+    instead of regenerating them in every worker. Whatever the source, the
+    result's ``extra`` carries ``trace_cache_hits`` /
+    ``trace_cache_misses`` and ``phase_trace_gen_seconds`` so the campaign
+    engine can aggregate trace-build cost across worker processes (each
+    worker has its own registry; ``extra`` is the only channel home).
+    """
+    store = _coerce_store(trace_store)
+    hits_before = store.hits if store is not None else 0
+    misses_before = store.misses if store is not None else 0
+    trace_start = time.perf_counter()
+    trace = _job_trace(job.workload, scale.seed, config, scale, store)
+    builds = 1
     if job.mode == "pair":
         co_seed = (job.co_seed if job.co_seed is not None
                    else scale.seed + 1)
-        adversary = build_trace(get_workload(job.co_runner),
-                                scale.trace_length, co_seed,
-                                config.llc.size)
-        return simulate_pair(trace, adversary, config,
-                             warmup_instructions=scale.warmup_instructions,
-                             sim_instructions=scale.sim_instructions,
-                             sample_interval=scale.sample_interval,
-                             seed=scale.seed)
-    pinte = (PinteConfig(job.p_induce, seed=scale.seed)
-             if job.mode == "pinte" else None)
-    return simulate(trace, config, pinte=pinte,
-                    warmup_instructions=scale.warmup_instructions,
-                    sim_instructions=scale.sim_instructions,
-                    sample_interval=scale.sample_interval, seed=scale.seed)
+        adversary = _job_trace(job.co_runner, co_seed, config, scale, store)
+        builds += 1
+        trace_seconds = time.perf_counter() - trace_start
+        result = simulate_pair(trace, adversary, config,
+                               warmup_instructions=scale.warmup_instructions,
+                               sim_instructions=scale.sim_instructions,
+                               sample_interval=scale.sample_interval,
+                               seed=scale.seed)
+    else:
+        trace_seconds = time.perf_counter() - trace_start
+        pinte = (PinteConfig(job.p_induce, seed=scale.seed)
+                 if job.mode == "pinte" else None)
+        result = simulate(trace, config, pinte=pinte,
+                          warmup_instructions=scale.warmup_instructions,
+                          sim_instructions=scale.sim_instructions,
+                          sample_interval=scale.sample_interval,
+                          seed=scale.seed)
+    result.extra["phase_trace_gen_seconds"] = trace_seconds
+    if store is not None:
+        result.extra["trace_cache_hits"] = float(store.hits - hits_before)
+        result.extra["trace_cache_misses"] = float(store.misses
+                                                   - misses_before)
+    else:
+        result.extra["trace_cache_hits"] = 0.0
+        result.extra["trace_cache_misses"] = float(builds)
+    return result
 
 
 def run_batch(jobs: Sequence[Job], config: MachineConfig,

@@ -20,7 +20,12 @@ from repro.cache.cache import Cache
 from repro.config import MachineConfig
 from repro.core import ContentionTracker, PInTE, PinteConfig
 from repro.obs import Observation, collect_host_metrics
-from repro.trace.record import Trace
+from repro.trace.packed import (
+    FLAG_HAS_LOAD,
+    FLAG_HAS_STORE,
+    FLAG_MEMORY,
+    as_packed,
+)
 
 
 @dataclass
@@ -56,7 +61,7 @@ class FastCacheResult:
 
 
 def simulate_cache_only(
-    trace: Trace,
+    trace,
     config: MachineConfig,
     pinte: Optional[PinteConfig] = None,
     warmup_accesses: int = 0,
@@ -71,8 +76,13 @@ def simulate_cache_only(
     ``warmup_accesses`` LLC accesses are replayed before statistics reset.
     ``observe`` works as in :func:`repro.sim.simulator.simulate`; this host
     has no core clock, so event timestamps count LLC accesses instead.
+    ``trace`` may be a :class:`~repro.trace.record.Trace`, a
+    :class:`~repro.trace.packed.PackedTrace`, or any record iterable.
     """
     from repro.sim.simulator import _observation_events
+
+    packed = as_packed(trace)
+    trace_name = getattr(trace, "name", "") or packed.name or "trace"
 
     owner = 0
     llc = Cache("LLC", config.llc.size, config.llc.assoc, config.block_size,
@@ -117,13 +127,20 @@ def simulate_cache_only(
     l2_fill = l2.fill if l2 is not None else None
     engine_tick = engine.on_llc_access if engine is not None else None
 
-    for record in trace.records:
-        address = record.load_addr
-        is_store = record.store_addr is not None
-        if address is None:
-            if not is_store:
-                continue
-            address = record.store_addr
+    # Columnar iteration: the flags byte alone decides whether an
+    # instruction touches memory, so non-memory instructions cost one
+    # bytearray read and a mask test — no record objects anywhere.
+    load_col = packed.loads
+    store_col = packed.stores
+    for index, flag in enumerate(packed.flags):
+        if not flag & FLAG_MEMORY:
+            continue
+        if flag & FLAG_HAS_LOAD:
+            address = load_col[index]
+            is_store = (flag & FLAG_HAS_STORE) != 0
+        else:  # store-only instruction
+            address = store_col[index]
+            is_store = True
         block = address & block_mask
         if l2_access is not None:
             if l2_access(block, is_store, owner):
@@ -163,7 +180,7 @@ def simulate_cache_only(
             observe.registry, llc=llc, tracker=tracker, engine=engine,
             events=events)
     return FastCacheResult(
-        trace_name=trace.name,
+        trace_name=trace_name,
         p_induce=pinte.p_induce if pinte else None,
         accesses=counters.llc_accesses,
         misses=counters.llc_misses,
@@ -175,7 +192,7 @@ def simulate_cache_only(
 
 
 def fast_contention_sweep(
-    trace: Trace,
+    trace,
     config: MachineConfig,
     p_values,
     warmup_accesses: int = 0,

@@ -34,6 +34,7 @@ from repro.sim.simulator import (
     _observation_events,
     _reset_stats,
 )
+from repro.trace.packed import PackedTrace, as_packed
 from repro.trace.record import Trace, TraceRecord
 
 #: Address-space offset applied per core so traces never share data
@@ -42,7 +43,11 @@ ADDRESS_SPACE_STRIDE = 1 << 44
 
 
 def _offset_trace(trace: Trace, core_id: int) -> List[TraceRecord]:
-    """Clone records into a per-core address space."""
+    """Clone records into a per-core address space (record-object view).
+
+    Legacy helper kept for record-level consumers; the simulation loop
+    itself uses :func:`_offset_packed`, which shifts whole columns.
+    """
     if core_id == 0:
         return trace.records
     offset = core_id * ADDRESS_SPACE_STRIDE
@@ -57,6 +62,11 @@ def _offset_trace(trace: Trace, core_id: int) -> List[TraceRecord]:
         )
         for record in trace.records
     ]
+
+
+def _offset_packed(trace, core_id: int) -> PackedTrace:
+    """Columns shifted into a per-core address space (zero-copy for core 0)."""
+    return as_packed(trace).offset(core_id * ADDRESS_SPACE_STRIDE)
 
 
 def simulate_multiprogrammed(
@@ -99,11 +109,13 @@ def simulate_multiprogrammed(
         for hierarchy in hierarchies:
             hierarchy.llc_access_hook = partitioner.on_llc_access
     cores = [Core(config.core, hierarchy) for hierarchy in hierarchies]
-    streams = [_offset_trace(trace, core_id)
+    streams = [_offset_packed(trace, core_id)
                for core_id, trace in enumerate(traces)]
     for trace, stream in zip(traces, streams):
-        if not stream:
+        if not len(stream):
             raise ValueError(f"trace {trace.name!r} is empty")
+    # Per-core column bindings for the scheduling loop.
+    columns = [(s.pcs, s.loads, s.stores, s.flags, len(s)) for s in streams]
 
     events = _observation_events(observe)
     if events is not None:
@@ -118,11 +130,12 @@ def simulate_multiprogrammed(
     indices = [0] * n_cores
 
     def step(core_id: int) -> None:
-        stream = streams[core_id]
-        cores[core_id].execute(stream[indices[core_id]])
-        indices[core_id] += 1
-        if indices[core_id] == len(stream):
-            indices[core_id] = 0
+        pcs, loads, stores, flags, n_records = columns[core_id]
+        index = indices[core_id]
+        cores[core_id].execute_cols(pcs[index], loads[index], stores[index],
+                                    flags[index])
+        index += 1
+        indices[core_id] = 0 if index == n_records else index
 
     def step_synchronised() -> int:
         """Advance the core whose clock is furthest behind; returns its id.

@@ -9,16 +9,20 @@ table/figure driver stays declarative.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
 from repro.core import PAPER_PINDUCE_SWEEP, PinteConfig
+from repro.obs import Observation
+from repro.obs.registry import MetricRegistry
 from repro.sim.multicore import simulate_pair
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
 from repro.trace.record import Trace
 from repro.trace.spec_models import get_workload
+from repro.trace.store import TraceStore
 from repro.trace.synthetic import build_trace
 
 
@@ -48,22 +52,59 @@ BENCH_SCALE = ExperimentScale()
 
 
 class TraceLibrary:
-    """Builds and caches synthetic traces keyed by (workload, llc, length)."""
+    """Builds and caches synthetic traces keyed by (workload, llc, length).
 
-    def __init__(self, config: MachineConfig, scale: ExperimentScale) -> None:
+    ``store`` plugs in a shared on-disk :class:`~repro.trace.store.TraceStore`
+    consulted before generating, so repeated runs (and concurrent campaign
+    workers) build each trace once per machine. ``observe`` attaches the
+    observability bundle: builds/loads land as ``trace.cache.hit`` /
+    ``trace.cache.miss`` registry counters and ``trace.generate`` /
+    ``trace.load`` profiler spans.
+    """
+
+    def __init__(self, config: MachineConfig, scale: ExperimentScale,
+                 store: Optional[TraceStore] = None,
+                 observe: Optional[Observation] = None) -> None:
         self.config = config
         self.scale = scale
+        self.store = store
+        self.observe = observe
         self._cache: Dict[Tuple[str, int, int, int], Trace] = {}
+
+    def _instruments(self):
+        """(registry, profiler) from the attached observation, if any."""
+        if self.observe is None:
+            return None, None
+        if self.observe.registry is None:
+            self.observe.registry = MetricRegistry()
+        return self.observe.registry, self.observe.profiler
+
+    def _build(self, name: str, length: int, seed: int) -> Trace:
+        registry, profiler = self._instruments()
+        if self.store is not None:
+            return self.store.get_or_build(name, self.config.llc.size, length,
+                                           seed, registry=registry,
+                                           profiler=profiler)
+        start = time.perf_counter()
+        trace = build_trace(get_workload(name), length, seed,
+                            self.config.llc.size)
+        seconds = time.perf_counter() - start
+        if registry is not None:
+            registry.count("trace.cache.miss")
+        if profiler is not None:
+            profiler.add_span("trace.generate", start - profiler.origin,
+                              seconds)
+        return trace
 
     def get(self, name: str, length: Optional[int] = None,
             seed: Optional[int] = None) -> Trace:
+        """The trace for ``name`` — from memory, disk store, or generation."""
         length = length if length is not None else self.scale.trace_length
         seed = seed if seed is not None else self.scale.seed
         key = (name, self.config.llc.size, length, seed)
         trace = self._cache.get(key)
         if trace is None:
-            trace = build_trace(get_workload(name), length, seed,
-                                self.config.llc.size)
+            trace = self._build(name, length, seed)
             self._cache[key] = trace
         return trace
 

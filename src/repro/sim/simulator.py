@@ -22,7 +22,7 @@ from repro.obs import Observation, collect_host_metrics
 from repro.obs import events as obs_events
 from repro.obs.sampler import IntervalSampler
 from repro.sim.results import SimulationResult
-from repro.trace.record import Trace
+from repro.trace.packed import as_packed
 
 DEFAULT_SAMPLE_INTERVAL = 10_000  # scaled stand-in for the paper's 10M
 
@@ -103,7 +103,7 @@ def _finalise(core: Core, hierarchy: MemoryHierarchy, tracker: ContentionTracker
 
 
 def simulate(
-    trace: Trace,
+    trace,
     config: MachineConfig,
     pinte: Optional[PinteConfig] = None,
     warmup_instructions: int = 0,
@@ -113,6 +113,11 @@ def simulate(
     observe: Optional[Observation] = None,
 ) -> SimulationResult:
     """Run one workload alone (optionally under PInTE contention).
+
+    ``trace`` may be a :class:`~repro.trace.record.Trace`, a
+    :class:`~repro.trace.packed.PackedTrace`, or any iterable of
+    :class:`~repro.trace.record.TraceRecord` — it is packed into columns
+    once up front and the hot loop iterates the columns directly.
 
     The trace is replayed from the start; statistics gathered during the
     first ``warmup_instructions`` are discarded (cache and predictor state is
@@ -154,29 +159,48 @@ def simulate(
         events.clock = lambda: core.cycle
 
     wall_start = time.perf_counter()
+    packed = as_packed(trace)
+    trace_name = getattr(trace, "name", "") or packed.name or "trace"
+    pcs, loads, stores, flags = (packed.pcs, packed.loads, packed.stores,
+                                 packed.flags)
+    n_records = len(packed)
     total = (sim_instructions if sim_instructions is not None else
-             max(0, len(trace) - warmup_instructions))
-    records = trace.records
-    n_records = len(records)
+             max(0, n_records - warmup_instructions))
     if n_records == 0:
         if events is not None:
             events.detach_all()
-        raise ValueError(f"trace {trace.name!r} is empty")
+        raise ValueError(f"trace {trace_name!r} is empty")
 
     index = 0
     hooks_active = periodic is not None or background is not None
+    # Block execution batches the core's clock/stat updates, so anything
+    # that needs a live per-instruction view of ``core.cycle`` (periodic
+    # PInTE / background-DRAM hooks, event-trace timestamps) forces the
+    # per-instruction path instead.
+    stepwise = hooks_active or events is not None
 
     # --- warm-up ---
-    for _ in range(warmup_instructions):
-        core.execute(records[index])
-        index += 1
-        if index == n_records:
-            index = 0
-        if hooks_active:
+    if stepwise:
+        execute_cols = core.execute_cols
+        for _ in range(warmup_instructions):
+            execute_cols(pcs[index], loads[index], stores[index],
+                         flags[index])
+            index += 1
+            if index == n_records:
+                index = 0
             if periodic is not None:
                 periodic.maybe_tick(core.cycle, owner)
             if background is not None:
                 background.advance(core.cycle)
+    else:
+        remaining = warmup_instructions
+        while remaining:
+            chunk = min(remaining, n_records - index)
+            core.execute_block(pcs, loads, stores, flags, index, chunk)
+            remaining -= chunk
+            index += chunk
+            if index == n_records:
+                index = 0
     _reset_stats(core, hierarchy, tracker, owner)
     if engine is not None:
         engine.stats = type(engine.stats)()
@@ -190,31 +214,47 @@ def simulate(
     # --- measured region ---
     measure_start = time.perf_counter()
     sampler = IntervalSampler(core, llc, owner, tracker, sample_interval)
-    execute = core.execute
     executed = 0
     # Sampling cadence: the executed-record count is the single authority —
     # exactly one sample per full interval, no matter how warm-up aligned.
     next_sample = sample_interval
-    while executed < total:
-        execute(records[index])
-        index += 1
-        if index == n_records:
-            index = 0
-        if hooks_active:
+    if stepwise:
+        execute_cols = core.execute_cols
+        while executed < total:
+            execute_cols(pcs[index], loads[index], stores[index],
+                         flags[index])
+            index += 1
+            if index == n_records:
+                index = 0
             if periodic is not None:
                 periodic.maybe_tick(core.cycle, owner)
             if background is not None:
                 background.advance(core.cycle)
-        executed += 1
-        if executed == next_sample:
-            sampler.sample()
-            next_sample += sample_interval
+            executed += 1
+            if executed == next_sample:
+                sampler.sample()
+                next_sample += sample_interval
+    else:
+        # Chunk boundaries fall at sample points and record wraparound, so
+        # the blocked path samples at exactly the same instruction counts.
+        execute_block = core.execute_block
+        while executed < total:
+            chunk = min(total - executed, n_records - index,
+                        next_sample - executed)
+            execute_block(pcs, loads, stores, flags, index, chunk)
+            executed += chunk
+            index += chunk
+            if index == n_records:
+                index = 0
+            if executed == next_sample:
+                sampler.sample()
+                next_sample += sample_interval
     sampler.finalize()
     measure_seconds = time.perf_counter() - measure_start
 
     mode = "pinte" if pinte is not None else "isolation"
     result = _finalise(core, hierarchy, tracker, owner, start_cycle, sampler,
-                       trace.name, mode, wall_start,
+                       trace_name, mode, wall_start,
                        pinte.p_induce if pinte else None, None, seed)
     result.extra["phase_warmup_seconds"] = warmup_seconds
     result.extra["phase_simulate_seconds"] = measure_seconds

@@ -1,6 +1,8 @@
-"""Trace substrate: records, synthetic SPEC-like generators, I/O, simpoints."""
+"""Trace substrate: columnar storage, synthetic generators, I/O, the
+shared on-disk store, and simpoints."""
 
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import FORMAT_VERSION, read_trace, write_trace
+from repro.trace.packed import PackedTrace, as_packed
 from repro.trace.patterns import (
     AccessPattern,
     MixedPhasePattern,
@@ -37,27 +39,35 @@ from repro.trace.spec_models import (
     workloads_by_class,
     workloads_by_suite,
 )
-from repro.trace.synthetic import build_trace, generate_records
+from repro.trace.store import StoreEntry, TraceStore, trace_key
+from repro.trace.synthetic import build_packed, build_trace, generate_records
 
 __all__ = [
     "AccessPattern",
     "CACHE_FRIENDLY",
     "CORE_BOUND",
     "DRAM_BOUND",
+    "FORMAT_VERSION",
     "LLC_BOUND",
     "MIXED",
     "MixedPhasePattern",
+    "PackedTrace",
     "PointerChasePattern",
     "RandomPattern",
     "SPEC_WORKLOADS",
     "SimpointWeight",
     "StencilPattern",
+    "StoreEntry",
     "StreamPattern",
     "Trace",
     "TraceRecord",
+    "TraceStore",
     "WorkingSetPattern",
     "WorkloadSpec",
+    "as_packed",
+    "build_packed",
     "build_trace",
+    "trace_key",
     "class_balanced_mixes",
     "generate_records",
     "get_workload",

@@ -1,91 +1,173 @@
 """Trace (de)serialisation.
 
-A compact binary format (one fixed-size little-endian record per
-instruction), gzip-compressed, in the spirit of ChampSim's ``.trace.gz``
-files. Used by the examples to cache generated traces and by tests to verify
-round-tripping.
+Compact binary formats, gzip-compressed, in the spirit of ChampSim's
+``.trace.gz`` files. Two format versions exist:
+
+* ``PNTR2`` (current, columnar): after the header, the whole trace is four
+  contiguous little-endian column blocks — pcs, loads, stores (8 bytes per
+  record each) and flags (1 byte per record) — written/read with bulk
+  ``tobytes``/``frombytes`` transfers straight from
+  :class:`~repro.trace.packed.PackedTrace` columns. No per-record packing.
+* ``PNTR1`` (legacy, record-interleaved): one fixed-size ``<QQQB`` struct
+  per instruction. Still fully readable (and writable via ``version=1``)
+  so existing trace files keep working.
+
+Both versions share the same flag-byte encoding (bit0=branch, bit1=taken,
+bit2=dependent, bit3=has_load, bit4=has_store — the
+:mod:`repro.trace.packed` ``FLAG_*`` constants), and both preserve the
+``None``-vs-``0`` address distinction via the has_load/has_store bits.
 """
 
 from __future__ import annotations
 
 import gzip
 import struct
+import sys
+from array import array
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, Union
 
+from repro.trace.packed import (
+    FLAG_BRANCH,
+    FLAG_DEPENDENT,
+    FLAG_HAS_LOAD,
+    FLAG_HAS_STORE,
+    FLAG_TAKEN,
+    PackedTrace,
+    as_packed,
+)
 from repro.trace.record import Trace, TraceRecord
 
-#: pc, load_addr, store_addr, flags  (flags: bit0=branch, bit1=taken,
-#: bit2=dependent, bit3=has_load, bit4=has_store)
+#: pc, load_addr, store_addr, flags — the legacy per-record layout.
 _RECORD = struct.Struct("<QQQB")
-_FLAG_BRANCH = 1
-_FLAG_TAKEN = 2
-_FLAG_DEPENDENT = 4
-_FLAG_HAS_LOAD = 8
-_FLAG_HAS_STORE = 16
+_FLAG_BRANCH = FLAG_BRANCH
+_FLAG_TAKEN = FLAG_TAKEN
+_FLAG_DEPENDENT = FLAG_DEPENDENT
+_FLAG_HAS_LOAD = FLAG_HAS_LOAD
+_FLAG_HAS_STORE = FLAG_HAS_STORE
 
 MAGIC = b"PNTR1\n"
+MAGIC_V2 = b"PNTR2\n"
+
+#: Current on-disk format version (what :func:`write_trace` emits).
+FORMAT_VERSION = 2
+
+TraceLike = Union[Trace, PackedTrace, Iterable[TraceRecord]]
 
 
-def write_trace(trace: Union[Trace, Iterable[TraceRecord]], path: Union[str, Path],
-                name: str = "") -> int:
-    """Write a trace to ``path``; returns the number of records written."""
-    if isinstance(trace, Trace):
-        name = name or trace.name
-        records: Iterable[TraceRecord] = trace.records
-    else:
-        records = trace
+def _native(column: array) -> array:
+    """The column in native byte order (PNTR2 blocks are little-endian)."""
+    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+        swapped = array(column.typecode, column)
+        swapped.byteswap()
+        return swapped
+    return column
+
+
+def _read_exact(fh, n_bytes: int, path: Path, what: str) -> bytes:
+    """Read exactly ``n_bytes`` or raise a truncation error naming ``what``."""
+    raw = fh.read(n_bytes)
+    if len(raw) != n_bytes:
+        raise ValueError(
+            f"{path}: truncated {what} (wanted {n_bytes} bytes, "
+            f"got {len(raw)})")
+    return raw
+
+
+def write_trace(trace: TraceLike, path: Union[str, Path], name: str = "",
+                version: int = FORMAT_VERSION) -> int:
+    """Write a trace to ``path``; returns the number of records written.
+
+    Accepts a :class:`Trace`, a :class:`PackedTrace`, or any iterable of
+    :class:`TraceRecord`. ``version=2`` (the default) writes the columnar
+    ``PNTR2`` block format; ``version=1`` writes the legacy per-record
+    ``PNTR1`` layout for tooling that still expects it.
+    """
+    if version not in (1, 2):
+        raise ValueError(f"unknown trace format version {version}")
+    packed = as_packed(trace, name=name)
+    name = name or packed.name
     name_bytes = name.encode("utf-8")
-    count = 0
+    count = len(packed)
     with gzip.open(Path(path), "wb") as fh:
-        fh.write(MAGIC)
+        if version == 1:
+            fh.write(MAGIC)
+            fh.write(struct.pack("<H", len(name_bytes)))
+            fh.write(name_bytes)
+            pack = _RECORD.pack
+            pcs, loads, stores, flags = (packed.pcs, packed.loads,
+                                         packed.stores, packed.flags)
+            for index in range(count):
+                fh.write(pack(pcs[index], loads[index], stores[index],
+                              flags[index]))
+            return count
+        fh.write(MAGIC_V2)
         fh.write(struct.pack("<H", len(name_bytes)))
         fh.write(name_bytes)
-        for record in records:
-            flags = 0
-            load = store = 0
-            if record.is_branch:
-                flags |= _FLAG_BRANCH
-            if record.taken:
-                flags |= _FLAG_TAKEN
-            if record.dependent:
-                flags |= _FLAG_DEPENDENT
-            if record.load_addr is not None:
-                flags |= _FLAG_HAS_LOAD
-                load = record.load_addr
-            if record.store_addr is not None:
-                flags |= _FLAG_HAS_STORE
-                store = record.store_addr
-            fh.write(_RECORD.pack(record.pc, load, store, flags))
-            count += 1
+        fh.write(struct.pack("<Q", count))
+        fh.write(_native(packed.pcs).tobytes())
+        fh.write(_native(packed.loads).tobytes())
+        fh.write(_native(packed.stores).tobytes())
+        fh.write(bytes(packed.flags))
     return count
 
 
+def _read_v1(fh, path: Path) -> PackedTrace:
+    """Parse the legacy per-record body into columns."""
+    packed = PackedTrace()
+    pcs_append = packed.pcs.append
+    loads_append = packed.loads.append
+    stores_append = packed.stores.append
+    flags_append = packed.flags.append
+    unpack = _RECORD.unpack
+    record_size = _RECORD.size
+    while True:
+        raw = fh.read(record_size)
+        if not raw:
+            break
+        if len(raw) != record_size:
+            raise ValueError(f"{path}: truncated record at offset {fh.tell()}")
+        pc, load, store, flags = unpack(raw)
+        pcs_append(pc)
+        loads_append(load)
+        stores_append(store)
+        flags_append(flags)
+    return packed
+
+
+def _read_v2(fh, path: Path) -> PackedTrace:
+    """Bulk-read the four column blocks."""
+    (count,) = struct.unpack("<Q", _read_exact(fh, 8, path, "record count"))
+    columns = []
+    for what in ("pc column", "load column", "store column"):
+        column = array("Q")
+        column.frombytes(_read_exact(fh, 8 * count, path, what))
+        columns.append(_native(column))
+    flags = bytearray(_read_exact(fh, count, path, "flags column"))
+    trailing = fh.read(1)
+    if trailing:
+        raise ValueError(f"{path}: trailing bytes after {count} records")
+    return PackedTrace(pcs=columns[0], loads=columns[1], stores=columns[2],
+                       flags=flags)
+
+
 def read_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace previously written by :func:`write_trace`."""
+    """Read a trace previously written by :func:`write_trace` (any version).
+
+    The returned :class:`Trace` is backed by a :class:`PackedTrace`;
+    ``.records`` materialises record objects on demand. Legacy ``PNTR1``
+    files produce byte-identical columns to the ``PNTR2`` rewrite of the
+    same stream.
+    """
     path = Path(path)
     with gzip.open(path, "rb") as fh:
         magic = fh.read(len(MAGIC))
-        if magic != MAGIC:
-            raise ValueError(f"{path}: not a PInTE trace file (bad magic {magic!r})")
-        (name_len,) = struct.unpack("<H", fh.read(2))
-        name = fh.read(name_len).decode("utf-8")
-        records: List[TraceRecord] = []
-        while True:
-            raw = fh.read(_RECORD.size)
-            if not raw:
-                break
-            if len(raw) != _RECORD.size:
-                raise ValueError(f"{path}: truncated record at offset {fh.tell()}")
-            pc, load, store, flags = _RECORD.unpack(raw)
-            records.append(
-                TraceRecord(
-                    pc=pc,
-                    load_addr=load if flags & _FLAG_HAS_LOAD else None,
-                    store_addr=store if flags & _FLAG_HAS_STORE else None,
-                    is_branch=bool(flags & _FLAG_BRANCH),
-                    taken=bool(flags & _FLAG_TAKEN),
-                    dependent=bool(flags & _FLAG_DEPENDENT),
-                )
-            )
-    return Trace(name=name or path.stem, records=records)
+        if magic not in (MAGIC, MAGIC_V2):
+            raise ValueError(
+                f"{path}: not a PInTE trace file (bad magic {magic!r})")
+        (name_len,) = struct.unpack(
+            "<H", _read_exact(fh, 2, path, "name length"))
+        name = _read_exact(fh, name_len, path, "name").decode("utf-8")
+        packed = _read_v2(fh, path) if magic == MAGIC_V2 else _read_v1(fh, path)
+    packed.name = name or path.stem
+    return Trace.from_packed(packed)

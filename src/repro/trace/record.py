@@ -79,24 +79,61 @@ class TraceRecord:
 
 
 class Trace:
-    """A named, materialised sequence of :class:`TraceRecord`.
+    """A named sequence of :class:`TraceRecord`.
 
-    Most simulation entry points accept any iterable of records; ``Trace``
-    adds a name (used for reporting) and convenience accessors.
+    Simulation entry points accept any iterable of records — a ``Trace``,
+    a :class:`~repro.trace.packed.PackedTrace`, a plain list, or a
+    generator (see :func:`repro.trace.packed.as_packed`); ``Trace`` adds a
+    name (used for reporting) and convenience accessors.
+
+    A ``Trace`` is backed by *either* a materialised record list or a
+    columnar :class:`~repro.trace.packed.PackedTrace`; whichever view is
+    missing is built lazily on first access and memoised. Mutating
+    ``records`` in place after the packed view has been built is not
+    supported (the views would diverge); build a new ``Trace`` instead.
     """
 
-    def __init__(self, name: str, records: List[TraceRecord]) -> None:
+    def __init__(self, name: str, records: Optional[List[TraceRecord]] = None,
+                 packed=None) -> None:
+        if records is None and packed is None:
+            raise ValueError("Trace needs records or a packed backing")
         self.name = name
-        self.records = records
+        self._records = records
+        self._packed = packed
+
+    @classmethod
+    def from_packed(cls, packed, name: Optional[str] = None) -> "Trace":
+        """Wrap a :class:`~repro.trace.packed.PackedTrace` (no copying)."""
+        return cls(name if name is not None else packed.name, packed=packed)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The record-object list (materialised from columns on demand)."""
+        if self._records is None:
+            self._records = self._packed.to_records()
+        return self._records
+
+    def packed(self):
+        """The columnar backing (packed from the record list on demand)."""
+        if self._packed is None:
+            from repro.trace.packed import PackedTrace
+
+            self._packed = PackedTrace.from_records(self._records,
+                                                    name=self.name)
+        return self._packed
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self._records is not None:
+            return len(self._records)
+        return len(self._packed)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+        if self._records is not None:
+            return iter(self._records)
+        return iter(self._packed)
 
     def __getitem__(self, index):
         return self.records[index]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Trace(name={self.name!r}, n={len(self.records)})"
+        return f"Trace(name={self.name!r}, n={len(self)})"

@@ -1,10 +1,27 @@
 """Synthetic trace generation from workload specs.
 
-Turns a :class:`~repro.trace.spec_models.WorkloadSpec` into a concrete stream
-of :class:`~repro.trace.record.TraceRecord`. The generated instruction mix is
-deterministic given (spec, seed, llc_bytes): the code layout (which PC slots
-are loads/stores/branches) is fixed per spec, while the data addresses and
-branch outcomes come from seeded random streams.
+Turns a :class:`~repro.trace.spec_models.WorkloadSpec` into a concrete
+instruction stream. The generated mix is deterministic given (spec, seed,
+llc_bytes): the code layout (which PC slots are loads/stores/branches) is
+fixed per spec, while the data addresses and branch outcomes come from
+seeded random streams.
+
+Two generators share that contract and produce bit-identical streams:
+
+* :func:`generate_records` — the original record-object generator, kept as
+  the lazy reference implementation (and as the object-list baseline the
+  trace benchmarks compare against);
+* :func:`build_packed` — the columnar fast path behind :func:`build_trace`.
+  It streams straight into :class:`~repro.trace.packed.PackedTrace` columns
+  with no intermediate record objects, exploiting that per body iteration
+  only the load addresses, dependency draws and branch outcomes vary: the
+  pc column and the static flag bits are replicated as whole-body blocks,
+  and the per-cycle loop touches only the memory/branch slots.
+
+Each random stream (layout/data/branch/dep/pattern) is an independent
+:class:`~repro.util.rng.DeterministicRng`, so batching by stream preserves
+every stream's draw order exactly — which is what makes the two generators
+bit-identical.
 
 The code layout matters for the branch-predictor case study: branch PCs recur
 every loop iteration, so history-based predictors can actually learn them.
@@ -12,8 +29,17 @@ every loop iteration, so history-based predictors can actually learn them.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator, List, Optional
 
+from repro.trace.packed import (
+    FLAG_BRANCH,
+    FLAG_DEPENDENT,
+    FLAG_HAS_LOAD,
+    FLAG_HAS_STORE,
+    FLAG_TAKEN,
+    PackedTrace,
+)
 from repro.trace.record import Trace, TraceRecord
 from repro.trace.spec_models import WorkloadSpec
 from repro.util.rng import DeterministicRng
@@ -125,6 +151,84 @@ def generate_records(
         emitted += 1
 
 
+def build_packed(
+    spec: WorkloadSpec,
+    n_instructions: int,
+    seed: int,
+    llc_bytes: int,
+    body_size: int = DEFAULT_BODY_SIZE,
+) -> PackedTrace:
+    """Generate straight into columns — no intermediate record objects.
+
+    Bit-identical to ``list(generate_records(...))`` (same seeds, same
+    per-stream draw order); several times faster because the static
+    per-slot structure (pcs, branch/has_load/has_store flag bits) is
+    replicated as whole-body byte blocks and only the dynamic slots (load
+    addresses, dependency and branch-outcome draws) are visited per body
+    iteration.
+    """
+    if n_instructions < 0:
+        raise ValueError("n_instructions must be non-negative")
+    layout_rng = DeterministicRng(seed, f"{spec.name}/layout")
+    data_rng = DeterministicRng(seed, f"{spec.name}/data")
+    branch_rng = DeterministicRng(seed, f"{spec.name}/branch")
+    dep_rng = DeterministicRng(seed, f"{spec.name}/dep")
+
+    body = _build_body(spec, layout_rng, body_size)
+    pattern = spec.build_pattern(llc_bytes,
+                                 DeterministicRng(seed, f"{spec.name}/pattern"))
+    n_slots = len(body)
+
+    # Static structure: pc column and constant flag bits repeat every body
+    # iteration, so both are laid down as replicated byte blocks.
+    body_pcs = array("Q", (slot.pc for slot in body)).tobytes()
+    base_flags = bytes(
+        (FLAG_HAS_LOAD if slot.is_load else 0)
+        | (FLAG_HAS_STORE if slot.is_load and slot.is_store else 0)
+        | (FLAG_BRANCH if slot.is_branch else 0)
+        for slot in body)
+    full_cycles, remainder = divmod(n_instructions, n_slots)
+    pcs = array("Q")
+    pcs.frombytes(body_pcs * full_cycles + body_pcs[:remainder * 8])
+    flags = bytearray(base_flags * full_cycles + base_flags[:remainder])
+    loads = array("Q", bytes(8 * n_instructions))
+    stores = array("Q", bytes(8 * n_instructions))
+
+    # Dynamic slots, visited per body iteration in record order (which
+    # preserves each stream's draw order exactly).
+    load_slots = [(index, slot.is_store) for index, slot in enumerate(body)
+                  if slot.is_load]
+    branch_slots = [(index, slot.taken_bias) for index, slot in enumerate(body)
+                    if slot.is_branch]
+    draw_dependency = spec.dependency > 0
+    dependency = spec.dependency
+    next_address = pattern.next_address
+    dep_random = dep_rng.random
+    branch_random = branch_rng.random
+
+    base = 0
+    while base < n_instructions:
+        limit = n_instructions - base
+        for slot_index, has_store in load_slots:
+            if slot_index >= limit:
+                break
+            address = DATA_BASE + next_address(data_rng)
+            index = base + slot_index
+            loads[index] = address
+            if has_store:
+                stores[index] = address
+            if draw_dependency and dep_random() < dependency:
+                flags[index] |= FLAG_DEPENDENT
+        for slot_index, taken_bias in branch_slots:
+            if slot_index >= limit:
+                break
+            if branch_random() < taken_bias:
+                flags[base + slot_index] |= FLAG_TAKEN
+        base += n_slots
+    return PackedTrace(name=spec.name, pcs=pcs, loads=loads, stores=stores,
+                       flags=flags)
+
+
 def build_trace(
     spec: WorkloadSpec,
     n_instructions: int,
@@ -132,6 +236,11 @@ def build_trace(
     llc_bytes: int,
     body_size: int = DEFAULT_BODY_SIZE,
 ) -> Trace:
-    """Materialise a full :class:`Trace` for ``spec``."""
-    records = list(generate_records(spec, n_instructions, seed, llc_bytes, body_size))
-    return Trace(name=spec.name, records=records)
+    """Materialise a full :class:`Trace` for ``spec`` (columnar backing).
+
+    The returned trace is backed by a :class:`PackedTrace` built by
+    :func:`build_packed`; ``.records`` still materialises the familiar
+    record-object list on demand for legacy callers.
+    """
+    return Trace.from_packed(
+        build_packed(spec, n_instructions, seed, llc_bytes, body_size))

@@ -58,8 +58,11 @@ class TestBuildOptions:
         def comparable(result):
             record = result_to_dict(result)
             record.pop("wall_time_seconds", None)
+            # Wall-clock spans and trace-cache tallies are run bookkeeping,
+            # not simulation output — only the campaign path records them.
             record["extra"] = {k: v for k, v in record["extra"].items()
-                               if not k.endswith("_seconds")}
+                               if not k.endswith("_seconds")
+                               and not k.startswith("trace_cache_")}
             return record
 
         for name in names:

@@ -40,6 +40,46 @@ class TestBasicRun:
         assert result.instructions == 2000
 
 
+class TestTraceInputs:
+    """Entry points accept any record iterable, not just ``Trace``
+    (regression for the docstring/behaviour mismatch in
+    :mod:`repro.trace.record`)."""
+
+    @staticmethod
+    def _comparable(result):
+        from repro.sim.serialize import result_to_dict
+
+        record = result_to_dict(result)
+        record.pop("wall_time_seconds", None)
+        # Anonymous inputs (lists, generators) carry no trace name.
+        record.pop("trace_name", None)
+        record["extra"] = {k: v for k, v in record["extra"].items()
+                           if not k.endswith("_seconds")}
+        return record
+
+    def test_packed_trace_matches_trace(self, config, lbm_trace):
+        baseline = simulate(lbm_trace, config, sim_instructions=2000)
+        packed = simulate(lbm_trace.packed(), config, sim_instructions=2000)
+        assert self._comparable(packed) == self._comparable(baseline)
+        assert packed.trace_name == "470.lbm"
+
+    def test_plain_list_matches_trace(self, config, lbm_trace):
+        baseline = simulate(lbm_trace, config, sim_instructions=2000)
+        as_list = simulate(list(lbm_trace.records), config,
+                           sim_instructions=2000)
+        assert self._comparable(as_list) == self._comparable(baseline)
+
+    def test_generator_matches_trace(self, config, lbm_trace):
+        from repro.trace import generate_records
+
+        workload = get_workload("470.lbm")
+        baseline = simulate(lbm_trace, config, sim_instructions=2000)
+        streamed = simulate(
+            generate_records(workload, len(lbm_trace), 1, config.llc.size),
+            config, sim_instructions=2000)
+        assert self._comparable(streamed) == self._comparable(baseline)
+
+
 class TestWarmup:
     def test_warmup_stats_discarded(self, config, gromacs_trace):
         result = simulate(gromacs_trace, config, warmup_instructions=2000,

@@ -212,11 +212,45 @@ class TestPartitionStudyCommand:
 class TestTrace:
     def test_writes_trace(self, tmp_path, capsys):
         output = tmp_path / "out.trace.gz"
-        assert main(["trace", "435.gromacs", str(output),
+        assert main(["trace", "build", "435.gromacs", str(output),
                      "--length", "2000"]) == 0
         trace = read_trace(output)
         assert len(trace) == 2000
         assert trace.name == "435.gromacs"
+
+    def test_build_legacy_format(self, tmp_path, capsys):
+        output = tmp_path / "legacy.trace.gz"
+        assert main(["trace", "build", "435.gromacs", str(output),
+                     "--length", "500", "--format", "1"]) == 0
+        assert "PNTR1" in capsys.readouterr().out
+        assert len(read_trace(output)) == 500
+
+    def test_info_reports_counts(self, tmp_path, capsys):
+        output = tmp_path / "out.trace.gz"
+        main(["trace", "build", "470.lbm", str(output), "--length", "1000"])
+        capsys.readouterr()
+        assert main(["trace", "info", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "470.lbm" in out
+        assert "1000" in out
+        assert "PNTR2" in out
+
+    def test_cache_prime_ls_clear(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["trace", "cache", "prime", "--dir", str(store_dir),
+                     "--workloads", "470.lbm", "429.mcf",
+                     "--length", "1000"]) == 0
+        assert "2 generated" in capsys.readouterr().out
+        # Second prime reuses everything.
+        assert main(["trace", "cache", "prime", "--dir", str(store_dir),
+                     "--workloads", "470.lbm", "429.mcf",
+                     "--length", "1000"]) == 0
+        assert "2 already cached" in capsys.readouterr().out
+        assert main(["trace", "cache", "ls", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "470.lbm" in out and "429.mcf" in out
+        assert main(["trace", "cache", "clear", "--dir", str(store_dir)]) == 0
+        assert "removed 2" in capsys.readouterr().out
 
 
 class TestBench:

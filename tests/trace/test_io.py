@@ -1,13 +1,22 @@
-"""Unit tests for trace file I/O."""
+"""Unit tests for trace file I/O — both PNTR format versions.
+
+The property the suite guards: for any record stream, ``read_trace``
+after ``write_trace`` reproduces the records exactly — including the
+``None``-vs-``0`` address distinction — whichever on-disk version was
+written, and legacy ``PNTR1`` files stay readable forever.
+"""
 
 import gzip
 
 import pytest
 
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import FORMAT_VERSION, read_trace, write_trace
+from repro.trace.packed import as_packed
 from repro.trace.record import Trace, TraceRecord
 from repro.trace.spec_models import get_workload
 from repro.trace.synthetic import build_trace
+
+VERSIONS = (1, 2)
 
 
 def sample_trace():
@@ -20,29 +29,84 @@ def sample_trace():
     ])
 
 
+#: Edge-case record streams, parametrised by name.
+EDGE_CASES = {
+    "zero_load_addr": [
+        # Address 0 is a real address — must not collapse to None.
+        TraceRecord(0x400000, load_addr=0),
+        TraceRecord(0x400004, load_addr=0, store_addr=0),
+    ],
+    "store_only": [
+        # A store with no load (not produced by the synthetic generator,
+        # but legal in the record model and in external traces).
+        TraceRecord(0x400000, store_addr=0x8000),
+        TraceRecord(0x400004, store_addr=0),
+    ],
+    "no_memory": [
+        TraceRecord(0x400000),
+        TraceRecord(0x400004, is_branch=True, taken=False),
+        TraceRecord(0x400008, is_branch=True, taken=True),
+    ],
+    "all_flags": [
+        TraceRecord(0x400000, load_addr=0x1000, store_addr=0x1000,
+                    is_branch=True, taken=True, dependent=True),
+    ],
+    "huge_addresses": [
+        TraceRecord(2**63, load_addr=2**64 - 1, store_addr=2**64 - 64),
+    ],
+    "empty": [],
+}
+
+
 class TestRoundTrip:
-    def test_records_survive(self, tmp_path):
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_records_survive(self, tmp_path, version):
         path = tmp_path / "t.trace.gz"
         trace = sample_trace()
-        count = write_trace(trace, path)
+        count = write_trace(trace, path, version=version)
         assert count == 5
         loaded = read_trace(path)
         assert loaded.records == trace.records
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    @pytest.mark.parametrize("case", sorted(EDGE_CASES))
+    def test_edge_case_round_trip(self, tmp_path, version, case):
+        records = EDGE_CASES[case]
+        path = tmp_path / f"{case}.trace.gz"
+        assert write_trace(Trace(case, records), path,
+                           version=version) == len(records)
+        loaded = read_trace(path)
+        assert loaded.records == records
+
+    def test_zero_addr_stays_distinct_from_none(self, tmp_path):
+        path = tmp_path / "zero.trace.gz"
+        write_trace(Trace("z", EDGE_CASES["zero_load_addr"]), path)
+        loaded = read_trace(path).records
+        assert loaded[0].load_addr == 0       # real zero address...
+        assert loaded[0].store_addr is None   # ...absent operand is None
+        assert loaded[1].store_addr == 0
 
     def test_name_survives(self, tmp_path):
         path = tmp_path / "t.trace.gz"
         write_trace(sample_trace(), path)
         assert read_trace(path).name == "sample"
 
-    def test_name_override(self, tmp_path):
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_name_override(self, tmp_path, version):
         path = tmp_path / "t.trace.gz"
-        write_trace(sample_trace(), path, name="other")
+        write_trace(sample_trace(), path, name="other", version=version)
         assert read_trace(path).name == "other"
 
     def test_iterable_input(self, tmp_path):
         path = tmp_path / "t.trace.gz"
         write_trace(iter(sample_trace().records), path, name="it")
         assert len(read_trace(path)) == 5
+
+    def test_packed_input(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        packed = as_packed(sample_trace())
+        write_trace(packed, path)
+        assert as_packed(read_trace(path)) == packed
 
     def test_synthetic_round_trip(self, tmp_path):
         trace = build_trace(get_workload("435.gromacs"), 3000, 1, 65536)
@@ -57,6 +121,41 @@ class TestRoundTrip:
         write_trace(Trace("empty", []), path)
         assert len(read_trace(path)) == 0
 
+    def test_default_version_is_current(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        write_trace(sample_trace(), path)
+        with gzip.open(path, "rb") as fh:
+            assert fh.read(6) == f"PNTR{FORMAT_VERSION}\n".encode()
+
+
+class TestLegacyCompatibility:
+    def test_v1_and_v2_read_back_identical(self, tmp_path):
+        """The same stream through both formats loads to identical columns."""
+        trace = build_trace(get_workload("470.lbm"), 2000, 3, 65536)
+        v1 = tmp_path / "v1.trace.gz"
+        v2 = tmp_path / "v2.trace.gz"
+        write_trace(trace, v1, version=1)
+        write_trace(trace, v2, version=2)
+        loaded_v1 = as_packed(read_trace(v1))
+        loaded_v2 = as_packed(read_trace(v2))
+        assert loaded_v1 == loaded_v2
+        assert loaded_v1 == as_packed(trace)
+
+    def test_v1_magic(self, tmp_path):
+        path = tmp_path / "v1.trace.gz"
+        write_trace(sample_trace(), path, version=1)
+        with gzip.open(path, "rb") as fh:
+            assert fh.read(6) == b"PNTR1\n"
+
+    def test_v2_smaller_than_v1_for_synthetic(self, tmp_path):
+        """Columnar blocks compress better than interleaved records."""
+        trace = build_trace(get_workload("429.mcf"), 20_000, 1, 65536)
+        v1 = tmp_path / "v1.trace.gz"
+        v2 = tmp_path / "v2.trace.gz"
+        write_trace(trace, v1, version=1)
+        write_trace(trace, v2, version=2)
+        assert v2.stat().st_size < v1.stat().st_size
+
 
 class TestErrors:
     def test_bad_magic(self, tmp_path):
@@ -66,11 +165,48 @@ class TestErrors:
         with pytest.raises(ValueError, match="bad magic"):
             read_trace(path)
 
-    def test_truncated_record(self, tmp_path):
+    def test_unknown_version_refused(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(sample_trace(), tmp_path / "x.trace.gz", version=3)
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_truncated_tail(self, tmp_path, version):
         path = tmp_path / "t.trace.gz"
-        write_trace(sample_trace(), path)
+        write_trace(sample_trace(), path, version=version)
         raw = gzip.decompress(path.read_bytes())
         with gzip.open(path, "wb") as fh:
-            fh.write(raw[:-3])  # chop the last record
+            fh.write(raw[:-3])  # chop mid-record / mid-column
         with pytest.raises(ValueError, match="truncated"):
+            read_trace(path)
+
+    @pytest.mark.parametrize("cut", ("count", "pcs", "flags"))
+    def test_truncated_v2_sections(self, tmp_path, cut):
+        path = tmp_path / "t.trace.gz"
+        write_trace(sample_trace(), path, version=2)
+        raw = gzip.decompress(path.read_bytes())
+        header = 6 + 2 + len(b"sample")
+        offsets = {
+            "count": header + 4,             # mid record-count field
+            "pcs": header + 8 + 3 * 8,       # mid pc column
+            "flags": len(raw) - 2,           # mid flags column
+        }
+        with gzip.open(path, "wb") as fh:
+            fh.write(raw[:offsets[cut]])
+        with pytest.raises(ValueError, match="truncated"):
+            read_trace(path)
+
+    def test_trailing_bytes_rejected(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        write_trace(sample_trace(), path, version=2)
+        raw = gzip.decompress(path.read_bytes())
+        with gzip.open(path, "wb") as fh:
+            fh.write(raw + b"junk")
+        with pytest.raises(ValueError, match="trailing bytes"):
+            read_trace(path)
+
+    def test_truncated_name(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(b"PNTR2\n" + (200).to_bytes(2, "little") + b"short")
+        with pytest.raises(ValueError, match="truncated name"):
             read_trace(path)
