@@ -1,0 +1,65 @@
+"""Reproduction benchmark: quick-suite wall-clock and union-plan dedup.
+
+The artifact registry plans every table/figure as deterministic-id jobs
+and executes only the unique set. This bench records the end-to-end
+quick-suite reproduce wall-clock at a reduced scale plus the
+planned-vs-executed dedup ratio for the bundle artifacts and the full
+thirteen-artifact registry; results append to
+``benchmarks/reports/BENCH_reproduce.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reproduce import run_reproduce_bench, write_record
+
+#: The union planner must keep sharing jobs across artifacts.
+BUNDLE_DEDUP_TARGET = 1.5
+FULL_DEDUP_TARGET = 1.2
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    """One measured run shared by every assertion (reduced sim scale)."""
+    return run_reproduce_bench(repeats=2, scale=0.5)
+
+
+def test_record_run(bench_result, write_report):
+    """Append the measurement to the bench file and echo the ratios."""
+    document = write_record(bench_result)
+    lines = ["reproduction cost (quick suite, reduced scale):",
+             f"  {'reproduce wall (s)':40s} "
+             f"{bench_result.reproduce_seconds:10.3f}",
+             "union-plan dedup (planned / executed):"]
+    for metric, ratio in sorted(
+            document["dedup_planned_vs_executed"].items()):
+        lines.append(f"  {metric:40s} {ratio:10.3f}x")
+    lines.append(
+        f"  {'bundle jobs':40s} {bench_result.bundle_planned_jobs:6d} "
+        f"planned -> {bench_result.bundle_unique_jobs} executed")
+    lines.append(
+        f"  {'full registry jobs':40s} {bench_result.full_planned_jobs:6d} "
+        f"planned -> {bench_result.full_unique_jobs} executed")
+    write_report("BENCH_reproduce_summary", "\n".join(lines))
+
+
+def test_bundle_dedup(bench_result):
+    """Eight bundle artifacts share one campaign: heavy dedup."""
+    assert bench_result.bundle_dedup_ratio >= BUNDLE_DEDUP_TARGET, (
+        f"bundle dedup {bench_result.bundle_dedup_ratio:.2f}x, "
+        f"target {BUNDLE_DEDUP_TARGET}x")
+
+
+def test_full_registry_dedup(bench_result):
+    """Even with the standalone artifacts the union stays deduplicated."""
+    assert bench_result.full_dedup_ratio >= FULL_DEDUP_TARGET, (
+        f"full-registry dedup {bench_result.full_dedup_ratio:.2f}x, "
+        f"target {FULL_DEDUP_TARGET}x")
+
+
+def test_union_strictly_smaller(bench_result):
+    """The union plan executes strictly fewer jobs than the per-artifact
+    sum (the ISSUE acceptance criterion)."""
+    assert bench_result.bundle_unique_jobs < bench_result.bundle_planned_jobs
+    assert bench_result.full_unique_jobs < bench_result.full_planned_jobs

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Resumable-reproduce smoke drill: interrupt, resume, byte-compare.
+
+Runs the quick-suite reproduction three ways:
+
+1. **baseline** — uninterrupted, reports written to ``<out>/baseline/``;
+2. **interrupted** — the same campaign in a subprocess with an injected
+   ``__fault:exit`` job that kills the process mid-campaign (exit 17),
+   leaving a partial result store behind;
+3. **resumed** — the same invocation with ``resume=True``, which re-plans,
+   skips every stored job id, and finishes the rest.
+
+The drill passes iff the resumed reports are byte-identical to the
+baseline and no stored job id was executed twice (each id appears exactly
+once in the store). Wall-clock metrics (Table I renders per-run seconds)
+are made deterministic by replacing ``time.perf_counter`` with a fixed
+step-per-call clock in every phase, so "byte-identical" is exact.
+
+CI runs this as the reproduce-resume smoke job; it is also runnable by
+hand: ``python scripts/resume_smoke.py [--out DIR]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.reproduce import run_reproduction  # noqa: E402
+from repro.sim import ExperimentScale  # noqa: E402
+
+SCALE = ExperimentScale(warmup_instructions=1_000, sim_instructions=4_000,
+                        sample_interval=1_000, seed=1)
+P_VALUES = (0.05, 0.3, 1.0)
+PANEL = 2
+#: ``__fault:exit`` calls os._exit with this code mid-campaign.
+EXIT_CODE = 17
+
+
+class FakeClock:
+    """Deterministic ``perf_counter``: a fixed step per call, so per-run
+    durations depend only on the (deterministic) number of calls."""
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def reproduce(output_dir: Path, store: Path, *, resume: bool = False,
+              inject: str | None = None) -> dict:
+    """One quick-suite reproduction under the deterministic clock."""
+    time.perf_counter = FakeClock()
+    return run_reproduction(scale=SCALE, p_values=P_VALUES,
+                            panel_size=PANEL, output_dir=output_dir,
+                            store=store, resume=resume, inject=inject)
+
+
+def stored_ids(store: Path) -> list:
+    """Job ids of the result records in a campaign store, in order."""
+    ids = []
+    for line in store.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("kind") == "result":
+            ids.append(record["job_id"])
+    return ids
+
+
+def main() -> int:
+    """Run the drill; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="out/resume-smoke",
+                        help="working directory (default: out/resume-smoke)")
+    parser.add_argument("--interrupted", metavar="STORE", default=None,
+                        help=argparse.SUPPRESS)  # internal child mode
+    args = parser.parse_args()
+
+    if args.interrupted is not None:
+        # Child mode: die mid-campaign via the injected fault job.
+        store = Path(args.interrupted)
+        reproduce(store.parent / "interrupted-reports", store,
+                  inject="exit")
+        print("interrupted run unexpectedly completed", file=sys.stderr)
+        return 1
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    baseline_dir = out / "baseline"
+    resumed_dir = out / "resumed"
+    store = out / "reproduction.jsonl"
+    for stale in (store, *out.glob("baseline/*.txt"),
+                  *out.glob("resumed/*.txt")):
+        stale.unlink(missing_ok=True)
+
+    print("[1/3] baseline reproduction (uninterrupted)")
+    baseline = reproduce(baseline_dir, out / "baseline.jsonl")
+
+    print("[2/3] interrupted reproduction (injected __fault:exit)")
+    child = subprocess.run(
+        [sys.executable, __file__, "--interrupted", str(store)],
+        cwd=Path.cwd(), check=False)
+    if child.returncode != EXIT_CODE:
+        print(f"expected the fault to kill the child with exit {EXIT_CODE}, "
+              f"got {child.returncode}", file=sys.stderr)
+        return 1
+    partial = stored_ids(store)
+    if not partial or len(partial) >= len(baseline) * 6:
+        print(f"interrupted store holds {len(partial)} results — "
+              "the campaign was not actually cut short", file=sys.stderr)
+        return 1
+    print(f"      store holds {len(partial)} partial results")
+
+    print("[3/3] resumed reproduction (--resume)")
+    resumed = reproduce(resumed_dir, store, resume=True)
+
+    failures = []
+    for artifact in sorted(baseline):
+        a = (baseline_dir / f"{artifact}.txt").read_bytes()
+        b = (resumed_dir / f"{artifact}.txt").read_bytes()
+        if a != b:
+            failures.append(f"{artifact}: resumed report differs "
+                            "from baseline")
+    final = stored_ids(store)
+    re_executed = len(final) - len(set(final))
+    if re_executed:
+        failures.append(f"{re_executed} job id(s) executed twice "
+                        "after resume")
+    if set(resumed) != set(baseline):
+        failures.append("resumed run rendered a different artifact set")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(baseline)} reports byte-identical after resume; "
+          f"{len(partial)} stored + {len(final) - len(partial)} resumed "
+          f"jobs, 0 re-executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,14 +7,17 @@ from repro.bench.datapath import (
     run_datapath_bench,
     write_record,
 )
+from repro.bench.reproduce import ReproduceBenchResult, run_reproduce_bench
 from repro.bench.trace import TraceBenchResult, run_trace_bench
 
 __all__ = [
     "BENCH_FILE",
     "DatapathBenchResult",
+    "ReproduceBenchResult",
     "TraceBenchResult",
     "load_baseline",
     "run_datapath_bench",
+    "run_reproduce_bench",
     "run_trace_bench",
     "write_record",
 ]

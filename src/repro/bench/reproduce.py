@@ -1,0 +1,143 @@
+"""Reproduction benchmark: quick-suite wall-clock and union-plan dedup.
+
+The artifact registry plans every table/figure as jobs with deterministic
+ids and executes only the unique set, so the reproduction's cost has two
+levers: how fast one job runs (the data-path benches cover that) and how
+many planned jobs never execute because another artifact already claimed
+them. This bench records both — the end-to-end quick-suite reproduce
+wall-clock at a reduced scale, and the planned-vs-executed dedup ratio for
+the bundle artifacts and for the full thirteen-artifact registry.
+
+``benchmarks/test_perf_reproduce.py`` asserts the dedup ratio stays > 1
+(the union planner must keep sharing jobs) and appends each run to
+``benchmarks/reports/BENCH_reproduce.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.config import scaled_config
+from repro.core import PAPER_PINDUCE_SWEEP
+from repro.experiments.registry import PlanContext, artifact_names, plan_union
+from repro.experiments.reproduce import BUNDLE_ARTIFACTS, run_reproduction
+from repro.experiments.suites import QUICK_SUITE
+from repro.sim import ExperimentScale
+
+#: Canonical record of reproduction cost, appended to per run.
+BENCH_FILE = (Path(__file__).resolve().parents[3]
+              / "benchmarks" / "reports" / "BENCH_reproduce.json")
+
+#: Baseline instruction counts; ``scale`` multiplies both.
+BENCH_WARMUP = 2_000
+BENCH_INSTRUCTIONS = 8_000
+BENCH_SEED = 3
+BENCH_PANEL = 2
+#: Reduced sweep: full 12-point sweeps dominate wall-clock without
+#: changing the dedup structure.
+BENCH_PINDUCE = PAPER_PINDUCE_SWEEP[::4] or PAPER_PINDUCE_SWEEP
+
+
+@dataclass
+class ReproduceBenchResult:
+    """Quick-suite reproduce wall-clock and union-plan dedup counts."""
+
+    reproduce_seconds: float
+    bundle_planned_jobs: int
+    bundle_unique_jobs: int
+    bundle_dedup_ratio: float
+    full_planned_jobs: int
+    full_unique_jobs: int
+    full_dedup_ratio: float
+    warmup_instructions: int
+    sim_instructions: int
+    repeats: int
+    python: str = ""
+
+    def dedup_ratios(self) -> dict:
+        """Planned-over-executed ratios for both artifact sets."""
+        return {
+            "bundle": self.bundle_dedup_ratio,
+            "full_registry": self.full_dedup_ratio,
+        }
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best (min) wall-clock over ``repeats`` runs — min-noise estimator."""
+    return min(fn() for _ in range(repeats))
+
+
+def run_reproduce_bench(repeats: int = 3,
+                        scale: float = 1.0) -> ReproduceBenchResult:
+    """Time a quick-suite reproduce and measure the union-plan dedup.
+
+    ``scale`` shrinks the simulated instruction counts (quick CI smoke
+    mode uses a fraction). Planning is pure, so the dedup counts are
+    measured at full fidelity regardless of ``scale``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    config = scaled_config()
+    warmup = max(500, int(BENCH_WARMUP * scale))
+    instructions = max(2_000, int(BENCH_INSTRUCTIONS * scale))
+    run_scale = ExperimentScale(warmup_instructions=warmup,
+                                sim_instructions=instructions,
+                                sample_interval=max(1, instructions // 10),
+                                seed=BENCH_SEED)
+    ctx = PlanContext(config=config, scale=run_scale,
+                      suite=tuple(QUICK_SUITE), p_values=BENCH_PINDUCE,
+                      panel_size=BENCH_PANEL)
+    bundle_plan = plan_union(list(BUNDLE_ARTIFACTS), ctx)
+    full_plan = plan_union(artifact_names(), ctx)
+
+    def reproduce_once() -> float:
+        start = time.perf_counter()
+        reports = run_reproduction(config=config, scale=run_scale,
+                                   suite=tuple(QUICK_SUITE),
+                                   p_values=BENCH_PINDUCE,
+                                   panel_size=BENCH_PANEL)
+        elapsed = time.perf_counter() - start
+        assert set(reports) == set(BUNDLE_ARTIFACTS)
+        return elapsed
+
+    return ReproduceBenchResult(
+        reproduce_seconds=_best_of(repeats, reproduce_once),
+        bundle_planned_jobs=bundle_plan.planned_total,
+        bundle_unique_jobs=bundle_plan.unique_total,
+        bundle_dedup_ratio=bundle_plan.dedup_ratio,
+        full_planned_jobs=full_plan.planned_total,
+        full_unique_jobs=full_plan.unique_total,
+        full_dedup_ratio=full_plan.dedup_ratio,
+        warmup_instructions=warmup,
+        sim_instructions=instructions,
+        repeats=repeats,
+        python=platform.python_version(),
+    )
+
+
+def write_record(result: ReproduceBenchResult,
+                 path: Optional[Path] = None) -> dict:
+    """Record a run in the bench file; returns the updated document.
+
+    Runs land in ``runs`` (an append-only trajectory); ``current`` and
+    ``dedup_planned_vs_executed`` always reflect the latest run.
+    """
+    if path is None:
+        path = BENCH_FILE
+    document = json.loads(path.read_text()) if path.exists() else {}
+    entry = asdict(result)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["current"] = entry
+    document.setdefault("runs", []).append(entry)
+    document["dedup_planned_vs_executed"] = {
+        metric: round(value, 3)
+        for metric, value in result.dedup_ratios().items()
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return document

@@ -166,6 +166,9 @@ def _job_label(job: Job) -> str:
         return f"{job.workload}@p={job.p_induce}"
     if job.mode == "pair":
         return f"{job.workload}+{job.co_runner}"
+    if job.mode == "multi":
+        label = f"{job.workload}+{'+'.join(job.co_runners)}"
+        return f"{label}[{job.scheme}]" if job.scheme else label
     return job.workload
 
 

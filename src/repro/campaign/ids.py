@@ -36,7 +36,9 @@ __all__ = [
 ]
 
 #: Version tag hashed into every id; bump when the payload shape changes.
-ID_SCHEME = "pinte-job-v1"
+#: v2: Job grew multicore fields (co_runners/scheme/repartition_interval)
+#: and seed overrides (pinte_seed/trace_seed).
+ID_SCHEME = "pinte-job-v2"
 
 
 def job_to_dict(job: Job) -> dict:

@@ -14,9 +14,16 @@ Commands:
 * ``trace build|info|cache`` — generate trace files for external tooling,
   inspect them, and manage the shared on-disk trace store
   (``cache prime|ls|clear``).
+* ``artifact ls|plan|run`` — the declarative artifact registry: list the
+  registered tables/figures, preview the deduplicated union plan, or
+  execute a subset through the campaign engine.
+* ``reproduce`` — plan/execute/render every paper artifact; with
+  ``--store`` the campaign persists and ``--resume`` finishes an
+  interrupted reproduction without re-running stored jobs.
 * ``bench`` — hot-path throughput microbenchmarks (``--suite datapath``
   vs the committed seed baseline; ``--suite trace`` columnar vs
-  object-list trace generation/load).
+  object-list trace generation/load; ``--suite reproduce`` quick-suite
+  reproduction wall-clock and job dedup).
 
 Every command prints plain text and returns a process exit code, so the CLI
 is scriptable; all functions are also unit-testable by calling
@@ -362,9 +369,77 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         output_dir=Path(args.output) if args.output else None,
         processes=args.processes,
         trace_store=args.trace_cache,
+        artifacts=args.artifacts,
+        store=args.store,
+        resume=args.resume,
+        inject=args.inject,
     )
     for artifact in sorted(reports):
         print(f"\n{'=' * 72}\n[{artifact}]\n{reports[artifact]}")
+    if args.output:
+        print(f"\nreports written to {args.output}/")
+    return 0
+
+
+def _artifact_context(args: argparse.Namespace):
+    """Build the PlanContext an ``artifact plan|run`` invocation describes."""
+    from repro.experiments.registry import PlanContext
+    from repro.experiments.reproduce import suite_for_name
+
+    config = _machine(args.machine)
+    scale = ExperimentScale(warmup_instructions=args.warmup,
+                            sim_instructions=args.instructions,
+                            sample_interval=max(1, args.instructions // 10),
+                            seed=args.seed)
+    return PlanContext(config=config, scale=scale,
+                       suite=tuple(suite_for_name(args.suite)),
+                       panel_size=args.panel)
+
+
+def cmd_artifact(args: argparse.Namespace) -> int:
+    """``repro artifact ls|plan|run`` — the declarative artifact registry."""
+    from repro.experiments.registry import (
+        artifact_names,
+        execute_plan,
+        get_artifact,
+        plan_union,
+    )
+
+    if args.artifact_command == "ls":
+        rows = [(name, get_artifact(name).title) for name in artifact_names()]
+        print(format_table(["Artifact", "Title"], rows,
+                           title=f"{len(rows)} registered artifacts"))
+        return 0
+
+    ctx = _artifact_context(args)
+    names = args.names or artifact_names()
+    plan = plan_union(names, ctx)
+
+    if args.artifact_command == "plan":
+        rows = [(name, len(plan.per_artifact[name]))
+                for name in plan.artifacts]
+        rows.append(("planned (sum over artifacts)", plan.planned_total))
+        rows.append(("unique (will execute)", plan.unique_total))
+        rows.append(("dedup ratio", f"{plan.dedup_ratio:.2f}x"))
+        print(format_table(["Artifact", "Jobs"], rows,
+                           title=f"union plan for {len(plan.artifacts)} "
+                                 f"artifact(s), suite {args.suite!r}"))
+        return 0
+
+    outcome = execute_plan(plan, processes=args.processes, store=args.store,
+                           resume=args.resume, trace_store=args.trace_cache,
+                           progress=_campaign_progress)
+    print(f"executed {outcome.executed} job(s), skipped {outcome.skipped} "
+          f"(resume), {outcome.failed} failed "
+          f"[{plan.planned_total} planned -> {plan.unique_total} unique, "
+          f"{plan.dedup_ratio:.2f}x dedup]")
+    for name in plan.artifacts:
+        text = get_artifact(name).report(ctx, outcome.results)
+        print(f"\n{'=' * 72}\n[{name}]\n{text}")
+        if args.output:
+            output = Path(args.output)
+            output.mkdir(parents=True, exist_ok=True)
+            (output / f"{name}.txt").write_text(text + "\n")
     if args.output:
         print(f"\nreports written to {args.output}/")
     return 0
@@ -404,6 +479,38 @@ def _bench_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_reproduce(args: argparse.Namespace) -> int:
+    """``repro bench --suite reproduce`` — reproduction planning/dedup."""
+    import json
+
+    from repro.bench.reproduce import run_reproduce_bench, write_record
+
+    result = run_reproduce_bench(repeats=args.repeats, scale=args.scale)
+    rows = [
+        ("quick-suite reproduce wall (s)",
+         f"{result.reproduce_seconds:.3f}"),
+        ("bundle: planned jobs", result.bundle_planned_jobs),
+        ("bundle: executed jobs", result.bundle_unique_jobs),
+        ("bundle: dedup ratio", f"{result.bundle_dedup_ratio:.3f}x"),
+        ("all artifacts: planned jobs", result.full_planned_jobs),
+        ("all artifacts: executed jobs", result.full_unique_jobs),
+        ("all artifacts: dedup ratio", f"{result.full_dedup_ratio:.3f}x"),
+    ]
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"reproduce benchmark (best of {result.repeats}, "
+              f"scale {args.scale:g})",
+    ))
+    if args.no_record:
+        print(json.dumps(
+            {k: v for k, v in vars(result).items()}, indent=1, sort_keys=True))
+    else:
+        document = write_record(result)
+        print(f"appended run #{len(document['runs'])} to "
+              "benchmarks/reports/BENCH_reproduce.json")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench`` — hot-path throughput microbenchmarks."""
     import json
@@ -418,6 +525,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit("bench: --repeats must be >= 1")
     if args.suite == "trace":
         return _bench_trace(args)
+    if args.suite == "reproduce":
+        return _bench_reproduce(args)
     result = run_datapath_bench(repeats=args.repeats, scale=args.scale)
     rows = [
         ("fastcache (records/s)", f"{result.fastcache_records_per_sec:,.0f}"),
@@ -877,12 +986,55 @@ def build_parser() -> argparse.ArgumentParser:
                               "processes (identical results)")
     p_repro.add_argument("--trace-cache", default=None, metavar="PATH",
                          help="shared on-disk trace store directory")
+    p_repro.add_argument("--artifacts", nargs="+", default=None,
+                         metavar="NAME",
+                         help="explicit registry subset (default: bundle "
+                              "artifacts; see `repro artifact ls`)")
+    p_repro.add_argument("--store", default=None, metavar="PATH",
+                         help="persistent JSONL result store for the "
+                              "reproduction campaign")
+    p_repro.add_argument("--resume", action="store_true",
+                         help="skip jobs already in --store and finish the "
+                              "interrupted reproduction")
+    p_repro.add_argument("--inject", default=None, metavar="FAULT",
+                         help="insert one fault-injection job, e.g. raise, "
+                              "exit, hang, flaky:2+470.lbm (testing/CI)")
     _add_common(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
 
+    p_art = sub.add_parser(
+        "artifact", help="the declarative artifact registry (plan/run)")
+    art_sub = p_art.add_subparsers(dest="artifact_command", required=True)
+    a_ls = art_sub.add_parser("ls", help="list registered artifacts")
+    a_ls.set_defaults(func=cmd_artifact)
+    for verb, verb_help in (("plan", "preview the deduplicated union plan"),
+                            ("run", "execute artifacts via the campaign "
+                                    "engine and render them")):
+        a_verb = art_sub.add_parser(verb, help=verb_help)
+        a_verb.add_argument("names", nargs="*",
+                            help="artifact names (default: all registered)")
+        a_verb.add_argument("--suite", default="quick",
+                            choices=("quick", "core"))
+        a_verb.add_argument("--panel", type=int, default=3,
+                            help="2nd-Trace adversaries per benchmark")
+        if verb == "run":
+            a_verb.add_argument("--processes", type=int, default=None,
+                                help="worker processes (default: inline)")
+            a_verb.add_argument("--store", default=None, metavar="PATH",
+                                help="persistent JSONL result store")
+            a_verb.add_argument("--resume", action="store_true",
+                                help="skip jobs already in --store")
+            a_verb.add_argument("--trace-cache", default=None,
+                                metavar="PATH",
+                                help="shared on-disk trace store directory")
+            a_verb.add_argument("--output", default=None, metavar="DIR",
+                                help="also write <artifact>.txt reports")
+        _add_common(a_verb)
+        a_verb.set_defaults(func=cmd_artifact)
+
     p_bench = sub.add_parser("bench",
                              help="hot-path throughput microbenchmarks")
-    p_bench.add_argument("--suite", choices=("datapath", "trace"),
+    p_bench.add_argument("--suite", choices=("datapath", "trace", "reproduce"),
                          default="datapath",
                          help="which microbenchmark to run (default: datapath)")
     p_bench.add_argument("--repeats", type=int, default=3,

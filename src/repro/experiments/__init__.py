@@ -8,6 +8,7 @@ dataclass and ``format_report`` rendering the paper-style rows/series.
 
 from repro.experiments import (
     ablations,
+    ncore_study,
     partition_study,
     fig1,
     fig3,
@@ -34,6 +35,8 @@ from repro.experiments.suites import (
     FULL_SUITE,
     QUICK_SUITE,
 )
+# The registry imports every driver module above, so it must come last.
+from repro.experiments import registry
 
 __all__ = [
     "CASE_STUDY_SUITE",
@@ -47,7 +50,9 @@ __all__ = [
     "ablations",
     "build_contexts",
     "fig1",
+    "ncore_study",
     "partition_study",
+    "registry",
     "fig3",
     "fig5",
     "fig6",

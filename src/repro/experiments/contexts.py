@@ -44,7 +44,16 @@ class ContextBundle:
         return list(self.pinte[name].values())
 
     def pair_results(self, name: str) -> List[SimulationResult]:
-        """All 2nd-Trace runs with ``name`` as the measured workload."""
+        """All 2nd-Trace runs with ``name`` as the measured workload.
+
+        A benchmark that is in the bundle but was run without pairs
+        (``include_pairs=False``) yields ``[]``; an unknown benchmark
+        raises ``KeyError`` naming the available ones.
+        """
+        if name not in self.names:
+            raise KeyError(
+                f"unknown benchmark {name!r}; bundle has: "
+                f"{', '.join(self.names)}")
         return self.pairs.get(name, [])
 
     def all_pinte(self) -> List[SimulationResult]:

@@ -79,31 +79,26 @@ def _percent_change(results: Sequence[SimulationResult]) -> List[float]:
     return [100.0 * (r.ipc / baseline - 1.0) for r in results]
 
 
-def run_fig10(
-    names: Sequence[str] = tuple(FIG10_SUITE),
-    config: MachineConfig = None,
-    scale: ExperimentScale = None,
-    p_values: Sequence[float] = FIG10_PINDUCE,
-    panel_size: int = 3,
-) -> Fig10Result:
-    """Run the xeon-config 2nd-Trace proxy against the PInTE sweep."""
-    config = config if config is not None else xeon_config()
-    scale = scale if scale is not None else ExperimentScale()
-    names = list(names)
-    library = TraceLibrary(config, scale)
-    allocation_fraction = (
-        (config.llc_way_allocation or config.llc.assoc) / config.llc.assoc
-    )
+def allocation_fraction_for(config: MachineConfig) -> float:
+    """The RDT-style LLC allocation fraction of one machine config."""
+    return (config.llc_way_allocation or config.llc.assoc) / config.llc.assoc
 
+
+def points_from_results(
+    names: Sequence[str],
+    sweep: Dict[str, Dict[float, SimulationResult]],
+    pairs_by_name: Dict[str, List[SimulationResult]],
+    allocation_fraction: float,
+) -> Fig10Result:
+    """Build the scatter from raw results (shared with the registry).
+
+    ``sweep`` maps benchmark -> P_induce -> PInTE result;
+    ``pairs_by_name`` maps benchmark -> 2nd-Trace results in panel order.
+    """
     real_points: Dict[str, List[Fig10Point]] = {}
     pinte_points: Dict[str, List[Fig10Point]] = {}
-    sweep = run_pinte_sweep(names, config, scale, p_values=p_values,
-                            library=library)
     for name in names:
-        panel = adversary_panel(name, names, panel_size)
-        pair_keys: List[Tuple[str, str]] = [(name, other) for other in panel]
-        pair_results = run_pairs(pair_keys, config, scale, library=library)
-        ordered_pairs = [pair_results[key] for key in pair_keys]
+        ordered_pairs = pairs_by_name[name]
         changes = _percent_change(ordered_pairs)
         real_points[name] = [
             Fig10Point(
@@ -120,6 +115,31 @@ def run_fig10(
         ]
     return Fig10Result(real_points=real_points, pinte_points=pinte_points,
                        allocation_fraction=allocation_fraction)
+
+
+def run_fig10(
+    names: Sequence[str] = tuple(FIG10_SUITE),
+    config: MachineConfig = None,
+    scale: ExperimentScale = None,
+    p_values: Sequence[float] = FIG10_PINDUCE,
+    panel_size: int = 3,
+) -> Fig10Result:
+    """Run the xeon-config 2nd-Trace proxy against the PInTE sweep."""
+    config = config if config is not None else xeon_config()
+    scale = scale if scale is not None else ExperimentScale()
+    names = list(names)
+    library = TraceLibrary(config, scale)
+
+    sweep = run_pinte_sweep(names, config, scale, p_values=p_values,
+                            library=library)
+    pairs_by_name: Dict[str, List[SimulationResult]] = {}
+    for name in names:
+        panel = adversary_panel(name, names, panel_size)
+        pair_keys: List[Tuple[str, str]] = [(name, other) for other in panel]
+        pair_results = run_pairs(pair_keys, config, scale, library=library)
+        pairs_by_name[name] = [pair_results[key] for key in pair_keys]
+    return points_from_results(names, sweep, pairs_by_name,
+                               allocation_fraction_for(config))
 
 
 def format_report(result: Fig10Result) -> str:

@@ -116,6 +116,58 @@ def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def sweep_from_results(
+    dimension: Dimension,
+    results: Dict[float, Dict[str, Dict[str, SimulationResult]]],
+    p_values: Tuple[float, ...],
+    workloads: Tuple[str, ...],
+) -> DimensionSweep:
+    """Rank one dimension's options from ``results[p][option][workload]``.
+
+    Shared by the serial :func:`run_fig11` driver and the artifact
+    registry's aggregate phase.
+    """
+    win_share: Dict[float, Dict[str, float]] = {}
+    tie_share: Dict[float, float] = {}
+    primary: Dict[float, Dict[str, float]] = {}
+    secondary: Dict[float, Dict[str, float]] = {}
+    for p in p_values:
+        wins = {option: 0 for option in dimension.options}
+        ties = 0
+        for name in workloads:
+            ipcs = {option: results[p][option][name].ipc
+                    for option in dimension.options}
+            best_option = max(ipcs, key=ipcs.get)
+            best = ipcs[best_option]
+            wins[best_option] += 1
+            if best > 0 and all(value >= best * (1 - TIE_MARGIN)
+                                for value in ipcs.values()):
+                ties += 1
+        n = len(workloads)
+        win_share[p] = {option: wins[option] / n for option in dimension.options}
+        tie_share[p] = ties / n
+        primary[p] = {
+            option: _mean([getattr(results[p][option][name],
+                                   dimension.primary_metric)
+                           for name in workloads])
+            for option in dimension.options
+        }
+        secondary[p] = {
+            option: _mean([getattr(results[p][option][name],
+                                   dimension.secondary_metric)
+                           for name in workloads])
+            for option in dimension.options
+        }
+    return DimensionSweep(
+        dimension=dimension.name,
+        options=dimension.options,
+        win_share=win_share,
+        tie_share=tie_share,
+        primary=primary,
+        secondary=secondary,
+    )
+
+
 def run_fig11(
     config: MachineConfig,
     scale: ExperimentScale,
@@ -147,45 +199,8 @@ def run_fig11(
                         sample_interval=scale.sample_interval,
                         seed=scale.seed,
                     )
-        win_share: Dict[float, Dict[str, float]] = {}
-        tie_share: Dict[float, float] = {}
-        primary: Dict[float, Dict[str, float]] = {}
-        secondary: Dict[float, Dict[str, float]] = {}
-        for p in p_values:
-            wins = {option: 0 for option in dimension.options}
-            ties = 0
-            for name in workloads:
-                ipcs = {option: results[p][option][name].ipc
-                        for option in dimension.options}
-                best_option = max(ipcs, key=ipcs.get)
-                best = ipcs[best_option]
-                wins[best_option] += 1
-                if best > 0 and all(value >= best * (1 - TIE_MARGIN)
-                                    for value in ipcs.values()):
-                    ties += 1
-            n = len(workloads)
-            win_share[p] = {option: wins[option] / n for option in dimension.options}
-            tie_share[p] = ties / n
-            primary[p] = {
-                option: _mean([getattr(results[p][option][name],
-                                       dimension.primary_metric)
-                               for name in workloads])
-                for option in dimension.options
-            }
-            secondary[p] = {
-                option: _mean([getattr(results[p][option][name],
-                                       dimension.secondary_metric)
-                               for name in workloads])
-                for option in dimension.options
-            }
-        sweeps[dimension.name] = DimensionSweep(
-            dimension=dimension.name,
-            options=dimension.options,
-            win_share=win_share,
-            tie_share=tie_share,
-            primary=primary,
-            secondary=secondary,
-        )
+        sweeps[dimension.name] = sweep_from_results(dimension, results,
+                                                    p_values, workloads)
     return Fig11Result(sweeps=sweeps, p_values=p_values, workloads=workloads)
 
 

@@ -46,23 +46,19 @@ class Fig3Result:
 METRICS = ("miss_rate", "ipc")
 
 
-def run_fig3(
+def stability_from_repeats(
+    repeats: Sequence[Dict[str, Dict[float, object]]],
     names: Sequence[str],
-    config: MachineConfig,
-    scale: ExperimentScale,
-    p_values: Sequence[float] = PAPER_PINDUCE_SWEEP,
-    n_repeats: int = 5,
+    p_values: Sequence[float],
 ) -> Fig3Result:
-    """Repeat the PInTE sweep ``n_repeats`` times with distinct seeds."""
-    if n_repeats < 2:
+    """Aggregate ``repeats[k][name][p] -> result`` into a :class:`Fig3Result`.
+
+    Shared by the serial :func:`run_fig3` driver and the artifact
+    registry's aggregate phase, so both produce identical statistics.
+    """
+    if len(repeats) < 2:
         raise ValueError("stability needs at least two repeats")
-    library = TraceLibrary(config, scale)
-    # repeats[k][name][p] -> result
-    repeats = [
-        run_pinte_sweep(names, config, scale, p_values=p_values,
-                        library=library, pinte_seed=1000 + k)
-        for k in range(n_repeats)
-    ]
+    n_repeats = len(repeats)
     per_benchmark: Dict[str, Dict[str, List[float]]] = {
         name: {metric: [] for metric in METRICS} for name in names
     }
@@ -83,6 +79,30 @@ def run_fig3(
                 per_config[p][metric].append(spread)
     return Fig3Result(per_benchmark=per_benchmark, per_config=per_config,
                       n_repeats=n_repeats)
+
+
+#: PInTE seed base for repeat ``k`` (``1000 + k``), shared with the registry.
+REPEAT_SEED_BASE = 1000
+
+
+def run_fig3(
+    names: Sequence[str],
+    config: MachineConfig,
+    scale: ExperimentScale,
+    p_values: Sequence[float] = PAPER_PINDUCE_SWEEP,
+    n_repeats: int = 5,
+) -> Fig3Result:
+    """Repeat the PInTE sweep ``n_repeats`` times with distinct seeds."""
+    if n_repeats < 2:
+        raise ValueError("stability needs at least two repeats")
+    library = TraceLibrary(config, scale)
+    # repeats[k][name][p] -> result
+    repeats = [
+        run_pinte_sweep(names, config, scale, p_values=p_values,
+                        library=library, pinte_seed=REPEAT_SEED_BASE + k)
+        for k in range(n_repeats)
+    ]
+    return stability_from_repeats(repeats, names, p_values)
 
 
 def format_report(result: Fig3Result) -> str:

@@ -41,10 +41,13 @@ class Fig5Result:
     comparisons: List[ReuseComparison]
 
     def by_name(self, benchmark: str) -> ReuseComparison:
+        """The comparison for one benchmark; ``KeyError`` lists the rest."""
         for comparison in self.comparisons:
             if comparison.benchmark == benchmark:
                 return comparison
-        raise KeyError(benchmark)
+        available = ", ".join(c.benchmark for c in self.comparisons)
+        raise KeyError(f"unknown benchmark {benchmark!r}; "
+                       f"comparisons cover: {available}")
 
     def sorted_by_alignment(self) -> List[ReuseComparison]:
         """Best (lowest KL) first; signal-free comparisons sort last since

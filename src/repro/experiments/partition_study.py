@@ -106,16 +106,33 @@ def run_partition_study(
             partitioner=partitioner,
             repartition_interval=repartition_interval,
         )
-        throughput = throughput_report(results, isolations)
-        for core, (shared, alone) in enumerate(zip(results, isolations)):
-            results[core].extra[f"wipc_core{core}"] = shared.ipc / alone.ipc
-        outcomes[scheme] = SchemeOutcome(
-            scheme=scheme,
-            results=results,
-            throughput=throughput,
+        outcomes[scheme] = outcome_from_results(
+            scheme, results, isolations,
             final_quotas=(partitioner.allocate() if partitioner else {}),
         )
     return PartitionStudyResult(workloads=workloads, outcomes=outcomes)
+
+
+def outcome_from_results(
+    scheme: str,
+    results: List[SimulationResult],
+    isolations: List[SimulationResult],
+    final_quotas: Dict[int, int],
+) -> SchemeOutcome:
+    """Build one scheme's outcome from its per-core and isolation results.
+
+    Shared by the serial :func:`run_partition_study` driver and the
+    artifact registry's aggregate phase.
+    """
+    throughput = throughput_report(results, isolations)
+    for core, (shared, alone) in enumerate(zip(results, isolations)):
+        results[core].extra[f"wipc_core{core}"] = shared.ipc / alone.ipc
+    return SchemeOutcome(
+        scheme=scheme,
+        results=results,
+        throughput=throughput,
+        final_quotas=final_quotas,
+    )
 
 
 def format_report(result: PartitionStudyResult) -> str:

@@ -1,10 +1,15 @@
 """One-shot reproduction driver: every table/figure from a single campaign.
 
-``run_reproduction`` builds one context bundle and renders every
-bundle-based artifact (Table I/II, Fig 1/5/6/7/8/9); the self-contained
-drivers (Fig 3/10/11) can be included when time allows. This is what
-``python -m repro reproduce`` runs; the benchmark harness does the same
-per-artifact with shape assertions.
+``run_reproduction`` is a thin loop over the artifact registry
+(:mod:`repro.experiments.registry`): it plans the union of the selected
+artifacts, deduplicates shared jobs by deterministic id, executes the
+unique set through the fault-tolerant campaign engine, then aggregates and
+renders each artifact from the shared results. With a ``store`` the
+campaign is persistent and ``resume=True`` skips every job already on
+disk, so an interrupted reproduction picks up where it stopped and still
+produces byte-identical reports. This is what ``python -m repro
+reproduce`` runs; ``python -m repro artifact`` exposes the same registry
+piecemeal.
 """
 
 from __future__ import annotations
@@ -14,28 +19,32 @@ from typing import Dict, Optional, Sequence
 
 from repro.config import MachineConfig, scaled_config
 from repro.core import PAPER_PINDUCE_SWEEP
-from repro.experiments import (
-    fig1,
-    fig3,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    table1,
-    table2,
+from repro.experiments.registry import (
+    PlanContext,
+    execute_plan,
+    get_artifact,
+    plan_union,
 )
-from repro.experiments.contexts import build_contexts
-from repro.experiments.suites import CASE_STUDY_SUITE, CORE_SUITE, QUICK_SUITE
+from repro.experiments.suites import CORE_SUITE, QUICK_SUITE
 from repro.sim import ExperimentScale
 
-#: Artifacts rendered straight from the shared bundle.
+#: Artifacts rendered from the shared context-bundle campaign.
 BUNDLE_ARTIFACTS = ("table1", "fig1", "table2", "fig5", "fig6", "fig7",
                     "fig8", "fig9")
-#: Artifacts that run their own campaigns (slower).
-STANDALONE_ARTIFACTS = ("fig3", "fig10", "fig11")
+#: Artifacts whose plans add jobs beyond the bundle (slower).
+STANDALONE_ARTIFACTS = ("fig3", "fig10", "fig11", "ncore_study",
+                        "partition_study")
+
+
+def select_artifacts(artifacts: Optional[Sequence[str]] = None,
+                     include_standalone: bool = False) -> Sequence[str]:
+    """The artifact set one reproduction covers, in rendering order."""
+    if artifacts is not None:
+        return [get_artifact(name).name for name in artifacts]
+    selected = list(BUNDLE_ARTIFACTS)
+    if include_standalone:
+        selected.extend(STANDALONE_ARTIFACTS)
+    return selected
 
 
 def run_reproduction(
@@ -48,46 +57,36 @@ def run_reproduction(
     output_dir: Optional[Path] = None,
     processes: Optional[int] = None,
     trace_store=None,
+    artifacts: Optional[Sequence[str]] = None,
+    store=None,
+    resume: bool = False,
+    inject: Optional[str] = None,
 ) -> Dict[str, str]:
-    """Run the campaign and return ``{artifact: report text}``.
+    """Plan, execute and render the selected artifacts; ``{name: text}``.
 
     With ``output_dir`` each report is also written to ``<artifact>.txt``.
-    ``processes > 1`` fans the shared context bundle out through the
-    campaign engine (:mod:`repro.campaign`); results are identical to the
-    serial path. ``trace_store`` (a directory path or
+    ``artifacts`` names an explicit registry subset (default: the bundle
+    artifacts, plus the standalone ones when ``include_standalone``).
+    Execution always goes through the campaign engine: ``processes > 1``
+    fans out over worker processes; ``store`` (a JSONL path) makes the
+    campaign persistent and ``resume=True`` skips the job ids it already
+    holds; ``trace_store`` (a directory path or
     :class:`~repro.trace.store.TraceStore`) serves traces from the shared
-    on-disk cache instead of regenerating them.
+    on-disk cache instead of regenerating them. ``inject`` adds one fault
+    job (``raise``/``exit``/``hang``/``flaky:N+name``) for resumability
+    drills. Reports are identical however the jobs were executed.
     """
     config = config or scaled_config()
     scale = scale or ExperimentScale()
-    bundle = build_contexts(list(suite), config, scale, p_values=p_values,
-                            panel_size=panel_size, processes=processes,
-                            trace_store=trace_store)
-    reports: Dict[str, str] = {
-        "table1": table1.format_report(table1.run_table1(bundle)),
-        "fig1": fig1.format_report(fig1.run_fig1(bundle)),
-        "table2": table2.format_report(table2.run_table2(bundle)),
-        "fig6": fig6.format_report(fig6.run_fig6(bundle)),
-        "fig7": fig7.format_report(fig7.run_fig7(bundle)),
-        "fig8": fig8.format_report(fig8.run_fig8(bundle)),
-        "fig9": fig9.format_report(fig9.run_fig9(bundle)),
-    }
-    try:
-        reports["fig5"] = fig5.format_report(fig5.run_fig5(bundle))
-    except ValueError:
-        # The Fig 5 exemplars may not be in a reduced suite; fall back to
-        # whatever the bundle contains.
-        reports["fig5"] = fig5.format_report(
-            fig5.run_fig5(bundle, workloads=tuple(bundle.names[:3])))
-
-    if include_standalone:
-        reports["fig3"] = fig3.format_report(
-            fig3.run_fig3(list(suite)[:4], config, scale,
-                          p_values=p_values[::3] or p_values, n_repeats=3))
-        reports["fig10"] = fig10.format_report(fig10.run_fig10(scale=scale))
-        reports["fig11"] = fig11.format_report(
-            fig11.run_fig11(config, scale, workloads=CASE_STUDY_SUITE))
-
+    ctx = PlanContext(config=config, scale=scale, suite=tuple(suite),
+                      p_values=tuple(p_values), panel_size=panel_size)
+    selected = select_artifacts(artifacts, include_standalone)
+    plan = plan_union(selected, ctx)
+    outcome = execute_plan(plan, processes=processes,
+                           trace_store=trace_store, store=store,
+                           resume=resume, inject=inject)
+    reports = {name: get_artifact(name).report(ctx, outcome.results)
+               for name in selected}
     if output_dir is not None:
         output_dir = Path(output_dir)
         output_dir.mkdir(parents=True, exist_ok=True)

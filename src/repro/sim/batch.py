@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import MachineConfig
 from repro.core import PinteConfig
 from repro.obs.profile import PhaseProfiler
-from repro.sim.multicore import simulate_pair
+from repro.sim.multicore import simulate_multiprogrammed, simulate_pair
 from repro.sim.results import SimulationResult
 from repro.sim.runner import ExperimentScale
 from repro.sim.simulator import simulate
@@ -36,34 +36,77 @@ from repro.trace.synthetic import build_trace
 
 @dataclass(frozen=True)
 class Job:
-    """One simulation to run: isolation, PInTE, or 2nd-Trace.
+    """One simulation to run: isolation, PInTE, 2nd-Trace, or multicore.
 
     ``co_seed`` optionally pins the adversary trace's seed in ``pair``
-    mode; the default (``None``) keeps the historical ``scale.seed + 1``
-    so paired runs never share a trace stream by accident.
+    and ``multi`` modes; the default (``None``) keeps the historical
+    ``scale.seed + 1`` so paired runs never share a trace stream by
+    accident. In ``multi`` mode the i-th co-runner's trace seed is
+    ``co_seed + i``, matching the serial n-core study convention.
+
+    ``pinte_seed`` pins the PInTE RNG stream independently of the trace
+    (the Fig. 3 stability study re-runs the same trace under fresh PInTE
+    streams); ``trace_seed`` overrides the *primary* trace's seed (the
+    partitioning study measures the aggressor's isolation baseline on the
+    exact shifted-seed trace used in the shared run). ``scheme`` and
+    ``repartition_interval`` select an LLC partitioner for ``multi`` jobs
+    (``shared``/``static``/``ucp``/``casht``; ``None`` means no
+    partitioning, like ``shared``).
     """
 
     workload: str
-    mode: str = "isolation"  # isolation | pinte | pair
+    mode: str = "isolation"  # isolation | pinte | pair | multi
     p_induce: Optional[float] = None
     co_runner: Optional[str] = None
     co_seed: Optional[int] = None
+    pinte_seed: Optional[int] = None
+    trace_seed: Optional[int] = None
+    co_runners: Optional[Tuple[str, ...]] = None
+    scheme: Optional[str] = None
+    repartition_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.mode not in ("isolation", "pinte", "pair"):
+        if self.mode not in ("isolation", "pinte", "pair", "multi"):
             raise ValueError(f"unknown job mode {self.mode!r}")
         if self.mode == "pinte" and self.p_induce is None:
             raise ValueError("pinte jobs need p_induce")
         if self.mode == "pair" and not self.co_runner:
             raise ValueError("pair jobs need a co_runner")
+        if self.mode == "multi" and not self.co_runners:
+            raise ValueError("multi jobs need co_runners")
+        if self.co_runners is not None and not isinstance(self.co_runners,
+                                                          tuple):
+            # JSON round-trips hand back lists; keep the job hashable.
+            object.__setattr__(self, "co_runners", tuple(self.co_runners))
 
 
-def _coerce_store(
-        trace_store: "Optional[Union[TraceStore, str]]") -> Optional[TraceStore]:
-    """Accept a :class:`TraceStore`, a directory path, or ``None``."""
-    if trace_store is None or isinstance(trace_store, TraceStore):
+def _coerce_store(trace_store) -> Optional[TraceStore]:
+    """Accept anything with ``get_or_build`` (e.g. a
+    :class:`~repro.trace.store.TraceStore` or
+    :class:`~repro.trace.store.MemoryTraceStore`), a directory path, or
+    ``None``."""
+    if trace_store is None or hasattr(trace_store, "get_or_build"):
         return trace_store
     return TraceStore(trace_store)
+
+
+def _job_partitioner(job: Job, config: MachineConfig):
+    """Build the LLC partitioner a ``multi`` job asked for (or ``None``)."""
+    if job.scheme is None or job.scheme == "shared":
+        return None
+    from repro.cache.partition import (CashtPartitioner, StaticPartitioner,
+                                       UcpPartitioner)
+    n_ways = config.llc.assoc
+    n_sets = config.llc.size // (n_ways * config.block_size)
+    owners = list(range(1 + len(job.co_runners)))
+    if job.scheme == "static":
+        return StaticPartitioner(n_ways, owners)
+    if job.scheme == "ucp":
+        return UcpPartitioner(n_sets, n_ways, owners, sampling=4)
+    if job.scheme == "casht":
+        return CashtPartitioner(n_ways, owners)
+    raise ValueError(f"unknown partitioning scheme {job.scheme!r}; "
+                     "known: shared, static, ucp, casht")
 
 
 def _job_trace(name: str, seed: int, config: MachineConfig,
@@ -93,7 +136,9 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
     hits_before = store.hits if store is not None else 0
     misses_before = store.misses if store is not None else 0
     trace_start = time.perf_counter()
-    trace = _job_trace(job.workload, scale.seed, config, scale, store)
+    primary_seed = (job.trace_seed if job.trace_seed is not None
+                    else scale.seed)
+    trace = _job_trace(job.workload, primary_seed, config, scale, store)
     builds = 1
     if job.mode == "pair":
         co_seed = (job.co_seed if job.co_seed is not None
@@ -106,9 +151,36 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
                                sim_instructions=scale.sim_instructions,
                                sample_interval=scale.sample_interval,
                                seed=scale.seed)
+    elif job.mode == "multi":
+        co_base = (job.co_seed if job.co_seed is not None
+                   else scale.seed + 1)
+        co_traces = [
+            _job_trace(name, co_base + i, config, scale, store)
+            for i, name in enumerate(job.co_runners)
+        ]
+        builds += len(co_traces)
+        trace_seconds = time.perf_counter() - trace_start
+        partitioner = _job_partitioner(job, config)
+        results = simulate_multiprogrammed(
+            [trace] + co_traces, config,
+            warmup_instructions=scale.warmup_instructions,
+            sim_instructions=scale.sim_instructions,
+            sample_interval=scale.sample_interval, seed=scale.seed,
+            partitioner=partitioner,
+            repartition_interval=(job.repartition_interval
+                                  if job.repartition_interval is not None
+                                  else 5_000),
+        )
+        result = results[0]
+        result.co_results = results[1:]
+        if partitioner is not None:
+            for owner, ways in partitioner.allocate().items():
+                result.extra[f"partition_quota_{owner}"] = float(ways)
     else:
         trace_seconds = time.perf_counter() - trace_start
-        pinte = (PinteConfig(job.p_induce, seed=scale.seed)
+        pinte_seed = (job.pinte_seed if job.pinte_seed is not None
+                      else scale.seed)
+        pinte = (PinteConfig(job.p_induce, seed=pinte_seed)
                  if job.mode == "pinte" else None)
         result = simulate(trace, config, pinte=pinte,
                           warmup_instructions=scale.warmup_instructions,

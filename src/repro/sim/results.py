@@ -85,6 +85,9 @@ class SimulationResult:
     wall_time_seconds: float = 0.0
     occupancy: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Secondary-core results of a ``multi`` job (empty for single-core and
+    #: pair runs, where the adversary's result is discarded).
+    co_results: List["SimulationResult"] = field(default_factory=list)
 
     @property
     def l2_mpki(self) -> float:

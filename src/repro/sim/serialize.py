@@ -20,10 +20,11 @@ FORMAT = "pinte-results-v1"
 
 
 def result_to_dict(result: SimulationResult) -> dict:
-    """Plain-dict form of one result (samples included)."""
+    """Plain-dict form of one result (samples and co-results included)."""
     payload = dataclasses.asdict(result)
     payload["samples"] = [dataclasses.asdict(sample)
                           for sample in result.samples]
+    payload["co_results"] = [result_to_dict(co) for co in result.co_results]
     return payload
 
 
@@ -31,6 +32,7 @@ def result_from_dict(payload: dict) -> SimulationResult:
     """Inverse of :func:`result_to_dict`."""
     data = dict(payload)
     samples = [Sample(**sample) for sample in data.pop("samples", [])]
+    co_results = [result_from_dict(co) for co in data.pop("co_results", [])]
     field_names = {f.name for f in dataclasses.fields(SimulationResult)}
     unknown = set(data) - field_names
     if unknown:
@@ -38,6 +40,7 @@ def result_from_dict(payload: dict) -> SimulationResult:
     result = SimulationResult(**{k: v for k, v in data.items()
                                  if k != "samples"})
     result.samples = samples
+    result.co_results = co_results
     return result
 
 

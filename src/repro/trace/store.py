@@ -39,7 +39,7 @@ from repro.trace.record import Trace
 from repro.trace.spec_models import get_workload
 from repro.trace.synthetic import build_trace
 
-__all__ = ["StoreEntry", "TraceStore", "trace_key"]
+__all__ = ["MemoryTraceStore", "StoreEntry", "TraceStore", "trace_key"]
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
 
@@ -180,3 +180,40 @@ class TraceStore:
             path.unlink()
             removed += 1
         return removed
+
+
+class MemoryTraceStore:
+    """In-process trace cache with the :class:`TraceStore` lookup protocol.
+
+    Inline (single-process) campaigns have no worker boundary to cross, so
+    persisting traces to disk buys nothing — but rebuilding the same trace
+    for every job of an artifact campaign is exactly the cost the paper's
+    Table I complains about. This store keeps built traces in a dict keyed
+    by :func:`trace_key` and mirrors ``TraceStore``'s ``hits``/``misses``
+    counters and registry/profiler notes, so callers (``run_job``, the
+    campaign engine) cannot tell the difference. It is deliberately **not**
+    picklable across workers; parallel campaigns should share an on-disk
+    :class:`TraceStore` instead.
+    """
+
+    def __init__(self) -> None:
+        self._traces = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, name: str, llc_bytes: int, length: int, seed: int,
+                     registry=None, profiler=None) -> Trace:
+        """Serve from memory when possible, else generate and remember."""
+        key = trace_key(name, llc_bytes, length, seed)
+        start = time.perf_counter()
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._note(True, time.perf_counter() - start, registry, profiler)
+            return trace
+        trace = build_trace(get_workload(name), length, seed, llc_bytes)
+        self._note(False, time.perf_counter() - start, registry, profiler)
+        self._traces[key] = trace
+        return trace
+
+    # Same bookkeeping as TraceStore._note so observability output matches.
+    _note = TraceStore._note

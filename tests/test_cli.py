@@ -361,6 +361,103 @@ class TestCampaignCommands:
         assert "missing" in out
 
 
+class TestArtifactCommands:
+    ARGS = ["--instructions", "2000", "--warmup", "500", "--panel", "1"]
+
+    def test_ls_lists_all_thirteen(self, capsys):
+        assert main(["artifact", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "13 registered artifacts" in out
+        for name in ("table1", "fig11", "ncore_study", "partition_study"):
+            assert name in out
+
+    def test_plan_reports_dedup(self, capsys):
+        assert main(["artifact", "plan", "table1", "fig1"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "dedup ratio" in out
+        assert "2.00x" in out  # two artifacts sharing one bundle plan
+
+    def test_plan_defaults_to_all_artifacts(self, capsys):
+        assert main(["artifact", "plan"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "13 artifact(s)" in out
+
+    def test_run_renders_selected_artifact(self, tmp_path, capsys):
+        output = tmp_path / "reports"
+        assert main(["artifact", "run", "fig1", "--output", str(output),
+                     "--suite", "quick"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "[fig1]" in out
+        assert "dedup" in out
+        assert (output / "fig1.txt").read_text().strip()
+
+    def test_run_with_store_then_resume_executes_nothing(self, tmp_path,
+                                                         capsys):
+        store = tmp_path / "artifact.jsonl"
+        assert main(["artifact", "run", "fig1", "--store", str(store)]
+                    + self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert "skipped 0 (resume)" in first
+        assert main(["artifact", "run", "fig1", "--store", str(store),
+                     "--resume"] + self.ARGS) == 0
+        second = capsys.readouterr().out
+        assert "executed 0 job(s)" in second
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(KeyError, match="unknown artifact"):
+            main(["artifact", "plan", "fig99"] + self.ARGS)
+
+
+class TestReproduceResume:
+    ARGS = ["--instructions", "2000", "--warmup", "500", "--panel", "1",
+            "--artifacts", "fig1"]
+
+    def test_store_resume_roundtrip(self, tmp_path, capsys):
+        store = tmp_path / "repro.jsonl"
+        out_a = tmp_path / "a"
+        out_b = tmp_path / "b"
+        assert main(["reproduce", "--store", str(store),
+                     "--output", str(out_a)] + self.ARGS) == 0
+        capsys.readouterr()
+        assert main(["reproduce", "--store", str(store), "--resume",
+                     "--output", str(out_b)] + self.ARGS) == 0
+        capsys.readouterr()
+        assert ((out_a / "fig1.txt").read_text()
+                == (out_b / "fig1.txt").read_text())
+
+    def test_store_without_resume_refuses_overwrite(self, tmp_path, capsys):
+        store = tmp_path / "repro.jsonl"
+        assert main(["reproduce", "--store", str(store)] + self.ARGS) == 0
+        capsys.readouterr()
+        with pytest.raises(FileExistsError):
+            main(["reproduce", "--store", str(store)] + self.ARGS)
+
+
+class TestBenchReproduce:
+    def test_no_record_prints_json(self, capsys):
+        assert main(["bench", "--suite", "reproduce", "--scale", "0.25",
+                     "--repeats", "1", "--no-record"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduce benchmark" in out
+        assert "dedup ratio" in out
+        assert '"bundle_dedup_ratio"' in out
+
+    def test_record_appends_to_bench_file(self, tmp_path, capsys,
+                                          monkeypatch):
+        import repro.bench.reproduce as bench_reproduce
+
+        bench_file = tmp_path / "BENCH_reproduce.json"
+        monkeypatch.setattr(bench_reproduce, "BENCH_FILE", bench_file)
+        assert main(["bench", "--suite", "reproduce", "--scale", "0.25",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "appended run #1" in out
+        document = json.loads(bench_file.read_text())
+        assert document["current"]["bundle_dedup_ratio"] > 1.0
+        assert (document["dedup_planned_vs_executed"]["full_registry"]
+                > 1.0)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
