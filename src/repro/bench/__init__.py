@@ -7,16 +7,28 @@ from repro.bench.datapath import (
     run_datapath_bench,
     write_record,
 )
+from repro.bench.gate import (
+    DEFAULT_TOLERANCE,
+    GateReport,
+    MetricCheck,
+    check_regressions,
+    run_gate,
+)
 from repro.bench.reproduce import ReproduceBenchResult, run_reproduce_bench
 from repro.bench.trace import TraceBenchResult, run_trace_bench
 
 __all__ = [
     "BENCH_FILE",
+    "DEFAULT_TOLERANCE",
     "DatapathBenchResult",
+    "GateReport",
+    "MetricCheck",
     "ReproduceBenchResult",
     "TraceBenchResult",
+    "check_regressions",
     "load_baseline",
     "run_datapath_bench",
+    "run_gate",
     "run_reproduce_bench",
     "run_trace_bench",
     "write_record",

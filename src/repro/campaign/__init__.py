@@ -33,6 +33,7 @@ from repro.campaign.engine import (
     CampaignReport,
     JobFailure,
     RetryPolicy,
+    TelemetrySettings,
     execute_job,
     run_campaign,
 )
@@ -61,14 +62,23 @@ from repro.campaign.store import (
     failures_path_for,
     load_campaign_manifest,
     manifest_path_for,
+    telemetry_dir_for,
     write_campaign_manifest,
     write_failure_manifest,
+)
+from repro.campaign.watch import (
+    CampaignView,
+    build_view,
+    render_dashboard,
+    render_status_line,
+    write_campaign_timeline,
 )
 from repro.sim.batch import Job, campaign_jobs, run_job
 
 __all__ = [
     "CampaignError",
     "CampaignReport",
+    "CampaignView",
     "FAILURES_FORMAT",
     "FAULT_PREFIX",
     "FaultSpec",
@@ -81,6 +91,8 @@ __all__ = [
     "RetryPolicy",
     "STORE_FORMAT",
     "StoreContents",
+    "TelemetrySettings",
+    "build_view",
     "campaign_jobs",
     "canonical_job_payload",
     "execute_job",
@@ -93,9 +105,12 @@ __all__ = [
     "manifest_path_for",
     "parse_fault",
     "parse_shard",
+    "render_dashboard",
+    "render_status_line",
     "run_campaign",
     "run_job",
     "shard_jobs",
+    "telemetry_dir_for",
     "write_campaign_manifest",
-    "write_failure_manifest",
+    "write_campaign_timeline",
 ]

@@ -39,8 +39,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.faults import parse_fault
 from repro.campaign.ids import job_id, shard_jobs
-from repro.campaign.store import ResultStore, write_failure_manifest
+from repro.campaign.store import (
+    ResultStore,
+    telemetry_dir_for,
+    write_failure_manifest,
+)
 from repro.config import MachineConfig
+from repro.obs.telemetry import (
+    CampaignTelemetry,
+    TelemetrySettings,
+    TelemetrySpooler,
+    spool_path,
+)
 from repro.sim.batch import Job, run_job
 from repro.sim.results import SimulationResult
 from repro.sim.runner import ExperimentScale
@@ -51,6 +61,7 @@ __all__ = [
     "CampaignReport",
     "JobFailure",
     "RetryPolicy",
+    "TelemetrySettings",
     "execute_job",
     "run_campaign",
 ]
@@ -135,6 +146,8 @@ class CampaignReport:
     wall_time_seconds: float
     store_path: Optional[Path] = None
     failure_manifest_path: Optional[Path] = None
+    telemetry_dir: Optional[Path] = None
+    telemetry: Optional[CampaignTelemetry] = None
 
     @property
     def ok(self) -> bool:
@@ -143,21 +156,25 @@ class CampaignReport:
 
 
 def execute_job(job: Job, config: MachineConfig, scale: ExperimentScale,
-                attempt: int = 1, trace_store=None) -> SimulationResult:
+                attempt: int = 1, trace_store=None,
+                observe=None) -> SimulationResult:
     """Run one job, honouring ``__fault:`` injection names.
 
     This is the single entry point both the inline path and the worker
     subprocesses call, so fault behaviour is identical in either mode.
     ``trace_store`` (a :class:`~repro.trace.store.TraceStore` or directory
     path) is forwarded to :func:`repro.sim.batch.run_job` so workers serve
-    traces from the shared on-disk cache.
+    traces from the shared on-disk cache; ``observe`` (a
+    :class:`repro.obs.Observation`) gives the job a registry/profiler —
+    the telemetry bus spools it home from worker processes.
     """
     fault = parse_fault(job.workload)
     if fault is None:
-        return run_job(job, config, scale, trace_store=trace_store)
+        return run_job(job, config, scale, trace_store=trace_store,
+                       observe=observe)
     real_workload = fault.apply(attempt)  # may raise / hang / kill us
     return run_job(replace(job, workload=real_workload), config, scale,
-                   trace_store=trace_store)
+                   trace_store=trace_store, observe=observe)
 
 
 def _job_label(job: Job) -> str:
@@ -193,13 +210,60 @@ class _Running:
     deadline: Optional[float]
 
 
-def _worker_main(conn, job: Job, config: MachineConfig,
-                 scale: ExperimentScale, attempt: int,
-                 trace_store=None) -> None:
-    """Subprocess entry point: run one job, report over the pipe."""
+@dataclass(frozen=True)
+class _TelemetryTarget:
+    """Picklable spool instructions handed to one worker attempt."""
+
+    path: str
+    job_id: str
+    label: str
+    interval_seconds: float
+
+
+def _spooled_execute(job: Job, config: MachineConfig, scale: ExperimentScale,
+                     attempt: int, trace_store,
+                     telemetry: Optional[_TelemetryTarget],
+                     ) -> SimulationResult:
+    """Run one job, spooling telemetry when a target was configured.
+
+    Shared by the worker subprocess and the inline path so a campaign
+    looks identical on the telemetry bus in either execution mode. With
+    ``telemetry=None`` this is exactly :func:`execute_job` — no
+    observation bundle, no spool file, no sampling thread.
+    """
+    if telemetry is None:
+        return execute_job(job, config, scale, attempt,
+                           trace_store=trace_store)
+    from repro.obs import Observation
+
+    observe = Observation()
+    spooler = TelemetrySpooler(
+        telemetry.path, telemetry.job_id, attempt=attempt,
+        label=telemetry.label,
+        interval_seconds=telemetry.interval_seconds).start()
+    start = time.perf_counter()
     try:
         result = execute_job(job, config, scale, attempt,
-                             trace_store=trace_store)
+                             trace_store=trace_store, observe=observe)
+    except BaseException:
+        spooler.finish(registry=observe.registry, profiler=observe.profiler,
+                       status="error",
+                       wall_seconds=time.perf_counter() - start)
+        raise
+    spooler.finish(registry=observe.registry, profiler=observe.profiler,
+                   status="ok", wall_seconds=time.perf_counter() - start,
+                   instructions=result.instructions)
+    return result
+
+
+def _worker_main(conn, job: Job, config: MachineConfig,
+                 scale: ExperimentScale, attempt: int,
+                 trace_store=None,
+                 telemetry: Optional[_TelemetryTarget] = None) -> None:
+    """Subprocess entry point: run one job, report over the pipe."""
+    try:
+        result = _spooled_execute(job, config, scale, attempt, trace_store,
+                                  telemetry)
         conn.send(("ok", result))
     except BaseException as exc:  # full capture is the point
         conn.send(("err", type(exc).__name__, str(exc),
@@ -279,7 +343,9 @@ class _CampaignRun:
     def __init__(self, config: MachineConfig, scale: ExperimentScale,
                  retry: RetryPolicy, timeout: Optional[float],
                  store: Optional[ResultStore], progress: _Progress,
-                 profiler, trace_store=None) -> None:
+                 profiler, trace_store=None,
+                 telemetry: Optional[TelemetrySettings] = None,
+                 telemetry_dir: Optional[Path] = None) -> None:
         self.config = config
         self.scale = scale
         self.retry = retry
@@ -288,8 +354,42 @@ class _CampaignRun:
         self.progress = progress
         self.profiler = profiler
         self.trace_store = trace_store
+        self.telemetry = telemetry
+        self.telemetry_dir = telemetry_dir
+        self.telemetry_view: Optional[CampaignTelemetry] = None
+        if telemetry is not None and telemetry_dir is not None:
+            self.telemetry_view = CampaignTelemetry(telemetry_dir)
+        self._telemetry_polled = 0.0
         self.results_by_id: Dict[str, SimulationResult] = {}
         self.failures: List[JobFailure] = []
+
+    # -- telemetry -----------------------------------------------------------
+    def _telemetry_target(self, item: _Pending) -> Optional[_TelemetryTarget]:
+        """The spool instructions for one attempt (None when disabled)."""
+        if self.telemetry is None or self.telemetry_dir is None:
+            return None
+        return _TelemetryTarget(
+            path=str(spool_path(self.telemetry_dir, item.jid)),
+            job_id=item.jid, label=_job_label(item.job),
+            interval_seconds=self.telemetry.interval_seconds)
+
+    def poll_telemetry(self, force: bool = False) -> None:
+        """Tail the spool dir and refresh the live campaign registry.
+
+        Throttled to roughly the resource-sampling cadence so the
+        scheduler loop never spends its time re-reading spool files.
+        """
+        if self.telemetry_view is None:
+            return
+        now = time.monotonic()
+        cadence = max(0.5, self.telemetry.interval_seconds)
+        if not force and now - self._telemetry_polled < cadence:
+            return
+        self._telemetry_polled = now
+        self.telemetry_view.poll()
+        registry = self.progress.registry
+        if registry is not None:
+            self.telemetry_view.fold_into(registry)
 
     # -- shared outcome handling -------------------------------------------
     def _record_success(self, item: _Pending, result: SimulationResult,
@@ -337,13 +437,15 @@ class _CampaignRun:
             while True:
                 start = time.perf_counter()
                 try:
-                    result = execute_job(item.job, self.config, self.scale,
-                                         item.attempt,
-                                         trace_store=self.trace_store)
+                    result = _spooled_execute(item.job, self.config,
+                                              self.scale, item.attempt,
+                                              self.trace_store,
+                                              self._telemetry_target(item))
                 except Exception as exc:  # KeyboardInterrupt passes through
                     retry_item = self._attempt_failed(
                         item, "error", type(exc).__name__, str(exc),
                         traceback.format_exc())
+                    self.poll_telemetry()
                     if retry_item is None:
                         break
                     wait = retry_item.ready_time - time.monotonic()
@@ -357,6 +459,7 @@ class _CampaignRun:
                         f"job{item.index}:{item.job.workload}",
                         start - self.profiler.origin, wall)
                 self._record_success(item, result, wall)
+                self.poll_telemetry()
                 break
 
     # -- subprocess execution -----------------------------------------------
@@ -366,7 +469,7 @@ class _CampaignRun:
         proc = multiprocessing.Process(
             target=_worker_main,
             args=(send_conn, item.job, self.config, self.scale, item.attempt,
-                  self.trace_store),
+                  self.trace_store, self._telemetry_target(item)),
             daemon=True)
         proc.start()
         send_conn.close()
@@ -439,9 +542,16 @@ class _CampaignRun:
                                    - time.monotonic()))
                     continue
                 timeout = self._wait_budget(waiting, in_flight, processes)
+                if self.telemetry_view is not None:
+                    # Wake up at the spool cadence even when every worker
+                    # is mid-job, so the live registry keeps moving.
+                    cadence = max(0.5, self.telemetry.interval_seconds)
+                    timeout = cadence if timeout is None else min(timeout,
+                                                                  cadence)
                 for conn in _connection_wait(list(in_flight), timeout):
                     self._reap(conn, in_flight.pop(conn), waiting)
                 self._kill_overdue(in_flight, waiting)
+                self.poll_telemetry()
         except BaseException:
             for running in in_flight.values():
                 running.proc.terminate()
@@ -484,6 +594,7 @@ def run_campaign(
     progress: Optional[ProgressCallback] = None,
     raise_on_failure: bool = False,
     trace_store: Optional[Union[str, Path]] = None,
+    telemetry: Union[None, bool, float, TelemetrySettings] = None,
 ) -> CampaignReport:
     """Run a campaign to completion, whatever the workers do.
 
@@ -507,6 +618,16 @@ def run_campaign(
     counters/gauges in its registry and per-job/batch spans in its
     profiler. ``progress`` gets one dict per job state change.
 
+    ``telemetry`` switches on the cross-process telemetry bus (off by
+    default — zero overhead when unset): every worker spools registry
+    deltas, profiler spans and resource samples to a per-job JSONL file
+    under ``<store>.telemetry/``, and the parent tails the spools into
+    the live campaign registry while jobs are still executing. Pass
+    ``True`` for the default 1 s resource cadence, a number for a custom
+    cadence in seconds, or a :class:`TelemetrySettings`. Requires
+    ``store`` (the spool directory lives next to it); ``repro campaign
+    watch`` renders the same spools from any other process.
+
     With ``raise_on_failure`` the first permanent failure raises
     :class:`CampaignError` *after* the campaign completes — the default is
     graceful degradation: finish everything, report failures in the
@@ -514,6 +635,10 @@ def run_campaign(
     """
     wall_start = time.perf_counter()
     retry = retry if retry is not None else RetryPolicy()
+    telemetry_settings = TelemetrySettings.coerce(telemetry)
+    if telemetry_settings is not None and store is None:
+        raise ValueError("telemetry needs a result store — the spool "
+                         "directory lives next to it")
     jobs = list(jobs)
     if shard is not None:
         jobs = shard_jobs(jobs, shard[0], shard[1], config, scale)
@@ -557,18 +682,26 @@ def run_campaign(
               and (processes <= 1 or len(pending) <= 1))
     workers = 1 if inline else max(1, processes)
 
+    telemetry_dir: Optional[Path] = None
+    if telemetry_settings is not None:
+        telemetry_dir = telemetry_dir_for(result_store.path)
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+
     progress_state = _Progress(total=len(jobs), skipped=skipped,
                                workers=workers, callback=progress,
                                registry=registry)
     runner = _CampaignRun(config, scale, retry, timeout_seconds,
                           result_store, progress_state, profiler,
-                          trace_store=trace_store)
+                          trace_store=trace_store,
+                          telemetry=telemetry_settings,
+                          telemetry_dir=telemetry_dir)
     runner.results_by_id.update(resumed)
     if pending:
         if inline:
             runner.run_inline(pending)
         else:
             runner.run_parallel(pending, workers)
+    runner.poll_telemetry(force=True)  # final fold: nothing left in flight
 
     failure_manifest_path = None
     if result_store is not None:
@@ -596,6 +729,8 @@ def run_campaign(
         wall_time_seconds=wall,
         store_path=result_store.path if result_store is not None else None,
         failure_manifest_path=failure_manifest_path,
+        telemetry_dir=telemetry_dir,
+        telemetry=runner.telemetry_view,
     )
     if raise_on_failure and report.failures:
         raise CampaignError(report.failures)

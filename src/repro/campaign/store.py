@@ -51,6 +51,7 @@ __all__ = [
     "failures_path_for",
     "load_campaign_manifest",
     "manifest_path_for",
+    "telemetry_dir_for",
     "write_campaign_manifest",
     "write_failure_manifest",
 ]
@@ -93,6 +94,9 @@ class ResultStore:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        #: Torn trailing lines truncated away before an append (see
+        #: :meth:`_repair_tail`); surfaced by ``repro campaign status``.
+        self.repaired_tails = 0
 
     # -- writing -----------------------------------------------------------
     def exists(self) -> bool:
@@ -120,6 +124,7 @@ class ResultStore:
                 handle.seek(0)
                 cut = handle.read().rfind(b"\n") + 1
                 handle.truncate(cut)
+                self.repaired_tails += 1
         except FileNotFoundError:
             pass
 
@@ -218,6 +223,17 @@ def failures_path_for(store_path: Union[str, Path]) -> Path:
                                 + ".failures.json")
 
 
+def telemetry_dir_for(store_path: Union[str, Path]) -> Path:
+    """Where a campaign's telemetry spool files live for a given store.
+
+    One directory per campaign, one JSONL spool per job id inside it —
+    written by the workers (:class:`repro.obs.telemetry.TelemetrySpooler`)
+    and tailed by the parent and ``repro campaign watch``.
+    """
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.stem.split(".")[0] + ".telemetry")
+
+
 def write_campaign_manifest(
     store_path: Union[str, Path],
     jobs: Sequence[Job],
@@ -230,6 +246,7 @@ def write_campaign_manifest(
     shard: Optional[tuple] = None,
     processes: Optional[int] = None,
     trace_cache: Optional[str] = None,
+    telemetry_interval: Optional[float] = None,
 ) -> Path:
     """Write ``<store>.manifest.json`` describing the whole campaign."""
     path = manifest_path_for(store_path)
@@ -245,6 +262,7 @@ def write_campaign_manifest(
         "shard": list(shard) if shard else None,
         "processes": processes,
         "trace_cache": trace_cache,
+        "telemetry_interval": telemetry_interval,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")

@@ -8,7 +8,11 @@ Commands:
   a machine-readable JSON result.
 * ``campaign run|status|resume`` — the fault-tolerant campaign engine:
   persistent JSONL result store, retries, per-job timeouts, resume,
-  ``i/n`` sharding, failure manifests (see docs/CAMPAIGNS.md).
+  ``i/n`` sharding, failure manifests (see docs/CAMPAIGNS.md);
+  ``--telemetry`` spools live per-job metrics/resources.
+* ``campaign watch|timeline`` — tail the telemetry spools: a refreshing
+  plain-text dashboard (``status --follow`` is the one-line-per-tick
+  variant) and a merged per-job Chrome trace (docs/OBSERVABILITY.md).
 * ``obs`` — inspect a JSONL event log (kind summary, hottest sets, heatmap).
 * ``sweep`` — PInTE sensitivity sweep + classification for workloads.
 * ``trace build|info|cache`` — generate trace files for external tooling,
@@ -23,7 +27,9 @@ Commands:
 * ``bench`` — hot-path throughput microbenchmarks (``--suite datapath``
   vs the committed seed baseline; ``--suite trace`` columnar vs
   object-list trace generation/load; ``--suite reproduce`` quick-suite
-  reproduction wall-clock and job dedup).
+  reproduction wall-clock and job dedup); ``--baseline BENCH_*.json
+  --check`` runs the regression gate against a committed baseline
+  (``--report-only`` prints verdicts without failing).
 
 Every command prints plain text and returns a process exit code, so the CLI
 is scriptable; all functions are also unit-testable by calling
@@ -511,6 +517,33 @@ def _bench_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_gate(args: argparse.Namespace) -> int:
+    """``repro bench --baseline FILE [--check]`` — the regression gate."""
+    from repro.bench.gate import run_gate
+
+    report = run_gate(args.baseline, tolerance=args.tolerance,
+                      repeats=args.repeats, scale=args.scale)
+    rows = [
+        (check.name, f"{check.reference:,.2f}", f"{check.measured:,.2f}",
+         f"{check.change:+.1%}", "REGRESSED" if check.regressed else "ok")
+        for check in report.checks
+    ]
+    print(format_table(
+        ["Metric", "Baseline", "Measured", "Change", "Verdict"], rows,
+        title=f"bench gate: suite {report.suite!r} vs "
+              f"{report.baseline_path.name} "
+              f"(tolerance {report.tolerance:.0%})"))
+    for name in report.missing:
+        print(f"  note: baseline metric {name!r} not produced by this run")
+    if report.regressions:
+        names = ", ".join(check.name for check in report.regressions)
+        enforce = args.check and not args.report_only
+        print(f"REGRESSION{'' if enforce else ' (report-only)'}: {names}")
+        return 1 if enforce else 0
+    print("gate passed: no metric regressed beyond tolerance")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench`` — hot-path throughput microbenchmarks."""
     import json
@@ -523,6 +556,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.repeats < 1:
         raise SystemExit("bench: --repeats must be >= 1")
+    if args.baseline:
+        return _bench_gate(args)
+    if args.check or args.report_only:
+        raise SystemExit("bench: --check/--report-only need --baseline")
     if args.suite == "trace":
         return _bench_trace(args)
     if args.suite == "reproduce":
@@ -637,13 +674,15 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             args.store, jobs, config, scale, machine_preset=args.machine,
             retry=retry.to_dict(), timeout_seconds=args.timeout,
             shard=shard, processes=args.processes,
-            trace_cache=args.trace_cache)
+            trace_cache=args.trace_cache,
+            telemetry_interval=args.telemetry)
         print(f"wrote campaign manifest to {manifest}")
     report = run_campaign(jobs, config, scale, processes=args.processes,
                           retry=retry, timeout_seconds=args.timeout,
                           store=args.store, resume=args.resume, shard=shard,
                           progress=_campaign_progress,
-                          trace_store=args.trace_cache)
+                          trace_store=args.trace_cache,
+                          telemetry=args.telemetry)
     _campaign_summary(report)
     return 1 if args.strict and report.failures else 0
 
@@ -655,13 +694,22 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         job_id,
         load_campaign_manifest,
         manifest_path_for,
+        telemetry_dir_for,
     )
 
+    if args.follow:
+        from repro.campaign.watch import render_status_line, watch_campaign
+
+        watch_campaign(args.store, interval_seconds=args.interval,
+                       iterations=args.iterations, clear=False,
+                       render=render_status_line)
+        return 0
     contents = ResultStore(args.store).load()
     rows = [("stored results", len(contents.results)),
             ("stored failures", len(contents.failures))]
     if contents.truncated_lines:
-        rows.append(("truncated lines (will rerun)", contents.truncated_lines))
+        rows.append(("torn trailing lines repaired (job reruns)",
+                     contents.truncated_lines))
     manifest_path = manifest_path_for(args.store)
     if manifest_path.exists():
         manifest = load_campaign_manifest(manifest_path)
@@ -697,6 +745,34 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         rows.append(("trace cache hits", cache_hits))
         rows.append(("trace generations (cache misses)", cache_misses))
         rows.append(("trace build time", f"{gen_seconds:.2f}s"))
+    # Failure-class breakdown: what *kind* of failing is going on.
+    kinds: dict = {}
+    retries_exhausted = 0
+    for record in contents.failures.values():
+        failure = record.get("failure") or {}
+        kind = failure.get("kind", "error")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if int(failure.get("attempts", 1)) > 1:
+            retries_exhausted += 1
+    for kind in sorted(kinds):
+        rows.append((f"failures: {kind}", kinds[kind]))
+    if retries_exhausted:
+        rows.append(("failures after retries exhausted", retries_exhausted))
+    telemetry_dir = telemetry_dir_for(args.store)
+    if telemetry_dir.is_dir():
+        from repro.obs.telemetry import CampaignTelemetry
+
+        telemetry = CampaignTelemetry(telemetry_dir)
+        telemetry.poll()
+        rows.append(("telemetry spools", len(telemetry.jobs)))
+        running = [job for job in telemetry.running_jobs()
+                   if job.job_id not in contents.results
+                   and job.job_id not in contents.failures]
+        if running:
+            rows.append(("telemetry: jobs in flight", len(running)))
+        if telemetry.corrupt_lines:
+            rows.append(("telemetry: corrupt lines skipped",
+                         telemetry.corrupt_lines))
     print(format_table(["Campaign", "Value"], rows,
                        title=f"status of {args.store}"))
     for jid in sorted(contents.failures):
@@ -740,15 +816,45 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
     shard = parse_shard(args.shard) if args.shard else None
     trace_cache = (args.trace_cache if args.trace_cache is not None
                    else manifest.get("trace_cache"))
+    telemetry = (args.telemetry if args.telemetry is not None
+                 else manifest.get("telemetry_interval"))
     report = run_campaign(manifest["jobs"], config, scale,
                           processes=args.processes,
                           retry=RetryPolicy(**retry_fields),
                           timeout_seconds=timeout, store=args.store,
                           resume=True, shard=shard,
                           progress=_campaign_progress,
-                          trace_store=trace_cache)
+                          trace_store=trace_cache,
+                          telemetry=telemetry)
     _campaign_summary(report)
     return 1 if args.strict and report.failures else 0
+
+
+def cmd_campaign_watch(args: argparse.Namespace) -> int:
+    """``repro campaign watch`` — live plain-text campaign dashboard."""
+    from repro.campaign.watch import watch_campaign
+
+    try:
+        view = watch_campaign(args.store, interval_seconds=args.interval,
+                              iterations=args.iterations,
+                              clear=not args.no_clear)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    return 0 if view.failed == 0 else 1
+
+
+def cmd_campaign_timeline(args: argparse.Namespace) -> int:
+    """``repro campaign timeline`` — merged Chrome trace of all jobs."""
+    from repro.campaign.watch import write_campaign_timeline
+
+    try:
+        count = write_campaign_timeline(args.store, args.output)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"campaign timeline: {exc}")
+    print(f"wrote {count} trace events to {args.output} "
+          "(open in ui.perfetto.dev)")
+    return 0
 
 
 def cmd_trace_build(args: argparse.Namespace) -> int:
@@ -905,13 +1011,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared on-disk trace store directory: workers "
                             "load traces from it instead of regenerating "
                             "(prime with `repro trace cache prime`)")
+    c_run.add_argument("--telemetry", type=float, nargs="?", const=1.0,
+                       default=None, metavar="SECONDS",
+                       help="spool per-job telemetry (metrics, spans, "
+                            "resource samples) under <store>.telemetry/ "
+                            "at this cadence (bare flag: 1s); enables "
+                            "`campaign watch` and `campaign timeline`")
     _add_common(c_run)
     c_run.set_defaults(func=cmd_campaign_run)
 
     c_status = campaign_sub.add_parser(
         "status", help="show completed/failed/pending for a stored campaign")
     c_status.add_argument("store", help="JSONL result store path")
+    c_status.add_argument("--follow", action="store_true",
+                          help="append a one-line summary every --interval "
+                               "seconds until the campaign completes "
+                               "(non-TTY variant of `campaign watch`)")
+    c_status.add_argument("--interval", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="refresh cadence for --follow (default: 2)")
+    c_status.add_argument("--iterations", type=int, default=None, metavar="N",
+                          help="stop --follow after N refreshes (default: "
+                               "until complete)")
     c_status.set_defaults(func=cmd_campaign_status)
+
+    c_watch = campaign_sub.add_parser(
+        "watch", help="live refreshing dashboard for a stored campaign "
+                      "(progress, ETA, slowest jobs, failure classes)")
+    c_watch.add_argument("store", help="JSONL result store path")
+    c_watch.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="refresh cadence (default: 2)")
+    c_watch.add_argument("--iterations", type=int, default=None, metavar="N",
+                         help="render N frames then exit (default: until "
+                              "the campaign completes)")
+    c_watch.add_argument("--no-clear", action="store_true",
+                         help="append frames instead of redrawing (for "
+                              "piping to a file)")
+    c_watch.set_defaults(func=cmd_campaign_watch)
+
+    c_timeline = campaign_sub.add_parser(
+        "timeline", help="merge all jobs' telemetry into one Chrome trace "
+                         "(open in ui.perfetto.dev)")
+    c_timeline.add_argument("store", help="JSONL result store path")
+    c_timeline.add_argument("-o", "--output", required=True, metavar="PATH",
+                            help="output trace_event JSON file")
+    c_timeline.set_defaults(func=cmd_campaign_timeline)
 
     c_resume = campaign_sub.add_parser(
         "resume", help="finish a stored campaign (skips completed job ids)")
@@ -928,6 +1073,10 @@ def build_parser() -> argparse.ArgumentParser:
     c_resume.add_argument("--trace-cache", default=None, metavar="PATH",
                           help="trace store directory (default: the one "
                                "recorded in the campaign manifest)")
+    c_resume.add_argument("--telemetry", type=float, nargs="?", const=1.0,
+                          default=None, metavar="SECONDS",
+                          help="telemetry cadence (default: whatever the "
+                               "campaign manifest recorded)")
     c_resume.set_defaults(func=cmd_campaign_resume)
 
     p_obs = sub.add_parser("obs", help="inspect a JSONL event log")
@@ -1041,6 +1190,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="best-of-N timing runs (default: 3)")
     p_bench.add_argument("--scale", type=float, default=1.0,
                          help="workload scale factor (default: 1.0)")
+    p_bench.add_argument("--baseline", default=None, metavar="BENCH_JSON",
+                         help="regression gate: re-run the suite this "
+                              "BENCH_<suite>.json records and compare "
+                              "against its 'current' entry")
+    p_bench.add_argument("--check", action="store_true",
+                         help="with --baseline: exit 1 when any metric "
+                              "regressed beyond --tolerance")
+    p_bench.add_argument("--report-only", action="store_true",
+                         help="with --baseline: print the comparison but "
+                              "always exit 0 (noisy shared CI runners)")
+    p_bench.add_argument("--tolerance", type=float, default=0.30,
+                         metavar="FRAC",
+                         help="allowed fractional regression before the "
+                              "gate trips (default: 0.30)")
     p_bench.add_argument("--no-record", action="store_true",
                          help="print the JSON record instead of appending it "
                               "to the benchmarks/reports/ bench file")

@@ -59,9 +59,23 @@ from repro.obs.registry import (
     collect_host_metrics,
     format_metrics,
 )
+from repro.obs.resources import (
+    ResourceSample,
+    ResourceSampler,
+    sample_resources,
+)
 from repro.obs.sampler import IntervalSampler
+from repro.obs.telemetry import (
+    CampaignTelemetry,
+    JobTelemetry,
+    SpoolTail,
+    TelemetrySettings,
+    TelemetrySpooler,
+    spool_path,
+)
 
 __all__ = [
+    "CampaignTelemetry",
     "ContentionHeatmap",
     "Counter",
     "DEFAULT_CAPACITY",
@@ -71,16 +85,24 @@ __all__ = [
     "Gauge",
     "Histogram",
     "IntervalSampler",
+    "JobTelemetry",
     "MetricRegistry",
     "Observation",
     "PhaseProfiler",
+    "ResourceSample",
+    "ResourceSampler",
     "Span",
+    "SpoolTail",
+    "TelemetrySettings",
+    "TelemetrySpooler",
     "build_heatmap",
     "collect_host_metrics",
     "disable_tracing",
     "enable_tracing",
     "format_metrics",
     "load_events_jsonl",
+    "sample_resources",
+    "spool_path",
     "tracing_enabled",
     "write_chrome_trace",
     "write_events_jsonl",

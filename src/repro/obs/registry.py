@@ -75,6 +75,46 @@ class Histogram:
         self.bins = [int(c) for c in counts]
         return self
 
+    def merge(self, other: Union["Histogram", Iterable[int]]) -> "Histogram":
+        """Add another histogram's counts bin-wise into this one.
+
+        Mismatched bin counts are fine: the shorter side is treated as
+        zero-padded, so merging never loses tail bins. Accepts a
+        :class:`Histogram` or a bare count sequence (the wire form used by
+        the telemetry fold path).
+        """
+        counts = other.bins if isinstance(other, Histogram) else list(other)
+        if len(counts) > len(self.bins):
+            self.bins.extend([0] * (len(counts) - len(self.bins)))
+        for index, count in enumerate(counts):
+            self.bins[index] += int(count)
+        return self
+
+    @property
+    def total(self) -> int:
+        """Sum of all bin counts (the number of observations)."""
+        return sum(self.bins)
+
+    def percentile(self, q: float) -> Optional[int]:
+        """Smallest bin index covering the ``q``-th percentile (0..100).
+
+        Returns ``None`` for an empty histogram — there is no meaningful
+        bin to point at. ``q=0`` is the first non-empty bin, ``q=100`` the
+        last.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q!r} outside [0, 100]")
+        total = self.total
+        if total == 0:
+            return None
+        target = max(1, -(-int(q * total) // 100))  # ceil(q/100 * total)
+        running = 0
+        for index, count in enumerate(self.bins):
+            running += count
+            if running >= target:
+                return index
+        return len(self.bins) - 1  # pragma: no cover — unreachable
+
     @property
     def value(self) -> List[int]:
         return list(self.bins)
@@ -177,6 +217,24 @@ class MetricRegistry:
         dotted = prefix + "."
         return sum(metric.value for name, metric in self._metrics.items()
                    if name.startswith(dotted) and isinstance(metric, Counter))
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold another registry into this one, metric by metric.
+
+        Counters add, histograms merge bin-wise, gauges take the other
+        side's value (last writer wins — gauges are point-in-time).
+        Merging an empty registry is a no-op; a kind collision between the
+        two registries raises ``TypeError`` like any other collision.
+        """
+        for name in other.names():
+            metric = other.get(name)
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Histogram):
+                self.histogram(name).merge(metric)
+            else:
+                self.gauge(name).set(metric.value)
+        return self
 
     # -- absorption of legacy stats objects ---------------------------------
     def absorb_cache(self, prefix: str, stats) -> None:

@@ -1,0 +1,115 @@
+"""Lightweight per-process resource sampling for campaign workers.
+
+A campaign job is a black box to the parent process until it exits; the
+telemetry bus (:mod:`repro.obs.telemetry`) opens that box by having each
+worker spool periodic resource samples — CPU seconds consumed, peak
+resident set size — next to its metric snapshots. This module provides the
+two pieces:
+
+* :func:`sample_resources` — one point-in-time
+  :class:`ResourceSample`, cheap enough to call at any cadence (a single
+  ``getrusage`` syscall where available, ``time.process_time`` otherwise);
+* :class:`ResourceSampler` — a daemon thread emitting one sample per
+  configured interval. It is **disabled by default** everywhere it is
+  wired: an interval of zero (or ``None``) never starts the thread, so an
+  unobserved run pays nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Callable, NamedTuple, Optional
+
+try:  # POSIX only; the fallback keeps the module importable anywhere.
+    import resource as _resource
+except ImportError:  # pragma: no cover — non-POSIX platform
+    _resource = None
+
+__all__ = ["ResourceSample", "ResourceSampler", "sample_resources"]
+
+
+class ResourceSample(NamedTuple):
+    """One point-in-time resource reading for the calling process."""
+
+    cpu_seconds: float
+    peak_rss_kb: int
+
+    def to_record(self) -> dict:
+        """Spool-record payload form."""
+        return {"cpu": self.cpu_seconds, "rss_kb": self.peak_rss_kb}
+
+
+def sample_resources() -> ResourceSample:
+    """Read the current process's CPU time and peak RSS.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value is
+    normalised to kilobytes. Without the ``resource`` module (non-POSIX)
+    the RSS reads as zero and CPU time comes from ``time.process_time``.
+    """
+    if _resource is None:  # pragma: no cover — non-POSIX platform
+        return ResourceSample(cpu_seconds=time.process_time(), peak_rss_kb=0)
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    rss = usage.ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover — bytes on macOS
+        rss //= 1024
+    return ResourceSample(cpu_seconds=usage.ru_utime + usage.ru_stime,
+                          peak_rss_kb=int(rss))
+
+
+class ResourceSampler:
+    """Emits one :class:`ResourceSample` per interval from a daemon thread.
+
+    The emit callback runs on the sampler thread, so it must be cheap and
+    thread-safe (the telemetry spooler's append-one-line write is both).
+    ``interval_seconds <= 0`` disables the sampler entirely: ``start`` is
+    a no-op and no thread ever exists — the zero-overhead default.
+    """
+
+    def __init__(self, interval_seconds: float,
+                 emit: Callable[[ResourceSample], None],
+                 sample: Callable[[], ResourceSample] = sample_resources,
+                 ) -> None:
+        if interval_seconds < 0:
+            raise ValueError("sampling interval must be >= 0")
+        self.interval_seconds = interval_seconds
+        self.emit = emit
+        self.sample = sample
+        self.emitted = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when the configured interval actually samples."""
+        return self.interval_seconds > 0
+
+    def sample_once(self) -> ResourceSample:
+        """Take and emit one sample immediately (any thread)."""
+        reading = self.sample()
+        self.emit(reading)
+        self.emitted += 1
+        return reading
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.sample_once()
+            except Exception:  # an observer bug must not kill sampling
+                continue
+
+    def start(self) -> None:
+        """Begin sampling; a no-op when disabled or already running."""
+        if not self.enabled or self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-resource-sampler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the thread (if any) and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

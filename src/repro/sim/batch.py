@@ -121,7 +121,7 @@ def _job_trace(name: str, seed: int, config: MachineConfig,
 
 def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
             trace_store: "Optional[Union[TraceStore, str]]" = None,
-            ) -> SimulationResult:
+            observe=None) -> SimulationResult:
     """Execute one job (also the campaign worker entry point).
 
     ``trace_store`` — a :class:`~repro.trace.store.TraceStore` or a
@@ -131,6 +131,12 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
     ``trace_cache_misses`` and ``phase_trace_gen_seconds`` so the campaign
     engine can aggregate trace-build cost across worker processes (each
     worker has its own registry; ``extra`` is the only channel home).
+
+    ``observe`` (a :class:`repro.obs.Observation`) is forwarded to the
+    host, and additionally receives a ``trace-gen`` profiler span plus
+    ``trace.cache.hit`` / ``trace.cache.miss`` counters mirroring the
+    extras — so a telemetry-spooling worker's registry agrees exactly
+    with what rides home in ``result.extra``.
     """
     store = _coerce_store(trace_store)
     hits_before = store.hits if store is not None else 0
@@ -150,7 +156,7 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
                                warmup_instructions=scale.warmup_instructions,
                                sim_instructions=scale.sim_instructions,
                                sample_interval=scale.sample_interval,
-                               seed=scale.seed)
+                               seed=scale.seed, observe=observe)
     elif job.mode == "multi":
         co_base = (job.co_seed if job.co_seed is not None
                    else scale.seed + 1)
@@ -170,6 +176,7 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
             repartition_interval=(job.repartition_interval
                                   if job.repartition_interval is not None
                                   else 5_000),
+            observe=observe,
         )
         result = results[0]
         result.co_results = results[1:]
@@ -186,7 +193,7 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
                           warmup_instructions=scale.warmup_instructions,
                           sim_instructions=scale.sim_instructions,
                           sample_interval=scale.sample_interval,
-                          seed=scale.seed)
+                          seed=scale.seed, observe=observe)
     result.extra["phase_trace_gen_seconds"] = trace_seconds
     if store is not None:
         result.extra["trace_cache_hits"] = float(store.hits - hits_before)
@@ -195,6 +202,16 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
     else:
         result.extra["trace_cache_hits"] = 0.0
         result.extra["trace_cache_misses"] = float(builds)
+    if observe is not None:
+        observe.profiler.add_span(
+            "trace-gen", trace_start - observe.profiler.origin, trace_seconds)
+        if observe.registry is not None:
+            # Mirror the extras into the worker registry so the telemetry
+            # fold and the stored result agree to the integer.
+            observe.registry.count("trace.cache.hit",
+                                   int(result.extra["trace_cache_hits"]))
+            observe.registry.count("trace.cache.miss",
+                                   int(result.extra["trace_cache_misses"]))
     return result
 
 

@@ -1,0 +1,154 @@
+"""Tests for the benchmark-regression gate (suite-generic comparison)."""
+
+import json
+
+import pytest
+
+from repro.bench.gate import (
+    DEFAULT_TOLERANCE,
+    check_regressions,
+    load_reference,
+    metric_direction,
+    run_gate,
+    suite_for_baseline,
+)
+
+
+class TestMetricDirection:
+    def test_throughput_is_higher_better(self):
+        assert metric_direction("fastcache_records_per_sec") == "higher"
+        assert metric_direction("simulate_instructions_per_sec") == "higher"
+
+    def test_ratios_are_higher_better(self):
+        assert metric_direction("bundle_dedup_ratio") == "higher"
+        assert metric_direction("fastcache_enabled_ratio") == "higher"
+
+    def test_wall_time_is_lower_better(self):
+        assert metric_direction("reproduce_seconds") == "lower"
+
+    def test_metadata_ignored(self):
+        for name in ("repeats", "python", "timestamp", "trace_length",
+                     "bundle_planned_jobs", "sim_instructions"):
+            assert metric_direction(name) is None
+
+
+class TestSuiteInference:
+    def test_known_suites(self):
+        assert suite_for_baseline("BENCH_datapath.json") == "datapath"
+        assert suite_for_baseline("x/y/BENCH_trace.json") == "trace"
+        assert suite_for_baseline("BENCH_reproduce.json") == "reproduce"
+        assert suite_for_baseline("BENCH_obs.json") == "obs"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            suite_for_baseline("BENCH_mystery.json")
+        with pytest.raises(ValueError):
+            suite_for_baseline("notabench.json")
+
+
+class TestLoadReference:
+    def test_current_preferred(self, tmp_path):
+        path = tmp_path / "BENCH_datapath.json"
+        path.write_text(json.dumps({
+            "current": {"a_per_sec": 10.0, "python": "3.11"},
+            "seed_baseline": {"a_per_sec": 5.0},
+        }))
+        assert load_reference(path) == {"a_per_sec": 10.0}
+
+    def test_seed_baseline_fallback(self, tmp_path):
+        path = tmp_path / "BENCH_datapath.json"
+        path.write_text(json.dumps({"seed_baseline": {"a_per_sec": 5.0}}))
+        assert load_reference(path) == {"a_per_sec": 5.0}
+
+    def test_neither_entry_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_datapath.json"
+        path.write_text(json.dumps({"runs": []}))
+        with pytest.raises(ValueError):
+            load_reference(path)
+
+    def test_booleans_are_not_metrics(self, tmp_path):
+        path = tmp_path / "BENCH_datapath.json"
+        path.write_text(json.dumps({"current": {"flag": True,
+                                                "a_per_sec": 1.0}}))
+        assert load_reference(path) == {"a_per_sec": 1.0}
+
+
+class TestCheckRegressions:
+    REF = {"speed_per_sec": 100.0, "wall_seconds": 10.0, "repeats": 3}
+
+    def test_within_tolerance_passes(self):
+        checks = check_regressions({"speed_per_sec": 80.0,
+                                    "wall_seconds": 12.0}, self.REF,
+                                   tolerance=0.30)
+        assert [check.regressed for check in checks] == [False, False]
+
+    def test_throughput_drop_beyond_tolerance_regresses(self):
+        checks = check_regressions({"speed_per_sec": 60.0,
+                                    "wall_seconds": 10.0}, self.REF,
+                                   tolerance=0.30)
+        verdicts = {check.name: check.regressed for check in checks}
+        assert verdicts == {"speed_per_sec": True, "wall_seconds": False}
+
+    def test_wall_time_growth_beyond_tolerance_regresses(self):
+        checks = check_regressions({"speed_per_sec": 100.0,
+                                    "wall_seconds": 20.0}, self.REF,
+                                   tolerance=0.30)
+        verdicts = {check.name: check.regressed for check in checks}
+        assert verdicts["wall_seconds"] is True
+
+    def test_improvements_never_trip(self):
+        checks = check_regressions({"speed_per_sec": 1000.0,
+                                    "wall_seconds": 0.1}, self.REF,
+                                   tolerance=0.0)
+        assert all(not check.regressed for check in checks)
+        assert all(check.change > 0 for check in checks)
+
+    def test_metadata_and_missing_metrics_skipped(self):
+        checks = check_regressions({"speed_per_sec": 100.0}, self.REF)
+        assert [check.name for check in checks] == ["speed_per_sec"]
+
+    def test_change_sign_is_polarity_normalised(self):
+        checks = check_regressions({"speed_per_sec": 90.0,
+                                    "wall_seconds": 11.0}, self.REF)
+        by_name = {check.name: check for check in checks}
+        assert by_name["speed_per_sec"].change == pytest.approx(-0.10)
+        assert by_name["wall_seconds"].change == pytest.approx(-1 / 11,
+                                                               abs=1e-6)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            check_regressions({}, {}, tolerance=-0.1)
+
+    def test_zero_reference_skipped(self):
+        checks = check_regressions({"x_per_sec": 5.0}, {"x_per_sec": 0.0})
+        assert checks == []
+
+
+class TestRunGate:
+    def baseline(self, tmp_path, **current):
+        path = tmp_path / "BENCH_datapath.json"
+        path.write_text(json.dumps({"current": current}))
+        return path
+
+    def test_precomputed_measurements_short_circuit_the_run(self, tmp_path):
+        path = self.baseline(tmp_path, a_per_sec=100.0, b_seconds=1.0)
+        report = run_gate(path, tolerance=0.30,
+                          measured={"a_per_sec": 90.0, "b_seconds": 1.1})
+        assert report.suite == "datapath"
+        assert report.ok
+        assert report.tolerance == 0.30
+        assert len(report.checks) == 2
+
+    def test_regression_reported(self, tmp_path):
+        path = self.baseline(tmp_path, a_per_sec=100.0)
+        report = run_gate(path, measured={"a_per_sec": 1.0})
+        assert not report.ok
+        assert [check.name for check in report.regressions] == ["a_per_sec"]
+
+    def test_missing_metrics_surfaced(self, tmp_path):
+        path = self.baseline(tmp_path, a_per_sec=100.0, gone_per_sec=5.0)
+        report = run_gate(path, measured={"a_per_sec": 100.0})
+        assert report.missing == ["gone_per_sec"]
+
+    def test_default_tolerance_is_generous(self):
+        assert DEFAULT_TOLERANCE == pytest.approx(0.30)

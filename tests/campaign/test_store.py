@@ -163,3 +163,41 @@ class TestManifests:
         document = json.loads(path.read_text())
         assert document["format"] == FAILURES_FORMAT
         assert document["count"] == 0 and document["failures"] == []
+
+
+class TestRepairedTailCounter:
+    def test_counts_each_repair(self, store, config, result):
+        job = Job("435.gromacs")
+        jid = job_id(job, config, TINY)
+        assert store.repaired_tails == 0
+        store.ensure_header()
+        assert store.repaired_tails == 0  # clean appends repair nothing
+        with open(store.path, "a") as handle:
+            handle.write('{"kind": "result", "job_id": "tru')
+        store.append_result(jid, job, result, attempts=1,
+                            wall_time_seconds=0.1)
+        assert store.repaired_tails == 1
+        with open(store.path, "a") as handle:
+            handle.write("torn again")
+        store.append_failure(jid, job, {"kind": "error", "error_type": "E",
+                                        "message": "m", "traceback": "",
+                                        "attempts": 1})
+        assert store.repaired_tails == 2
+
+    def test_telemetry_dir_for_shares_stem(self, tmp_path):
+        from repro.campaign.store import telemetry_dir_for
+
+        store_path = tmp_path / "campaign" / "results.jsonl"
+        assert (telemetry_dir_for(store_path)
+                == tmp_path / "campaign" / "results.telemetry")
+
+    def test_manifest_records_telemetry_interval(self, tmp_path, config):
+        path = write_campaign_manifest(tmp_path / "results.jsonl",
+                                       [Job("470.lbm")], config, TINY,
+                                       telemetry_interval=0.25)
+        document = json.loads(path.read_text())
+        assert document["telemetry_interval"] == 0.25
+        # And absent/off campaigns record null, not a missing key.
+        path = write_campaign_manifest(tmp_path / "other.jsonl",
+                                       [Job("470.lbm")], config, TINY)
+        assert json.loads(path.read_text())["telemetry_interval"] is None

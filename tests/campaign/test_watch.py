@@ -1,0 +1,230 @@
+"""Tests for campaign watch/status-follow views and the merged timeline.
+
+The end-to-end cases run a real (tiny) campaign with telemetry enabled
+and then assert the acceptance property of the bus: the folded per-job
+registries agree *exactly* with what each job reported home through
+``result.extra`` — same numbers, two independent channels.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.campaign import (
+    Job,
+    RetryPolicy,
+    TelemetrySettings,
+    build_view,
+    render_dashboard,
+    render_status_line,
+    run_campaign,
+    telemetry_dir_for,
+    write_campaign_manifest,
+    write_campaign_timeline,
+)
+from repro.campaign.watch import watch_campaign
+from repro.obs.telemetry import spool_path
+from repro.sim import ExperimentScale
+
+TINY = ExperimentScale(warmup_instructions=500, sim_instructions=2_000,
+                       sample_interval=500)
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_seconds=0.01,
+                         backoff_factor=1.0)
+
+JOBS = [Job("470.lbm"), Job("605.mcf", mode="pinte", p_induce=0.5),
+        Job("619.lbm")]
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory, config):
+    """One completed telemetry-enabled campaign, shared by the module."""
+    store = tmp_path_factory.mktemp("watch") / "results.jsonl"
+    write_campaign_manifest(store, JOBS, config, TINY,
+                            machine_preset="scaled",
+                            retry=FAST_RETRY.to_dict(), processes=2,
+                            telemetry_interval=0.05)
+    report = run_campaign(JOBS, config, TINY, processes=2, store=store,
+                          retry=FAST_RETRY, telemetry=0.05)
+    assert report.ok
+    return store, report
+
+
+class TestTelemetrySpools:
+    def test_one_spool_per_job(self, campaign):
+        store, report = campaign
+        directory = telemetry_dir_for(store)
+        assert report.telemetry_dir == directory
+        for jid in report.job_ids:
+            assert spool_path(directory, jid).exists()
+
+    def test_folded_registry_matches_result_extras_exactly(self, campaign):
+        """Acceptance: per-job telemetry totals == stored result extras."""
+        store, report = campaign
+        telemetry = report.telemetry
+        assert telemetry is not None
+        for jid in report.job_ids:
+            result = report.results_by_id[jid]
+            job = telemetry.jobs[jid]
+            folded = job.registry
+            hits = (folded.value("trace.cache.hit")
+                    if "trace.cache.hit" in folded else 0)
+            assert hits == int(result.extra["trace_cache_hits"])
+            assert (folded.value("trace.cache.miss")
+                    == int(result.extra["trace_cache_misses"]))
+            assert folded.value("core0.instructions") == result.instructions
+            assert job.instructions == result.instructions
+            assert job.status == "ok"
+
+    def test_campaign_aggregates_published(self, campaign):
+        store, report = campaign
+        view = build_view(store)
+        registry = view.registry
+        assert registry.value("campaign.telemetry.jobs_seen") == len(JOBS)
+        assert registry.value("campaign.telemetry.jobs_completed") == len(JOBS)
+        assert registry.value("campaign.telemetry.jobs_running") == 0
+        assert registry.value("campaign.peak_rss_kb") > 0
+        wall = registry.get("campaign.job_wall_seconds")
+        assert wall.total == len(JOBS)
+        attempts = registry.get("campaign.job_attempts")
+        assert attempts.total == len(JOBS)
+        assert attempts.percentile(50) == 1  # no retries in this campaign
+
+
+class TestCampaignView:
+    def test_complete_view(self, campaign):
+        store, report = campaign
+        view = build_view(store)
+        assert view.total == len(JOBS)
+        assert view.completed == len(JOBS)
+        assert view.failed == 0
+        assert view.pending == 0
+        assert view.is_complete
+        assert view.eta_seconds == 0.0
+        assert view.running == []
+        assert view.spool_count == len(JOBS)
+
+    def test_missing_manifest_view(self, tmp_path):
+        view = build_view(tmp_path / "nothing.jsonl")
+        assert view.total is None
+        assert view.pending is None
+        assert not view.is_complete
+
+    def test_torn_spool_line_mid_tail_does_not_crash_view(self, campaign):
+        """Regression: a worker killed mid-write leaves a torn trailing
+        spool line; build_view must skip it and keep rendering."""
+        store, report = campaign
+        victim = spool_path(telemetry_dir_for(store), report.job_ids[0])
+        original = victim.read_bytes()
+        try:
+            with open(victim, "ab") as handle:
+                handle.write(b'{"k":"delta","seq":99,"counters":{"x"')
+            view = build_view(store)
+            assert view.is_complete
+            assert view.corrupt_spool_lines == 0  # torn, not corrupt
+        finally:
+            victim.write_bytes(original)
+
+    def test_view_counts_only_manifest_jobs(self, campaign, config):
+        """Stale store records from a superseded manifest are ignored."""
+        store, report = campaign
+        view = build_view(store)
+        assert view.completed == len(JOBS)  # not raw store record count
+
+
+class TestRendering:
+    def test_dashboard_mentions_progress_and_completion(self, campaign):
+        store, _ = campaign
+        text = render_dashboard(build_view(store))
+        assert f"{len(JOBS)}/{len(JOBS)} done" in text
+        assert "campaign complete." in text
+        assert "telemetry:" in text
+
+    def test_status_line_is_one_line(self, campaign):
+        store, _ = campaign
+        line = render_status_line(build_view(store))
+        assert "\n" not in line
+        assert f"{len(JOBS)}/{len(JOBS)} done" in line
+
+    def test_watch_loop_stops_when_complete(self, campaign):
+        store, _ = campaign
+        buffer = io.StringIO()
+        view = watch_campaign(store, interval_seconds=0.01,
+                              stream=buffer, clear=False)
+        assert view.is_complete
+        assert "campaign complete." in buffer.getvalue()
+
+    def test_watch_iterations_bound(self, tmp_path):
+        # Store with no manifest never completes; iterations must bound it.
+        buffer = io.StringIO()
+        view = watch_campaign(tmp_path / "empty.jsonl",
+                              interval_seconds=0.0, iterations=2,
+                              stream=buffer, clear=False,
+                              render=render_status_line)
+        assert buffer.getvalue().count("\n") == 2
+
+    def test_clear_mode_emits_ansi(self, campaign):
+        store, _ = campaign
+        buffer = io.StringIO()
+        watch_campaign(store, interval_seconds=0.01, iterations=1,
+                       stream=buffer, clear=True)
+        assert buffer.getvalue().startswith("\x1b[2J\x1b[H")
+
+
+class TestTimeline:
+    def test_merged_chrome_trace(self, campaign, tmp_path):
+        store, report = campaign
+        output = tmp_path / "timeline.json"
+        count = write_campaign_timeline(store, output)
+        document = json.loads(output.read_text())
+        events = document["traceEvents"]
+        assert len(events) == count
+        # One process track per job (pids 1..N) plus the campaign meta.
+        pids = {event["pid"] for event in events}
+        assert pids == set(range(len(JOBS) + 1))
+        phases = {event["ph"] for event in events}
+        assert {"M", "X", "C"} <= phases
+        # Every job contributes a whole-attempt span with its outcome.
+        attempts = [event for event in events
+                    if event["ph"] == "X" and event.get("cat") == "job"]
+        assert len(attempts) == len(JOBS)
+        assert all(event["args"]["status"] == "ok" for event in attempts)
+        assert all(event["ts"] >= 0 for event in attempts)
+        # Per-job phase spans (trace-gen, simulate...) ride along.
+        names = {event["name"] for event in events
+                 if event.get("cat") == "phase"}
+        assert "trace-gen" in names
+
+    def test_without_telemetry_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            write_campaign_timeline(tmp_path / "bare.jsonl",
+                                    tmp_path / "out.json")
+
+
+class TestFailureBreakdown:
+    def test_view_classifies_failures(self, tmp_path, config):
+        store = tmp_path / "results.jsonl"
+        jobs = [Job("470.lbm"), Job("__fault:raise")]
+        write_campaign_manifest(store, jobs, config, TINY,
+                                machine_preset="scaled",
+                                retry=FAST_RETRY.to_dict(), processes=1,
+                                telemetry_interval=0.05)
+        report = run_campaign(jobs, config, TINY, processes=1, store=store,
+                              retry=FAST_RETRY, telemetry=0.05)
+        assert report.failed == 1
+        view = build_view(store)
+        assert view.failure_kinds == {"error": 1}
+        assert view.retries_exhausted == 1  # burned all 3 attempts
+        assert view.is_complete  # failed counts as an outcome
+        text = render_dashboard(view)
+        assert "failures: error=1" in text
+        assert "retries exhausted: 1" in text
+
+
+class TestTelemetrySettingsGate:
+    def test_telemetry_without_store_rejected(self, config):
+        with pytest.raises(ValueError):
+            run_campaign([Job("470.lbm")], config, TINY, telemetry=True)
+
+    def test_settings_coercion_exported(self):
+        assert TelemetrySettings.coerce(0.5).interval_seconds == 0.5

@@ -107,3 +107,112 @@ class TestFormatMetrics:
         registry.histogram("llc.reuse").from_counts([1, 2])
         lines = format_metrics(registry).splitlines()
         assert lines == ["core0.ipc 0.5", "llc.miss 7", "llc.reuse [1 2]"]
+
+
+class TestHistogramMerge:
+    def test_bin_wise_addition(self):
+        a = MetricRegistry().histogram("h").from_counts([1, 2, 3])
+        b = MetricRegistry().histogram("h").from_counts([10, 0, 5])
+        a.merge(b)
+        assert a.bins == [11, 2, 8]
+
+    def test_longer_other_extends_self(self):
+        a = MetricRegistry().histogram("h").from_counts([1])
+        a.merge([0, 0, 7])
+        assert a.bins == [1, 0, 7]
+
+    def test_shorter_other_zero_padded(self):
+        a = MetricRegistry().histogram("h").from_counts([1, 2, 3, 4])
+        a.merge([5])
+        assert a.bins == [6, 2, 3, 4]
+
+    def test_merge_empty_is_noop(self):
+        a = MetricRegistry().histogram("h").from_counts([1, 2])
+        a.merge([])
+        assert a.bins == [1, 2]
+
+    def test_accepts_bare_sequence(self):
+        a = MetricRegistry().histogram("h", 2)
+        a.merge((3, 4))
+        assert a.bins == [3, 4]
+
+
+class TestHistogramPercentile:
+    def test_empty_returns_none(self):
+        histogram = MetricRegistry().histogram("h", 4)
+        assert histogram.total == 0
+        assert histogram.percentile(50) is None
+
+    def test_single_bin(self):
+        histogram = MetricRegistry().histogram("h").from_counts([0, 9, 0])
+        for q in (0, 50, 99, 100):
+            assert histogram.percentile(q) == 1
+
+    def test_median_and_tail(self):
+        # 10 observations: 5 in bin 0, 4 in bin 1, 1 in bin 3.
+        histogram = MetricRegistry().histogram("h").from_counts([5, 4, 0, 1])
+        assert histogram.percentile(0) == 0
+        assert histogram.percentile(50) == 0
+        assert histogram.percentile(90) == 1
+        assert histogram.percentile(95) == 3
+        assert histogram.percentile(100) == 3
+
+    def test_out_of_range_raises(self):
+        histogram = MetricRegistry().histogram("h").from_counts([1])
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+
+class TestRegistryMerge:
+    def build(self):
+        registry = MetricRegistry()
+        registry.count("llc.miss", 3)
+        registry.set("core0.ipc", 0.5)
+        registry.histogram("llc.reuse").from_counts([1, 2])
+        return registry
+
+    def test_counters_add_gauges_overwrite_histograms_merge(self):
+        target = self.build()
+        other = MetricRegistry()
+        other.count("llc.miss", 4)
+        other.set("core0.ipc", 0.9)
+        other.histogram("llc.reuse").from_counts([0, 1, 7])
+        target.merge(other)
+        assert target.value("llc.miss") == 7
+        assert target.value("core0.ipc") == 0.9
+        assert target.value("llc.reuse") == [1, 3, 7]
+
+    def test_merge_into_empty_copies_values(self):
+        target = MetricRegistry()
+        target.merge(self.build())
+        assert target.value("llc.miss") == 3
+        assert target.value("core0.ipc") == 0.5
+        assert target.value("llc.reuse") == [1, 2]
+
+    def test_merge_from_empty_is_noop(self):
+        target = self.build()
+        target.merge(MetricRegistry())
+        assert target.value("llc.miss") == 3
+        assert target.value("core0.ipc") == 0.5
+        assert target.value("llc.reuse") == [1, 2]
+
+    def test_new_names_created(self):
+        target = MetricRegistry()
+        other = MetricRegistry()
+        other.count("pinte.theft", 2)
+        target.merge(other)
+        assert target.value("pinte.theft") == 2
+
+    def test_kind_collision_raises(self):
+        target = MetricRegistry()
+        target.count("x", 1)
+        other = MetricRegistry()
+        other.set("x", 2.0)
+        with pytest.raises(TypeError):
+            target.merge(other)
+
+    def test_returns_self_for_chaining(self):
+        target = MetricRegistry()
+        assert target.merge(MetricRegistry()) is target

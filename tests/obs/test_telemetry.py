@@ -1,0 +1,262 @@
+"""Tests for the cross-process telemetry bus (spool, tail, fold)."""
+
+import json
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler
+from repro.obs.registry import MetricRegistry
+from repro.obs.telemetry import (
+    DURATION_BUCKET_EDGES,
+    CampaignTelemetry,
+    SpoolTail,
+    TelemetrySettings,
+    TelemetrySpooler,
+    apply_delta,
+    bucket_index,
+    bucket_value,
+    diff_registry,
+    registry_state,
+    spool_path,
+)
+
+
+class TestBuckets:
+    def test_geometric_edges(self):
+        assert DURATION_BUCKET_EDGES[0] == pytest.approx(0.001)
+        ratios = [b / a for a, b in zip(DURATION_BUCKET_EDGES,
+                                        DURATION_BUCKET_EDGES[1:])]
+        assert all(ratio == pytest.approx(2.0) for ratio in ratios)
+
+    def test_index_boundaries_and_overflow(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(0.001) == 0  # values up to the edge inclusive
+        assert bucket_index(0.0011) == 1
+        assert bucket_index(1e9) == len(DURATION_BUCKET_EDGES)  # overflow
+
+    def test_bucket_value_clamps_overflow(self):
+        assert bucket_value(0) == DURATION_BUCKET_EDGES[0]
+        assert (bucket_value(len(DURATION_BUCKET_EDGES) + 5)
+                == DURATION_BUCKET_EDGES[-1])
+
+
+class TestSettings:
+    def test_coerce_table(self):
+        assert TelemetrySettings.coerce(None) is None
+        assert TelemetrySettings.coerce(False) is None
+        assert TelemetrySettings.coerce(True).interval_seconds == 1.0
+        assert TelemetrySettings.coerce(0.25).interval_seconds == 0.25
+        settings = TelemetrySettings(2.0)
+        assert TelemetrySettings.coerce(settings) is settings
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetrySettings(-1.0)
+
+
+class TestDeltaEncoding:
+    def test_unchanged_registry_diffs_to_none(self):
+        registry = MetricRegistry()
+        registry.count("a", 3)
+        state = registry_state(registry)
+        assert diff_registry(registry, state) is None
+
+    def test_counters_and_histograms_are_increments(self):
+        registry = MetricRegistry()
+        registry.count("a", 3)
+        registry.histogram("h").from_counts([1, 0, 2])
+        state = registry_state(registry)
+        registry.count("a", 4)
+        registry.histogram("h").observe(1)
+        delta = diff_registry(registry, state)
+        assert delta["counters"] == {"a": 4}
+        assert delta["histograms"] == {"h": [0, 1, 0]}
+
+    def test_gauges_carry_value_not_increment(self):
+        registry = MetricRegistry()
+        registry.set("g", 1.0)
+        state = registry_state(registry)
+        registry.set("g", 5.0)
+        delta = diff_registry(registry, state)
+        assert delta["gauges"] == {"g": 5.0}
+
+    def test_deltas_refold_to_exact_totals(self):
+        """The acceptance property: replaying every delta in order
+        reconstructs the worker registry value-for-value."""
+        source = MetricRegistry()
+        folded = MetricRegistry()
+        state: dict = {}
+        for step in range(1, 6):
+            source.count("llc.miss", step * 7)
+            source.set("core0.ipc", 1.0 / step)
+            source.histogram("reuse").observe(step % 3, step)
+            delta = diff_registry(source, state)
+            state = registry_state(source)
+            if delta is not None:
+                apply_delta(folded, delta)
+        assert folded.as_dict() == source.as_dict()
+
+
+def write_lines(path, *lines, tail=""):
+    path.write_bytes(b"".join(line.encode() + b"\n" for line in lines)
+                     + tail.encode())
+
+
+class TestSpoolTail:
+    def test_missing_file_polls_empty(self, tmp_path):
+        assert SpoolTail(tmp_path / "nope.jsonl").poll() == []
+
+    def test_incremental_reads(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        write_lines(path, '{"k":"a"}')
+        tail = SpoolTail(path)
+        assert [r["k"] for r in tail.poll()] == ["a"]
+        assert tail.poll() == []
+        with open(path, "a") as handle:
+            handle.write('{"k":"b"}\n')
+        assert [r["k"] for r in tail.poll()] == ["b"]
+
+    def test_torn_trailing_line_skipped_then_consumed(self, tmp_path):
+        """Regression: a partially-written record mid-tail must neither
+        crash the reader nor be consumed before the writer finishes it."""
+        path = tmp_path / "s.jsonl"
+        write_lines(path, '{"k":"a"}', tail='{"k":"b","x":')
+        tail = SpoolTail(path)
+        records = tail.poll()
+        assert [r["k"] for r in records] == ["a"]
+        # Nothing new, torn line still pending — poll stays quiet.
+        assert tail.poll() == []
+        with open(path, "a") as handle:  # writer completes the line
+            handle.write('1}\n')
+        assert [r["k"] for r in tail.poll()] == ["b"]
+        assert tail.corrupt == 0
+
+    def test_complete_corrupt_line_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        write_lines(path, '{"k":"a"}', 'not json at all', '{"k":"c"}')
+        tail = SpoolTail(path)
+        records = tail.poll()
+        assert [r["k"] for r in records] == ["a", "c"]
+        assert tail.corrupt == 1
+
+
+class TestSpoolerRoundTrip:
+    def spool_one(self, tmp_path, status="ok"):
+        path = tmp_path / "job.jsonl"
+        registry = MetricRegistry()
+        profiler = PhaseProfiler()
+        spooler = TelemetrySpooler(path, "deadbeef00000000", attempt=1,
+                                   label="470.lbm", interval_seconds=0.0)
+        spooler.start()
+        registry.count("llc.miss", 10)
+        assert spooler.snapshot(registry) is True
+        assert spooler.snapshot(registry) is False  # nothing changed
+        registry.count("llc.miss", 5)
+        registry.set("core0.ipc", 0.7)
+        profiler.add_span("simulate", 0.0, 1.5)
+        spooler.finish(registry, profiler, status=status,
+                       wall_seconds=2.5, instructions=40_000)
+        return path, registry
+
+    def test_records_in_order(self, tmp_path):
+        path, _ = self.spool_one(tmp_path)
+        kinds = [json.loads(line)["k"]
+                 for line in path.read_text().splitlines()]
+        assert kinds == ["start", "delta", "delta", "span", "end"]
+
+    def test_fold_matches_worker_registry_exactly(self, tmp_path):
+        path, registry = self.spool_one(tmp_path)
+        telemetry = CampaignTelemetry(path.parent)
+        telemetry.poll()
+        job = telemetry.jobs["job"]  # file stem is the job id key
+        assert job.registry.as_dict() == registry.as_dict()
+        assert job.status == "ok"
+        assert job.wall_seconds == 2.5
+        assert job.instructions == 40_000
+        assert [span.name for span in job.spans] == ["simulate"]
+
+    def test_finish_without_start_is_noop(self, tmp_path):
+        spooler = TelemetrySpooler(tmp_path / "x.jsonl", "x")
+        spooler.finish(MetricRegistry(), PhaseProfiler())
+        assert not (tmp_path / "x.jsonl").exists()
+
+    def test_spool_path_is_filesystem_safe(self, tmp_path):
+        assert spool_path(tmp_path, "ab12cd34").name == "ab12cd34.jsonl"
+
+
+class TestJobTelemetryFold:
+    def write_spool(self, directory, job_id, records):
+        write_lines(spool_path(directory, job_id),
+                    *[json.dumps(record) for record in records])
+
+    def test_retry_supersedes_prior_attempt(self, tmp_path):
+        self.write_spool(tmp_path, "j1", [
+            {"k": "start", "job_id": "j1", "attempt": 1, "label": "w",
+             "pid": 10, "t": 100.0, "interval": 0},
+            {"k": "delta", "seq": 1, "counters": {"llc.miss": 5}},
+            {"k": "end", "t": 101.0, "status": "error", "wall_seconds": 1.0},
+            {"k": "start", "job_id": "j1", "attempt": 2, "label": "w",
+             "pid": 11, "t": 102.0, "interval": 0},
+            {"k": "delta", "seq": 1, "counters": {"llc.miss": 3}},
+        ])
+        telemetry = CampaignTelemetry(tmp_path)
+        telemetry.poll()
+        job = telemetry.jobs["j1"]
+        assert job.attempt == 2
+        assert job.attempts_seen == 2
+        assert job.running  # attempt 2 has no end record yet
+        assert job.registry.value("llc.miss") == 3  # attempt 1 discarded
+
+    def test_unknown_record_kind_ignored(self, tmp_path):
+        self.write_spool(tmp_path, "j1", [
+            {"k": "start", "job_id": "j1", "attempt": 1, "label": "w",
+             "pid": 1, "t": 1.0, "interval": 0},
+            {"k": "from-the-future", "payload": 42},
+        ])
+        telemetry = CampaignTelemetry(tmp_path)
+        telemetry.poll()
+        assert telemetry.jobs["j1"].running
+
+    def test_resource_records_track_cpu_and_peak_rss(self, tmp_path):
+        self.write_spool(tmp_path, "j1", [
+            {"k": "start", "job_id": "j1", "attempt": 1, "label": "w",
+             "pid": 1, "t": 1.0, "interval": 0.5},
+            {"k": "res", "t": 1.5, "cpu": 0.4, "rss_kb": 900},
+            {"k": "res", "t": 2.0, "cpu": 0.9, "rss_kb": 800},
+        ])
+        telemetry = CampaignTelemetry(tmp_path)
+        telemetry.poll()
+        job = telemetry.jobs["j1"]
+        assert job.cpu_seconds == pytest.approx(0.9)  # latest reading
+        assert job.peak_rss_kb == 900                 # high-water mark
+        assert len(job.resources) == 2
+
+    def test_campaign_fold_is_idempotent(self, tmp_path):
+        self.write_spool(tmp_path, "j1", [
+            {"k": "start", "job_id": "j1", "attempt": 1, "label": "470.lbm",
+             "pid": 1, "t": 1.0, "interval": 0},
+            {"k": "res", "t": 1.5, "cpu": 2.0, "rss_kb": 500},
+            {"k": "end", "t": 3.0, "status": "ok", "wall_seconds": 2.0,
+             "instructions": 10_000},
+        ])
+        telemetry = CampaignTelemetry(tmp_path)
+        registry = MetricRegistry()
+        telemetry.poll()
+        telemetry.fold_into(registry)
+        first = registry.as_dict()
+        telemetry.poll()
+        telemetry.fold_into(registry)
+        assert registry.as_dict() == first
+        assert registry.value("campaign.telemetry.jobs_completed") == 1
+        assert registry.value("campaign.cpu_seconds") == pytest.approx(2.0)
+        assert registry.value("campaign.peak_rss_kb") == 500
+        assert registry.value("campaign.throughput.470.lbm") == (
+            pytest.approx(5_000.0))
+        wall = registry.get("campaign.job_wall_seconds")
+        assert wall.total == 1
+        assert wall.bins[bucket_index(2.0)] == 1
+
+    def test_missing_directory_polls_zero(self, tmp_path):
+        telemetry = CampaignTelemetry(tmp_path / "absent")
+        assert telemetry.poll() == 0
+        assert telemetry.jobs == {}

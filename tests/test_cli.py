@@ -466,3 +466,154 @@ class TestParser:
     def test_help_builds(self):
         parser = build_parser()
         assert parser.prog == "repro"
+
+
+class TestCampaignTelemetryCommands:
+    ARGS = ["--instructions", "2000", "--warmup", "500"]
+
+    def run_with_telemetry(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "453.povray",
+                     "--telemetry", "0.05", "--processes", "2",
+                     "--retries", "2", "--backoff", "0.01"]
+                    + self.ARGS) == 0
+        capsys.readouterr()
+        return store
+
+    def test_run_records_telemetry_and_spools(self, tmp_path, capsys):
+        store = self.run_with_telemetry(tmp_path, capsys)
+        manifest = json.loads((tmp_path / "results.manifest.json").read_text())
+        assert manifest["telemetry_interval"] == 0.05
+        spools = sorted((tmp_path / "results.telemetry").glob("*.jsonl"))
+        assert len(spools) == 2
+
+    def test_status_shows_spools_and_failure_classes(self, tmp_path, capsys):
+        store = self.run_with_telemetry(tmp_path, capsys)
+        assert main(["campaign", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry spools" in out
+
+    def test_status_failure_breakdown(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "--inject", "raise",
+                     "--retries", "2", "--backoff", "0.01",
+                     "--processes", "1"] + self.ARGS) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "failures: error" in out
+        assert "retries exhausted" in out
+
+    def test_status_surfaces_torn_tail(self, tmp_path, capsys):
+        store = self.run_with_telemetry(tmp_path, capsys)
+        with open(store, "a") as handle:
+            handle.write('{"kind": "result", "job_id": "tor')
+        assert main(["campaign", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "torn trailing lines repaired" in out
+
+    def test_status_follow(self, tmp_path, capsys):
+        store = self.run_with_telemetry(tmp_path, capsys)
+        assert main(["campaign", "status", store, "--follow",
+                     "--interval", "0.01", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        # Complete campaign: the loop stops after the first line.
+        assert out.count("\n") == 1
+        assert "2/2 done" in out
+
+    def test_watch_frames(self, tmp_path, capsys):
+        store = self.run_with_telemetry(tmp_path, capsys)
+        assert main(["campaign", "watch", store, "--iterations", "1",
+                     "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign watch" in out
+        assert "2/2 done" in out
+        assert "campaign complete." in out
+
+    def test_timeline_export(self, tmp_path, capsys):
+        store = self.run_with_telemetry(tmp_path, capsys)
+        output = tmp_path / "timeline.json"
+        assert main(["campaign", "timeline", store, "-o", str(output)]) == 0
+        document = json.loads(output.read_text())
+        assert document["traceEvents"]
+
+    def test_timeline_without_telemetry_exits(self, tmp_path, capsys):
+        store = str(tmp_path / "bare.jsonl")
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "--processes", "1"]
+                    + self.ARGS) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="telemetry"):
+            main(["campaign", "timeline", store, "-o",
+                  str(tmp_path / "out.json")])
+
+    def test_resume_inherits_manifest_telemetry(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "453.povray",
+                     "--telemetry", "0.05", "--shard", "0/2",
+                     "--processes", "1"] + self.ARGS) == 0
+        capsys.readouterr()
+        assert main(["campaign", "resume", store, "--processes", "1"]) == 0
+        capsys.readouterr()
+        spools = sorted((tmp_path / "results.telemetry").glob("*.jsonl"))
+        assert len(spools) == 2  # the resumed job spooled too
+
+
+class TestBenchGateCommand:
+    def baseline(self, tmp_path, current):
+        path = tmp_path / "BENCH_datapath.json"
+        path.write_text(json.dumps({"current": current}))
+        return str(path)
+
+    def test_check_needs_baseline(self):
+        with pytest.raises(SystemExit, match="baseline"):
+            main(["bench", "--check"])
+
+    def test_gate_passes_within_tolerance(self, tmp_path, capsys,
+                                          monkeypatch):
+        import repro.bench.gate as gate
+
+        monkeypatch.setattr(gate, "_run_suite",
+                            lambda suite, repeats, scale:
+                            {"a_per_sec": 95.0})
+        path = self.baseline(tmp_path, {"a_per_sec": 100.0})
+        assert main(["bench", "--baseline", path, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "gate passed" in out
+        assert "a_per_sec" in out
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.gate as gate
+
+        monkeypatch.setattr(gate, "_run_suite",
+                            lambda suite, repeats, scale:
+                            {"a_per_sec": 10.0})
+        path = self.baseline(tmp_path, {"a_per_sec": 100.0})
+        assert main(["bench", "--baseline", path, "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "REGRESSION" in out
+
+    def test_report_only_never_fails(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.gate as gate
+
+        monkeypatch.setattr(gate, "_run_suite",
+                            lambda suite, repeats, scale:
+                            {"a_per_sec": 10.0})
+        path = self.baseline(tmp_path, {"a_per_sec": 100.0})
+        assert main(["bench", "--baseline", path, "--check",
+                     "--report-only"]) == 0
+        out = capsys.readouterr().out
+        assert "report-only" in out
+
+    def test_tolerance_flag_respected(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.gate as gate
+
+        monkeypatch.setattr(gate, "_run_suite",
+                            lambda suite, repeats, scale:
+                            {"a_per_sec": 60.0})
+        path = self.baseline(tmp_path, {"a_per_sec": 100.0})
+        assert main(["bench", "--baseline", path, "--check",
+                     "--tolerance", "0.5"]) == 0
