@@ -1,0 +1,73 @@
+"""Pool-executor benchmark: many-short-jobs campaign, pool vs spawn.
+
+The pool executor forks its workers once and streams jobs over pipes;
+the spawn executor pays a fork + trace build per job. On a campaign of
+many short jobs that overhead decides the wall-clock, so this bench
+asserts the pool stays at least ``POOL_SPEEDUP_TARGET`` times faster —
+the ISSUE acceptance criterion — and that the two executors write
+equivalent result stores. Results append to
+``benchmarks/reports/BENCH_pool.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.pool import BENCH_WORKERS, bench_jobs, run_pool_bench, write_record
+from repro.campaign import ResultStore, canonical_records, run_campaign
+from repro.campaign.engine import RetryPolicy
+from repro.config import scaled_config
+from repro.sim import ExperimentScale
+
+#: The ISSUE floor: pool must beat spawn by at least this on short jobs.
+POOL_SPEEDUP_TARGET = 3.0
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    """One measured run shared by every assertion."""
+    return run_pool_bench(repeats=3, scale=1.0)
+
+
+def test_record_run(bench_result, write_report):
+    """Append the measurement to the bench file and echo the summary."""
+    document = write_record(bench_result)
+    comparison = document["pool_vs_spawn"]
+    lines = [
+        f"pool executor vs spawn ({bench_result.jobs} short jobs, "
+        f"{bench_result.workers} workers):",
+        f"  {'spawn (jobs/s)':40s} {bench_result.spawn_jobs_per_sec:10.1f}",
+        f"  {'pool (jobs/s)':40s} {bench_result.pool_jobs_per_sec:10.1f}",
+        f"  {'spawn wall (s)':40s} {bench_result.spawn_wall_seconds:10.3f}",
+        f"  {'pool wall (s)':40s} {bench_result.pool_wall_seconds:10.3f}",
+        f"  {'pool speedup':40s} {comparison['speedup']:10.3f}x",
+    ]
+    write_report("BENCH_pool_summary", "\n".join(lines))
+
+
+def test_pool_speedup_floor(bench_result):
+    """The persistent pool must amortise the per-job fork tax away."""
+    assert bench_result.pool_speedup_ratio >= POOL_SPEEDUP_TARGET, (
+        f"pool speedup {bench_result.pool_speedup_ratio:.2f}x vs spawn, "
+        f"target {POOL_SPEEDUP_TARGET}x")
+
+
+def test_result_store_equivalence(tmp_path):
+    """Both executors persist the same campaign, up to volatile fields.
+
+    The speedup is only worth recording if the pool changes nothing the
+    store can see: same result values, same job ids, same failure
+    records. ``canonical_records`` strips wall-clock noise.
+    """
+    config = scaled_config()
+    scale = ExperimentScale(warmup_instructions=100, sim_instructions=400,
+                            sample_interval=200, seed=7)
+    jobs = bench_jobs()[:12]
+    stores = {}
+    for executor in ("pool", "spawn"):
+        store = tmp_path / f"{executor}.jsonl"
+        run_campaign(jobs, config, scale, processes=BENCH_WORKERS,
+                     retry=RetryPolicy(max_attempts=1), store=str(store),
+                     raise_on_failure=True, executor=executor)
+        stores[executor] = canonical_records(ResultStore(str(store)).load())
+    assert stores["pool"] == stores["spawn"]

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Generate ``docs/CLI.md`` from the live argparse tree.
+
+The CLI reference is *derived*, never hand-written: this script walks
+:func:`repro.cli.build_parser` recursively (every subcommand at every
+depth), renders one section per command — usage line, help text, a table
+of flags with metavars, choices and defaults — and writes the result to
+``docs/CLI.md``. Output is deterministic (fixed formatter width, flags in
+definition order), so a plain text diff is a faithful drift detector.
+
+Usage::
+
+    python scripts/gen_cli_docs.py            # (re)write docs/CLI.md
+    python scripts/gen_cli_docs.py --check    # exit 1 + diff on drift
+
+``tests/docs/test_cli_docs.py`` runs the ``--check`` mode in tier-1, and
+the CI ``pool-smoke`` job uploads the diff when it fails — adding a flag
+without regenerating the reference cannot land.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CLI_DOC = REPO_ROOT / "docs" / "CLI.md"
+
+#: Fixed terminal width so usage strings wrap identically everywhere.
+FORMAT_COLUMNS = "79"
+
+HEADER = """\
+# CLI reference
+
+> **Generated file — do not edit.** This reference is produced from the
+> live argparse tree by `scripts/gen_cli_docs.py`; regenerate it with
+> `python scripts/gen_cli_docs.py` after changing `src/repro/cli.py`.
+> A tier-1 test (`tests/docs/test_cli_docs.py`) fails on drift.
+
+All commands are invoked as `python -m repro <command> ...` (abbreviated
+to `repro <command>` below) and print plain text; exit codes are
+meaningful, so every recipe is scriptable.
+"""
+
+
+def iter_commands(parser: argparse.ArgumentParser, prog: str):
+    """Yield ``(prog, parser, help)`` for a parser and all descendants."""
+    yield prog, parser, None
+    for action in parser._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        helps = {pseudo.dest: pseudo.help
+                 for pseudo in action._choices_actions}
+        for name, sub in action.choices.items():
+            for child_prog, child, child_help in iter_commands(
+                    sub, f"{prog} {name}"):
+                if child is sub and child_help is None:
+                    child_help = helps.get(name)
+                yield child_prog, child, child_help
+
+
+def _escape(text: str) -> str:
+    """Make help text safe inside a Markdown table cell."""
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def _argument_name(action: argparse.Action) -> str:
+    """The left column: flag spellings (with metavar) or positional name."""
+    if not action.option_strings:
+        metavar = action.metavar or action.dest
+        return f"`{metavar}`"
+    if action.nargs == 0:
+        return ", ".join(f"`{flag}`" for flag in action.option_strings)
+    metavar = action.metavar or action.dest.upper()
+    if action.choices is not None and action.metavar is None:
+        metavar = "{" + ",".join(str(c) for c in action.choices) + "}"
+    if action.nargs in ("?", "*"):
+        metavar = f"[{metavar}]"
+    elif action.nargs == "+":
+        metavar = f"{metavar}..."
+    return ", ".join(f"`{flag} {metavar}`"
+                     for flag in action.option_strings)
+
+
+def _default_cell(action: argparse.Action) -> str:
+    """The default column: required / a literal / blank when meaningless."""
+    if not action.option_strings:
+        return "required"
+    if action.required:
+        return "required"
+    if action.nargs == 0 or action.default is None:
+        return ""
+    return f"`{action.default!r}`"
+
+
+def render_command(prog: str, parser: argparse.ArgumentParser,
+                   help_text: str) -> str:
+    """One Markdown section: heading, help, usage block, argument table."""
+    lines = [f"## `{prog}`", ""]
+    blurb = help_text or parser.description
+    if blurb:
+        lines.extend([_escape(blurb).strip(), ""])
+    usage = parser.format_usage().replace("usage: ", "", 1).rstrip()
+    lines.extend(["```", usage, "```", ""])
+    rows = []
+    for action in parser._actions:
+        if isinstance(action, (argparse._HelpAction,
+                               argparse._SubParsersAction)):
+            continue
+        rows.append((_argument_name(action), _default_cell(action),
+                     _escape(action.help or "")))
+    if rows:
+        lines.append("| Argument | Default | Description |")
+        lines.append("|----------|---------|-------------|")
+        lines.extend(f"| {name} | {default} | {help_} |"
+                     for name, default, help_ in rows)
+        lines.append("")
+    subcommands = [action for action in parser._actions
+                   if isinstance(action, argparse._SubParsersAction)]
+    for action in subcommands:
+        names = ", ".join(f"[`{prog} {pseudo.dest}`](#{anchor(prog, pseudo.dest)})"
+                          for pseudo in action._choices_actions)
+        lines.extend([f"Subcommands: {names}", ""])
+    return "\n".join(lines)
+
+
+def anchor(prog: str, name: str) -> str:
+    """GitHub-style anchor for a generated ``## `prog name``` heading."""
+    return f"{prog} {name}".replace(" ", "-").replace(".", "")
+
+
+def generate() -> str:
+    """The full docs/CLI.md document text."""
+    os.environ["COLUMNS"] = FORMAT_COLUMNS
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    sections = [render_command(prog, sub, help_text)
+                for prog, sub, help_text in iter_commands(parser, "repro")]
+    return HEADER + "\n" + "\n".join(sections).rstrip() + "\n"
+
+
+def main(argv) -> int:
+    """Write or check docs/CLI.md; returns the process exit code."""
+    check = "--check" in argv
+    document = generate()
+    if not check:
+        CLI_DOC.write_text(document)
+        print(f"wrote {CLI_DOC.relative_to(REPO_ROOT)} "
+              f"({len(document.splitlines())} lines)")
+        return 0
+    committed = CLI_DOC.read_text() if CLI_DOC.exists() else ""
+    if committed == document:
+        print("docs/CLI.md is up to date")
+        return 0
+    diff = difflib.unified_diff(
+        committed.splitlines(keepends=True), document.splitlines(keepends=True),
+        fromfile="docs/CLI.md (committed)", tofile="docs/CLI.md (generated)")
+    sys.stdout.writelines(diff)
+    print("\ndocs/CLI.md is stale; regenerate with "
+          "`python scripts/gen_cli_docs.py`", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,6 +14,7 @@ from repro.bench.gate import (
     check_regressions,
     run_gate,
 )
+from repro.bench.pool import PoolBenchResult, run_pool_bench
 from repro.bench.reproduce import ReproduceBenchResult, run_reproduce_bench
 from repro.bench.trace import TraceBenchResult, run_trace_bench
 
@@ -23,12 +24,14 @@ __all__ = [
     "DatapathBenchResult",
     "GateReport",
     "MetricCheck",
+    "PoolBenchResult",
     "ReproduceBenchResult",
     "TraceBenchResult",
     "check_regressions",
     "load_baseline",
     "run_datapath_bench",
     "run_gate",
+    "run_pool_bench",
     "run_reproduce_bench",
     "run_trace_bench",
     "write_record",

@@ -1,0 +1,143 @@
+"""Pool-executor benchmark: many-short-jobs campaign, pool vs spawn.
+
+The spawn executor forks one process per job attempt; on a campaign of
+many short jobs the fork + interpreter + trace-regeneration tax dominates
+the simulation itself. The pool executor forks its workers once, streams
+jobs over pipes and memoises traces per worker, so its per-job cost is a
+pickle round-trip. This bench runs the *same* short-job campaign through
+both executors (same engine, same retry policy, same worker count) and
+records the wall-clock, throughput and the speedup ratio.
+
+``benchmarks/test_perf_pool.py`` asserts the pool executor stays at least
+3x faster than spawn on this shape and that the two executors produce
+equivalent results, then appends each run to
+``benchmarks/reports/BENCH_pool.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.config import scaled_config
+from repro.sim import ExperimentScale
+from repro.sim.batch import Job, campaign_jobs
+
+#: Canonical record of executor throughput, appended to per run.
+BENCH_FILE = (Path(__file__).resolve().parents[3]
+              / "benchmarks" / "reports" / "BENCH_pool.json")
+
+#: Baseline instruction counts; ``scale`` multiplies both. Deliberately
+#: tiny: the whole point is jobs short enough that scheduler overhead,
+#: not simulation, decides the wall-clock.
+BENCH_WARMUP = 25
+BENCH_INSTRUCTIONS = 75
+BENCH_SEED = 5
+BENCH_WORKERS = 4
+#: Two workloads x (isolation + this sweep) = 144 jobs. The sweep exists
+#: to multiply the job count, not to say anything about PInTE.
+BENCH_PINDUCE = tuple((i + 1) / 256 for i in range(71))
+BENCH_WORKLOADS = ("470.lbm", "450.soplex")
+
+
+@dataclass
+class PoolBenchResult:
+    """Wall-clock and throughput of one campaign under both executors."""
+
+    jobs: int
+    workers: int
+    spawn_wall_seconds: float
+    pool_wall_seconds: float
+    spawn_jobs_per_sec: float
+    pool_jobs_per_sec: float
+    pool_speedup_ratio: float
+    warmup_instructions: int
+    sim_instructions: int
+    repeats: int
+    python: str = ""
+
+
+def bench_jobs() -> List[Job]:
+    """The many-short-jobs campaign both executors run (144 jobs)."""
+    return campaign_jobs(BENCH_WORKLOADS, p_values=BENCH_PINDUCE)
+
+
+def _time_executor(executor: str, jobs: List[Job], config, scale,
+                   repeats: int) -> float:
+    """Best (min) campaign wall-clock for one executor — min-noise."""
+    from repro.campaign.engine import RetryPolicy, run_campaign
+
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = run_campaign(jobs, config, scale,
+                              processes=BENCH_WORKERS,
+                              retry=RetryPolicy(max_attempts=1),
+                              raise_on_failure=True, executor=executor)
+        elapsed = time.perf_counter() - start
+        assert len(report.results) == len(jobs)
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def run_pool_bench(repeats: int = 3, scale: float = 1.0) -> PoolBenchResult:
+    """Run the campaign under spawn then pool; return the comparison.
+
+    ``scale`` shrinks/grows the simulated instruction counts (quick CI
+    smoke mode uses a fraction). The job *count* is fixed — the bench is
+    about per-job scheduling overhead, which scaling the count would only
+    restate.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    config = scaled_config()
+    warmup = max(10, int(BENCH_WARMUP * scale))
+    instructions = max(25, int(BENCH_INSTRUCTIONS * scale))
+    run_scale = ExperimentScale(warmup_instructions=warmup,
+                                sim_instructions=instructions,
+                                sample_interval=max(1, instructions // 2),
+                                seed=BENCH_SEED)
+    jobs = bench_jobs()
+    spawn_wall = _time_executor("spawn", jobs, config, run_scale, repeats)
+    pool_wall = _time_executor("pool", jobs, config, run_scale, repeats)
+    return PoolBenchResult(
+        jobs=len(jobs),
+        workers=BENCH_WORKERS,
+        spawn_wall_seconds=spawn_wall,
+        pool_wall_seconds=pool_wall,
+        spawn_jobs_per_sec=len(jobs) / spawn_wall,
+        pool_jobs_per_sec=len(jobs) / pool_wall,
+        pool_speedup_ratio=spawn_wall / pool_wall,
+        warmup_instructions=warmup,
+        sim_instructions=instructions,
+        repeats=repeats,
+        python=platform.python_version(),
+    )
+
+
+def write_record(result: PoolBenchResult,
+                 path: Optional[Path] = None) -> dict:
+    """Record a run in the bench file; returns the updated document.
+
+    Runs land in ``runs`` (an append-only trajectory); ``current`` and
+    ``pool_vs_spawn`` always reflect the latest run.
+    """
+    if path is None:
+        path = BENCH_FILE
+    document = json.loads(path.read_text()) if path.exists() else {}
+    entry = asdict(result)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["current"] = entry
+    document.setdefault("runs", []).append(entry)
+    document["pool_vs_spawn"] = {
+        "speedup": round(result.pool_speedup_ratio, 3),
+        "pool_jobs_per_sec": round(result.pool_jobs_per_sec, 1),
+        "spawn_jobs_per_sec": round(result.spawn_jobs_per_sec, 1),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return document

@@ -9,9 +9,12 @@ multi-hour fan-out needs:
   Job + MachineConfig + ExperimentScale) and ``i/n`` shard partitioning;
 * :mod:`repro.campaign.store` — an append-only JSONL result store with
   atomic appends, plus campaign and failure manifests;
-* :mod:`repro.campaign.engine` — the scheduler: per-job worker processes,
-  timeouts, bounded retry with backoff, failure capture, resume,
-  progress/ETA wired into :mod:`repro.obs`;
+* :mod:`repro.campaign.engine` — the scheduler: timeouts, bounded retry
+  with backoff, failure capture, resume, progress/ETA wired into
+  :mod:`repro.obs`;
+* :mod:`repro.campaign.pool` — the default executor: N persistent
+  work-stealing workers (``--executor spawn`` selects the
+  process-per-job scheduler instead);
 * :mod:`repro.campaign.faults` — deterministic ``__fault:`` workloads for
   exercising every failure path in CI.
 
@@ -44,6 +47,11 @@ from repro.campaign.faults import (
     fault_workload,
     parse_fault,
 )
+from repro.campaign.pool import (
+    DEFAULT_EXECUTOR,
+    EXECUTORS,
+    WorkerTraceMemo,
+)
 from repro.campaign.ids import (
     ID_SCHEME,
     canonical_job_payload,
@@ -57,14 +65,19 @@ from repro.campaign.store import (
     FAILURES_FORMAT,
     MANIFEST_FORMAT,
     STORE_FORMAT,
+    WORKERS_FORMAT,
     ResultStore,
     StoreContents,
+    canonical_records,
     failures_path_for,
     load_campaign_manifest,
+    load_worker_records,
     manifest_path_for,
     telemetry_dir_for,
+    workers_path_for,
     write_campaign_manifest,
     write_failure_manifest,
+    write_worker_records,
 )
 from repro.campaign.watch import (
     CampaignView,
@@ -79,6 +92,8 @@ __all__ = [
     "CampaignError",
     "CampaignReport",
     "CampaignView",
+    "DEFAULT_EXECUTOR",
+    "EXECUTORS",
     "FAILURES_FORMAT",
     "FAULT_PREFIX",
     "FaultSpec",
@@ -92,9 +107,12 @@ __all__ = [
     "STORE_FORMAT",
     "StoreContents",
     "TelemetrySettings",
+    "WORKERS_FORMAT",
+    "WorkerTraceMemo",
     "build_view",
     "campaign_jobs",
     "canonical_job_payload",
+    "canonical_records",
     "execute_job",
     "failures_path_for",
     "fault_workload",
@@ -102,6 +120,7 @@ __all__ = [
     "job_id",
     "job_to_dict",
     "load_campaign_manifest",
+    "load_worker_records",
     "manifest_path_for",
     "parse_fault",
     "parse_shard",
@@ -111,6 +130,8 @@ __all__ = [
     "run_job",
     "shard_jobs",
     "telemetry_dir_for",
+    "workers_path_for",
     "write_campaign_manifest",
     "write_campaign_timeline",
+    "write_worker_records",
 ]

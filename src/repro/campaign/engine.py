@@ -6,8 +6,15 @@ the scalability bottleneck of a reproduction. This engine replaces the
 bare ``multiprocessing.Pool`` batch runner with a scheduler built for
 campaign scale:
 
-* **one worker process per in-flight job** — a crash (segfault,
-  ``os._exit``) or a hang takes down one job, never the pool;
+* **two executors** — the default ``pool`` executor
+  (:mod:`repro.campaign.pool`) forks N persistent workers once, streams
+  jobs to them over pipes and lets idle workers steal pending jobs from
+  loaded peers' deques; the ``spawn`` executor forks one worker process
+  per in-flight job. Both give the same isolation story — a crash
+  (segfault, ``os._exit``) or a hang takes down one job, never the run
+  (the pool respawns only the dead worker) — and produce equivalent
+  result stores; ``spawn`` trades throughput for a pristine process per
+  job;
 * **per-job timeouts** — an overdue worker is killed and the job retried;
 * **bounded retry with exponential backoff** — transient failures heal
   themselves; permanent ones are captured (exception type, message, full
@@ -39,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.faults import parse_fault
 from repro.campaign.ids import job_id, shard_jobs
+from repro.campaign.pool import DEFAULT_EXECUTOR, EXECUTORS, PoolExecutor
 from repro.campaign.store import (
     ResultStore,
     telemetry_dir_for,
@@ -148,6 +156,12 @@ class CampaignReport:
     failure_manifest_path: Optional[Path] = None
     telemetry_dir: Optional[Path] = None
     telemetry: Optional[CampaignTelemetry] = None
+    #: Which executor ran the non-inline jobs (``pool`` or ``spawn``).
+    executor: str = DEFAULT_EXECUTOR
+    #: Pool executor only: jobs idle workers stole from peers' deques.
+    pool_steals: int = 0
+    #: Pool executor only: workers respawned after a crash/timeout kill.
+    pool_respawns: int = 0
 
     @property
     def ok(self) -> bool:
@@ -362,6 +376,7 @@ class _CampaignRun:
         self._telemetry_polled = 0.0
         self.results_by_id: Dict[str, SimulationResult] = {}
         self.failures: List[JobFailure] = []
+        self.pool: Optional[PoolExecutor] = None
 
     # -- telemetry -----------------------------------------------------------
     def _telemetry_target(self, item: _Pending) -> Optional[_TelemetryTarget]:
@@ -461,6 +476,12 @@ class _CampaignRun:
                 self._record_success(item, result, wall)
                 self.poll_telemetry()
                 break
+
+    # -- pool execution ------------------------------------------------------
+    def run_pool(self, pending: List[_Pending], processes: int) -> None:
+        """Persistent work-stealing workers (:mod:`repro.campaign.pool`)."""
+        self.pool = PoolExecutor(self, processes)
+        self.pool.execute(pending)
 
     # -- subprocess execution -----------------------------------------------
     def _launch(self, item: _Pending,
@@ -595,8 +616,16 @@ def run_campaign(
     raise_on_failure: bool = False,
     trace_store: Optional[Union[str, Path]] = None,
     telemetry: Union[None, bool, float, TelemetrySettings] = None,
+    executor: Optional[str] = None,
 ) -> CampaignReport:
     """Run a campaign to completion, whatever the workers do.
+
+    ``executor`` picks the parallel scheduler: ``"pool"`` (the default)
+    keeps N workers alive for the whole campaign and balances load by
+    work stealing; ``"spawn"`` forks a pristine process per job attempt.
+    Failure capture, retries, timeouts, resume and stored results are
+    equivalent either way (see :mod:`repro.campaign.pool`); inline
+    execution (``processes<=1`` with no timeout) ignores the choice.
 
     ``store`` (a path or :class:`ResultStore`) enables persistence: every
     outcome is appended as it lands, and ``resume=True`` skips jobs whose
@@ -635,6 +664,10 @@ def run_campaign(
     """
     wall_start = time.perf_counter()
     retry = retry if retry is not None else RetryPolicy()
+    executor = DEFAULT_EXECUTOR if executor is None else executor
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; "
+                         f"known: {', '.join(EXECUTORS)}")
     telemetry_settings = TelemetrySettings.coerce(telemetry)
     if telemetry_settings is not None and store is None:
         raise ValueError("telemetry needs a result store — the spool "
@@ -699,6 +732,8 @@ def run_campaign(
     if pending:
         if inline:
             runner.run_inline(pending)
+        elif executor == "pool":
+            runner.run_pool(pending, workers)
         else:
             runner.run_parallel(pending, workers)
     runner.poll_telemetry(force=True)  # final fold: nothing left in flight
@@ -731,6 +766,10 @@ def run_campaign(
         failure_manifest_path=failure_manifest_path,
         telemetry_dir=telemetry_dir,
         telemetry=runner.telemetry_view,
+        executor=executor,
+        pool_steals=runner.pool.steals if runner.pool is not None else 0,
+        pool_respawns=(runner.pool.respawns
+                       if runner.pool is not None else 0),
     )
     if raise_on_failure and report.failures:
         raise CampaignError(report.failures)

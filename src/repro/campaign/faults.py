@@ -13,11 +13,16 @@ Grammar (examples)::
     __fault:hang                  block for an hour (trips the job timeout)
     __fault:flaky:2+470.lbm       raise on attempts 1..2, then simulate
                                   470.lbm normally — a transient failure
+    __fault:crash:1+470.lbm       kill the worker on attempt 1, then
+                                  simulate normally — a transient crash
+    __fault:sleep:0.5+470.lbm     sleep 0.5 s, then simulate normally —
+                                  a controllable straggler (work-stealing
+                                  tests park one worker on it)
 
-``flaky`` requires a real workload after ``+`` so the job eventually
-produces a result; the always-failing kinds ignore any ``+workload``
-suffix. Behaviour depends only on the attempt number the engine passes in,
-so it is deterministic across processes and resumes.
+``flaky``/``crash``/``sleep`` require a real workload after ``+`` so the
+job eventually produces a result; the always-failing kinds ignore any
+``+workload`` suffix. Behaviour depends only on the attempt number the
+engine passes in, so it is deterministic across processes and resumes.
 """
 
 from __future__ import annotations
@@ -44,7 +49,7 @@ HANG_SECONDS = 3600.0
 #: Exit code used by the ``exit`` fault (distinctive in failure records).
 EXIT_CODE = 17
 
-_KINDS = ("raise", "exit", "hang", "flaky")
+_KINDS = ("raise", "exit", "hang", "flaky", "crash", "sleep")
 
 
 class InjectedFault(RuntimeError):
@@ -57,10 +62,12 @@ class FaultSpec:
     """Parsed form of a ``__fault:`` workload name."""
 
     kind: str
-    #: ``flaky`` only: raise on attempts ``1..fail_attempts``.
+    #: ``flaky``/``crash`` only: fail on attempts ``1..fail_attempts``.
     fail_attempts: int = 0
-    #: Workload simulated once the fault stops firing (``flaky`` only).
+    #: Workload simulated once the fault stops firing.
     real_workload: Optional[str] = None
+    #: ``sleep`` only: seconds to block before simulating.
+    sleep_seconds: float = 0.0
 
     def apply(self, attempt: int) -> str:
         """Act out the fault for ``attempt`` (1-based).
@@ -75,6 +82,13 @@ class FaultSpec:
         if self.kind == "hang":
             time.sleep(HANG_SECONDS)
             raise InjectedFault("hang fault outlived its sleep")
+        if self.kind == "sleep":
+            time.sleep(self.sleep_seconds)
+            return self.real_workload
+        if self.kind == "crash":
+            if attempt <= self.fail_attempts:
+                os._exit(EXIT_CODE)
+            return self.real_workload
         if attempt <= self.fail_attempts:  # flaky
             raise InjectedFault(
                 f"injected transient failure "
@@ -95,24 +109,37 @@ def parse_fault(workload: str) -> Optional[FaultSpec]:
     if kind not in _KINDS:
         raise ValueError(
             f"unknown fault kind {kind!r}; known: {', '.join(_KINDS)}")
-    if kind == "flaky":
+    if kind in ("flaky", "crash"):
         if len(parts) != 2:
-            raise ValueError("flaky fault needs a count: __fault:flaky:N+real")
+            raise ValueError(
+                f"{kind} fault needs a count: __fault:{kind}:N+real")
         if not real:
             raise ValueError(
-                "flaky fault needs a real workload: __fault:flaky:N+real")
+                f"{kind} fault needs a real workload: __fault:{kind}:N+real")
         return FaultSpec(kind, fail_attempts=int(parts[1]), real_workload=real)
+    if kind == "sleep":
+        if len(parts) != 2:
+            raise ValueError(
+                "sleep fault needs a duration: __fault:sleep:SECS+real")
+        if not real:
+            raise ValueError(
+                "sleep fault needs a real workload: __fault:sleep:SECS+real")
+        return FaultSpec(kind, real_workload=real,
+                         sleep_seconds=float(parts[1]))
     if len(parts) != 1:
         raise ValueError(f"fault kind {kind!r} takes no parameter")
     return FaultSpec(kind)
 
 
 def fault_workload(kind: str, fail_attempts: int = 0,
-                   real_workload: Optional[str] = None) -> str:
+                   real_workload: Optional[str] = None,
+                   sleep_seconds: float = 0.0) -> str:
     """Build (and validate) a fault workload name — the test-facing helper."""
     name = FAULT_PREFIX + kind
-    if kind == "flaky":
+    if kind in ("flaky", "crash"):
         name += f":{fail_attempts}"
+    elif kind == "sleep":
+        name += f":{sleep_seconds:g}"
     if real_workload:
         name += f"+{real_workload}"
     parse_fault(name)  # validate eagerly so typos fail at build time

@@ -16,13 +16,24 @@ line to a file opened in append mode, followed by flush+fsync. A SIGKILL
 can at worst truncate the final line, which :meth:`ResultStore.load`
 tolerates (and only there — corruption mid-file still raises).
 
-Alongside the store live two derived documents:
+Alongside the store live three derived documents:
 
 * ``<store>.manifest.json`` — the campaign manifest: every job plus the
-  machine/scale/retry/timeout/shard settings, written by ``campaign run``
-  and read back by ``campaign status``/``resume``.
+  machine/scale/retry/timeout/shard/executor settings, written by
+  ``campaign run`` and read back by ``campaign status``/``resume``.
 * ``<store>.failures.json`` — the failure manifest, rewritten after every
   campaign pass so "what still needs attention" is one ``cat`` away.
+* ``<store>.workers.json`` — pool-executor worker liveness: per-worker
+  pid/state/occupancy/steal counts, atomically rewritten by the pool
+  while it runs (see :mod:`repro.campaign.pool`) and rendered by
+  ``campaign watch``.
+
+The store's contents are executor-independent: the pool and spawn
+executors append the same records for the same jobs, up to volatile
+fields (wall times, cache provenance, traceback frames).
+:func:`canonical_records` strips exactly those fields so two stores can
+be compared for semantic equality — the executor-equivalence check CI
+runs.
 """
 
 from __future__ import annotations
@@ -46,14 +57,19 @@ __all__ = [
     "MANIFEST_FORMAT",
     "STORE_FORMAT",
     "FAILURES_FORMAT",
+    "WORKERS_FORMAT",
     "ResultStore",
     "StoreContents",
+    "canonical_records",
     "failures_path_for",
     "load_campaign_manifest",
+    "load_worker_records",
     "manifest_path_for",
     "telemetry_dir_for",
+    "workers_path_for",
     "write_campaign_manifest",
     "write_failure_manifest",
+    "write_worker_records",
 ]
 
 #: Format marker in the store header record.
@@ -62,6 +78,8 @@ STORE_FORMAT = "pinte-campaign-v1"
 MANIFEST_FORMAT = "pinte-campaign-manifest-v1"
 #: Format marker in failure manifests.
 FAILURES_FORMAT = "pinte-campaign-failures-v1"
+#: Format marker in pool-worker liveness documents.
+WORKERS_FORMAT = "pinte-campaign-workers-v1"
 
 
 @dataclass
@@ -247,6 +265,7 @@ def write_campaign_manifest(
     processes: Optional[int] = None,
     trace_cache: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
+    executor: Optional[str] = None,
 ) -> Path:
     """Write ``<store>.manifest.json`` describing the whole campaign."""
     path = manifest_path_for(store_path)
@@ -263,6 +282,7 @@ def write_campaign_manifest(
         "processes": processes,
         "trace_cache": trace_cache,
         "telemetry_interval": telemetry_interval,
+        "executor": executor,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
@@ -280,6 +300,113 @@ def load_campaign_manifest(path: Union[str, Path]) -> dict:
                         for payload in document["jobs"]]
     document["scale"] = ExperimentScale(**document["scale"])
     return document
+
+
+# -- pool worker liveness ---------------------------------------------------
+
+def workers_path_for(store_path: Union[str, Path]) -> Path:
+    """Where the pool's worker-liveness document lives for a given store."""
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.stem.split(".")[0]
+                                + ".workers.json")
+
+
+def write_worker_records(store_path: Union[str, Path],
+                         workers: Sequence[dict], *,
+                         steals: int = 0, respawns: int = 0,
+                         running: bool = True) -> Path:
+    """Atomically (re)write ``<store>.workers.json``.
+
+    The pool rewrites this document on a short cadence while it runs, so
+    the write must be atomic (temp file + ``os.replace``) — ``campaign
+    watch`` in another process must never observe a half-written JSON
+    body the way it can tolerate a torn JSONL tail.
+    """
+    path = workers_path_for(store_path)
+    document = {
+        "format": WORKERS_FORMAT,
+        "store": Path(store_path).name,
+        "running": running,
+        "steals": steals,
+        "respawns": respawns,
+        "workers": list(workers),
+        "updated": time.time(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    os.replace(temp, path)
+    return path
+
+
+def load_worker_records(store_path: Union[str, Path]) -> Optional[dict]:
+    """Read the worker-liveness document for a store; ``None`` when absent.
+
+    Lenient on purpose: a missing, unreadable or wrong-format document
+    means "no pool information", never an error — the watch dashboard
+    must render campaigns run by the spawn executor (or older versions)
+    unchanged.
+    """
+    path = workers_path_for(store_path)
+    try:
+        document = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    if (not isinstance(document, dict)
+            or document.get("format") != WORKERS_FORMAT):
+        return None
+    return document
+
+
+# -- executor-equivalence canonicalisation ----------------------------------
+
+#: ``result.extra`` keys that legitimately differ between executors: wall
+#: times depend on scheduling, and cache hit/miss provenance depends on
+#: which worker (with which warm memo) ran the job.
+_VOLATILE_EXTRA_KEYS = ("trace_cache_hits", "trace_cache_misses")
+
+
+def canonical_records(contents: StoreContents) -> List[dict]:
+    """Executor-independent view of a store's records, sorted by job id.
+
+    Two campaigns over the same jobs are *equivalent* when this function
+    returns the same list for both stores, whichever executor (pool or
+    spawn, any process count, resumed or not) produced them. Stripped as
+    volatile: result/record wall times and ``*_seconds`` extras, trace
+    cache hit/miss provenance, failure tracebacks (frame lists differ
+    between worker entry points), and the header timestamp (the header is
+    dropped entirely).
+    """
+    canonical: List[dict] = []
+    for job_id, record in sorted(contents.results.items()):
+        entry = {key: value for key, value in record.items()
+                 if key != "wall_time_seconds"}
+        result = dict(entry["result"])
+        result.pop("wall_time_seconds", None)
+        extra = {key: value for key, value in (result.get("extra") or {}).items()
+                 if key not in _VOLATILE_EXTRA_KEYS
+                 and not key.endswith("_seconds")}
+        result["extra"] = extra
+        if result.get("co_results"):
+            co_clean = []
+            for co in result["co_results"]:
+                co = dict(co)
+                co.pop("wall_time_seconds", None)
+                co["extra"] = {
+                    key: value for key, value in (co.get("extra") or {}).items()
+                    if key not in _VOLATILE_EXTRA_KEYS
+                    and not key.endswith("_seconds")}
+                co_clean.append(co)
+            result["co_results"] = co_clean
+        entry["result"] = result
+        canonical.append(entry)
+    for job_id, record in sorted(contents.failures.items()):
+        entry = dict(record)
+        failure = dict(entry.get("failure") or {})
+        failure.pop("traceback", None)
+        entry["failure"] = failure
+        canonical.append(entry)
+    return canonical
 
 
 def write_failure_manifest(store_path: Union[str, Path],

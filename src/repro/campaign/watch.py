@@ -38,6 +38,7 @@ from repro.campaign.store import (
     ResultStore,
     StoreContents,
     load_campaign_manifest,
+    load_worker_records,
     manifest_path_for,
     telemetry_dir_for,
 )
@@ -96,6 +97,9 @@ class CampaignView:
     corrupt_spool_lines: int = 0
     trace_cache_hit_rate: Optional[float] = None
     registry: MetricRegistry = field(default_factory=MetricRegistry)
+    #: The pool executor's ``<store>.workers.json`` document (worker
+    #: pids, occupancy, steal counts); ``None`` for spawn/inline runs.
+    pool: Optional[dict] = None
 
     @property
     def pending(self) -> Optional[int]:
@@ -195,11 +199,16 @@ def build_view(store_path: Union[str, Path],
         view.eta_seconds = (view.pending * view.mean_wall_seconds
                             / max(1, view.workers))
 
+    view.pool = load_worker_records(store_path)
+
     if telemetry is None:
         telemetry = CampaignTelemetry(telemetry_dir_for(store_path))
     telemetry.poll()
     view.telemetry = telemetry
-    view.spool_count = len(telemetry.jobs)
+    # Job spools only: the pool executor's `_pool` gauge spool (and any
+    # future `_`-prefixed pseudo-spool) is scheduler telemetry, not a job.
+    view.spool_count = sum(1 for job_id in telemetry.jobs
+                           if not job_id.startswith("_"))
     view.corrupt_spool_lines = telemetry.corrupt_lines
     view.running = [job for job in telemetry.running_jobs(now)
                     if job.job_id not in contents.results
@@ -288,6 +297,23 @@ def render_dashboard(view: CampaignView, max_running: int = 8) -> str:
             lines.append(f"  ... and {len(view.running) - max_running} more")
     elif view.total is not None and not view.is_complete:
         lines.append("running: none visible (telemetry off, or between jobs)")
+    if view.pool is not None:
+        workers = view.pool.get("workers") or []
+        head = (f"pool: {len(workers)} worker(s), "
+                f"{view.pool.get('steals', 0)} steal(s), "
+                f"{view.pool.get('respawns', 0)} respawn(s)")
+        if not view.pool.get("running", True):
+            head += "  [stopped]"
+        lines.append(head)
+        for row in workers:
+            occupancy = 100.0 * float(row.get("occupancy") or 0.0)
+            doing = (f"busy: {row.get('label') or row.get('job_id', '?')}"
+                     if row.get("state") == "busy" else "idle")
+            lines.append(
+                f"  w{row.get('index')} pid {row.get('pid')}  "
+                f"{occupancy:3.0f}% busy  {row.get('jobs_done', 0)} done  "
+                f"{row.get('steals', 0)} stolen  {doing}  "
+                f"({row.get('queued', 0)} queued)")
     if view.failure_kinds:
         breakdown = "  ".join(f"{kind}={count}" for kind, count
                               in sorted(view.failure_kinds.items()))

@@ -9,7 +9,9 @@ Commands:
 * ``campaign run|status|resume`` — the fault-tolerant campaign engine:
   persistent JSONL result store, retries, per-job timeouts, resume,
   ``i/n`` sharding, failure manifests (see docs/CAMPAIGNS.md);
-  ``--telemetry`` spools live per-job metrics/resources.
+  ``--executor`` picks the parallel scheduler (``pool`` — persistent
+  work-stealing workers, the default — or ``spawn`` — one process per
+  job); ``--telemetry`` spools live per-job metrics/resources.
 * ``campaign watch|timeline`` — tail the telemetry spools: a refreshing
   plain-text dashboard (``status --follow`` is the one-line-per-tick
   variant) and a merged per-job Chrome trace (docs/OBSERVABILITY.md).
@@ -27,9 +29,10 @@ Commands:
 * ``bench`` — hot-path throughput microbenchmarks (``--suite datapath``
   vs the committed seed baseline; ``--suite trace`` columnar vs
   object-list trace generation/load; ``--suite reproduce`` quick-suite
-  reproduction wall-clock and job dedup); ``--baseline BENCH_*.json
-  --check`` runs the regression gate against a committed baseline
-  (``--report-only`` prints verdicts without failing).
+  reproduction wall-clock and job dedup; ``--suite pool`` many-short-jobs
+  campaign throughput, pool vs spawn executor); ``--baseline
+  BENCH_*.json --check`` runs the regression gate against a committed
+  baseline (``--report-only`` prints verdicts without failing).
 
 Every command prints plain text and returns a process exit code, so the CLI
 is scriptable; all functions are also unit-testable by calling
@@ -379,6 +382,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         store=args.store,
         resume=args.resume,
         inject=args.inject,
+        executor=args.executor,
     )
     for artifact in sorted(reports):
         print(f"\n{'=' * 72}\n[{artifact}]\n{reports[artifact]}")
@@ -434,7 +438,8 @@ def cmd_artifact(args: argparse.Namespace) -> int:
 
     outcome = execute_plan(plan, processes=args.processes, store=args.store,
                            resume=args.resume, trace_store=args.trace_cache,
-                           progress=_campaign_progress)
+                           progress=_campaign_progress,
+                           executor=args.executor)
     print(f"executed {outcome.executed} job(s), skipped {outcome.skipped} "
           f"(resume), {outcome.failed} failed "
           f"[{plan.planned_total} planned -> {plan.unique_total} unique, "
@@ -517,6 +522,37 @@ def _bench_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_pool(args: argparse.Namespace) -> int:
+    """``repro bench --suite pool`` — pool vs spawn campaign throughput."""
+    import json
+
+    from repro.bench.pool import run_pool_bench, write_record
+
+    result = run_pool_bench(repeats=args.repeats, scale=args.scale)
+    rows = [
+        ("jobs per campaign", result.jobs),
+        ("workers", result.workers),
+        ("spawn executor (jobs/s)", f"{result.spawn_jobs_per_sec:,.1f}"),
+        ("pool executor (jobs/s)", f"{result.pool_jobs_per_sec:,.1f}"),
+        ("spawn wall (s)", f"{result.spawn_wall_seconds:.3f}"),
+        ("pool wall (s)", f"{result.pool_wall_seconds:.3f}"),
+        ("pool speedup", f"{result.pool_speedup_ratio:.2f}x"),
+    ]
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"pool-executor benchmark (best of {result.repeats}, "
+              f"scale {args.scale:g})",
+    ))
+    if args.no_record:
+        print(json.dumps(
+            {k: v for k, v in vars(result).items()}, indent=1, sort_keys=True))
+    else:
+        document = write_record(result)
+        print(f"appended run #{len(document['runs'])} to "
+              "benchmarks/reports/BENCH_pool.json")
+    return 0
+
+
 def _bench_gate(args: argparse.Namespace) -> int:
     """``repro bench --baseline FILE [--check]`` — the regression gate."""
     from repro.bench.gate import run_gate
@@ -564,6 +600,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _bench_trace(args)
     if args.suite == "reproduce":
         return _bench_reproduce(args)
+    if args.suite == "pool":
+        return _bench_pool(args)
     result = run_datapath_bench(repeats=args.repeats, scale=args.scale)
     rows = [
         ("fastcache (records/s)", f"{result.fastcache_records_per_sec:,.0f}"),
@@ -643,9 +681,29 @@ def _campaign_scale(args: argparse.Namespace):
                            seed=args.seed)
 
 
+def _require_store(path: str) -> None:
+    """One clean line — not a traceback — when the store isn't there yet.
+
+    ``campaign status``/``watch`` read a store some other process is
+    writing; pointing them at a path nothing ever wrote is an operator
+    typo, so fail fast with the command that would create it.
+    """
+    from repro.campaign import manifest_path_for
+
+    store = Path(path)
+    if not store.exists():
+        raise SystemExit(f"campaign: no result store at {path}; start one "
+                         f"with `repro campaign run --store {path} ...`")
+    if store.stat().st_size == 0 and not manifest_path_for(path).exists():
+        raise SystemExit(f"campaign: result store {path} is empty and has "
+                         "no manifest next to it; was the campaign started "
+                         "with `repro campaign run`?")
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """``repro campaign run`` — start (or resume) a stored campaign."""
     from repro.campaign import (
+        DEFAULT_EXECUTOR,
         RetryPolicy,
         campaign_jobs,
         parse_shard,
@@ -669,20 +727,23 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     shard = parse_shard(args.shard) if args.shard else None
     retry = RetryPolicy(max_attempts=args.retries,
                         backoff_seconds=args.backoff)
+    executor = args.executor or DEFAULT_EXECUTOR
     if not args.resume:
         manifest = write_campaign_manifest(
             args.store, jobs, config, scale, machine_preset=args.machine,
             retry=retry.to_dict(), timeout_seconds=args.timeout,
             shard=shard, processes=args.processes,
             trace_cache=args.trace_cache,
-            telemetry_interval=args.telemetry)
+            telemetry_interval=args.telemetry,
+            executor=executor)
         print(f"wrote campaign manifest to {manifest}")
     report = run_campaign(jobs, config, scale, processes=args.processes,
                           retry=retry, timeout_seconds=args.timeout,
                           store=args.store, resume=args.resume, shard=shard,
                           progress=_campaign_progress,
                           trace_store=args.trace_cache,
-                          telemetry=args.telemetry)
+                          telemetry=args.telemetry,
+                          executor=executor)
     _campaign_summary(report)
     return 1 if args.strict and report.failures else 0
 
@@ -697,6 +758,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         telemetry_dir_for,
     )
 
+    _require_store(args.store)
     if args.follow:
         from repro.campaign.watch import render_status_line, watch_campaign
 
@@ -818,6 +880,8 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
                    else manifest.get("trace_cache"))
     telemetry = (args.telemetry if args.telemetry is not None
                  else manifest.get("telemetry_interval"))
+    executor = (args.executor if args.executor is not None
+                else manifest.get("executor"))
     report = run_campaign(manifest["jobs"], config, scale,
                           processes=args.processes,
                           retry=RetryPolicy(**retry_fields),
@@ -825,7 +889,8 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
                           resume=True, shard=shard,
                           progress=_campaign_progress,
                           trace_store=trace_cache,
-                          telemetry=telemetry)
+                          telemetry=telemetry,
+                          executor=executor)
     _campaign_summary(report)
     return 1 if args.strict and report.failures else 0
 
@@ -834,6 +899,7 @@ def cmd_campaign_watch(args: argparse.Namespace) -> int:
     """``repro campaign watch`` — live plain-text campaign dashboard."""
     from repro.campaign.watch import watch_campaign
 
+    _require_store(args.store)
     try:
         view = watch_campaign(args.store, interval_seconds=args.interval,
                               iterations=args.iterations,
@@ -987,6 +1053,11 @@ def build_parser() -> argparse.ArgumentParser:
     c_run.add_argument("--processes", type=int, default=None,
                        help="worker processes (default: one per CPU); "
                             "1 with no --timeout runs inline")
+    c_run.add_argument("--executor", choices=("pool", "spawn"), default=None,
+                       help="parallel scheduler: pool = persistent "
+                            "work-stealing workers (default), spawn = one "
+                            "process per job; recorded in the manifest so "
+                            "`campaign resume` reuses it")
     c_run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                        help="kill+retry any job running longer than this")
     c_run.add_argument("--retries", type=int, default=3, metavar="N",
@@ -1062,6 +1133,10 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="finish a stored campaign (skips completed job ids)")
     c_resume.add_argument("store", help="JSONL result store path")
     c_resume.add_argument("--processes", type=int, default=None)
+    c_resume.add_argument("--executor", choices=("pool", "spawn"),
+                          default=None,
+                          help="parallel scheduler (default: the one the "
+                               "campaign manifest recorded)")
     c_resume.add_argument("--timeout", type=float, default=None)
     c_resume.add_argument("--retries", type=int, default=None)
     c_resume.add_argument("--backoff", type=float, default=None)
@@ -1133,6 +1208,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("--processes", type=int, default=None,
                          help="fan the context campaign out over N worker "
                               "processes (identical results)")
+    p_repro.add_argument("--executor", choices=("pool", "spawn"),
+                         default=None,
+                         help="parallel scheduler for the campaign "
+                              "(default: pool)")
     p_repro.add_argument("--trace-cache", default=None, metavar="PATH",
                          help="shared on-disk trace store directory")
     p_repro.add_argument("--artifacts", nargs="+", default=None,
@@ -1169,6 +1248,10 @@ def build_parser() -> argparse.ArgumentParser:
         if verb == "run":
             a_verb.add_argument("--processes", type=int, default=None,
                                 help="worker processes (default: inline)")
+            a_verb.add_argument("--executor", choices=("pool", "spawn"),
+                                default=None,
+                                help="parallel scheduler for the campaign "
+                                     "(default: pool)")
             a_verb.add_argument("--store", default=None, metavar="PATH",
                                 help="persistent JSONL result store")
             a_verb.add_argument("--resume", action="store_true",
@@ -1183,7 +1266,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench",
                              help="hot-path throughput microbenchmarks")
-    p_bench.add_argument("--suite", choices=("datapath", "trace", "reproduce"),
+    p_bench.add_argument("--suite",
+                         choices=("datapath", "trace", "reproduce", "pool"),
                          default="datapath",
                          help="which microbenchmark to run (default: datapath)")
     p_bench.add_argument("--repeats", type=int, default=3,

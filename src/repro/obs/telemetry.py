@@ -43,6 +43,7 @@ __all__ = [
     "CampaignTelemetry",
     "DURATION_BUCKET_EDGES",
     "JobTelemetry",
+    "POOL_SPOOL_ID",
     "SpoolTail",
     "TelemetrySettings",
     "TelemetrySpooler",
@@ -50,6 +51,7 @@ __all__ = [
     "bucket_index",
     "bucket_value",
     "diff_registry",
+    "pool_spool_path",
     "registry_state",
     "spool_path",
 ]
@@ -79,6 +81,22 @@ def bucket_value(index: int,
 def spool_path(directory: Union[str, Path], job_id: str) -> Path:
     """The spool file for one job under a telemetry directory."""
     return Path(directory) / f"{job_id}.jsonl"
+
+
+#: Pseudo job id for the pool executor's own spool. Job ids are hex
+#: digests, so the underscore can never collide with a real job.
+POOL_SPOOL_ID = "_pool"
+
+
+def pool_spool_path(directory: Union[str, Path]) -> Path:
+    """The pool executor's gauge spool under a telemetry directory.
+
+    Written by :class:`repro.campaign.pool.PoolExecutor` as plain
+    ``delta`` records whose gauges carry *absolute* values (steal and
+    respawn totals, per-worker occupancy), so folding the whole spool is
+    idempotent — the newest record wins.
+    """
+    return spool_path(directory, POOL_SPOOL_ID)
 
 
 # -- snapshot / delta encoding ----------------------------------------------
@@ -448,7 +466,9 @@ class CampaignTelemetry:
         cpu_total = 0.0
         peak_rss = 0
         cache_hits = cache_misses = 0
-        for job in self.jobs.values():
+        for job_key, job in self.jobs.items():
+            if job_key == POOL_SPOOL_ID:
+                continue  # executor-level gauges, not a job
             cpu_total += job.cpu_seconds
             peak_rss = max(peak_rss, job.peak_rss_kb)
             if "trace.cache.hit" in job.registry:
@@ -467,10 +487,17 @@ class CampaignTelemetry:
         registry.histogram("campaign.job_wall_seconds").from_counts(
             duration_bins)
         registry.histogram("campaign.job_attempts").from_counts(attempt_bins)
-        registry.set("campaign.telemetry.jobs_seen", len(self.jobs))
+        job_count = sum(1 for key in self.jobs if key != POOL_SPOOL_ID)
+        registry.set("campaign.telemetry.jobs_seen", job_count)
         registry.set("campaign.telemetry.jobs_running",
                      sum(1 for job in self.jobs.values() if job.running))
         registry.set("campaign.telemetry.jobs_completed", len(completed))
+        pool = self.jobs.get(POOL_SPOOL_ID)
+        if pool is not None:
+            # The pool spool carries absolute-valued gauges; republishing
+            # them on every fold keeps this idempotent.
+            for name in pool.registry.names():
+                registry.set(name, pool.registry.value(name))
         registry.set("campaign.cpu_seconds", cpu_total)
         registry.set("campaign.peak_rss_kb", peak_rss)
         if cache_hits or cache_misses:

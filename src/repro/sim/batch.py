@@ -218,7 +218,8 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
 def run_batch(jobs: Sequence[Job], config: MachineConfig,
               scale: ExperimentScale,
               processes: Optional[int] = None,
-              profiler: Optional[PhaseProfiler] = None) -> List[SimulationResult]:
+              profiler: Optional[PhaseProfiler] = None,
+              executor: Optional[str] = None) -> List[SimulationResult]:
     """Run jobs, in parallel when ``processes`` allows it.
 
     Backward-compatible shim over :func:`repro.campaign.run_campaign`:
@@ -226,11 +227,14 @@ def run_batch(jobs: Sequence[Job], config: MachineConfig,
     :class:`repro.campaign.CampaignError` once the batch finishes.
 
     ``processes=1`` (or a single job) executes **inline in this process**
-    — no pool, no worker subprocesses — so ``pdb`` and profilers attach
-    naturally and KeyboardInterrupt stops the run cleanly. Results come
-    back in job order either way. A ``profiler`` gets one wall-clock span
-    per job (inline) or one for the whole pool (parallel — per-job spans
-    would need cross-process clocks).
+    — no worker subprocesses at all, whichever ``executor`` is named — so
+    ``pdb`` and profilers attach naturally and KeyboardInterrupt stops
+    the run cleanly. With more processes, ``executor`` picks the
+    scheduler: ``"pool"`` (the default) keeps N work-stealing workers
+    alive for the whole batch, ``"spawn"`` forks one process per job.
+    Results come back in job order either way. A ``profiler`` gets one
+    wall-clock span per job (inline) or one for the whole batch
+    (parallel — per-job spans would need cross-process clocks).
     """
     from repro.campaign.engine import RetryPolicy, run_campaign
 
@@ -243,7 +247,8 @@ def run_batch(jobs: Sequence[Job], config: MachineConfig,
         observe = Observation(profiler=profiler)
     report = run_campaign(jobs, config, scale, processes=processes,
                           retry=RetryPolicy(max_attempts=1),
-                          observe=observe, raise_on_failure=True)
+                          observe=observe, raise_on_failure=True,
+                          executor=executor)
     return report.results
 
 

@@ -1,0 +1,1 @@
+"""Self-verifying documentation: generated references and runnable snippets."""

@@ -354,11 +354,40 @@ class TestCampaignCommands:
             main(["campaign", "resume", str(store)])
 
     def test_status_missing_manifest_still_reports(self, tmp_path, capsys):
-        store = tmp_path / "orphan.jsonl"
-        store.write_text("")
-        assert main(["campaign", "status", str(store)]) == 0
+        store = self._store(tmp_path)
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "--processes", "1"]
+                    + self.ARGS) == 0
+        (tmp_path / "results.manifest.json").unlink()
+        capsys.readouterr()
+        assert main(["campaign", "status", store]) == 0
         out = capsys.readouterr().out
         assert "missing" in out
+
+    def test_status_missing_store_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["campaign", "status", str(tmp_path / "nothing.jsonl")])
+
+    def test_watch_missing_store_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["campaign", "watch", str(tmp_path / "nothing.jsonl"),
+                  "--iterations", "1"])
+
+    def test_status_empty_orphan_store_is_clean_error(self, tmp_path):
+        """An empty file with no manifest cannot be a campaign store."""
+        store = tmp_path / "orphan.jsonl"
+        store.write_text("")
+        with pytest.raises(SystemExit, match="empty"):
+            main(["campaign", "status", str(store)])
+
+    def test_executor_recorded_and_selectable(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["campaign", "run", "--store", store,
+                     "--workloads", "435.gromacs", "453.povray",
+                     "--executor", "spawn", "--processes", "2"]
+                    + self.ARGS) == 0
+        manifest = json.loads((tmp_path / "results.manifest.json").read_text())
+        assert manifest["executor"] == "spawn"
 
 
 class TestArtifactCommands:
@@ -486,7 +515,10 @@ class TestCampaignTelemetryCommands:
         manifest = json.loads((tmp_path / "results.manifest.json").read_text())
         assert manifest["telemetry_interval"] == 0.05
         spools = sorted((tmp_path / "results.telemetry").glob("*.jsonl"))
-        assert len(spools) == 2
+        job_spools = [s for s in spools if not s.stem.startswith("_")]
+        assert len(job_spools) == 2
+        # The pool executor adds its own scheduler-gauge pseudo-spool.
+        assert (tmp_path / "results.telemetry" / "_pool.jsonl") in spools
 
     def test_status_shows_spools_and_failure_classes(self, tmp_path, capsys):
         store = self.run_with_telemetry(tmp_path, capsys)
