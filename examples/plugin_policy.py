@@ -1,0 +1,65 @@
+"""Example third-party component plugin: a FIFO replacement policy.
+
+Load it with the CLI's opt-in plugin flag and the new policy becomes
+selectable anywhere a replacement policy is named::
+
+    repro --plugin examples/plugin_policy.py components ls --kind replacement
+    repro --plugin examples/plugin_policy.py run 470.lbm \
+        --config examples/fifo_scaled.toml
+
+Importing the module *is* the registration mechanism: the
+``@POLICIES.register`` decorator below adds the class to the built-in
+replacement-policy registry under its ``name`` attribute, with capability
+metadata introspected from the constructor signature. Campaign workers
+inherit the registration through ``fork``, and ``campaign run`` records
+the plugin spec in its manifest so ``campaign resume`` replays it.
+"""
+
+from typing import List
+
+from repro.cache.replacement import POLICIES
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+@POLICIES.register
+class FifoPolicy(ReplacementPolicy):
+    """First-in first-out: evict the oldest-filled way, ignore hits.
+
+    The textbook contrast to LRU — hits never refresh a block's position,
+    so the replacement stack is purely an insertion queue. PInTE's
+    ``promote`` is modelled as a re-insertion (the adversary's access
+    moves the block to the young end), which keeps the stack semantics
+    the theft-eviction walk expects.
+    """
+
+    name = "fifo"
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        # Per-set insertion queues, oldest way first. Seeded with every
+        # way so the eviction order is total from the first access.
+        self._queues: List[List[int]] = [list(range(n_ways))
+                                         for _ in range(n_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        queue = self._queues[set_index]
+        queue.remove(way)
+        queue.append(way)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        pass  # FIFO ignores hits by definition.
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def promote(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def eviction_order_into(self, set_index: int, out: List[int]) -> List[int]:
+        queue = self._queues[set_index]
+        for position, way in enumerate(queue):
+            out[position] = way
+        return out
+
+    def hit_position(self, set_index: int, way: int) -> int:
+        return self.n_ways - 1 - self._queues[set_index].index(way)

@@ -1,31 +1,26 @@
 """Branch prediction substrate (paper Section III-C d)."""
 
-from typing import Dict, Type
-
 from repro.branch.base import AlwaysTakenPredictor, BranchPredictor, BranchStats
 from repro.branch.bimodal import BimodalPredictor
 from repro.branch.gshare import GSharePredictor
 from repro.branch.hashed_perceptron import HashedPerceptronPredictor
 from repro.branch.perceptron import PerceptronPredictor
 from repro.branch.tournament import TournamentPredictor
+from repro.components import ComponentRegistry
 
-PREDICTORS: Dict[str, Type[BranchPredictor]] = {
+PREDICTORS = ComponentRegistry("branch predictor", {
     BimodalPredictor.name: BimodalPredictor,
     GSharePredictor.name: GSharePredictor,
     PerceptronPredictor.name: PerceptronPredictor,
     HashedPerceptronPredictor.name: HashedPerceptronPredictor,
     TournamentPredictor.name: TournamentPredictor,
     AlwaysTakenPredictor.name: AlwaysTakenPredictor,
-}
+})
 
 
 def make_predictor(name: str, **kwargs) -> BranchPredictor:
     """Instantiate a branch predictor by registry name."""
-    try:
-        cls = PREDICTORS[name]
-    except KeyError:
-        known = ", ".join(sorted(PREDICTORS))
-        raise KeyError(f"unknown branch predictor {name!r}; known: {known}") from None
+    cls = PREDICTORS[name]
     return cls(**kwargs)
 
 

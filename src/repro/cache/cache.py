@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cache.replacement import SEEDED_POLICIES, make_policy
+from repro.cache.replacement import POLICIES, make_policy
 from repro.cache.state import BlockView, CacheSetState
 from repro.util.bitops import fold_xor, ilog2
 
@@ -97,7 +97,9 @@ class Cache:
         # hash real LLCs use); off by default to keep indexing transparent.
         self.hash_index = hash_index and self.n_sets > 1
         self.policy_name = policy
-        if policy in SEEDED_POLICIES:
+        # Registry capability metadata decides whether the policy's
+        # constructor takes the seed (works for plugin policies too).
+        if POLICIES.spec(policy).accepts_seed:
             self.policy = make_policy(policy, self.n_sets, self.assoc,
                                       seed=policy_seed)
         else:

@@ -10,18 +10,36 @@ Usage with the multi-programmed simulator::
                                        partitioner=partitioner, ...)
 """
 
-from typing import Dict, Sequence, Type
+from typing import Sequence
 
-from repro.cache.partition.base import Partitioner, StaticPartitioner, even_split
+from repro.cache.partition.base import (Partitioner, StaticPartitioner,
+                                        even_split)
 from repro.cache.partition.casht import CashtPartitioner
 from repro.cache.partition.ucp import UcpPartitioner
 from repro.cache.partition.umon import ShadowSet, UtilityMonitor
+from repro.components import ComponentRegistry
 
-PARTITIONERS: Dict[str, Type[Partitioner]] = {
+PARTITIONERS = ComponentRegistry("partition scheme", {
     StaticPartitioner.name: StaticPartitioner,
     UcpPartitioner.name: UcpPartitioner,
     CashtPartitioner.name: CashtPartitioner,
-}
+})
+
+
+def make_partitioner(name: str, n_sets: int, n_ways: int,
+                     owners: Sequence[int], **kwargs) -> Partitioner:
+    """Instantiate a partition scheme by registry name.
+
+    Constructor signatures differ (UCP samples sets, so it takes
+    ``n_sets``; static/CASHT split ways only) — the registry's introspected
+    parameter list decides what to pass, so plugin partitioners with either
+    shape work unmodified.
+    """
+    cls = PARTITIONERS[name]
+    if "n_sets" in PARTITIONERS.spec(name).params:
+        return cls(n_sets, n_ways, owners, **kwargs)
+    return cls(n_ways, owners, **kwargs)
+
 
 __all__ = [
     "CashtPartitioner",
@@ -32,4 +50,5 @@ __all__ = [
     "UcpPartitioner",
     "UtilityMonitor",
     "even_split",
+    "make_partitioner",
 ]

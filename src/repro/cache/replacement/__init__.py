@@ -1,7 +1,5 @@
 """Replacement policies (paper Section III-C a) behind one registry."""
 
-from typing import Dict, Type
-
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.replacement.drrip import DrripPolicy
 from repro.cache.replacement.lru import LruPolicy
@@ -9,27 +7,29 @@ from repro.cache.replacement.nmru import NmruPolicy
 from repro.cache.replacement.plru import TreePlruPolicy
 from repro.cache.replacement.random_policy import RandomPolicy
 from repro.cache.replacement.rrip import RripPolicy
+from repro.components import ComponentRegistry
 
-POLICIES: Dict[str, Type[ReplacementPolicy]] = {
+POLICIES = ComponentRegistry("replacement policy", {
     LruPolicy.name: LruPolicy,
     TreePlruPolicy.name: TreePlruPolicy,
     NmruPolicy.name: NmruPolicy,
     RripPolicy.name: RripPolicy,
     DrripPolicy.name: DrripPolicy,
     RandomPolicy.name: RandomPolicy,
-}
+})
 
-#: Policies whose constructor accepts a ``seed`` keyword.
-SEEDED_POLICIES = frozenset({"nmru", "random", "drrip"})
+#: Legacy alias: names whose constructor accepts a ``seed`` keyword.
+#: Derived from the registry's introspected capability metadata (snapshot
+#: at import time — live call sites consult ``POLICIES.spec(name)`` so
+#: plugin policies registered later are seen too).
+SEEDED_POLICIES = frozenset(
+    spec.name for spec in POLICIES.specs() if spec.accepts_seed)
 
 
-def make_policy(name: str, n_sets: int, n_ways: int, **kwargs) -> ReplacementPolicy:
+def make_policy(name: str, n_sets: int, n_ways: int,
+                **kwargs) -> ReplacementPolicy:
     """Instantiate a replacement policy by registry name."""
-    try:
-        cls = POLICIES[name]
-    except KeyError:
-        known = ", ".join(sorted(POLICIES))
-        raise KeyError(f"unknown replacement policy {name!r}; known: {known}") from None
+    cls = POLICIES[name]
     return cls(n_sets, n_ways, **kwargs)
 
 

@@ -45,7 +45,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.faults import parse_fault
-from repro.campaign.ids import job_id, shard_jobs
+from repro.campaign.ids import ID_SCHEME, job_id, shard_jobs
 from repro.campaign.pool import DEFAULT_EXECUTOR, EXECUTORS, PoolExecutor
 from repro.campaign.store import (
     ResultStore,
@@ -688,7 +688,19 @@ def run_campaign(
                     f"{result_store.path} already holds campaign records; "
                     "resume it (repro campaign resume / resume=True) or "
                     "pick a fresh store path")
-            stored = result_store.load().results
+            contents = result_store.load()
+            header_scheme = (contents.header or {}).get("id_scheme")
+            if header_scheme != ID_SCHEME:
+                # Resuming across id schemes would recompute every id under
+                # the new scheme, match nothing, and silently re-run (or,
+                # worse, collide) — refuse loudly instead.
+                raise ValueError(
+                    f"{result_store.path} was written under job-id scheme "
+                    f"{header_scheme or 'unversioned (pre-v3)'!s}, but this "
+                    f"version computes {ID_SCHEME} ids; its stored results "
+                    "cannot be matched to the new ids. Start a fresh store "
+                    "(or re-run with the repro version that wrote it).")
+            stored = contents.results
         result_store.ensure_header()
 
     registry = profiler = None

@@ -22,6 +22,7 @@ import json
 from typing import List, Sequence, Tuple
 
 from repro.config import MachineConfig
+from repro.configio import machine_to_dict, to_dict
 from repro.sim.batch import Job
 from repro.sim.runner import ExperimentScale
 
@@ -38,7 +39,11 @@ __all__ = [
 #: Version tag hashed into every id; bump when the payload shape changes.
 #: v2: Job grew multicore fields (co_runners/scheme/repartition_interval)
 #: and seed overrides (pinte_seed/trace_seed).
-ID_SCHEME = "pinte-job-v2"
+#: v3: machine/scale hashed in their versioned canonical schema form
+#: (:mod:`repro.configio` — ``schema`` tag, ``llc_way_allocation`` omitted
+#: when None) instead of a raw ``dataclasses.asdict``, so a config loaded
+#: from TOML and its preset twin hash identically.
+ID_SCHEME = "pinte-job-v3"
 
 
 def job_to_dict(job: Job) -> dict:
@@ -61,8 +66,8 @@ def canonical_job_payload(job: Job, config: MachineConfig,
     return {
         "scheme": ID_SCHEME,
         "job": job_to_dict(job),
-        "machine": dataclasses.asdict(config),
-        "scale": dataclasses.asdict(scale),
+        "machine": machine_to_dict(config),
+        "scale": to_dict(scale),
     }
 
 

@@ -38,7 +38,6 @@ runs.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 import time
@@ -47,7 +46,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.config import MachineConfig
-from repro.campaign.ids import job_from_dict, job_to_dict
+from repro.campaign.ids import ID_SCHEME, job_from_dict, job_to_dict
+from repro.configio import machine_from_dict, machine_to_dict, to_dict
 from repro.sim.batch import Job
 from repro.sim.results import SimulationResult
 from repro.sim.runner import ExperimentScale
@@ -156,10 +156,16 @@ class ResultStore:
             os.fsync(handle.fileno())
 
     def ensure_header(self, meta: Optional[dict] = None) -> None:
-        """Write the header record if the store is new/empty."""
+        """Write the header record if the store is new/empty.
+
+        The job-id scheme is stamped in by default (``meta`` can override)
+        so a later ``--resume`` can refuse a store whose ids were computed
+        under a different scheme instead of silently re-running everything.
+        """
         if not self.exists():
             self._append({"kind": "header", "format": STORE_FORMAT,
-                          "created": time.time(), **(meta or {})})
+                          "created": time.time(), "id_scheme": ID_SCHEME,
+                          **(meta or {})})
 
     def append_result(self, job_id: str, job: Job, result: SimulationResult,
                       attempts: int, wall_time_seconds: float) -> None:
@@ -266,15 +272,17 @@ def write_campaign_manifest(
     trace_cache: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
     executor: Optional[str] = None,
+    plugins: Optional[Sequence[str]] = None,
 ) -> Path:
     """Write ``<store>.manifest.json`` describing the whole campaign."""
     path = manifest_path_for(store_path)
     document = {
         "format": MANIFEST_FORMAT,
         "store": Path(store_path).name,
+        "id_scheme": ID_SCHEME,
         "machine_preset": machine_preset or config.name,
-        "machine_config": dataclasses.asdict(config),
-        "scale": dataclasses.asdict(scale),
+        "machine_config": machine_to_dict(config),
+        "scale": to_dict(scale),
         "jobs": [job_to_dict(job) for job in jobs],
         "retry": retry,
         "timeout_seconds": timeout_seconds,
@@ -283,6 +291,7 @@ def write_campaign_manifest(
         "trace_cache": trace_cache,
         "telemetry_interval": telemetry_interval,
         "executor": executor,
+        "plugins": list(plugins) if plugins else None,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
@@ -290,7 +299,15 @@ def write_campaign_manifest(
 
 
 def load_campaign_manifest(path: Union[str, Path]) -> dict:
-    """Read a campaign manifest and deserialise its job list in place."""
+    """Read a campaign manifest and deserialise its contents in place.
+
+    ``jobs``/``scale`` become objects; ``machine_config`` becomes a
+    :class:`MachineConfig` when the payload carries the canonical
+    ``schema`` tag (manifests written at id-scheme v3 or later). Legacy
+    manifests keep their raw ``dataclasses.asdict`` dict — callers fall
+    back to ``machine_preset`` for those, and the store's id-scheme gate
+    refuses to resume them anyway.
+    """
     document = json.loads(Path(path).read_text())
     if document.get("format") != MANIFEST_FORMAT:
         raise ValueError(
@@ -299,6 +316,9 @@ def load_campaign_manifest(path: Union[str, Path]) -> dict:
     document["jobs"] = [job_from_dict(payload)
                         for payload in document["jobs"]]
     document["scale"] = ExperimentScale(**document["scale"])
+    machine_payload = document.get("machine_config")
+    if isinstance(machine_payload, dict) and "schema" in machine_payload:
+        document["machine_config"] = machine_from_dict(machine_payload)
     return document
 
 

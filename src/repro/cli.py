@@ -20,6 +20,14 @@ Commands:
 * ``trace build|info|cache`` — generate trace files for external tooling,
   inspect them, and manage the shared on-disk trace store
   (``cache prime|ls|clear``).
+* ``components ls`` — the unified component registry: every replacement
+  policy, partition scheme, prefetcher, branch predictor, workload model
+  and named machine config, with introspected capabilities (accepts seed,
+  tunable parameters) — see docs/CONFIGURATION.md.
+* ``config show|validate|diff`` — the declarative machine-config schema:
+  print any named config as canonical TOML, schema-check TOML files, or
+  diff two configs field by field; ``--config FILE.toml`` on ``run``,
+  ``campaign run|resume``, ``reproduce`` and ``artifact run`` loads one.
 * ``artifact ls|plan|run`` — the declarative artifact registry: list the
   registered tables/figures, preview the deduplicated union plan, or
   execute a subset through the campaign engine.
@@ -47,7 +55,10 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis import classify, contention_curve
-from repro.config import MachineConfig, scaled_config, skylake_config, xeon_config
+from repro.components import UnknownComponentError, load_plugin
+from repro.config import MachineConfig
+from repro.configio import load_machine_config, machine_to_dict, machine_to_toml
+from repro.configs import get_machine_config, iter_registries
 from repro.core import PAPER_PINDUCE_SWEEP, PinteConfig
 from repro.experiments.reporting import format_table
 from repro.sim import ExperimentScale, TraceLibrary, simulate, simulate_pair
@@ -59,24 +70,49 @@ from repro.trace import (
     write_trace,
 )
 
-CONFIGS = {
-    "scaled": scaled_config,
-    "skylake": skylake_config,
-    "xeon": xeon_config,
-}
-
 
 def _machine(name: str) -> MachineConfig:
+    """Build a named machine config from the registry.
+
+    An unknown name raises :class:`UnknownComponentError` (with
+    did-you-mean candidates), which :func:`main` turns into a clean
+    one-line ``SystemExit``.
+    """
+    return get_machine_config(name)
+
+
+def _load_config_file(path: str) -> MachineConfig:
+    """Load a ``--config`` TOML file, exiting cleanly on schema errors."""
     try:
-        return CONFIGS[name]()
-    except KeyError:
-        raise SystemExit(f"unknown machine config {name!r}; "
-                         f"known: {', '.join(sorted(CONFIGS))}")
+        return load_machine_config(path)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+
+
+def _resolve_machine(args: argparse.Namespace) -> MachineConfig:
+    """The machine an invocation describes: ``--config`` file beats
+    ``--machine`` name."""
+    config_path = getattr(args, "config", None)
+    if config_path:
+        return _load_config_file(config_path)
+    return _machine(args.machine)
+
+
+def _named_or_file(text: str) -> MachineConfig:
+    """Resolve a ``config show|diff`` operand: TOML file or registry name."""
+    if text.endswith(".toml") or "/" in text or "\\" in text:
+        return _load_config_file(text)
+    return _machine(text)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--machine", default="scaled", choices=sorted(CONFIGS),
-                        help="machine preset (default: scaled)")
+    parser.add_argument("--machine", default="scaled",
+                        help="named machine config (default: scaled; see "
+                             "`repro components ls`)")
+    parser.add_argument("--config", default=None, metavar="FILE.toml",
+                        help="load the machine config from a TOML file "
+                             "(overrides --machine; write one with "
+                             "`repro config show`)")
     parser.add_argument("--instructions", type=int, default=40_000,
                         help="measured instructions (default: 40000)")
     parser.add_argument("--warmup", type=int, default=10_000,
@@ -124,7 +160,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     from repro.sim.serialize import result_to_dict
 
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     workload = get_workload(args.workload)
     length = args.warmup + args.instructions
 
@@ -249,7 +285,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep`` — P_induce sweep + sensitivity class per workload."""
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     scale = ExperimentScale(warmup_instructions=args.warmup,
                             sim_instructions=args.instructions,
                             sample_interval=max(1, args.instructions // 10),
@@ -294,7 +330,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     """``repro characterize`` — declared vs measured behaviour classes."""
     from repro.sim.characterize import characterize
 
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     rows = []
     for name in args.workloads:
         spec = get_workload(name)
@@ -314,7 +350,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         ["Benchmark", "Declared", "Measured", "IPC", "AMAT", "L2 MPKI",
          "LLC MPKI", "LLC APKI"],
         rows,
-        title=f"workload characterisation on {args.machine}",
+        title=f"workload characterisation on {config.name}",
     ))
     return 0
 
@@ -323,7 +359,7 @@ def cmd_mrc(args: argparse.Namespace) -> int:
     """``repro mrc`` — miss-rate curve and working-set knee of a workload."""
     from repro.analysis.mrc import trace_mrc, working_set_knee
 
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     spec = get_workload(args.workload)
     trace = build_trace(spec, args.length, args.seed, config.llc.size)
     llc_blocks = config.llc.size // config.block_size
@@ -349,7 +385,7 @@ def cmd_partition_study(args: argparse.Namespace) -> int:
     from repro.experiments import partition_study
     from repro.sim import ExperimentScale
 
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     scale = ExperimentScale(warmup_instructions=args.warmup,
                             sim_instructions=args.instructions,
                             sample_interval=max(1, args.instructions // 8),
@@ -365,7 +401,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import run_reproduction, suite_for_name
     from repro.sim import ExperimentScale
 
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     scale = ExperimentScale(warmup_instructions=args.warmup,
                             sim_instructions=args.instructions,
                             sample_interval=max(1, args.instructions // 10),
@@ -396,7 +432,7 @@ def _artifact_context(args: argparse.Namespace):
     from repro.experiments.registry import PlanContext
     from repro.experiments.reproduce import suite_for_name
 
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     scale = ExperimentScale(warmup_instructions=args.warmup,
                             sim_instructions=args.instructions,
                             sample_interval=max(1, args.instructions // 10),
@@ -632,6 +668,97 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_components(args: argparse.Namespace) -> int:
+    """``repro components ls`` — every registered component + capabilities."""
+    rows = []
+    for registry in iter_registries():
+        if args.kind and args.kind.lower() not in registry.kind:
+            continue
+        for spec in registry.specs():
+            summary = spec.summary
+            if len(summary) > 44:
+                summary = summary[:41] + "..."
+            rows.append((spec.kind, spec.name,
+                         "seed" if spec.accepts_seed else "",
+                         ", ".join(p for p in spec.tunable_params
+                                   if p != "seed"),
+                         summary))
+    if not rows:
+        print(f"no components match kind {args.kind!r}")
+        return 1
+    print(format_table(
+        ["Kind", "Name", "Seeded", "Tunables", "Summary"], rows,
+        title=f"{len(rows)} registered components",
+    ))
+    return 0
+
+
+def cmd_config_show(args: argparse.Namespace) -> int:
+    """``repro config show`` — canonical TOML for a named or file config."""
+    config = _named_or_file(args.name)
+    text = machine_to_toml(config)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote machine config {config.name!r} to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_config_validate(args: argparse.Namespace) -> int:
+    """``repro config validate`` — schema-check TOML files; exit 1 on error."""
+    from repro.configio import machine_from_toml
+
+    failed = 0
+    for path in args.files:
+        try:
+            config = load_machine_config(path)
+        except ValueError as exc:
+            print(f"FAIL {exc}")
+            failed += 1
+            continue
+        # A valid file must also survive the canonical round-trip: what
+        # `config show` would emit for it parses back to the same machine.
+        if machine_from_toml(machine_to_toml(config)) != config:
+            print(f"FAIL {path}: canonical round-trip drifted")
+            failed += 1
+            continue
+        print(f"ok   {path}: machine {config.name!r}")
+    return 1 if failed else 0
+
+
+def _flatten_payload(payload: dict, prefix: str = "") -> dict:
+    """Dotted-path view of a canonical config dict, for field-level diffs."""
+    flat = {}
+    for key, value in payload.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_payload(value, prefix=f"{dotted}."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def cmd_config_diff(args: argparse.Namespace) -> int:
+    """``repro config diff`` — field-level diff of two machine configs.
+
+    Exits 0 when the canonical payloads are identical (same job ids), 1
+    when they differ — usable as a predicate in scripts.
+    """
+    flat_a = _flatten_payload(machine_to_dict(_named_or_file(args.a)))
+    flat_b = _flatten_payload(machine_to_dict(_named_or_file(args.b)))
+    rows = [(key, flat_a.get(key, "<absent>"), flat_b.get(key, "<absent>"))
+            for key in sorted(set(flat_a) | set(flat_b))
+            if flat_a.get(key, "<absent>") != flat_b.get(key, "<absent>")]
+    if not rows:
+        print(f"{args.a} == {args.b}: identical canonical payloads "
+              "(identical job ids)")
+        return 0
+    print(format_table(["Field", args.a, args.b], rows,
+                       title=f"{len(rows)} differing field(s)"))
+    return 1
+
+
 def _campaign_progress(event: dict) -> None:
     """Progress printer shared by ``campaign run`` and ``resume``."""
     kind = event["event"]
@@ -713,7 +840,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.sim import adversary_panel
     from repro.sim.batch import Job
 
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     scale = _campaign_scale(args)
     panel = {}
     if args.panel:
@@ -730,12 +857,13 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     executor = args.executor or DEFAULT_EXECUTOR
     if not args.resume:
         manifest = write_campaign_manifest(
-            args.store, jobs, config, scale, machine_preset=args.machine,
+            args.store, jobs, config, scale,
+            machine_preset=config.name if args.config else args.machine,
             retry=retry.to_dict(), timeout_seconds=args.timeout,
             shard=shard, processes=args.processes,
             trace_cache=args.trace_cache,
             telemetry_interval=args.telemetry,
-            executor=executor)
+            executor=executor, plugins=args.plugins)
         print(f"wrote campaign manifest to {manifest}")
     report = run_campaign(jobs, config, scale, processes=args.processes,
                           retry=retry, timeout_seconds=args.timeout,
@@ -746,6 +874,21 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
                           executor=executor)
     _campaign_summary(report)
     return 1 if args.strict and report.failures else 0
+
+
+def _manifest_machine(manifest: dict) -> MachineConfig:
+    """The machine a campaign manifest pins.
+
+    v3 manifests carry the full canonical ``machine_config`` (already a
+    :class:`MachineConfig` after :func:`load_campaign_manifest`), so the
+    exact machine — including ``--config`` files never registered under a
+    name — is recoverable. Legacy manifests fall back to the recorded
+    preset name.
+    """
+    config = manifest.get("machine_config")
+    if isinstance(config, MachineConfig):
+        return config
+    return _machine(manifest["machine_preset"])
 
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -775,7 +918,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     manifest_path = manifest_path_for(args.store)
     if manifest_path.exists():
         manifest = load_campaign_manifest(manifest_path)
-        config = _machine(manifest["machine_preset"])
+        config = _manifest_machine(manifest)
         scale = manifest["scale"]
         ids = [job_id(job, config, scale) for job in manifest["jobs"]]
         done = sum(1 for jid in ids if jid in contents.results)
@@ -866,7 +1009,10 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         raise SystemExit(f"no campaign manifest at {manifest_path}; "
                          "was this store created by `repro campaign run`?")
     manifest = load_campaign_manifest(manifest_path)
-    config = _machine(manifest["machine_preset"])
+    for spec in manifest.get("plugins") or ():
+        load_plugin(spec)
+    config = (_load_config_file(args.config) if args.config
+              else _manifest_machine(manifest))
     scale = manifest["scale"]
     retry_fields = dict(manifest.get("retry") or {})
     if args.retries is not None:
@@ -925,7 +1071,7 @@ def cmd_campaign_timeline(args: argparse.Namespace) -> int:
 
 def cmd_trace_build(args: argparse.Namespace) -> int:
     """``repro trace build`` — export one synthetic trace to a file."""
-    config = _machine(args.machine)
+    config = _resolve_machine(args)
     workload = get_workload(args.workload)
     trace = build_trace(workload, args.length, args.seed, config.llc.size)
     count = write_trace(trace, args.output, version=args.format)
@@ -971,7 +1117,7 @@ def cmd_trace_cache(args: argparse.Namespace) -> int:
 
     store = TraceStore(args.dir)
     if args.cache_command == "prime":
-        config = _machine(args.machine)
+        config = _resolve_machine(args)
         length = args.length
         generated, reused = store.prime(args.workloads, config.llc.size,
                                         length, args.seed)
@@ -1002,6 +1148,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PInTE (IISWC 2022) reproduction toolkit",
     )
+    parser.add_argument("--plugin", action="append", default=None,
+                        dest="plugins", metavar="MODULE",
+                        help="import a third-party component plugin (dotted "
+                             "module path or .py file) before the command "
+                             "runs; repeatable (see docs/CONFIGURATION.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list workload models")
@@ -1132,6 +1283,9 @@ def build_parser() -> argparse.ArgumentParser:
     c_resume = campaign_sub.add_parser(
         "resume", help="finish a stored campaign (skips completed job ids)")
     c_resume.add_argument("store", help="JSONL result store path")
+    c_resume.add_argument("--config", default=None, metavar="FILE.toml",
+                          help="machine config TOML (default: the canonical "
+                               "machine_config the manifest recorded)")
     c_resume.add_argument("--processes", type=int, default=None)
     c_resume.add_argument("--executor", choices=("pool", "spawn"),
                           default=None,
@@ -1184,7 +1338,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_mrc.add_argument("workload", help="benchmark name")
     p_mrc.add_argument("--length", type=int, default=20_000,
                        help="instructions to profile (default: 20000)")
-    p_mrc.add_argument("--machine", default="scaled", choices=sorted(CONFIGS))
+    p_mrc.add_argument("--machine", default="scaled",
+                       help="named machine config (default: scaled)")
     p_mrc.add_argument("--seed", type=int, default=1)
     p_mrc.set_defaults(func=cmd_mrc)
 
@@ -1264,6 +1419,40 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common(a_verb)
         a_verb.set_defaults(func=cmd_artifact)
 
+    p_components = sub.add_parser(
+        "components", help="the unified component registry")
+    components_sub = p_components.add_subparsers(dest="components_command",
+                                                 required=True)
+    k_ls = components_sub.add_parser(
+        "ls", help="list every registered component and its capabilities")
+    k_ls.add_argument("--kind", default=None,
+                      help="filter by kind substring, e.g. 'prefetcher' or "
+                           "'machine'")
+    k_ls.set_defaults(func=cmd_components)
+
+    p_config = sub.add_parser(
+        "config", help="declarative machine configs (TOML; see "
+                       "docs/CONFIGURATION.md)")
+    config_sub = p_config.add_subparsers(dest="config_command", required=True)
+    f_show = config_sub.add_parser(
+        "show", help="print a machine config as canonical TOML")
+    f_show.add_argument("name",
+                        help="registry name (e.g. scaled, "
+                             "scaled@replacement=rrip) or a TOML file")
+    f_show.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the TOML here instead of stdout")
+    f_show.set_defaults(func=cmd_config_show)
+    f_validate = config_sub.add_parser(
+        "validate", help="schema-check machine config TOML files")
+    f_validate.add_argument("files", nargs="+", help="TOML files to check")
+    f_validate.set_defaults(func=cmd_config_validate)
+    f_diff = config_sub.add_parser(
+        "diff", help="field-level diff of two machine configs "
+                     "(exit 1 when they differ)")
+    f_diff.add_argument("a", help="registry name or TOML file")
+    f_diff.add_argument("b", help="registry name or TOML file")
+    f_diff.set_defaults(func=cmd_config_diff)
+
     p_bench = sub.add_parser("bench",
                              help="hot-path throughput microbenchmarks")
     p_bench.add_argument("--suite",
@@ -1303,7 +1492,7 @@ def build_parser() -> argparse.ArgumentParser:
     t_build.add_argument("--length", type=int, default=100_000,
                          help="instructions to generate (default: 100000)")
     t_build.add_argument("--machine", default="scaled",
-                         choices=sorted(CONFIGS))
+                         help="named machine config (default: scaled)")
     t_build.add_argument("--seed", type=int, default=1)
     t_build.add_argument("--format", type=int, default=2, choices=(1, 2),
                          help="on-disk format: 2=columnar PNTR2 (default), "
@@ -1328,7 +1517,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: 50000 = campaign default "
                                "warmup+instructions)")
     tc_prime.add_argument("--machine", default="scaled",
-                          choices=sorted(CONFIGS))
+                          help="named machine config (default: scaled)")
     tc_prime.add_argument("--seed", type=int, default=1)
     tc_prime.set_defaults(func=cmd_trace_cache)
     tc_ls = cache_sub.add_parser("ls", help="list cached traces")
@@ -1342,10 +1531,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Unknown component names — workloads, machine configs, policies — are
+    reported as one clean ``repro: unknown <kind> ...`` line (with
+    did-you-mean candidates) instead of a traceback, mirroring the
+    result-store checks in the campaign commands.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    for spec in args.plugins or ():
+        try:
+            load_plugin(spec)
+        except (ImportError, FileNotFoundError) as exc:
+            raise SystemExit(f"repro: --plugin {spec}: {exc}")
+    try:
+        return args.func(args)
+    except UnknownComponentError as exc:
+        raise SystemExit(f"repro: {exc}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,289 @@
+"""Unified component registry for every experiment axis.
+
+The paper sweeps the same handful of dimensions everywhere — replacement
+policy, inclusion, prefetch string, branch predictor, partition scheme,
+workload (Figs 5-11, Table II) — and each used to live in its own ad-hoc
+string-keyed dict with its own factory signature and error style. This
+module provides the one abstraction they all share:
+
+* :class:`ComponentRegistry` — an ordered, :class:`~collections.abc.Mapping`
+  compatible registry (existing ``POLICIES[name]`` / ``sorted(PREFETCHERS)``
+  / ``.items()`` call sites keep working verbatim) with a registration
+  decorator for third-party plugins.
+* :class:`ComponentSpec` — per-component capability metadata introspected
+  from the constructor signature (*accepts seed*, tunable parameters,
+  declared constraints), the machine-readable form behind
+  ``repro components ls`` and the ``SEEDED_POLICIES`` derivation.
+* :class:`UnknownComponentError` — the single ``KeyError`` shape every
+  registry raises for unknown names, with difflib did-you-mean candidates;
+  the CLI catches it and exits with a clean one-line error.
+* :func:`load_plugin` — opt-in third-party loading (``--plugin``) from a
+  dotted module path or a ``.py`` file; importing the module runs its
+  ``register`` decorators against the built-in registries.
+
+The registry deliberately imports nothing from the rest of ``repro`` so the
+five component packages (``cache.replacement``, ``cache.partition``,
+``prefetch``, ``branch``, ``trace.spec_models``) and the named machine
+config registry (:mod:`repro.configs`) can all depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+import importlib.util
+import inspect
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Callable, Dict, Iterator, Mapping, Optional, Tuple)
+
+
+class UnknownComponentError(KeyError):
+    """Unknown component name, as a :class:`KeyError` with suggestions.
+
+    Subclasses ``KeyError`` so every pre-registry call site
+    (``pytest.raises(KeyError)``, ``name in REGISTRY``) keeps working, but
+    overrides ``__str__`` — ``KeyError`` would repr-quote the whole message
+    — so the CLI can print it as a clean one-liner.
+    """
+
+    def __init__(self, kind: str, name: str, known) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = tuple(sorted(known))
+        message = (f"unknown {kind} {name!r}; "
+                   f"known: {', '.join(self.known)}")
+        close = difflib.get_close_matches(name, self.known, n=2, cutoff=0.6)
+        if close:
+            message += (" (did you mean "
+                        + " or ".join(repr(c) for c in close) + "?)")
+        self.message = message
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Introspected capability metadata for one registered component.
+
+    Attributes:
+        kind: the registry's component kind (``"replacement policy"``...).
+        name: the registered name.
+        component: the registered object (class, factory, or instance).
+        accepts_seed: whether the constructor takes a ``seed`` parameter —
+            the capability that replaced the hand-maintained
+            ``SEEDED_POLICIES`` frozenset.
+        accepts_params: whether the constructor has tunable (defaulted)
+            parameters beyond ``seed``.
+        params: every constructor parameter name, in signature order.
+        tunable_params: the subset of :attr:`params` with defaults.
+        constraints: declared geometry constraints (e.g. the IP-stride
+            prefetcher's ``min_level_blocks``), from the component's
+            ``spec_constraints`` class attribute or the registration call.
+        summary: one-line description (first docstring line by default).
+    """
+
+    kind: str
+    name: str
+    component: object
+    accepts_seed: bool
+    accepts_params: bool
+    params: Tuple[str, ...]
+    tunable_params: Tuple[str, ...]
+    constraints: Mapping[str, object] = field(default_factory=dict)
+    summary: str = ""
+
+
+def _signature_params(component: object) -> Tuple[Tuple[str, ...],
+                                                  Tuple[str, ...]]:
+    """``(params, tunable_params)`` introspected from a component.
+
+    Classes and callables are inspected through :func:`inspect.signature`
+    (``self`` and ``*args``/``**kwargs`` excluded); plain instances (e.g.
+    :class:`~repro.trace.spec_models.WorkloadSpec` entries) have none.
+    """
+    if not callable(component):
+        return (), ()
+    try:
+        signature = inspect.signature(component)
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return (), ()
+    params = []
+    tunable = []
+    for parameter in signature.parameters.values():
+        if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
+                              inspect.Parameter.VAR_KEYWORD):
+            continue
+        params.append(parameter.name)
+        if parameter.default is not inspect.Parameter.empty:
+            tunable.append(parameter.name)
+    return tuple(params), tuple(tunable)
+
+
+def _first_doc_line(component: object) -> str:
+    """First non-empty docstring line, or ``""``."""
+    doc = inspect.getdoc(component) or ""
+    for line in doc.splitlines():
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+class ComponentRegistry(Mapping):
+    """Ordered name -> component mapping with capability metadata.
+
+    Drop-in compatible with the plain dicts it replaced: ``REG[name]``,
+    ``name in REG``, ``sorted(REG)``, ``REG.items()`` and ``len(REG)`` all
+    behave identically — except that an unknown name raises
+    :class:`UnknownComponentError` (still a ``KeyError``) with did-you-mean
+    candidates instead of a bare ``KeyError(name)``.
+    """
+
+    def __init__(self, kind: str,
+                 components: Optional[Mapping[str, object]] = None, *,
+                 describe: Optional[Callable[[object], str]] = None) -> None:
+        self.kind = kind
+        self._describe = describe
+        self._components: Dict[str, object] = {}
+        self._specs: Dict[str, ComponentSpec] = {}
+        for name, component in (components or {}).items():
+            self.add(name, component)
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, name: str) -> object:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise UnknownComponentError(self.kind, name,
+                                        self._components) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:
+        return (f"ComponentRegistry({self.kind!r}, "
+                f"{{{', '.join(map(repr, self._components))}}})")
+
+    # -- registration ------------------------------------------------------
+    def add(self, name: str, component: object, *,
+            constraints: Optional[Mapping[str, object]] = None,
+            summary: Optional[str] = None) -> object:
+        """Register ``component`` under ``name``; returns the component.
+
+        Capability metadata is introspected at registration time; explicit
+        ``constraints``/``summary`` override the defaults (a
+        ``spec_constraints`` attribute and the first docstring line). A
+        duplicate name is a ``ValueError`` — re-registration is always a
+        bug, not an override mechanism.
+        """
+        if name in self._components:
+            raise ValueError(f"duplicate {self.kind} name {name!r}")
+        params, tunable = _signature_params(component)
+        if constraints is None:
+            constraints = dict(getattr(component, "spec_constraints",
+                                       None) or {})
+        if summary is None:
+            if self._describe is not None:
+                summary = self._describe(component)
+            else:
+                summary = _first_doc_line(component)
+        self._components[name] = component
+        self._specs[name] = ComponentSpec(
+            kind=self.kind, name=name, component=component,
+            accepts_seed="seed" in params,
+            accepts_params=bool([p for p in tunable if p != "seed"]),
+            params=params, tunable_params=tuple(tunable),
+            constraints=dict(constraints), summary=summary)
+        return component
+
+    def register(self, name_or_component=None, *,
+                 name: Optional[str] = None,
+                 constraints: Optional[Mapping[str, object]] = None,
+                 summary: Optional[str] = None):
+        """Decorator form of :meth:`add`.
+
+        Usable bare (``@REG.register`` — the name comes from the
+        component's ``name`` attribute, falling back to ``__name__``), with
+        a positional name (``@REG.register("fifo")``), or with keywords
+        (``@REG.register(name="fifo", constraints={...})``).
+        """
+        if name_or_component is not None and not isinstance(
+                name_or_component, str):
+            component = name_or_component
+            derived = getattr(component, "name", None) or getattr(
+                component, "__name__", None)
+            if not derived:
+                raise ValueError(
+                    f"cannot derive a {self.kind} name from {component!r}; "
+                    "pass one explicitly")
+            self.add(derived, component, constraints=constraints,
+                     summary=summary)
+            return component
+        if isinstance(name_or_component, str):
+            if name is not None:
+                raise ValueError("component name given twice")
+            name = name_or_component
+
+        def decorator(component):
+            derived = name or getattr(component, "name", None) or getattr(
+                component, "__name__", None)
+            if not derived:
+                raise ValueError(
+                    f"cannot derive a {self.kind} name from {component!r}; "
+                    "pass one explicitly")
+            self.add(derived, component, constraints=constraints,
+                     summary=summary)
+            return component
+
+        return decorator
+
+    # -- introspection -----------------------------------------------------
+    def spec(self, name: str) -> ComponentSpec:
+        """The :class:`ComponentSpec` for ``name`` (unified unknown error)."""
+        if name not in self._specs:
+            raise UnknownComponentError(self.kind, name, self._specs)
+        return self._specs[name]
+
+    def specs(self) -> Tuple[ComponentSpec, ...]:
+        """All specs in registration order."""
+        return tuple(self._specs.values())
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._components))
+
+
+def load_plugin(spec: str):
+    """Import a third-party component plugin; returns the module.
+
+    ``spec`` is either a dotted module path (``mylab.policies``) or a
+    filesystem path to a ``.py`` file (``examples/plugin_policy.py``).
+    Importing the module is the registration mechanism: the module body
+    calls ``REGISTRY.register(...)`` / ``REGISTRY.add(...)`` against the
+    built-in registries. Campaign workers inherit parent-process
+    registrations through ``fork``; the manifest records the plugin specs
+    so ``--plugin`` can be replayed on resume.
+    """
+    looks_like_path = spec.endswith(".py") or "/" in spec or "\\" in spec
+    if looks_like_path:
+        path = Path(spec)
+        if not path.is_file():
+            raise FileNotFoundError(f"plugin file not found: {spec}")
+        module_name = "repro_plugin_" + path.stem.replace("-", "_")
+        if module_name in sys.modules:
+            return sys.modules[module_name]
+        loader_spec = importlib.util.spec_from_file_location(module_name,
+                                                             path)
+        if loader_spec is None or loader_spec.loader is None:
+            raise ImportError(f"cannot load plugin from {spec!r}")
+        module = importlib.util.module_from_spec(loader_spec)
+        sys.modules[module_name] = module
+        loader_spec.loader.exec_module(module)
+        return module
+    return importlib.import_module(spec)

@@ -19,12 +19,13 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.dram import DramConfig
+from repro.serde import ConfigSerde
 
 INCLUSION_POLICIES = ("non-inclusive", "inclusive", "exclusive")
 
 
 @dataclass(frozen=True)
-class CacheLevelConfig:
+class CacheLevelConfig(ConfigSerde):
     """Geometry and policy for one cache level."""
 
     size: int
@@ -42,7 +43,7 @@ class CacheLevelConfig:
 
 
 @dataclass(frozen=True)
-class CoreConfig:
+class CoreConfig(ConfigSerde):
     """Cycle-accounting core parameters."""
 
     issue_width: int = 4
@@ -60,8 +61,13 @@ class CoreConfig:
 
 
 @dataclass(frozen=True)
-class MachineConfig:
-    """Full machine: cache hierarchy + DRAM + core."""
+class MachineConfig(ConfigSerde):
+    """Full machine: cache hierarchy + DRAM + core.
+
+    Serializable via the :class:`~repro.serde.ConfigSerde` methods: the
+    canonical dict carries a ``schema`` version tag and is what campaign
+    job ids hash and manifests record (see :mod:`repro.configio`).
+    """
 
     name: str
     block_size: int = 64
@@ -94,9 +100,28 @@ class MachineConfig:
         return replace(self, inclusion=inclusion)
 
     def with_prefetch_string(self, prefetch: str) -> "MachineConfig":
-        from repro.prefetch import prefetch_string_config
+        from repro.prefetch import PREFETCHERS, prefetch_string_config
 
         l1i_pf, l1d_pf, l2_pf = prefetch_string_config(prefetch)
+        # Validate each component's declared geometry constraints against
+        # the level it would sit on; silently accepting an impossible
+        # placement (an IP-stride table on a level with a handful of
+        # blocks) would change the experiment without saying so.
+        for level_name, pf_name in (("l1i", l1i_pf), ("l1d", l1d_pf),
+                                    ("l2", l2_pf)):
+            if pf_name == "none":
+                continue
+            spec = PREFETCHERS.spec(pf_name)
+            min_blocks = spec.constraints.get("min_level_blocks", 0)
+            level = getattr(self, level_name)
+            blocks = level.size // self.block_size
+            if min_blocks and blocks < min_blocks:
+                raise ValueError(
+                    f"prefetch string {prefetch!r} puts {pf_name} on "
+                    f"{level_name}, but {level_name} holds only {blocks} "
+                    f"blocks ({level.size} B / {self.block_size} B lines) "
+                    f"and the {spec.kind} spec requires min_level_blocks "
+                    f">= {min_blocks}")
         return replace(
             self,
             l1i=replace(self.l1i, prefetcher=l1i_pf),

@@ -1,0 +1,331 @@
+"""Versioned declarative schema for the config layer.
+
+Turns every config dataclass — :class:`~repro.config.MachineConfig`,
+:class:`~repro.config.CacheLevelConfig`, :class:`~repro.config.CoreConfig`,
+:class:`~repro.dram.DramConfig`, :class:`~repro.core.PinteConfig`,
+:class:`~repro.sim.runner.ExperimentScale` — into a first-class serialized
+artifact: ``to_dict``/``from_dict`` with strict unknown-key rejection, and a
+TOML round-trip so a machine is describable outside Python source
+(``repro config show scaled -o cfg.toml`` … ``repro run --config
+cfg.toml``).
+
+The dict produced by :func:`machine_to_dict` carries a ``schema`` version
+tag and is the **canonical form**: it is what ``campaign/ids.py`` hashes
+into job ids (``ID_SCHEME`` v3) and what campaign manifests/stores record
+for provenance, so its layout is part of the id scheme — any change must
+bump :data:`CONFIG_SCHEMA` *and* the id scheme together.
+
+TOML is written by a small deterministic emitter (fixed key order, no
+dependencies) and read with :mod:`tomllib` where available (Python 3.11+);
+on older interpreters a fallback parser covers exactly the subset the
+emitter produces (top-level scalars plus one level of ``[table]`` sections
+with string/int/float/bool values), keeping the 3.10 CI leg green without
+any new dependency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Type, Union
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on the 3.10 CI leg
+    tomllib = None
+
+from repro.config import CacheLevelConfig, CoreConfig, MachineConfig
+from repro.core.pinte_config import PinteConfig
+from repro.dram.model import DramConfig
+from repro.sim.runner import ExperimentScale
+
+#: Version tag stamped into every serialized :class:`MachineConfig`. Bump it
+#: (together with ``campaign.ids.ID_SCHEME``) whenever the canonical payload
+#: layout changes.
+CONFIG_SCHEMA = 1
+
+#: Kind names used in error messages, per flat (non-nested) config class.
+_FLAT_KINDS: Dict[type, str] = {
+    CacheLevelConfig: "cache level config",
+    CoreConfig: "core config",
+    DramConfig: "dram config",
+    PinteConfig: "pinte config",
+    ExperimentScale: "experiment scale",
+}
+
+#: ``MachineConfig`` fields holding nested :class:`CacheLevelConfig` values.
+_MACHINE_LEVELS = ("l1i", "l1d", "l2", "llc")
+
+
+def to_dict(obj: Any) -> Dict[str, Any]:
+    """Canonical dict for any config dataclass (dispatches on type)."""
+    if isinstance(obj, MachineConfig):
+        return machine_to_dict(obj)
+    if type(obj) not in _FLAT_KINDS:
+        raise TypeError(f"not a config dataclass: {type(obj).__name__}")
+    return {f.name: getattr(obj, f.name)
+            for f in dataclasses.fields(obj)}
+
+
+def from_dict(cls: Type, payload: Mapping[str, Any]) -> Any:
+    """Rebuild a config dataclass from its canonical dict, strictly.
+
+    Unknown keys are rejected with a ``ValueError`` naming them — a payload
+    that silently drops a knob would silently change the experiment.
+    ``MachineConfig`` payloads go through :func:`machine_from_dict` (which
+    also checks the ``schema`` tag).
+    """
+    if cls is MachineConfig:
+        return machine_from_dict(payload)
+    kind = _FLAT_KINDS.get(cls)
+    if kind is None:
+        raise TypeError(f"not a config dataclass: {cls.__name__}")
+    return _flat_from_dict(cls, payload, kind)
+
+
+def _flat_from_dict(cls: type, payload: Mapping[str, Any], kind: str):
+    """Strict ``cls(**payload)`` with unknown-key/missing-key errors."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"{kind} payload must be a table/mapping, "
+                         f"got {type(payload).__name__}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ValueError(f"unknown {kind} keys: {', '.join(unknown)}")
+    try:
+        return cls(**dict(payload))
+    except TypeError as exc:
+        raise ValueError(f"invalid {kind} payload: {exc}") from None
+
+
+def machine_to_dict(config: MachineConfig) -> Dict[str, Any]:
+    """The canonical, schema-tagged payload for a machine config.
+
+    Scalars first, nested tables last (so the TOML emitter can stream it
+    directly); ``llc_way_allocation`` is omitted when ``None`` — TOML has
+    no null, and absence is the canonical spelling of "no cap".
+    """
+    payload: Dict[str, Any] = {
+        "schema": CONFIG_SCHEMA,
+        "name": config.name,
+        "block_size": config.block_size,
+        "inclusion": config.inclusion,
+    }
+    if config.llc_way_allocation is not None:
+        payload["llc_way_allocation"] = config.llc_way_allocation
+    for level in _MACHINE_LEVELS:
+        payload[level] = to_dict(getattr(config, level))
+    payload["dram"] = to_dict(config.dram)
+    payload["core"] = to_dict(config.core)
+    return payload
+
+
+def machine_from_dict(payload: Mapping[str, Any]) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from its canonical payload.
+
+    The ``schema`` tag is mandatory: an untagged dict is either a pre-v3
+    ``dataclasses.asdict`` payload or hand-rolled, and guessing would let
+    two spellings of one machine hash to different job ids. Omitted nested
+    sections fall back to the dataclass defaults (hand-written TOML need
+    not spell out every level).
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("machine config payload must be a table/mapping, "
+                         f"got {type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema is None:
+        raise ValueError(
+            "machine config payload has no 'schema' tag (pre-v3 or "
+            f"hand-rolled payload?); expected schema = {CONFIG_SCHEMA}")
+    if schema != CONFIG_SCHEMA:
+        raise ValueError(f"unsupported machine config schema {schema!r}; "
+                         f"this version reads schema {CONFIG_SCHEMA}")
+    known = ({"schema", "name", "block_size", "inclusion",
+              "llc_way_allocation", "dram", "core"} | set(_MACHINE_LEVELS))
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(f"unknown machine config keys: {', '.join(unknown)}")
+    if "name" not in payload:
+        raise ValueError("machine config payload is missing 'name'")
+    kwargs: Dict[str, Any] = {"name": payload["name"]}
+    for scalar in ("block_size", "inclusion", "llc_way_allocation"):
+        if scalar in payload:
+            kwargs[scalar] = payload[scalar]
+    for level in _MACHINE_LEVELS:
+        if level in payload:
+            kwargs[level] = from_dict(CacheLevelConfig, payload[level])
+    if "dram" in payload:
+        kwargs["dram"] = from_dict(DramConfig, payload["dram"])
+    if "core" in payload:
+        kwargs["core"] = from_dict(CoreConfig, payload["core"])
+    return MachineConfig(**kwargs)
+
+
+# -- TOML ------------------------------------------------------------------
+
+_BARE_KEY = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+
+def _format_value(value: Any) -> str:
+    """One TOML literal; bool before int (``bool`` subclasses ``int``)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        return text
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise TypeError(f"cannot serialize {type(value).__name__} to TOML "
+                    f"(value {value!r})")
+
+
+def _check_key(key: str) -> str:
+    """Reject keys the bare-key emitter cannot represent."""
+    if not key or not set(key) <= _BARE_KEY:
+        raise TypeError(f"cannot serialize key {key!r} as a bare TOML key")
+    return key
+
+
+def dumps_toml(payload: Mapping[str, Any]) -> str:
+    """Deterministic TOML for a one-level-deep payload.
+
+    Top-level scalars are written first (in payload order), then one
+    ``[table]`` per nested mapping. Deeper nesting is a ``TypeError`` —
+    the config schema is deliberately flat.
+    """
+    scalars = [(k, v) for k, v in payload.items()
+               if not isinstance(v, Mapping)]
+    tables = [(k, v) for k, v in payload.items() if isinstance(v, Mapping)]
+    lines = [f"{_check_key(key)} = {_format_value(value)}"
+             for key, value in scalars]
+    for key, table in tables:
+        lines.extend(["", f"[{_check_key(key)}]"])
+        for sub_key, value in table.items():
+            if isinstance(value, Mapping):
+                raise TypeError(f"nested table {key}.{sub_key} is deeper "
+                                "than the config schema allows")
+            lines.append(f"{_check_key(sub_key)} = {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment, honouring double-quoted strings."""
+    in_string = False
+    escaped = False
+    for index, char in enumerate(line):
+        if escaped:
+            escaped = False
+            continue
+        if in_string and char == "\\":
+            escaped = True
+        elif char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _parse_scalar(text: str, where: str) -> Any:
+    """Parse one TOML value from the emitter's subset."""
+    if text.startswith('"'):
+        if len(text) < 2 or not text.endswith('"'):
+            raise ValueError(f"unterminated string {where}: {text!r}")
+        body = text[1:-1]
+        out = []
+        escaped = False
+        for char in body:
+            if escaped:
+                out.append({"\\": "\\", '"': '"', "n": "\n",
+                            "t": "\t"}.get(char, char))
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                raise ValueError(f"unescaped quote {where}: {text!r}")
+            else:
+                out.append(char)
+        if escaped:
+            raise ValueError(f"dangling escape {where}: {text!r}")
+        return "".join(out)
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"unsupported TOML value {where}: {text!r}") \
+            from None
+
+
+def _loads_toml_fallback(text: str) -> Dict[str, Any]:
+    """Minimal TOML reader for interpreters without :mod:`tomllib`.
+
+    Covers exactly the emitter's subset — bare ``key = value`` pairs and
+    single-level ``[table]`` headers with string/int/float/bool values —
+    which is all a machine config ever needs.
+    """
+    root: Dict[str, Any] = {}
+    current = root
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        where = f"on line {number}"
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ValueError(f"malformed table header {where}: {raw!r}")
+            name = line[1:-1].strip()
+            if not name or not set(name) <= _BARE_KEY:
+                raise ValueError(f"unsupported table name {where}: {raw!r}")
+            if name in root:
+                raise ValueError(f"duplicate table [{name}] {where}")
+            current = root.setdefault(name, {})
+            continue
+        key, sep, value = line.partition("=")
+        key = key.strip()
+        if not sep or not key or not set(key) <= _BARE_KEY:
+            raise ValueError(f"malformed line {where}: {raw!r}")
+        if key in current:
+            raise ValueError(f"duplicate key {key!r} {where}")
+        current[key] = _parse_scalar(value.strip(), where)
+    return root
+
+
+def loads_toml(text: str) -> Dict[str, Any]:
+    """Parse TOML text: :mod:`tomllib` when available, else the fallback."""
+    if tomllib is not None:
+        return tomllib.loads(text)
+    return _loads_toml_fallback(text)
+
+
+def machine_to_toml(config: MachineConfig) -> str:
+    """The canonical TOML document for a machine config."""
+    return dumps_toml(machine_to_dict(config))
+
+
+def machine_from_toml(text: str) -> MachineConfig:
+    """Parse a machine config from TOML text (strict, schema-checked)."""
+    return machine_from_dict(loads_toml(text))
+
+
+def load_machine_config(path: Union[str, Path]) -> MachineConfig:
+    """Read a machine config from a TOML file, with path context on error."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read machine config {path}: "
+                         f"{exc.strerror or exc}") from None
+    try:
+        return machine_from_toml(text)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None

@@ -1,0 +1,128 @@
+"""Named machine configurations as a first-class component registry.
+
+The three presets (``skylake`` / ``scaled`` / ``xeon``) and every fig11
+design-dimension variant (``scaled@replacement=nmru``,
+``scaled@prefetching=NNI``, ...) are registered here as zero-argument
+factories in :data:`MACHINE_CONFIGS`, so a machine is selectable by name
+anywhere a component is — ``repro run --machine scaled@inclusion=exclusive``
+works exactly like ``--machine scaled`` — and enumerable for docs and
+``repro components ls``.
+
+:data:`DESIGN_DIMENSIONS` is the single source of truth for the case
+study's four design axes (replacement / inclusion / prefetching /
+branching); :mod:`repro.experiments.fig11` rebuilds its ``DIMENSIONS``
+table from it (adding the reported metrics), so the variants the config
+registry names and the variants fig11 sweeps cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple
+
+from repro.components import ComponentRegistry
+from repro.config import (MachineConfig, scaled_config, skylake_config,
+                          xeon_config)
+
+#: Every named machine config: the three presets plus one variant per
+#: (design dimension, option) pair, applied to the ``scaled`` baseline.
+MACHINE_CONFIGS = ComponentRegistry("machine config")
+MACHINE_CONFIGS.add("scaled", scaled_config)
+MACHINE_CONFIGS.add("skylake", skylake_config)
+MACHINE_CONFIGS.add("xeon", xeon_config)
+
+
+@dataclass(frozen=True)
+class DesignDimension:
+    """One design axis of the Fig 11 case study.
+
+    Attributes:
+        name: the axis name (``replacement``, ``inclusion``, ...).
+        options: the axis values, in the paper's reporting order.
+        apply: pure ``(config, option) -> config`` transform — the same
+            callable fig11 uses as ``Dimension.configure``, so variant
+            configs (and therefore job ids) are identical either way.
+    """
+
+    name: str
+    options: Tuple[str, ...]
+    apply: Callable[[MachineConfig, str], MachineConfig]
+
+
+DESIGN_DIMENSIONS: Tuple[DesignDimension, ...] = (
+    DesignDimension(
+        name="replacement",
+        options=("lru", "plru", "nmru", "rrip"),
+        apply=lambda config, option: config.with_llc_policy(option),
+    ),
+    DesignDimension(
+        name="inclusion",
+        options=("non-inclusive", "inclusive", "exclusive"),
+        apply=lambda config, option: config.with_inclusion(option),
+    ),
+    DesignDimension(
+        name="prefetching",
+        options=("000", "NN0", "NNN", "NNI"),
+        apply=lambda config, option: config.with_prefetch_string(option),
+    ),
+    DesignDimension(
+        name="branching",
+        options=("bimodal", "gshare", "perceptron", "hashed_perceptron"),
+        apply=lambda config, option: config.with_branch_predictor(option),
+    ),
+)
+
+
+def variant_name(base: str, dimension: str, option: str) -> str:
+    """Registry name for one design-dimension variant of a base preset."""
+    return f"{base}@{dimension}={option}"
+
+
+def _variant_factory(base: str, dimension: DesignDimension,
+                     option: str) -> Callable[[], MachineConfig]:
+    """Zero-argument factory for one variant (clean introspected spec)."""
+    def factory() -> MachineConfig:
+        return dimension.apply(MACHINE_CONFIGS[base](), option)
+
+    factory.__name__ = f"{base}_{dimension.name}_variant"
+    factory.__qualname__ = factory.__name__
+    return factory
+
+
+def _register_variants(base: str = "scaled") -> None:
+    """Register every (dimension, option) variant of ``base``."""
+    for dimension in DESIGN_DIMENSIONS:
+        for option in dimension.options:
+            MACHINE_CONFIGS.add(
+                variant_name(base, dimension.name, option),
+                _variant_factory(base, dimension, option),
+                summary=(f"{base} preset with {dimension.name} "
+                         f"set to {option}"))
+
+
+_register_variants()
+
+
+def get_machine_config(name: str) -> MachineConfig:
+    """Build the named machine config (unified unknown-name error)."""
+    return MACHINE_CONFIGS[name]()
+
+
+def iter_registries() -> Iterator[ComponentRegistry]:
+    """Every component registry, for ``repro components ls`` and docs.
+
+    Imported lazily so the config layer stays importable without pulling
+    in the whole simulator.
+    """
+    from repro.branch import PREDICTORS
+    from repro.cache.partition import PARTITIONERS
+    from repro.cache.replacement import POLICIES
+    from repro.prefetch import PREFETCHERS
+    from repro.trace.spec_models import SPEC_WORKLOADS
+
+    yield POLICIES
+    yield PARTITIONERS
+    yield PREFETCHERS
+    yield PREDICTORS
+    yield SPEC_WORKLOADS
+    yield MACHINE_CONFIGS

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.serde import ConfigSerde
+
 #: 12 P_induce settings (probabilities), the paper's per-trace sweep size.
 PAPER_PINDUCE_SWEEP = (
     0.01, 0.025, 0.05, 0.075, 0.10, 0.20, 0.30, 0.40, 0.50, 0.70, 0.85, 1.0,
@@ -25,7 +27,7 @@ TRIGGER_MODES = (TRIGGER_PER_ACCESS, TRIGGER_PERIODIC)
 
 
 @dataclass(frozen=True)
-class PinteConfig:
+class PinteConfig(ConfigSerde):
     """Knobs for the PInTE engine.
 
     Attributes:

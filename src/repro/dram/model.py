@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.serde import ConfigSerde
 from repro.util.bitops import ilog2
 
 
 @dataclass(frozen=True)
-class DramConfig:
+class DramConfig(ConfigSerde):
     """Geometry and timing for the DRAM model (latencies in core cycles)."""
 
     channels: int = 2

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.config import MachineConfig
+from repro.configs import DESIGN_DIMENSIONS
 from repro.core import PinteConfig
 from repro.experiments.reporting import format_table, percent
 from repro.experiments.suites import CASE_STUDY_SUITE
@@ -44,35 +45,25 @@ class Dimension:
     secondary_metric: str
 
 
-DIMENSIONS: Tuple[Dimension, ...] = (
+#: Reported (primary, secondary) metric per design axis; the axes and
+#: their variant transforms live in :data:`repro.configs.DESIGN_DIMENSIONS`
+#: so the config registry's named variants and this sweep cannot drift.
+_DIMENSION_METRICS: Dict[str, Tuple[str, str]] = {
+    "replacement": ("miss_rate", "interference_rate"),
+    "inclusion": ("miss_rate", "l2_miss_rate"),
+    "prefetching": ("prefetch_miss_rate", "l1d_miss_rate"),
+    "branching": ("branch_accuracy", "branch_mpki"),
+}
+
+DIMENSIONS: Tuple[Dimension, ...] = tuple(
     Dimension(
-        name="replacement",
-        options=("lru", "plru", "nmru", "rrip"),
-        configure=lambda config, option: config.with_llc_policy(option),
-        primary_metric="miss_rate",
-        secondary_metric="interference_rate",
-    ),
-    Dimension(
-        name="inclusion",
-        options=("non-inclusive", "inclusive", "exclusive"),
-        configure=lambda config, option: config.with_inclusion(option),
-        primary_metric="miss_rate",
-        secondary_metric="l2_miss_rate",
-    ),
-    Dimension(
-        name="prefetching",
-        options=("000", "NN0", "NNN", "NNI"),
-        configure=lambda config, option: config.with_prefetch_string(option),
-        primary_metric="prefetch_miss_rate",
-        secondary_metric="l1d_miss_rate",
-    ),
-    Dimension(
-        name="branching",
-        options=("bimodal", "gshare", "perceptron", "hashed_perceptron"),
-        configure=lambda config, option: config.with_branch_predictor(option),
-        primary_metric="branch_accuracy",
-        secondary_metric="branch_mpki",
-    ),
+        name=axis.name,
+        options=axis.options,
+        configure=axis.apply,
+        primary_metric=_DIMENSION_METRICS[axis.name][0],
+        secondary_metric=_DIMENSION_METRICS[axis.name][1],
+    )
+    for axis in DESIGN_DIMENSIONS
 )
 
 

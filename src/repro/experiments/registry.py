@@ -36,7 +36,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.campaign.engine import CampaignReport, RetryPolicy, run_campaign
 from repro.campaign.ids import job_id
 from repro.campaign.store import ResultStore
-from repro.config import MachineConfig, xeon_config
+from repro.config import MachineConfig
+from repro.configs import get_machine_config
 from repro.core import PAPER_PINDUCE_SWEEP
 from repro.experiments import (
     fig1,
@@ -510,7 +511,7 @@ FIG10_PANEL_SIZE = 3
 
 def _plan_fig10(ctx: PlanContext) -> List[PlannedJob]:
     """Plan the xeon-config sweep + pair scatter (ignores ``ctx.suite``)."""
-    config = xeon_config()
+    config = get_machine_config("xeon")
     names = list(FIG10_SUITE)
     jobs: List[Job] = []
     for name in names:
@@ -525,7 +526,7 @@ def _plan_fig10(ctx: PlanContext) -> List[PlannedJob]:
 
 def _aggregate_fig10(ctx: PlanContext, results: ResultMap):
     """Rebuild the sweep/pair structures and reuse the driver's scatter."""
-    config = xeon_config()
+    config = get_machine_config("xeon")
     names = list(FIG10_SUITE)
     sweep = {
         name: {p: results.for_job(Job(name, mode="pinte", p_induce=p),

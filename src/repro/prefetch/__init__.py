@@ -6,19 +6,20 @@ The paper encodes configurations as a three-character string (L1I, L1D, L2):
 those strings into per-level prefetcher names.
 """
 
-from typing import Dict, Tuple, Type
+from typing import Tuple
 
+from repro.components import ComponentRegistry
 from repro.prefetch.base import NullPrefetcher, Prefetcher, PrefetchStats
 from repro.prefetch.ip_stride import IpStridePrefetcher
 from repro.prefetch.next_line import NextLinePrefetcher
 from repro.prefetch.stream import StreamPrefetcher
 
-PREFETCHERS: Dict[str, Type[Prefetcher]] = {
+PREFETCHERS = ComponentRegistry("prefetcher", {
     NullPrefetcher.name: NullPrefetcher,
     NextLinePrefetcher.name: NextLinePrefetcher,
     IpStridePrefetcher.name: IpStridePrefetcher,
     StreamPrefetcher.name: StreamPrefetcher,
-}
+})
 
 _CHAR_TO_NAME = {"0": "none", "N": "next_line", "I": "ip_stride",
                  "S": "stream"}
@@ -29,11 +30,7 @@ PAPER_PREFETCH_STRINGS = ("000", "NN0", "NNN", "NNI")
 
 def make_prefetcher(name: str, block_size: int = 64, **kwargs) -> Prefetcher:
     """Instantiate a prefetcher by registry name."""
-    try:
-        cls = PREFETCHERS[name]
-    except KeyError:
-        known = ", ".join(sorted(PREFETCHERS))
-        raise KeyError(f"unknown prefetcher {name!r}; known: {known}") from None
+    cls = PREFETCHERS[name]
     return cls(block_size=block_size, **kwargs)
 
 

@@ -28,6 +28,12 @@ class IpStridePrefetcher(Prefetcher):
     """Stride table indexed by instruction pointer."""
 
     name = "ip_stride"
+    #: Geometry constraints surfaced through the component registry's
+    #: ``spec()``: a cache level needs at least this many blocks for the
+    #: stride table's degree-ahead prefetches to land inside the level
+    #: rather than thrash it (the scaled L2, 8 KB / 64 B = 128 blocks, is
+    #: the smallest level the paper's NNI string targets).
+    spec_constraints = {"min_level_blocks": 64}
 
     def __init__(self, block_size: int = 64, degree: int = 2,
                  table_size: int = 1024) -> None:

@@ -1,0 +1,46 @@
+"""Serialization mixin shared by every config dataclass.
+
+:class:`ConfigSerde` gives :class:`~repro.config.MachineConfig` and the
+five flat config classes their ``to_dict`` / ``from_dict`` / ``to_toml`` /
+``from_toml`` methods by delegating to :mod:`repro.configio` (imported
+lazily — this module is a leaf so the config classes themselves stay free
+of import cycles). The heavy lifting (schema tags, strict unknown-key
+rejection, the deterministic TOML emitter) lives in ``configio``; the
+mixin only provides the ergonomic spelling ``config.to_toml()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+
+class ConfigSerde:
+    """Mixin: canonical dict / TOML round-trip for a config dataclass.
+
+    All four methods dispatch through :mod:`repro.configio`, so
+    ``MachineConfig`` payloads get the ``schema`` version tag and nested
+    tables while the flat classes serialize as plain key/value pairs —
+    one spelling either way.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical dict payload for this config."""
+        from repro import configio
+        return configio.to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]):
+        """Rebuild from a canonical dict (strict: unknown keys rejected)."""
+        from repro import configio
+        return configio.from_dict(cls, payload)
+
+    def to_toml(self) -> str:
+        """The canonical TOML document for this config."""
+        from repro import configio
+        return configio.dumps_toml(configio.to_dict(self))
+
+    @classmethod
+    def from_toml(cls, text: str):
+        """Parse from TOML text (strict, schema-checked for machines)."""
+        from repro import configio
+        return configio.from_dict(cls, configio.loads_toml(text))

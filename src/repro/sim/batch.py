@@ -94,19 +94,17 @@ def _job_partitioner(job: Job, config: MachineConfig):
     """Build the LLC partitioner a ``multi`` job asked for (or ``None``)."""
     if job.scheme is None or job.scheme == "shared":
         return None
-    from repro.cache.partition import (CashtPartitioner, StaticPartitioner,
-                                       UcpPartitioner)
+    from repro.cache.partition import PARTITIONERS, make_partitioner
+    if job.scheme not in PARTITIONERS:
+        known = ", ".join(["shared"] + sorted(PARTITIONERS))
+        raise ValueError(f"unknown partitioning scheme {job.scheme!r}; "
+                         f"known: {known}")
     n_ways = config.llc.assoc
     n_sets = config.llc.size // (n_ways * config.block_size)
     owners = list(range(1 + len(job.co_runners)))
-    if job.scheme == "static":
-        return StaticPartitioner(n_ways, owners)
-    if job.scheme == "ucp":
-        return UcpPartitioner(n_sets, n_ways, owners, sampling=4)
-    if job.scheme == "casht":
-        return CashtPartitioner(n_ways, owners)
-    raise ValueError(f"unknown partitioning scheme {job.scheme!r}; "
-                     "known: shared, static, ucp, casht")
+    # UCP's shadow monitor samples every 4th set at the scaled machine size.
+    kwargs = {"sampling": 4} if job.scheme == "ucp" else {}
+    return make_partitioner(job.scheme, n_sets, n_ways, owners, **kwargs)
 
 
 def _job_trace(name: str, seed: int, config: MachineConfig,

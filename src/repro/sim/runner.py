@@ -17,6 +17,7 @@ from repro.config import MachineConfig
 from repro.core import PAPER_PINDUCE_SWEEP, PinteConfig
 from repro.obs import Observation
 from repro.obs.registry import MetricRegistry
+from repro.serde import ConfigSerde
 from repro.sim.multicore import simulate_pair
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
@@ -27,7 +28,7 @@ from repro.trace.synthetic import build_trace
 
 
 @dataclass(frozen=True)
-class ExperimentScale:
+class ExperimentScale(ConfigSerde):
     """How big each simulation is.
 
     The paper warms 500M and measures 500M instructions per trace; the

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.components import ComponentRegistry
 from repro.trace.patterns import (
     AccessPattern,
     MixedPhasePattern,
@@ -224,16 +225,15 @@ def _build_registry() -> Dict[str, WorkloadSpec]:
     return {spec.name: spec for spec in specs}
 
 
-SPEC_WORKLOADS: Dict[str, WorkloadSpec] = _build_registry()
+SPEC_WORKLOADS: ComponentRegistry = ComponentRegistry(
+    "workload", _build_registry(),
+    describe=lambda spec: (f"{spec.suite} {spec.klass} ({spec.pattern}, "
+                           f"{spec.footprint_factor:g}x LLC)"))
 
 
 def get_workload(name: str) -> WorkloadSpec:
     """Look up a workload model by its SPEC benchmark name."""
-    try:
-        return SPEC_WORKLOADS[name]
-    except KeyError:
-        known = ", ".join(sorted(SPEC_WORKLOADS))
-        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return SPEC_WORKLOADS[name]
 
 
 def workloads_by_class(klass: str) -> List[WorkloadSpec]:

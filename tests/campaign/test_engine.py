@@ -234,6 +234,34 @@ class TestResume:
         assert again.skipped == 2 and again.executed == 0
         assert len(again.results) == 2  # resumed results still returned
 
+    def test_resume_refuses_foreign_id_scheme(self, config, tmp_path):
+        """A pre-v3 store fails loudly: its ids cannot match v3 ids."""
+        import json
+
+        store = tmp_path / "results.jsonl"
+        jobs = [Job("435.gromacs")]
+        run_campaign(jobs, config, TINY, store=store)
+        lines = store.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["id_scheme"] = "pinte-job-v2"
+        store.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="pinte-job-v2.*pinte-job-v3"):
+            run_campaign(jobs, config, TINY, store=store, resume=True)
+
+    def test_resume_refuses_unversioned_store(self, config, tmp_path):
+        """A store whose header predates id-scheme stamping is refused."""
+        import json
+
+        store = tmp_path / "results.jsonl"
+        jobs = [Job("435.gromacs")]
+        run_campaign(jobs, config, TINY, store=store)
+        lines = store.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["id_scheme"]
+        store.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="unversioned"):
+            run_campaign(jobs, config, TINY, store=store, resume=True)
+
 
 class TestSharding:
     def test_shards_union_into_complete_store(self, config, tmp_path):

@@ -64,6 +64,57 @@ class TestJobId:
         assert payload["scheme"] == ID_SCHEME
 
 
+class TestV3CanonicalForm:
+    """The v3 scheme hashes the versioned schema payload, not asdict."""
+
+    def test_machine_payload_is_canonical_schema(self, config):
+        from repro.configio import CONFIG_SCHEMA, machine_to_dict
+
+        payload = canonical_job_payload(Job("470.lbm"), config, TINY)
+        assert payload["machine"] == machine_to_dict(config)
+        assert payload["machine"]["schema"] == CONFIG_SCHEMA
+
+    def test_toml_twin_hashes_identically(self, config):
+        """A config round-tripped through TOML keeps its job ids — the
+        point of hashing the canonical form."""
+        from repro.configio import machine_from_toml, machine_to_toml
+
+        job = Job("470.lbm", mode="pinte", p_induce=0.5)
+        twin = machine_from_toml(machine_to_toml(config))
+        assert job_id(job, twin, TINY) == job_id(job, config, TINY)
+
+    def test_golden_ids_pinned(self):
+        """Committed golden ids: any drift here is an id-scheme change and
+        must come with an ID_SCHEME bump (old stores become unreadable)."""
+        import json
+        from pathlib import Path
+
+        from repro.configs import get_machine_config
+
+        golden = json.loads(
+            (Path(__file__).resolve().parent.parent / "golden"
+             / "golden_job_ids.json").read_text())
+        assert golden["id_scheme"] == ID_SCHEME
+        scale = ExperimentScale(**golden["scale"])
+        jobs = {
+            "470.lbm isolation on scaled": (Job("470.lbm"), "scaled"),
+            "453.povray pinte 0.5 on scaled":
+                (Job("453.povray", mode="pinte", p_induce=0.5), "scaled"),
+            "470.lbm pair 450.soplex on skylake":
+                (Job("470.lbm", mode="pair", co_runner="450.soplex"),
+                 "skylake"),
+            "429.mcf isolation on xeon": (Job("429.mcf"), "xeon"),
+            "470.lbm isolation on scaled@replacement=nmru":
+                (Job("470.lbm"), "scaled@replacement=nmru"),
+            "470.lbm isolation on scaled@prefetching=NNI":
+                (Job("470.lbm"), "scaled@prefetching=NNI"),
+        }
+        assert set(jobs) == set(golden["ids"])
+        for label, (job, machine) in jobs.items():
+            computed = job_id(job, get_machine_config(machine), scale)
+            assert computed == golden["ids"][label], label
+
+
 class TestParseShard:
     def test_parses(self):
         assert parse_shard("0/2") == (0, 2)

@@ -23,7 +23,8 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: The documents swept for runnable fences.
-RUNNABLE_DOCS = ("docs/USAGE.md", "docs/CAMPAIGNS.md", "docs/OBSERVABILITY.md")
+RUNNABLE_DOCS = ("docs/USAGE.md", "docs/CAMPAIGNS.md", "docs/OBSERVABILITY.md",
+                 "docs/CONFIGURATION.md")
 
 _FENCE = re.compile(r"^```bash runnable\n(.*?)^```$", re.MULTILINE | re.DOTALL)
 

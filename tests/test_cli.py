@@ -51,12 +51,16 @@ class TestRun:
         assert "470.lbm+450.soplex" in out
 
     def test_unknown_workload(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(SystemExit, match="unknown workload"):
             main(["run", "999.bogus"] + self.ARGS)
 
     def test_unknown_machine_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit, match="unknown machine config"):
             main(["run", "470.lbm", "--machine", "cray"])
+
+    def test_unknown_machine_suggests_candidates(self):
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["run", "470.lbm", "--machine", "scalde"])
 
 
 class TestRunObservability:
@@ -592,6 +596,142 @@ class TestCampaignTelemetryCommands:
         capsys.readouterr()
         spools = sorted((tmp_path / "results.telemetry").glob("*.jsonl"))
         assert len(spools) == 2  # the resumed job spooled too
+
+
+class TestComponentsCommand:
+    def test_ls_shows_every_registry_kind(self, capsys):
+        assert main(["components", "ls"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("replacement policy", "partition scheme", "prefetcher",
+                     "branch predictor", "workload", "machine config"):
+            assert kind in out
+        assert "scaled@replacement=nmru" in out  # fig11 variants enumerated
+        # Introspected capability column: nmru takes a seed, lru doesn't.
+        nmru = [line for line in out.splitlines()
+                if line.split() and "nmru" == line.split()[2]]
+        assert nmru and "seed" in nmru[0]
+
+    def test_kind_filter(self, capsys):
+        assert main(["components", "ls", "--kind", "prefetcher"]) == 0
+        out = capsys.readouterr().out
+        assert "ip_stride" in out
+        assert "machine config" not in out
+
+    def test_unknown_kind_exits_nonzero(self, capsys):
+        assert main(["components", "ls", "--kind", "flux-capacitor"]) == 1
+
+
+class TestConfigCommands:
+    def test_show_emits_parseable_canonical_toml(self, capsys):
+        from repro.configio import machine_from_toml
+        from repro.configs import get_machine_config
+
+        assert main(["config", "show", "scaled"]) == 0
+        out = capsys.readouterr().out
+        assert machine_from_toml(out) == get_machine_config("scaled")
+
+    def test_show_variant_to_file_then_run_config(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.toml"
+        assert main(["config", "show", "scaled@inclusion=exclusive",
+                     "-o", str(cfg)]) == 0
+        capsys.readouterr()
+        assert main(["run", "435.gromacs", "--config", str(cfg),
+                     "--instructions", "2000", "--warmup", "500"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_run_config_matches_machine_byte_for_byte(self, tmp_path,
+                                                      capsys):
+        """The acceptance check: preset path == TOML round-trip path."""
+        cfg = tmp_path / "cfg.toml"
+        args = ["run", "470.lbm", "--instructions", "2000", "--warmup", "500"]
+        assert main(["config", "show", "scaled", "-o", str(cfg)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--machine", "scaled"]) == 0
+        via_preset = capsys.readouterr().out
+        assert main(args + ["--config", str(cfg)]) == 0
+        assert capsys.readouterr().out == via_preset
+
+    def test_validate_mixed_files(self, tmp_path, capsys):
+        good = tmp_path / "good.toml"
+        assert main(["config", "show", "xeon", "-o", str(good)]) == 0
+        bad = tmp_path / "bad.toml"
+        bad.write_text('schema = 1\nname = "x"\nwarp_drive = true\n')
+        capsys.readouterr()
+        assert main(["config", "validate", str(good)]) == 0
+        assert main(["config", "validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ok" in out and "FAIL" in out and "warp_drive" in out
+
+    def test_diff_reports_fields_and_exit_code(self, capsys):
+        assert main(["config", "diff", "scaled", "scaled"]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["config", "diff", "scaled", "xeon"]) == 1
+        out = capsys.readouterr().out
+        assert "llc.size" in out
+
+    def test_bad_config_file_is_clean_error(self, tmp_path):
+        cfg = tmp_path / "broken.toml"
+        cfg.write_text('name = "x"\n')  # missing schema tag
+        with pytest.raises(SystemExit, match="schema"):
+            main(["run", "470.lbm", "--config", str(cfg),
+                  "--instructions", "2000", "--warmup", "500"])
+
+
+class TestPluginFlag:
+    PLUGIN = "examples/plugin_policy.py"
+
+    def test_plugin_registers_component(self, capsys):
+        assert main(["--plugin", self.PLUGIN, "components", "ls",
+                     "--kind", "replacement"]) == 0
+        assert "fifo" in capsys.readouterr().out
+
+    def test_plugin_config_end_to_end(self, capsys):
+        assert main(["--plugin", self.PLUGIN, "run", "435.gromacs",
+                     "--config", "examples/fifo_scaled.toml",
+                     "--instructions", "2000", "--warmup", "500"]) == 0
+        assert "scaled-fifo" in capsys.readouterr().out
+
+    def test_missing_plugin_is_clean_error(self):
+        with pytest.raises(SystemExit, match="--plugin"):
+            main(["--plugin", "no/such/plugin.py", "list"])
+
+    def test_campaign_records_and_replays_plugin(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["--plugin", self.PLUGIN, "campaign", "run",
+                     "--store", store, "--workloads", "435.gromacs",
+                     "--config", "examples/fifo_scaled.toml",
+                     "--processes", "1", "--shard", "0/2",
+                     "--instructions", "2000", "--warmup", "500"]) == 0
+        manifest = json.loads(
+            (tmp_path / "results.manifest.json").read_text())
+        assert manifest["plugins"] == [self.PLUGIN]
+        assert manifest["machine_preset"] == "scaled-fifo"
+        assert manifest["machine_config"]["llc"]["policy"] == "fifo"
+        capsys.readouterr()
+        # Resume replays the plugin from the manifest (no --plugin here)
+        # and rebuilds the machine from the canonical machine_config.
+        assert main(["campaign", "resume", store, "--processes", "1"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert any("pending" in line and " 0" in line
+                   for line in out.splitlines())
+
+
+class TestCampaignIdSchemeGate:
+    def test_resume_against_v2_store_fails_loudly(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        assert main(["campaign", "run", "--store", str(store),
+                     "--workloads", "435.gromacs", "--processes", "1",
+                     "--instructions", "2000", "--warmup", "500"]) == 0
+        lines = store.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["id_scheme"] = "pinte-job-v2"
+        store.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        capsys.readouterr()
+        with pytest.raises(ValueError,
+                           match="pinte-job-v2.*cannot be matched"):
+            main(["campaign", "resume", str(store), "--processes", "1"])
 
 
 class TestBenchGateCommand:

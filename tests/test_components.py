@@ -1,0 +1,256 @@
+"""Tests for the unified component registry (:mod:`repro.components`)."""
+
+import inspect
+
+import pytest
+
+from repro.components import (
+    ComponentRegistry,
+    ComponentSpec,
+    UnknownComponentError,
+    load_plugin,
+)
+
+
+class Widget:
+    """A widget with a seed and one tunable knob."""
+
+    name = "widget"
+    spec_constraints = {"min_level_blocks": 8}
+
+    def __init__(self, n_sets, n_ways, depth=3, seed=0):
+        self.args = (n_sets, n_ways, depth, seed)
+
+
+class Gadget:
+    """A gadget with no seed and no tunables."""
+
+    def __init__(self, n_sets, n_ways):
+        self.args = (n_sets, n_ways)
+
+
+class TestMappingInterface:
+    def make(self):
+        return ComponentRegistry("gizmo", {"widget": Widget,
+                                           "gadget": Gadget})
+
+    def test_getitem_contains_len_iter(self):
+        registry = self.make()
+        assert registry["widget"] is Widget
+        assert "gadget" in registry and "bogus" not in registry
+        assert len(registry) == 2
+        assert list(registry) == ["widget", "gadget"]  # insertion order
+        assert sorted(registry) == ["gadget", "widget"]
+
+    def test_items_and_names(self):
+        registry = self.make()
+        assert dict(registry.items()) == {"widget": Widget, "gadget": Gadget}
+        assert registry.names() == ("gadget", "widget")  # sorted
+
+    def test_unknown_name_is_keyerror_subclass(self):
+        registry = self.make()
+        with pytest.raises(KeyError):
+            registry["bogus"]
+        with pytest.raises(UnknownComponentError):
+            registry.spec("bogus")
+
+    def test_error_message_shape(self):
+        registry = self.make()
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry["widgot"]
+        message = str(excinfo.value)
+        # Clean one-liner (KeyError would repr-quote it), known names
+        # sorted, did-you-mean candidates from difflib.
+        assert message == ("unknown gizmo 'widgot'; known: gadget, widget "
+                           "(did you mean 'widget'?)")
+
+    def test_error_without_close_match(self):
+        registry = self.make()
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry["zzz"]
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        registry = ComponentRegistry("gizmo", {"widget": Widget})
+        with pytest.raises(ValueError, match="duplicate gizmo name"):
+            registry.add("widget", Gadget)
+
+    def test_register_bare_decorator_uses_name_attribute(self):
+        registry = ComponentRegistry("gizmo")
+        returned = registry.register(Widget)
+        assert returned is Widget
+        assert registry["widget"] is Widget
+
+    def test_register_positional_name(self):
+        registry = ComponentRegistry("gizmo")
+
+        @registry.register("thing")
+        class Thing:
+            pass
+
+        assert registry["thing"] is Thing
+
+    def test_register_keyword_name_and_overrides(self):
+        registry = ComponentRegistry("gizmo")
+
+        @registry.register(name="g", constraints={"k": 1}, summary="custom")
+        class G:
+            """Docstring that the summary override beats."""
+
+        spec = registry.spec("g")
+        assert spec.constraints == {"k": 1}
+        assert spec.summary == "custom"
+
+    def test_register_falls_back_to_dunder_name(self):
+        registry = ComponentRegistry("gizmo")
+
+        @registry.register
+        class Fresh:
+            pass
+
+        assert "Fresh" in registry
+
+    def test_name_given_twice_rejected(self):
+        registry = ComponentRegistry("gizmo")
+        with pytest.raises(ValueError, match="twice"):
+            registry.register("a", name="b")
+
+
+class TestSpecIntrospection:
+    def test_capabilities_from_signature(self):
+        registry = ComponentRegistry("gizmo", {"widget": Widget,
+                                               "gadget": Gadget})
+        widget = registry.spec("widget")
+        assert widget.accepts_seed
+        assert widget.accepts_params  # depth is tunable beyond seed
+        assert widget.params == ("n_sets", "n_ways", "depth", "seed")
+        assert widget.tunable_params == ("depth", "seed")
+        assert widget.constraints == {"min_level_blocks": 8}
+        assert widget.summary == "A widget with a seed and one tunable knob."
+        gadget = registry.spec("gadget")
+        assert not gadget.accepts_seed
+        assert not gadget.accepts_params
+        assert gadget.constraints == {}
+
+    def test_non_callable_components_have_no_params(self):
+        registry = ComponentRegistry("thing", {"x": object()},
+                                     describe=lambda c: "an instance")
+        spec = registry.spec("x")
+        assert spec.params == () and spec.tunable_params == ()
+        assert spec.summary == "an instance"
+
+    def test_specs_in_registration_order(self):
+        registry = ComponentRegistry("gizmo", {"widget": Widget,
+                                               "gadget": Gadget})
+        assert [spec.name for spec in registry.specs()] == [
+            "widget", "gadget"]
+        assert all(isinstance(spec, ComponentSpec)
+                   for spec in registry.specs())
+
+
+class TestCapabilityDrift:
+    """Satellite: registry metadata must match the real constructors.
+
+    ``SEEDED_POLICIES`` used to be a hand-maintained frozenset that could
+    silently drift from the constructors; now it is introspected, and this
+    test pins the introspection to ``inspect.signature`` ground truth for
+    every built-in registry.
+    """
+
+    def test_all_registry_specs_match_signatures(self):
+        from repro.configs import iter_registries
+
+        checked = 0
+        for registry in iter_registries():
+            for spec in registry.specs():
+                if not callable(spec.component):
+                    continue
+                parameters = [
+                    p for p in
+                    inspect.signature(spec.component).parameters.values()
+                    if p.kind not in (inspect.Parameter.VAR_POSITIONAL,
+                                      inspect.Parameter.VAR_KEYWORD)
+                ]
+                names = tuple(p.name for p in parameters)
+                tunable = tuple(p.name for p in parameters
+                                if p.default is not inspect.Parameter.empty)
+                assert spec.params == names, spec.name
+                assert spec.tunable_params == tunable, spec.name
+                assert spec.accepts_seed == ("seed" in names), spec.name
+                assert spec.accepts_params == bool(
+                    set(tunable) - {"seed"}), spec.name
+                checked += 1
+        assert checked >= 30  # six registries' worth of components
+
+    def test_seeded_policies_derived_not_hand_maintained(self):
+        from repro.cache.replacement import POLICIES, SEEDED_POLICIES
+
+        introspected = {
+            spec.name for spec in POLICIES.specs() if spec.accepts_seed}
+        assert SEEDED_POLICIES == introspected
+        assert SEEDED_POLICIES == {"drrip", "nmru", "random"}
+
+    def test_ip_stride_declares_geometry_constraint(self):
+        from repro.prefetch import PREFETCHERS
+
+        spec = PREFETCHERS.spec("ip_stride")
+        assert spec.constraints["min_level_blocks"] == 64
+
+
+class TestUnifiedErrors:
+    """Satellite: every factory raises the same KeyError shape."""
+
+    @pytest.mark.parametrize("raiser, fragment", [
+        (lambda: __import__("repro.cache.replacement",
+                            fromlist=["make_policy"])
+         .make_policy("lruu", 4, 4), "unknown replacement policy 'lruu'"),
+        (lambda: __import__("repro.prefetch", fromlist=["make_prefetcher"])
+         .make_prefetcher("nextline", 64), "unknown prefetcher 'nextline'"),
+        (lambda: __import__("repro.branch", fromlist=["make_predictor"])
+         .make_predictor("gshear"), "unknown branch predictor 'gshear'"),
+        (lambda: __import__("repro.trace.spec_models",
+                            fromlist=["get_workload"])
+         .get_workload("470.lbn"), "unknown workload '470.lbn'"),
+        (lambda: __import__("repro.configs",
+                            fromlist=["get_machine_config"])
+         .get_machine_config("skylake2"), "unknown machine config"),
+    ])
+    def test_factory_raises_unified_shape(self, raiser, fragment):
+        with pytest.raises(UnknownComponentError) as excinfo:
+            raiser()
+        message = str(excinfo.value)
+        assert message.startswith(fragment)
+        assert "known:" in message
+        assert "did you mean" in message
+
+    def test_partitioner_factory_unified(self):
+        from repro.cache.partition import make_partitioner
+
+        with pytest.raises(UnknownComponentError, match="partition scheme"):
+            make_partitioner("upc", 64, 16, owners=(0, 1))
+
+
+class TestLoadPlugin:
+    def test_loads_example_plugin_file_and_caches(self):
+        module = load_plugin("examples/plugin_policy.py")
+        from repro.cache.replacement import POLICIES, make_policy
+
+        assert "fifo" in POLICIES
+        assert not POLICIES.spec("fifo").accepts_seed
+        policy = make_policy("fifo", n_sets=2, n_ways=4)
+        assert policy.eviction_order(0) == [0, 1, 2, 3]
+        policy.on_insert(0, 0)
+        assert policy.eviction_order(0) == [1, 2, 3, 0]
+        # Second load returns the cached module: no duplicate registration.
+        assert load_plugin("examples/plugin_policy.py") is module
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(FileNotFoundError, match="no/such/plugin.py"):
+            load_plugin("no/such/plugin.py")
+
+    def test_dotted_module_path(self):
+        import json
+
+        assert load_plugin("json") is json

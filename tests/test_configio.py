@@ -1,0 +1,215 @@
+"""Tests for the declarative config schema (:mod:`repro.configio`)."""
+
+import dataclasses
+
+import pytest
+
+from repro import configio
+from repro.config import CacheLevelConfig, CoreConfig, MachineConfig
+from repro.configio import (
+    CONFIG_SCHEMA,
+    dumps_toml,
+    load_machine_config,
+    loads_toml,
+    machine_from_dict,
+    machine_from_toml,
+    machine_to_dict,
+    machine_to_toml,
+)
+from repro.configs import MACHINE_CONFIGS, get_machine_config
+from repro.core import PinteConfig
+from repro.dram import DramConfig
+from repro.sim import ExperimentScale
+
+
+class TestMachineRoundTrip:
+    @pytest.mark.parametrize("name", sorted(MACHINE_CONFIGS))
+    def test_every_named_config_roundtrips_exactly(self, name):
+        """Presets and every fig11 variant: config -> dict -> TOML -> config."""
+        config = get_machine_config(name)
+        payload = machine_to_dict(config)
+        assert payload["schema"] == CONFIG_SCHEMA
+        assert machine_from_dict(payload) == config
+        assert machine_from_toml(machine_to_toml(config)) == config
+
+    def test_llc_way_allocation_omitted_when_none(self):
+        scaled = get_machine_config("scaled")
+        assert scaled.llc_way_allocation is None
+        assert "llc_way_allocation" not in machine_to_dict(scaled)
+
+    def test_llc_way_allocation_present_when_set(self):
+        xeon = get_machine_config("xeon")
+        payload = machine_to_dict(xeon)
+        assert payload["llc_way_allocation"] == 14
+        assert machine_from_dict(payload).llc_way_allocation == 14
+
+    def test_omitted_sections_fall_back_to_defaults(self):
+        config = machine_from_toml('schema = 1\nname = "bare"\n')
+        assert config == MachineConfig(name="bare")
+
+    def test_serde_mixin_methods(self):
+        config = get_machine_config("skylake")
+        assert MachineConfig.from_dict(config.to_dict()) == config
+        assert MachineConfig.from_toml(config.to_toml()) == config
+
+
+class TestStrictness:
+    def test_missing_schema_tag_rejected(self):
+        payload = machine_to_dict(get_machine_config("scaled"))
+        del payload["schema"]
+        with pytest.raises(ValueError, match="no 'schema' tag"):
+            machine_from_dict(payload)
+
+    def test_wrong_schema_version_rejected(self):
+        payload = machine_to_dict(get_machine_config("scaled"))
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="unsupported machine config"):
+            machine_from_dict(payload)
+
+    def test_unknown_machine_key_rejected(self):
+        payload = machine_to_dict(get_machine_config("scaled"))
+        payload["turbo"] = True
+        with pytest.raises(ValueError, match="unknown machine config keys: "
+                                             "turbo"):
+            machine_from_dict(payload)
+
+    def test_unknown_nested_key_rejected(self):
+        payload = machine_to_dict(get_machine_config("scaled"))
+        payload["llc"]["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown cache level config "
+                                             "keys: bogus"):
+            machine_from_dict(payload)
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ValueError, match="missing 'name'"):
+            machine_from_dict({"schema": CONFIG_SCHEMA})
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(ValueError, match="table/mapping"):
+            machine_from_dict([1, 2, 3])
+
+
+class TestFlatClasses:
+    @pytest.mark.parametrize("obj", [
+        CacheLevelConfig(1024, 8, 4),
+        CoreConfig(),
+        DramConfig(),
+        PinteConfig(p_induce=0.25, seed=7, trigger="periodic"),
+        ExperimentScale(warmup_instructions=123, sim_instructions=456,
+                        sample_interval=78, seed=9),
+    ])
+    def test_dict_roundtrip(self, obj):
+        assert configio.from_dict(type(obj), configio.to_dict(obj)) == obj
+
+    def test_serde_mixin_on_flat_classes(self):
+        scale = ExperimentScale(seed=3)
+        assert ExperimentScale.from_dict(scale.to_dict()) == scale
+        assert ExperimentScale.from_toml(scale.to_toml()) == scale
+
+    def test_non_config_type_rejected(self):
+        with pytest.raises(TypeError, match="not a config dataclass"):
+            configio.to_dict(object())
+        with pytest.raises(TypeError, match="not a config dataclass"):
+            configio.from_dict(dict, {})
+
+
+class TestTomlEmitter:
+    def test_deterministic_and_parseable(self):
+        payload = machine_to_dict(get_machine_config("scaled"))
+        text = dumps_toml(payload)
+        assert text == dumps_toml(payload)  # deterministic
+        assert loads_toml(text) == payload
+
+    def test_string_escaping(self):
+        assert loads_toml(dumps_toml({"s": 'a "quoted" \\ path'})) == {
+            "s": 'a "quoted" \\ path'}
+
+    def test_depth_limit(self):
+        with pytest.raises(TypeError, match="deeper"):
+            dumps_toml({"a": {"b": {"c": 1}}})
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(TypeError, match="bare TOML key"):
+            dumps_toml({"bad key": 1})
+
+
+class TestFallbackParser:
+    """The 3.10 fallback must agree with tomllib on the emitter's subset."""
+
+    def parse(self, text):
+        return configio._loads_toml_fallback(text)
+
+    @pytest.mark.parametrize("name", ["scaled", "skylake", "xeon",
+                                      "scaled@prefetching=NNI"])
+    def test_agrees_with_tomllib_on_emitted_configs(self, name):
+        text = machine_to_toml(get_machine_config(name))
+        if configio.tomllib is not None:
+            assert self.parse(text) == configio.tomllib.loads(text)
+        assert machine_from_dict(self.parse(text)) == \
+            get_machine_config(name)
+
+    def test_comments_and_blank_lines(self):
+        text = '# header\na = 1  # trailing\ns = "with # inside"\n\n[t]\nb = true\n'
+        assert self.parse(text) == {"a": 1, "s": "with # inside",
+                                    "t": {"b": True}}
+
+    @pytest.mark.parametrize("bad, fragment", [
+        ("a = 1\na = 2\n", "duplicate key"),
+        ("[t]\n[t]\n", "duplicate table"),
+        ("just garbage\n", "malformed line"),
+        ("[unclosed\n", "malformed table header"),
+        ('a = "unterminated\n', "unterminated string"),
+        ("a = nope\n", "unsupported TOML value"),
+    ])
+    def test_errors_carry_line_context(self, bad, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            self.parse(bad)
+
+
+class TestLoadMachineConfig:
+    def test_reads_file(self, tmp_path):
+        path = tmp_path / "m.toml"
+        path.write_text(machine_to_toml(get_machine_config("xeon")))
+        assert load_machine_config(path) == get_machine_config("xeon")
+
+    def test_missing_file_is_value_error_with_path(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read machine config"):
+            load_machine_config(tmp_path / "absent.toml")
+
+    def test_parse_error_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text('name = "x"\n')  # no schema tag
+        with pytest.raises(ValueError, match="broken.toml.*schema"):
+            load_machine_config(path)
+
+
+class TestPrefetchGeometryValidation:
+    """Bugfix: ``with_prefetch_string`` must respect component constraints.
+
+    It used to silently accept an IP-stride prefetcher on a level too
+    small to hold its table; now the component's ``spec()`` constraints
+    are checked against the level geometry.
+    """
+
+    def test_scaled_nni_still_fits(self):
+        # scaled L2 = 8192 B / 64 B = 128 blocks >= the 64-block floor;
+        # the fig11 'NNI' variant must keep working.
+        config = get_machine_config("scaled").with_prefetch_string("NNI")
+        assert config.l2.prefetcher == "ip_stride"
+
+    def test_too_small_level_rejected_with_constraint(self):
+        scaled = get_machine_config("scaled")
+        tiny = dataclasses.replace(
+            scaled, l2=dataclasses.replace(scaled.l2, size=2048))
+        with pytest.raises(ValueError) as excinfo:
+            tiny.with_prefetch_string("NNI")
+        message = str(excinfo.value)
+        assert "ip_stride" in message and "l2" in message
+        assert "min_level_blocks" in message
+        assert "32 blocks" in message  # 2048 B / 64 B lines
+
+    def test_no_prefetching_never_constrained(self):
+        scaled = get_machine_config("scaled")
+        tiny = dataclasses.replace(
+            scaled, l2=dataclasses.replace(scaled.l2, size=128))
+        assert tiny.with_prefetch_string("000").l2.prefetcher == "none"
