@@ -35,7 +35,9 @@ def main() -> None:
     print(f"wrote {OUT} "
           f"({len(payload['full_sim'])} full_sim, "
           f"{len(payload['fastcache'])} fastcache, "
-          f"{len(payload['victim_sequences'])} victim-sequence goldens)")
+          f"{len(payload['victim_sequences'])} victim-sequence, "
+          f"{len(payload['multicore'])} multicore, "
+          f"{len(payload['hybrid'])} hybrid goldens)")
 
 
 if __name__ == "__main__":

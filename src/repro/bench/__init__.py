@@ -16,6 +16,7 @@ from repro.bench.gate import (
 )
 from repro.bench.pool import PoolBenchResult, run_pool_bench
 from repro.bench.reproduce import ReproduceBenchResult, run_reproduce_bench
+from repro.bench.session import SessionBenchResult, run_session_bench
 from repro.bench.trace import TraceBenchResult, run_trace_bench
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "MetricCheck",
     "PoolBenchResult",
     "ReproduceBenchResult",
+    "SessionBenchResult",
     "TraceBenchResult",
     "check_regressions",
     "load_baseline",
@@ -33,6 +35,7 @@ __all__ = [
     "run_gate",
     "run_pool_bench",
     "run_reproduce_bench",
+    "run_session_bench",
     "run_trace_bench",
     "write_record",
 ]

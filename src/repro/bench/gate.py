@@ -43,7 +43,7 @@ __all__ = [
 DEFAULT_TOLERANCE = 0.30
 
 #: Suite name -> callable running it at (repeats, scale) -> result object.
-_SUITES = ("datapath", "trace", "reproduce", "obs", "pool")
+_SUITES = ("datapath", "trace", "reproduce", "obs", "pool", "session")
 
 
 def metric_direction(name: str) -> Optional[str]:
@@ -157,6 +157,9 @@ def _run_suite(suite: str, repeats: int, scale: float) -> dict:
     elif suite == "pool":
         from repro.bench.pool import run_pool_bench
         result = run_pool_bench(repeats=repeats, scale=scale)
+    elif suite == "session":
+        from repro.bench.session import run_session_bench
+        result = run_session_bench(repeats=repeats, scale=scale)
     else:
         raise ValueError(f"unknown bench suite {suite!r}")
     metrics = dict(vars(result))
@@ -171,14 +174,23 @@ def _run_suite(suite: str, repeats: int, scale: float) -> dict:
 def run_gate(baseline_path: Union[str, Path],
              tolerance: float = DEFAULT_TOLERANCE,
              repeats: int = 3, scale: float = 1.0,
-             measured: Optional[Dict[str, float]] = None) -> GateReport:
+             measured: Optional[Dict[str, float]] = None,
+             suite: Optional[str] = None) -> GateReport:
     """Run the baseline's suite afresh and gate it (the CLI entry point).
 
     ``measured`` short-circuits the fresh run with precomputed metrics —
     that is what unit tests use to exercise verdicts deterministically.
+    ``suite`` overrides the suite inferred from the baseline filename —
+    how ``repro bench --suite session --baseline BENCH_datapath.json``
+    gates the session-layer run against the datapath floors (the two
+    suites share their four metric names by construction).
     """
     baseline_path = Path(baseline_path)
-    suite = suite_for_baseline(baseline_path)
+    if suite is None:
+        suite = suite_for_baseline(baseline_path)
+    elif suite not in _SUITES:
+        raise ValueError(f"unknown bench suite {suite!r}; "
+                         f"known: {', '.join(_SUITES)}")
     reference = load_reference(baseline_path)
     if measured is None:
         measured = _run_suite(suite, repeats, scale)

@@ -190,12 +190,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
 
     if args.versus:
+        # --versus alone is the 2nd-Trace context; --versus plus --p-induce
+        # is the hybrid context (induced thefts on top of real contention).
         adversary = build_trace(get_workload(args.versus), length,
                                 args.seed + 1, config.llc.size)
         result = simulate_pair(trace, adversary, config,
                                warmup_instructions=args.warmup,
                                sim_instructions=args.instructions,
-                               seed=args.seed, observe=observe)
+                               seed=args.seed, pinte=pinte, observe=observe)
     else:
         result = simulate(trace, config, pinte=pinte,
                           warmup_instructions=args.warmup,
@@ -589,12 +591,61 @@ def _bench_pool(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_session(args: argparse.Namespace) -> int:
+    """``repro bench --suite session`` — session-layer throughput."""
+    import json
+
+    from repro.bench.session import (
+        load_datapath_reference,
+        run_session_bench,
+        write_record,
+    )
+
+    result = run_session_bench(repeats=args.repeats, scale=args.scale)
+    rows = [
+        ("fastcache (records/s)", f"{result.fastcache_records_per_sec:,.0f}"),
+        ("fastcache + PInTE (records/s)",
+         f"{result.fastcache_pinte_records_per_sec:,.0f}"),
+        ("simulate (instr/s)", f"{result.simulate_instructions_per_sec:,.0f}"),
+        ("simulate + PInTE (instr/s)",
+         f"{result.simulate_pinte_instructions_per_sec:,.0f}"),
+        ("2-core batched (instr/s)",
+         f"{result.multicore_instructions_per_sec:,.0f}"),
+        ("hybrid pair + PInTE (instr/s)",
+         f"{result.hybrid_instructions_per_sec:,.0f}"),
+        ("blocked/stepwise speedup", f"{result.blocked_speedup_ratio:.2f}x"),
+    ]
+    datapath = load_datapath_reference()
+    if datapath is not None:
+        for name, label in (
+                ("fastcache_records_per_sec", "fastcache"),
+                ("fastcache_pinte_records_per_sec", "fastcache_pinte"),
+                ("simulate_instructions_per_sec", "simulate"),
+                ("simulate_pinte_instructions_per_sec", "simulate_pinte")):
+            ratio = getattr(result, name) / datapath[name]
+            rows.append((f"vs datapath floor: {label}", f"{ratio:.3f}x"))
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"session-layer microbenchmark (best of {result.repeats}, "
+              f"scale {args.scale:g})",
+    ))
+    if args.no_record:
+        print(json.dumps(
+            {k: v for k, v in vars(result).items()}, indent=1, sort_keys=True))
+    else:
+        document = write_record(result)
+        print(f"appended run #{len(document['runs'])} to "
+              "benchmarks/reports/BENCH_session.json")
+    return 0
+
+
 def _bench_gate(args: argparse.Namespace) -> int:
     """``repro bench --baseline FILE [--check]`` — the regression gate."""
     from repro.bench.gate import run_gate
 
     report = run_gate(args.baseline, tolerance=args.tolerance,
-                      repeats=args.repeats, scale=args.scale)
+                      repeats=args.repeats, scale=args.scale,
+                      suite=args.suite)
     rows = [
         (check.name, f"{check.reference:,.2f}", f"{check.measured:,.2f}",
          f"{check.change:+.1%}", "REGRESSED" if check.regressed else "ok")
@@ -638,6 +689,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _bench_reproduce(args)
     if args.suite == "pool":
         return _bench_pool(args)
+    if args.suite == "session":
+        return _bench_session(args)
     result = run_datapath_bench(repeats=args.repeats, scale=args.scale)
     rows = [
         ("fastcache (records/s)", f"{result.fastcache_records_per_sec:,.0f}"),
@@ -1169,7 +1222,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--dram-background", type=float, default=0.0,
                        help="background DRAM requests per kilocycle")
     p_run.add_argument("--versus", default=None,
-                       help="run 2nd-Trace mode against this workload")
+                       help="run 2nd-Trace mode against this workload "
+                            "(combine with --p-induce for the hybrid "
+                            "induced+real contention context)")
     p_run.add_argument("--json", default=None, metavar="PATH",
                        help="write the full result as JSON "
                             "('-' for stdout, suppresses the table)")
@@ -1456,9 +1511,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench",
                              help="hot-path throughput microbenchmarks")
     p_bench.add_argument("--suite",
-                         choices=("datapath", "trace", "reproduce", "pool"),
-                         default="datapath",
-                         help="which microbenchmark to run (default: datapath)")
+                         choices=("datapath", "trace", "reproduce", "pool",
+                                  "session"),
+                         default=None,
+                         help="which microbenchmark to run (default: "
+                              "datapath; with --baseline, the suite the "
+                              "BENCH file's name implies)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="best-of-N timing runs (default: 3)")
     p_bench.add_argument("--scale", type=float, default=1.0,

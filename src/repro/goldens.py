@@ -21,6 +21,7 @@ from repro.core import PInTE, PinteConfig
 from repro.core.counters import ContentionTracker
 from repro.cache.cache import Cache
 from repro.sim.fastcache import simulate_cache_only
+from repro.sim.multicore import simulate_multiprogrammed
 from repro.sim.simulator import simulate
 from repro.trace import build_trace, get_workload
 
@@ -32,9 +33,16 @@ WARMUP = 2_000
 SIM = 8_000
 P_INDUCE = 0.1
 
-#: Fastcache harness parameters.
+#: Fastcache harness parameters. 400.perlbench is cache-friendly enough
+#: that its 30k-record trace yields only ~64 LLC accesses — fewer than the
+#: warm-up budget. The seed host silently kept the (zero-progress) warm-up
+#: statistics in that case, which is numerically identical to a zero
+#: warm-up; the session-layer host raises ``ValueError`` instead, so the
+#: harness encodes the per-workload warm-up explicitly and the pinned
+#: golden values are unchanged.
 FASTCACHE_LENGTH = 30_000
 FASTCACHE_WARMUP = 2_000
+FASTCACHE_WARMUPS = {"400.perlbench": 0}
 
 
 def _round(value: float) -> float:
@@ -86,9 +94,10 @@ def fastcache_goldens() -> dict:
                                 GOLDEN_SEED, config.llc.size)
             for mode, pinte in (("isolation", None),
                                 ("pinte", PinteConfig(P_INDUCE, seed=GOLDEN_SEED))):
+                warmup = FASTCACHE_WARMUPS.get(workload, FASTCACHE_WARMUP)
                 result = simulate_cache_only(
                     trace, config, pinte=pinte,
-                    warmup_accesses=FASTCACHE_WARMUP, seed=GOLDEN_SEED)
+                    warmup_accesses=warmup, seed=GOLDEN_SEED)
                 goldens[f"{workload}/{policy}/{mode}"] = {
                     "accesses": result.accesses,
                     "misses": result.misses,
@@ -96,6 +105,116 @@ def fastcache_goldens() -> dict:
                     "interference_misses": result.interference_misses,
                     "reuse_histogram": list(result.reuse_histogram),
                 }
+    return goldens
+
+
+#: Multicore (2nd-Trace) harness parameters. The primary/secondary mix pairs
+#: an LLC-bound workload against a DRAM-bound one so the shared timeline,
+#: natural thefts and writeback traffic are all exercised.
+MULTICORE_PRIMARY = "470.lbm"
+MULTICORE_SECONDARY = "429.mcf"
+MULTICORE_TERTIARY = "400.perlbench"
+MULTICORE_WARMUP = 1_000
+MULTICORE_SIM = 5_000
+
+
+def _multicore_observables(result) -> dict:
+    """The per-core counters a scheduling/data-path change could disturb."""
+    return {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": _round(result.ipc),
+        "llc_accesses": result.llc_accesses,
+        "llc_misses": result.llc_misses,
+        "miss_rate": _round(result.miss_rate),
+        "thefts_experienced": result.thefts_experienced,
+        "thefts_caused": result.thefts_caused,
+        "interference_misses": result.interference_misses,
+        "llc_writeback_fills": result.llc_writeback_fills,
+        "reuse_histogram": list(result.reuse_histogram),
+        "occupancy": _round(result.occupancy),
+        "n_samples": len(result.samples),
+    }
+
+
+def _multicore_traces(config, names):
+    return [build_trace(get_workload(name), MULTICORE_WARMUP + MULTICORE_SIM,
+                        GOLDEN_SEED, config.llc.size) for name in names]
+
+
+def multicore_goldens() -> dict:
+    """Cycle-synchronised 2nd-Trace host counters, every core.
+
+    Five configs: the golden pair under each replacement policy, a 3-core
+    mix, and a 3-core mix under the UCP partitioner — together they pin the
+    furthest-behind schedule, the shared-LLC theft accounting and the
+    repartitioning cadence.
+    """
+    goldens = {}
+    for policy in GOLDEN_POLICIES:
+        config = scaled_config().with_llc_policy(policy)
+        traces = _multicore_traces(config, (MULTICORE_PRIMARY,
+                                            MULTICORE_SECONDARY))
+        results = simulate_multiprogrammed(
+            traces, config, warmup_instructions=MULTICORE_WARMUP,
+            sim_instructions=MULTICORE_SIM, sample_interval=1_000,
+            seed=GOLDEN_SEED)
+        goldens[f"pair/{policy}"] = {
+            f"core{i}": _multicore_observables(r)
+            for i, r in enumerate(results)
+        }
+    config = scaled_config()
+    names = (MULTICORE_PRIMARY, MULTICORE_SECONDARY, MULTICORE_TERTIARY)
+    for scheme in (None, "ucp"):
+        partitioner = None
+        if scheme is not None:
+            from repro.cache.partition import make_partitioner
+            n_ways = config.llc.assoc
+            n_sets = config.llc.size // (n_ways * config.block_size)
+            partitioner = make_partitioner(scheme, n_sets, n_ways,
+                                           owners=[0, 1, 2], sampling=4)
+        results = simulate_multiprogrammed(
+            _multicore_traces(config, names), config,
+            warmup_instructions=MULTICORE_WARMUP,
+            sim_instructions=MULTICORE_SIM, sample_interval=1_000,
+            seed=GOLDEN_SEED, partitioner=partitioner,
+            repartition_interval=2_000)
+        key = f"multi3/{scheme if scheme else 'shared'}"
+        goldens[key] = {
+            f"core{i}": _multicore_observables(r)
+            for i, r in enumerate(results)
+        }
+    return goldens
+
+
+def hybrid_goldens() -> dict:
+    """Hybrid-context (PInTE x 2nd-Trace) host counters, every core.
+
+    Unlike the other sections — captured from the seed implementation —
+    these were captured from the session-layer implementation that
+    *introduced* the hybrid context: induced thefts layered on the golden
+    pair's real contention, one config per replacement policy. They pin
+    the context from its first version onward; the primary core
+    additionally pins the engine's trigger and invalidation counts.
+    """
+    goldens = {}
+    for policy in GOLDEN_POLICIES:
+        config = scaled_config().with_llc_policy(policy)
+        traces = _multicore_traces(config, (MULTICORE_PRIMARY,
+                                            MULTICORE_SECONDARY))
+        results = simulate_multiprogrammed(
+            traces, config, warmup_instructions=MULTICORE_WARMUP,
+            sim_instructions=MULTICORE_SIM, sample_interval=1_000,
+            seed=GOLDEN_SEED, pinte=PinteConfig(P_INDUCE, seed=GOLDEN_SEED))
+        entry = {
+            f"core{i}": _multicore_observables(r)
+            for i, r in enumerate(results)
+        }
+        entry["core0"]["pinte_triggers"] = int(
+            results[0].extra["pinte_triggers"])
+        entry["core0"]["pinte_invalidations"] = int(
+            results[0].extra["pinte_invalidations"])
+        goldens[f"pair/{policy}/pinte"] = entry
     return goldens
 
 
@@ -183,4 +302,6 @@ def capture_all() -> dict:
         "full_sim": full_sim_goldens(),
         "fastcache": fastcache_goldens(),
         "victim_sequences": victim_sequence_goldens(),
+        "multicore": multicore_goldens(),
+        "hybrid": hybrid_goldens(),
     }

@@ -42,6 +42,7 @@ from repro.obs.events import (
     EventTrace,
     disable_tracing,
     enable_tracing,
+    observation_events,
     tracing_enabled,
 )
 from repro.obs.export import (
@@ -101,6 +102,7 @@ __all__ = [
     "enable_tracing",
     "format_metrics",
     "load_events_jsonl",
+    "observation_events",
     "sample_resources",
     "spool_path",
     "tracing_enabled",

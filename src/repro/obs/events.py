@@ -32,6 +32,7 @@ __all__ = [
     "EventTrace",
     "disable_tracing",
     "enable_tracing",
+    "observation_events",
     "tracing_enabled",
 ]
 
@@ -152,6 +153,22 @@ def disable_tracing() -> None:
     """Turn off global tracing."""
     global ACTIVE
     ACTIVE = None
+
+
+def observation_events(observe) -> Optional[EventTrace]:
+    """The event trace a host should emit to for one run.
+
+    Resolution order: the observation's own trace (``observe.events``) wins,
+    then the module-level globally-enabled trace (:data:`ACTIVE`), then
+    ``None`` — tracing fully off. ``observe`` may be ``None`` or any object
+    with an ``events`` attribute (normally a :class:`repro.obs.Observation`).
+
+    This is the public home of what every host used to reach via the private
+    ``repro.sim.simulator._observation_events`` helper.
+    """
+    if observe is not None and getattr(observe, "events", None) is not None:
+        return observe.events
+    return ACTIVE
 
 
 def tracing_enabled() -> bool:

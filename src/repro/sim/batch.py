@@ -38,6 +38,10 @@ from repro.trace.synthetic import build_trace
 class Job:
     """One simulation to run: isolation, PInTE, 2nd-Trace, or multicore.
 
+    ``p_induce`` on a ``pair``/``multi`` job makes it a **hybrid** run:
+    induced thefts layered on top of the co-runners' real contention
+    (``mode="hybrid"`` on the result).
+
     ``co_seed`` optionally pins the adversary trace's seed in ``pair``
     and ``multi`` modes; the default (``None``) keeps the historical
     ``scale.seed + 1`` so paired runs never share a trace stream by
@@ -144,6 +148,13 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
                     else scale.seed)
     trace = _job_trace(job.workload, primary_seed, config, scale, store)
     builds = 1
+    pinte_seed = (job.pinte_seed if job.pinte_seed is not None
+                  else scale.seed)
+    # p_induce on a pair/multi job layers induced contention on top of the
+    # real co-runners — the hybrid context.
+    hybrid_pinte = (PinteConfig(job.p_induce, seed=pinte_seed)
+                    if job.mode in ("pair", "multi")
+                    and job.p_induce is not None else None)
     if job.mode == "pair":
         co_seed = (job.co_seed if job.co_seed is not None
                    else scale.seed + 1)
@@ -154,7 +165,8 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
                                warmup_instructions=scale.warmup_instructions,
                                sim_instructions=scale.sim_instructions,
                                sample_interval=scale.sample_interval,
-                               seed=scale.seed, observe=observe)
+                               seed=scale.seed, pinte=hybrid_pinte,
+                               observe=observe)
     elif job.mode == "multi":
         co_base = (job.co_seed if job.co_seed is not None
                    else scale.seed + 1)
@@ -174,6 +186,7 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
             repartition_interval=(job.repartition_interval
                                   if job.repartition_interval is not None
                                   else 5_000),
+            pinte=hybrid_pinte,
             observe=observe,
         )
         result = results[0]
@@ -183,8 +196,6 @@ def run_job(job: Job, config: MachineConfig, scale: ExperimentScale,
                 result.extra[f"partition_quota_{owner}"] = float(ways)
     else:
         trace_seconds = time.perf_counter() - trace_start
-        pinte_seed = (job.pinte_seed if job.pinte_seed is not None
-                      else scale.seed)
         pinte = (PinteConfig(job.p_induce, seed=pinte_seed)
                  if job.mode == "pinte" else None)
         result = simulate(trace, config, pinte=pinte,

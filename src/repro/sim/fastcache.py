@@ -8,6 +8,17 @@ no private caches — just the LLC fed by the trace's memory accesses
 IPC/AMAT, but it measures miss rates, theft/interference rates and reuse
 histograms 5-10x faster than the full simulator, which makes it the right
 tool for wide early-stage contention-rate sweeps.
+
+This host is a thin composition over :mod:`repro.sim.session`:
+:class:`~repro.sim.session.AccessReplayStepper` owns the inlined
+access-replay loop and :func:`~repro.sim.session.drive` owns the warm-up /
+stats-reset cadence — which is also what turned the silent
+warm-up-longer-than-trace bug into a clear :class:`ValueError`.
+
+``co_traces=`` replays additional owners against the same LLC
+(round-robin, one LLC access per owner per round) — real multi-owner
+contention at replay speed, with natural thefts recorded by the shared
+:class:`~repro.core.counters.ContentionTracker`.
 """
 
 from __future__ import annotations
@@ -16,16 +27,19 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.cache.cache import Cache
 from repro.config import MachineConfig
-from repro.core import ContentionTracker, PInTE, PinteConfig
+from repro.core import PinteConfig
 from repro.obs import Observation, collect_host_metrics
-from repro.trace.packed import (
-    FLAG_HAS_LOAD,
-    FLAG_HAS_STORE,
-    FLAG_MEMORY,
-    as_packed,
+from repro.sim.session import (
+    ADDRESS_SPACE_STRIDE,
+    AccessReplayStepper,
+    ReplayGroup,
+    SessionBuilder,
+    drive,
 )
+from repro.trace.packed import as_packed
+
+__all__ = ["FastCacheResult", "fast_contention_sweep", "simulate_cache_only"]
 
 
 @dataclass
@@ -40,6 +54,8 @@ class FastCacheResult:
     interference_misses: int
     reuse_histogram: List[int] = field(default_factory=list)
     wall_time_seconds: float = 0.0
+    #: Co-owner results of a multi-owner replay (empty for single-owner).
+    co_results: List["FastCacheResult"] = field(default_factory=list)
 
     @property
     def miss_rate(self) -> float:
@@ -68,127 +84,90 @@ def simulate_cache_only(
     filter_cache: bool = True,
     seed: int = 0,
     observe: Optional[Observation] = None,
+    co_traces=None,
 ) -> FastCacheResult:
     """Replay a trace's memory accesses through the LLC alone.
 
     ``filter_cache`` interposes an L2-sized cache so only its misses reach
     the LLC — roughly the access stream the full hierarchy would deliver.
-    ``warmup_accesses`` LLC accesses are replayed before statistics reset.
-    ``observe`` works as in :func:`repro.sim.simulator.simulate`; this host
-    has no core clock, so event timestamps count LLC accesses instead.
+    ``warmup_accesses`` LLC accesses are replayed before statistics reset;
+    a trace whose stream ends before completing the warm-up raises
+    :class:`ValueError` (it used to silently return warm-up-contaminated
+    statistics). ``observe`` works as in
+    :func:`repro.sim.simulator.simulate`; this host has no core clock, so
+    event timestamps count LLC accesses instead.
     ``trace`` may be a :class:`~repro.trace.record.Trace`, a
     :class:`~repro.trace.packed.PackedTrace`, or any record iterable.
-    """
-    from repro.sim.simulator import _observation_events
 
+    ``co_traces`` adds one owner per extra trace sharing the LLC: each
+    primary LLC access is interleaved with one LLC access from every
+    co-owner (their streams wrap, ChampSim-style, and are shifted into
+    per-owner address spaces). Natural thefts between owners are recorded,
+    and each co-owner's counters come back on ``co_results``.
+    """
     packed = as_packed(trace)
     trace_name = getattr(trace, "name", "") or packed.name or "trace"
+    co_traces = list(co_traces) if co_traces else []
+    n_owners = 1 + len(co_traces)
 
-    owner = 0
-    llc = Cache("LLC", config.llc.size, config.llc.assoc, config.block_size,
-                latency=config.llc.latency, policy=config.llc.policy,
-                policy_seed=seed, track_reuse=True)
-    l2: Optional[Cache] = None
-    if filter_cache:
-        l2 = Cache("L2f", config.l2.size, config.l2.assoc, config.block_size,
-                   latency=config.l2.latency, policy="lru")
-    tracker = ContentionTracker()
-    engine: Optional[PInTE] = None
-    if pinte is not None:
-        engine = PInTE(pinte, llc, tracker)
+    session = (SessionBuilder(config, seed=seed)
+               .with_pinte(pinte)
+               .with_observation(observe)
+               .build_cache_only(n_owners, filter_cache=filter_cache))
 
-    events = _observation_events(observe)
-    if events is not None:
-        events.attach(llc)
-        if engine is not None:
-            events.attach(engine)
-        # No core clock here: timestamp events with the LLC access count.
-        events.clock = lambda: seen
+    if n_owners == 1:
+        stepper = AccessReplayStepper(session, packed, owner=0)
+        if session.events is not None:
+            # No core clock here: timestamp events with the live LLC
+            # access count maintained by the stepper.
+            session.events.clock = lambda: stepper.seen
+        group = stepper
+    else:
+        shared_clock = [0]
+        steppers = [AccessReplayStepper(session, packed, owner=0,
+                                        shared_clock=shared_clock)]
+        for owner, co_trace in enumerate(co_traces, 1):
+            co_packed = as_packed(co_trace).offset(owner * ADDRESS_SPACE_STRIDE)
+            steppers.append(AccessReplayStepper(
+                session, co_packed, owner=owner, wrap=True,
+                shared_clock=shared_clock))
+        if session.events is not None:
+            session.events.clock = lambda: shared_clock[0]
+        group = ReplayGroup(steppers)
 
-    block_mask = ~(config.block_size - 1)
-    wall_start = time.perf_counter()
-    seen = 0
-    counters = tracker.counters(owner)
-    stolen = tracker.stolen_blocks(owner)
-    warm = True
+    outcome = drive(session, group, warmup=warmup_accesses, total=None)
 
-    # Hot loop: every callable and container is bound to a local, and the
-    # single-owner contention accounting is inlined (same arithmetic as
-    # ContentionTracker.record_access/record_refill, minus two calls per
-    # LLC access).
-    llc_access = llc.access
-    llc_fill = llc.fill
-    llc_set_index = llc.set_index
-    # Plain-modulo indexing (the default) is inlined as shift+mask below.
-    llc_hashed = llc.hash_index
-    llc_offset_bits = llc._offset_bits
-    llc_set_mask = llc._set_mask
-    l2_access = l2.access if l2 is not None else None
-    l2_fill = l2.fill if l2 is not None else None
-    engine_tick = engine.on_llc_access if engine is not None else None
-
-    # Columnar iteration: the flags byte alone decides whether an
-    # instruction touches memory, so non-memory instructions cost one
-    # bytearray read and a mask test — no record objects anywhere.
-    load_col = packed.loads
-    store_col = packed.stores
-    for index, flag in enumerate(packed.flags):
-        if not flag & FLAG_MEMORY:
-            continue
-        if flag & FLAG_HAS_LOAD:
-            address = load_col[index]
-            is_store = (flag & FLAG_HAS_STORE) != 0
-        else:  # store-only instruction
-            address = store_col[index]
-            is_store = True
-        block = address & block_mask
-        if l2_access is not None:
-            if l2_access(block, is_store, owner):
-                continue
-            l2_fill(block, owner, dirty=is_store)
-        if warm and seen >= warmup_accesses:
-            # End of warm-up: drop statistics, keep all cache state.
-            warm = False
-            llc.stats.hits = llc.stats.misses = llc.stats.accesses = 0
-            llc.reuse_histogram = [0] * llc.assoc
-            llc.reuse_by_owner.pop(owner, None)
-            for name in counters.__slots__:
-                setattr(counters, name, 0)
-        hit = llc_access(block, False, owner)
-        counters.llc_accesses += 1
-        if not hit:
-            counters.llc_misses += 1
-            if block in stolen:
-                counters.interference_misses += 1
-                stolen.discard(block)
-            llc_fill(block, owner)
-            stolen.discard(block)
-        if engine_tick is not None:
-            engine_tick(llc_set_index(block) if llc_hashed
-                        else (block >> llc_offset_bits) & llc_set_mask,
-                        seen, owner)
-        seen += 1
-
-    wall_seconds = time.perf_counter() - wall_start
-    if events is not None:
-        events.detach_all()
+    wall_seconds = time.perf_counter() - session.wall_start
+    session.detach_events()
     if observe is not None:
         profiler = observe.profiler
-        profiler.add_span("simulate", wall_start - profiler.origin,
+        profiler.add_span("simulate", session.wall_start - profiler.origin,
                           wall_seconds)
         observe.registry = collect_host_metrics(
-            observe.registry, llc=llc, tracker=tracker, engine=engine,
-            events=events)
-    return FastCacheResult(
-        trace_name=trace_name,
-        p_induce=pinte.p_induce if pinte else None,
-        accesses=counters.llc_accesses,
-        misses=counters.llc_misses,
-        thefts_experienced=counters.thefts_experienced,
-        interference_misses=counters.interference_misses,
-        reuse_histogram=llc.owner_reuse_histogram(owner),
-        wall_time_seconds=wall_seconds,
-    )
+            observe.registry, llc=session.llc, tracker=session.tracker,
+            engine=session.engine, events=session.events)
+
+    llc = session.llc
+
+    def owner_result(owner: int, name: str) -> FastCacheResult:
+        counters = session.tracker.counters(owner)
+        return FastCacheResult(
+            trace_name=name,
+            p_induce=pinte.p_induce if pinte else None,
+            accesses=counters.llc_accesses,
+            misses=counters.llc_misses,
+            thefts_experienced=counters.thefts_experienced,
+            interference_misses=counters.interference_misses,
+            reuse_histogram=llc.owner_reuse_histogram(owner),
+            wall_time_seconds=wall_seconds,
+        )
+
+    result = owner_result(0, trace_name)
+    for owner, co_trace in enumerate(co_traces, 1):
+        co_name = (getattr(co_trace, "name", "")
+                   or f"co-runner-{owner}")
+        result.co_results.append(owner_result(owner, co_name))
+    return result
 
 
 def fast_contention_sweep(

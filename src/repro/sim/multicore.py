@@ -1,4 +1,4 @@
-"""Multi-programmed (2nd-Trace) simulation.
+"""Multi-programmed (2nd-Trace) and hybrid simulation.
 
 N workloads on N cores with private L1/L2, sharing the LLC, the DRAM
 channels and the contention tracker — the paper's baseline source of real
@@ -13,55 +13,47 @@ its budget.
 paper's motivation section worries about ("if a pair of workloads is not
 representative, then more than two workloads will need to be run
 concurrently which increases CPU and memory costs").
+
+Passing ``pinte=`` produces the **hybrid** context: induced thefts from the
+PInTE engine layered on top of the real contention from the co-runners —
+the experiment that measures whether induced and real thefts are additive.
+The engine attaches to the primary core's hierarchy exactly as in the
+single-core PInTE context; periodic and background-DRAM hooks tick on the
+shared (primary) clock.
+
+This host is a thin composition over :mod:`repro.sim.session`:
+:class:`~repro.sim.session.MultiCoreStepper` owns the furthest-behind
+schedule (with a bit-identical batched fast path when no hook needs a live
+clock) and :func:`~repro.sim.session.drive` owns the warm-up / sampling /
+repartition-epoch cadence shared by every host.
 """
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Tuple
 
-from repro.cache.hierarchy import MemoryHierarchy, build_llc
 from repro.config import MachineConfig
-from repro.core import ContentionTracker
-from repro.cpu import Core
-from repro.dram import Dram
-from repro.obs import Observation, collect_host_metrics
+from repro.obs import Observation
 from repro.obs.sampler import IntervalSampler
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import (
+from repro.sim.session import (
+    ADDRESS_SPACE_STRIDE,
     DEFAULT_SAMPLE_INTERVAL,
-    _finalise,
-    _observation_events,
-    _reset_stats,
+    MultiCoreStepper,
+    SessionBuilder,
+    drive,
+    finalise_result,
+    finish,
 )
 from repro.trace.packed import PackedTrace, as_packed
-from repro.trace.record import Trace, TraceRecord
+from repro.trace.record import Trace
 
-#: Address-space offset applied per core so traces never share data
-#: (they still collide in cache sets, which is what contention is).
-ADDRESS_SPACE_STRIDE = 1 << 44
-
-
-def _offset_trace(trace: Trace, core_id: int) -> List[TraceRecord]:
-    """Clone records into a per-core address space (record-object view).
-
-    Legacy helper kept for record-level consumers; the simulation loop
-    itself uses :func:`_offset_packed`, which shifts whole columns.
-    """
-    if core_id == 0:
-        return trace.records
-    offset = core_id * ADDRESS_SPACE_STRIDE
-    return [
-        TraceRecord(
-            pc=record.pc + offset,
-            load_addr=None if record.load_addr is None else record.load_addr + offset,
-            store_addr=None if record.store_addr is None else record.store_addr + offset,
-            is_branch=record.is_branch,
-            taken=record.taken,
-            dependent=record.dependent,
-        )
-        for record in trace.records
-    ]
+__all__ = [
+    "ADDRESS_SPACE_STRIDE",
+    "all_pairs",
+    "simulate_multiprogrammed",
+    "simulate_pair",
+]
 
 
 def _offset_packed(trace, core_id: int) -> PackedTrace:
@@ -78,6 +70,7 @@ def simulate_multiprogrammed(
     seed: int = 0,
     partitioner=None,
     repartition_interval: int = 5_000,
+    pinte=None,
     observe: Optional[Observation] = None,
 ) -> List[SimulationResult]:
     """Run ``traces[0]`` with ``traces[1:]`` as concurrent contention sources.
@@ -91,121 +84,53 @@ def simulate_multiprogrammed(
     ``partitioner`` (a :class:`~repro.cache.partition.base.Partitioner`)
     installs per-owner LLC way quotas and is re-evaluated every
     ``repartition_interval`` primary instructions.
+
+    ``pinte`` (a :class:`~repro.core.pinte_config.PinteConfig`) layers
+    induced contention on top of the co-runners — the hybrid context; all
+    results report ``mode="hybrid"`` and carry ``p_induce``.
     """
     if len(traces) < 2:
         raise ValueError("multi-programmed simulation needs at least 2 traces")
     n_cores = len(traces)
-    tracker = ContentionTracker()
-    llc = build_llc(config, seed)
-    dram = Dram(config.dram)
-    registry: dict = {}
-    hierarchies = [
-        MemoryHierarchy(config, core_id, llc=llc, dram=dram, tracker=tracker,
-                        registry=registry, seed=seed + core_id)
-        for core_id in range(n_cores)
-    ]
-    if partitioner is not None:
-        partitioner.install(llc)
-        for hierarchy in hierarchies:
-            hierarchy.llc_access_hook = partitioner.on_llc_access
-    cores = [Core(config.core, hierarchy) for hierarchy in hierarchies]
     streams = [_offset_packed(trace, core_id)
                for core_id, trace in enumerate(traces)]
+    # Empty streams are rejected before any resource assembly or per-core
+    # column binding, so a bad mix cannot leave a half-built session.
     for trace, stream in zip(traces, streams):
         if not len(stream):
             raise ValueError(f"trace {trace.name!r} is empty")
-    # Per-core column bindings for the scheduling loop.
-    columns = [(s.pcs, s.loads, s.stores, s.flags, len(s)) for s in streams]
 
-    events = _observation_events(observe)
-    if events is not None:
-        events.attach(llc)
-        # The shared timeline: all core clocks stay aligned, so the primary's
-        # clock is a faithful timestamp for every owner's events.
-        events.clock = lambda: cores[0].cycle
+    builder = SessionBuilder(config, seed=seed).with_pinte(pinte)
+    if partitioner is not None:
+        builder.with_partitioner(partitioner, repartition_interval)
+    session = builder.with_observation(observe).build_timing(n_cores)
 
-    wall_start = time.perf_counter()
     total = (sim_instructions if sim_instructions is not None else
              max(0, len(traces[0]) - warmup_instructions))
-    indices = [0] * n_cores
-
-    def step(core_id: int) -> None:
-        pcs, loads, stores, flags, n_records = columns[core_id]
-        index = indices[core_id]
-        cores[core_id].execute_cols(pcs[index], loads[index], stores[index],
-                                    flags[index])
-        index += 1
-        indices[core_id] = 0 if index == n_records else index
-
-    def step_synchronised() -> int:
-        """Advance the core whose clock is furthest behind; returns its id.
-
-        Cycle-synchronised scheduling keeps all clocks aligned, so the
-        shared DRAM sees a consistent timeline — a fast core executes more
-        instructions per unit time, exactly like hardware.
-        """
-        core_id = min(range(n_cores), key=lambda i: cores[i].cycle)
-        step(core_id)
-        return core_id
-
-    # --- warm-up (until the primary has retired its warm-up budget) ---
-    warmed = 0
-    while warmed < warmup_instructions:
-        if step_synchronised() == 0:
-            warmed += 1
-    for core_id in range(n_cores):
-        _reset_stats(cores[core_id], hierarchies[core_id], tracker, core_id)
-    if events is not None:
-        events.clear()  # warm-up events go with the warm-up statistics
-    start_cycles = [core.cycle for core in cores]
-    warmup_seconds = time.perf_counter() - wall_start
-
-    # --- measured region ---
-    measure_start = time.perf_counter()
-    sampler = IntervalSampler(cores[0], llc, 0, tracker, sample_interval)
-    executed = 0
-    # One sample per full interval of *primary* retirements — the executed
-    # count is the single authority, matching the single-core host.
-    next_sample = sample_interval
-    while executed < total:
-        if step_synchronised() == 0:
-            executed += 1
-            if executed == next_sample:
-                sampler.sample()
-                next_sample += sample_interval
-            if partitioner is not None and executed % repartition_interval == 0:
-                partitioner.epoch(llc, tracker)
-    sampler.finalize()
-    measure_seconds = time.perf_counter() - measure_start
+    stepper = MultiCoreStepper(session, streams)
+    outcome = drive(session, stepper, warmup=warmup_instructions,
+                    total=total, sample_interval=sample_interval)
 
     empty_samplers = [
-        IntervalSampler(cores[core_id], llc, core_id, tracker, sample_interval)
+        IntervalSampler(session.cores[core_id], session.llc, core_id,
+                        session.tracker, sample_interval)
         for core_id in range(1, n_cores)
     ]
-    results = [_finalise(cores[0], hierarchies[0], tracker, 0, start_cycles[0],
-                         sampler, traces[0].name, "2nd-trace", wall_start,
-                         None, "+".join(t.name for t in traces[1:]), seed)]
+    mode = "hybrid" if pinte is not None else "2nd-trace"
+    p_induce = pinte.p_induce if pinte is not None else None
+    results = [finalise_result(
+        session.cores[0], session.hierarchies[0], session.tracker, 0,
+        outcome.start_cycles[0], outcome.sampler, traces[0].name, mode,
+        session.wall_start, p_induce,
+        "+".join(t.name for t in traces[1:]), seed)]
     for core_id in range(1, n_cores):
-        results.append(_finalise(
-            cores[core_id], hierarchies[core_id], tracker, core_id,
-            start_cycles[core_id], empty_samplers[core_id - 1],
-            traces[core_id].name, "2nd-trace", wall_start, None,
-            traces[0].name, seed,
+        results.append(finalise_result(
+            session.cores[core_id], session.hierarchies[core_id],
+            session.tracker, core_id, outcome.start_cycles[core_id],
+            empty_samplers[core_id - 1], traces[core_id].name, mode,
+            session.wall_start, p_induce, traces[0].name, seed,
         ))
-    for result in results:
-        result.extra["phase_warmup_seconds"] = warmup_seconds
-        result.extra["phase_simulate_seconds"] = measure_seconds
-    if events is not None:
-        events.detach_all()
-    if observe is not None:
-        profiler = observe.profiler
-        origin = profiler.origin
-        profiler.add_span("warmup", wall_start - origin, warmup_seconds)
-        profiler.add_span("simulate", measure_start - origin, measure_seconds)
-        observe.registry = collect_host_metrics(
-            observe.registry, cores=cores, hierarchies=hierarchies,
-            llc=llc, tracker=tracker, events=events,
-            start_cycles=start_cycles)
+    finish(session, outcome, results)
     return results
 
 
@@ -218,13 +143,15 @@ def simulate_pair(
     sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
     seed: int = 0,
     return_secondary: bool = False,
+    pinte=None,
     observe: Optional[Observation] = None,
 ) -> SimulationResult:
     """Run ``primary`` with ``secondary`` as the contention source.
 
     Returns the primary core's result (the workload under study). With
     ``return_secondary`` the result's ``extra`` carries the secondary IPC so
-    throughput studies can use both sides.
+    throughput studies can use both sides. ``pinte`` adds induced
+    contention on top of the co-runner (the hybrid context).
     """
     results = simulate_multiprogrammed(
         [primary, secondary], config,
@@ -232,6 +159,7 @@ def simulate_pair(
         sim_instructions=sim_instructions,
         sample_interval=sample_interval,
         seed=seed,
+        pinte=pinte,
         observe=observe,
     )
     result = results[0]

@@ -51,8 +51,9 @@ class Sample:
 class SimulationResult:
     """Everything one simulation produced.
 
-    ``mode`` is "isolation", "pinte" or "2nd-trace"; ``p_induce`` is set for
-    PInTE runs and ``co_runner`` for 2nd-Trace runs.
+    ``mode`` is "isolation", "pinte", "2nd-trace" or "hybrid" (induced +
+    real contention); ``p_induce`` is set for PInTE and hybrid runs and
+    ``co_runner`` for 2nd-Trace and hybrid runs.
     """
 
     trace_name: str
@@ -127,4 +128,6 @@ class SimulationResult:
             return f"{self.trace_name}@pinte({self.p_induce})"
         if self.mode == "2nd-trace":
             return f"{self.trace_name}+{self.co_runner}"
+        if self.mode == "hybrid":
+            return f"{self.trace_name}+{self.co_runner}@pinte({self.p_induce})"
         return f"{self.trace_name}@isolation"

@@ -3,103 +3,46 @@
 ``simulate(...)`` is the main entry point for one workload on one machine.
 With ``pinte=None`` it produces the paper's *Isolation* context; with a
 :class:`~repro.core.pinte_config.PinteConfig` it produces the *PInTE*
-context. The 2nd-Trace context lives in :mod:`repro.sim.multicore`.
+context. The 2nd-Trace and hybrid contexts live in
+:mod:`repro.sim.multicore`.
+
+This host is a thin composition over :mod:`repro.sim.session`: a
+:class:`~repro.sim.session.SessionBuilder` assembles the machine, a
+:class:`~repro.sim.session.SingleCoreStepper` owns the stepwise/blocked
+execution, and :func:`~repro.sim.session.drive` owns the warm-up ->
+stats-reset -> measured-region -> sampling cadence shared by every host.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-from repro.cache.cache import Cache, CacheStats
-from repro.cache.hierarchy import MemoryHierarchy, build_llc
 from repro.config import MachineConfig
-from repro.core import ContentionTracker, PInTE, PinteConfig
-from repro.core.extensions import BackgroundDramTraffic, PeriodicPinte
-from repro.core.pinte_config import TRIGGER_PER_ACCESS
-from repro.cpu import Core, CoreStats
-from repro.obs import Observation, collect_host_metrics
-from repro.obs import events as obs_events
+from repro.core import PinteConfig
+from repro.obs import Observation, observation_events
 from repro.obs.sampler import IntervalSampler
 from repro.sim.results import SimulationResult
+from repro.sim.session import (
+    DEFAULT_SAMPLE_INTERVAL,
+    SessionBuilder,
+    SingleCoreStepper,
+    drive,
+    finalise_result,
+    finish,
+    reset_stats,
+)
 from repro.trace.packed import as_packed
 
-DEFAULT_SAMPLE_INTERVAL = 10_000  # scaled stand-in for the paper's 10M
+__all__ = ["DEFAULT_SAMPLE_INTERVAL", "simulate"]
 
-#: Backwards-compatible alias: the sampler both hosts share now lives in
-#: :mod:`repro.obs.sampler` (it was duplicated per-host before).
+#: Backwards-compatible aliases: these helpers now live in
+#: :mod:`repro.sim.session` (shared by every host) and
+#: :mod:`repro.obs.events` (the public ``observation_events``); the old
+#: private names keep working for existing imports.
 _Sampler = IntervalSampler
-
-
-def _observation_events(observe: Optional[Observation]):
-    """The event trace for this run: the observation's, else the module-level
-    globally-enabled one, else ``None`` (tracing fully off)."""
-    if observe is not None and observe.events is not None:
-        return observe.events
-    return obs_events.ACTIVE
-
-
-def _reset_stats(core: Core, hierarchy: MemoryHierarchy,
-                 tracker: ContentionTracker, owner: int) -> None:
-    """Clear warm-up statistics while keeping all cache/predictor state."""
-    core.stats = CoreStats()
-    core.predictor.stats.reset()
-    for cache in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2, hierarchy.llc):
-        cache.stats = CacheStats()
-        if cache.track_reuse:
-            cache.reuse_histogram = [0] * cache.assoc
-            cache.reuse_by_owner.pop(owner, None)
-    # Replace the owner's contention counters in place.
-    counters = tracker.counters(owner)
-    for name in counters.__slots__:
-        setattr(counters, name, 0)
-
-
-def _finalise(core: Core, hierarchy: MemoryHierarchy, tracker: ContentionTracker,
-              owner: int, start_cycle: int, sampler: _Sampler,
-              trace_name: str, mode: str, wall_start: float,
-              p_induce: Optional[float], co_runner: Optional[str],
-              seed: int) -> SimulationResult:
-    counters = tracker.counters(owner)
-    cycles = core.cycle - start_cycle
-    instructions = core.stats.instructions
-    llc = hierarchy.llc
-    cpi_stack = {f"cpi_{component}": value
-                 for component, value in core.stats.cpi_stack().items()}
-    return SimulationResult(
-        extra=cpi_stack,
-        trace_name=trace_name,
-        mode=mode,
-        instructions=instructions,
-        cycles=cycles,
-        ipc=instructions / cycles if cycles else 0.0,
-        miss_rate=(counters.llc_misses / counters.llc_accesses
-                   if counters.llc_accesses else 0.0),
-        amat=core.stats.amat,
-        p_induce=p_induce,
-        co_runner=co_runner,
-        seed=seed,
-        contention_rate=counters.contention_rate,
-        interference_rate=counters.interference_rate,
-        thefts_experienced=counters.thefts_experienced,
-        thefts_caused=counters.thefts_caused,
-        interference_misses=counters.interference_misses,
-        llc_accesses=counters.llc_accesses,
-        llc_misses=counters.llc_misses,
-        llc_writeback_fills=llc.stats.writeback_fills,
-        l2_misses=hierarchy.l2.stats.misses,
-        l2_accesses=hierarchy.l2.stats.accesses,
-        l1d_miss_rate=hierarchy.l1d.stats.miss_rate,
-        branch_accuracy=core.predictor.stats.accuracy,
-        branch_mpki=(1000.0 * core.predictor.stats.mispredictions / instructions
-                     if instructions else 0.0),
-        prefetch_issued=hierarchy.prefetch_issued(),
-        prefetch_useful=hierarchy.prefetch_useful(),
-        reuse_histogram=llc.owner_reuse_histogram(owner),
-        samples=sampler.samples,
-        wall_time_seconds=time.perf_counter() - wall_start,
-        occupancy=llc.occupancy(owner) / llc.capacity_blocks,
-    )
+_observation_events = observation_events
+_reset_stats = reset_stats
+_finalise = finalise_result
 
 
 def simulate(
@@ -111,6 +54,8 @@ def simulate(
     sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
     seed: int = 0,
     observe: Optional[Observation] = None,
+    partitioner=None,
+    repartition_interval: int = 5_000,
 ) -> SimulationResult:
     """Run one workload alone (optionally under PInTE contention).
 
@@ -129,152 +74,34 @@ def simulate(
     spans land on its profiler, and a unified
     :class:`~repro.obs.registry.MetricRegistry` is left on
     ``observe.registry`` at the end.
+
+    ``partitioner`` (a :class:`~repro.cache.partition.base.Partitioner`)
+    installs per-owner LLC way quotas, re-evaluated every
+    ``repartition_interval`` measured instructions — useful for studying a
+    partitioning scheme's overhead on a workload running alone.
     """
-    owner = 0
-    tracker = ContentionTracker()
-    llc = build_llc(config, seed)
-    registry: dict = {}
-    hierarchy = MemoryHierarchy(config, owner, llc=llc, tracker=tracker,
-                                registry=registry, seed=seed)
-    core = Core(config.core, hierarchy)
-    engine: Optional[PInTE] = None
-    periodic = None
-    background = None
-    if pinte is not None:
-        engine = PInTE(pinte, llc, tracker)
-        per_access = pinte.trigger == TRIGGER_PER_ACCESS
-        hierarchy.attach_pinte(engine, per_access=per_access)
-        if not per_access:
-            periodic = PeriodicPinte(engine, pinte.period_cycles)
-        if pinte.dram_background_rpkc > 0:
-            background = BackgroundDramTraffic(
-                hierarchy.dram, pinte.dram_background_rpkc, seed=pinte.seed
-            )
+    builder = SessionBuilder(config, seed=seed).with_pinte(pinte)
+    if partitioner is not None:
+        builder.with_partitioner(partitioner, repartition_interval)
+    session = builder.with_observation(observe).build_timing(1)
 
-    events = _observation_events(observe)
-    if events is not None:
-        events.attach(llc)
-        if engine is not None:
-            events.attach(engine)
-        events.clock = lambda: core.cycle
-
-    wall_start = time.perf_counter()
     packed = as_packed(trace)
     trace_name = getattr(trace, "name", "") or packed.name or "trace"
-    pcs, loads, stores, flags = (packed.pcs, packed.loads, packed.stores,
-                                 packed.flags)
     n_records = len(packed)
     total = (sim_instructions if sim_instructions is not None else
              max(0, n_records - warmup_instructions))
     if n_records == 0:
-        if events is not None:
-            events.detach_all()
+        session.detach_events()
         raise ValueError(f"trace {trace_name!r} is empty")
 
-    index = 0
-    hooks_active = periodic is not None or background is not None
-    # Block execution batches the core's clock/stat updates, so anything
-    # that needs a live per-instruction view of ``core.cycle`` (periodic
-    # PInTE / background-DRAM hooks, event-trace timestamps) forces the
-    # per-instruction path instead.
-    stepwise = hooks_active or events is not None
-
-    # --- warm-up ---
-    if stepwise:
-        execute_cols = core.execute_cols
-        for _ in range(warmup_instructions):
-            execute_cols(pcs[index], loads[index], stores[index],
-                         flags[index])
-            index += 1
-            if index == n_records:
-                index = 0
-            if periodic is not None:
-                periodic.maybe_tick(core.cycle, owner)
-            if background is not None:
-                background.advance(core.cycle)
-    else:
-        remaining = warmup_instructions
-        while remaining:
-            chunk = min(remaining, n_records - index)
-            core.execute_block(pcs, loads, stores, flags, index, chunk)
-            remaining -= chunk
-            index += chunk
-            if index == n_records:
-                index = 0
-    _reset_stats(core, hierarchy, tracker, owner)
-    if engine is not None:
-        engine.stats = type(engine.stats)()
-    if events is not None:
-        # Warm-up events are discarded with the warm-up statistics, so the
-        # trace's per-kind counts stay consistent with the absorbed metrics.
-        events.clear()
-    start_cycle = core.cycle
-    warmup_seconds = time.perf_counter() - wall_start
-
-    # --- measured region ---
-    measure_start = time.perf_counter()
-    sampler = IntervalSampler(core, llc, owner, tracker, sample_interval)
-    executed = 0
-    # Sampling cadence: the executed-record count is the single authority —
-    # exactly one sample per full interval, no matter how warm-up aligned.
-    next_sample = sample_interval
-    if stepwise:
-        execute_cols = core.execute_cols
-        while executed < total:
-            execute_cols(pcs[index], loads[index], stores[index],
-                         flags[index])
-            index += 1
-            if index == n_records:
-                index = 0
-            if periodic is not None:
-                periodic.maybe_tick(core.cycle, owner)
-            if background is not None:
-                background.advance(core.cycle)
-            executed += 1
-            if executed == next_sample:
-                sampler.sample()
-                next_sample += sample_interval
-    else:
-        # Chunk boundaries fall at sample points and record wraparound, so
-        # the blocked path samples at exactly the same instruction counts.
-        execute_block = core.execute_block
-        while executed < total:
-            chunk = min(total - executed, n_records - index,
-                        next_sample - executed)
-            execute_block(pcs, loads, stores, flags, index, chunk)
-            executed += chunk
-            index += chunk
-            if index == n_records:
-                index = 0
-            if executed == next_sample:
-                sampler.sample()
-                next_sample += sample_interval
-    sampler.finalize()
-    measure_seconds = time.perf_counter() - measure_start
+    stepper = SingleCoreStepper(session, packed)
+    outcome = drive(session, stepper, warmup=warmup_instructions,
+                    total=total, sample_interval=sample_interval)
 
     mode = "pinte" if pinte is not None else "isolation"
-    result = _finalise(core, hierarchy, tracker, owner, start_cycle, sampler,
-                       trace_name, mode, wall_start,
-                       pinte.p_induce if pinte else None, None, seed)
-    result.extra["phase_warmup_seconds"] = warmup_seconds
-    result.extra["phase_simulate_seconds"] = measure_seconds
-    if engine is not None:
-        result.extra["pinte_triggers"] = float(engine.stats.triggers)
-        result.extra["pinte_trigger_rate"] = engine.stats.trigger_rate
-        result.extra["pinte_invalidations"] = float(engine.stats.invalidations)
-    if periodic is not None:
-        result.extra["pinte_periodic_rounds"] = float(periodic.rounds)
-    if background is not None:
-        result.extra["dram_background_requests"] = float(background.requests)
-    if events is not None:
-        events.detach_all()
-    if observe is not None:
-        profiler = observe.profiler
-        origin = profiler.origin
-        profiler.add_span("warmup", wall_start - origin, warmup_seconds)
-        profiler.add_span("simulate", measure_start - origin, measure_seconds)
-        observe.registry = collect_host_metrics(
-            observe.registry, cores=(core,), hierarchies=(hierarchy,),
-            llc=llc, tracker=tracker, engine=engine, events=events,
-            start_cycles=(start_cycle,))
+    result = finalise_result(
+        session.cores[0], session.hierarchies[0], session.tracker, 0,
+        outcome.start_cycles[0], outcome.sampler, trace_name, mode,
+        session.wall_start, pinte.p_induce if pinte else None, None, seed)
+    finish(session, outcome, [result])
     return result

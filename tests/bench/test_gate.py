@@ -38,6 +38,7 @@ class TestSuiteInference:
         assert suite_for_baseline("x/y/BENCH_trace.json") == "trace"
         assert suite_for_baseline("BENCH_reproduce.json") == "reproduce"
         assert suite_for_baseline("BENCH_obs.json") == "obs"
+        assert suite_for_baseline("BENCH_session.json") == "session"
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
@@ -149,6 +150,20 @@ class TestRunGate:
         path = self.baseline(tmp_path, a_per_sec=100.0, gone_per_sec=5.0)
         report = run_gate(path, measured={"a_per_sec": 100.0})
         assert report.missing == ["gone_per_sec"]
+
+    def test_suite_override_beats_filename_inference(self, tmp_path):
+        # How `repro bench --suite session --baseline BENCH_datapath.json`
+        # gates the session run against the datapath floors.
+        path = self.baseline(tmp_path, a_per_sec=100.0)
+        report = run_gate(path, suite="session",
+                          measured={"a_per_sec": 100.0})
+        assert report.suite == "session"
+        assert report.ok
+
+    def test_unknown_suite_override_rejected(self, tmp_path):
+        path = self.baseline(tmp_path, a_per_sec=100.0)
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_gate(path, suite="mystery", measured={"a_per_sec": 100.0})
 
     def test_default_tolerance_is_generous(self):
         assert DEFAULT_TOLERANCE == pytest.approx(0.30)

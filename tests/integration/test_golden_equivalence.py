@@ -26,6 +26,8 @@ GOLDEN = json.loads(GOLDEN_FILE.read_text())
 FULL_SIM_KEYS = sorted(GOLDEN["full_sim"])
 FASTCACHE_KEYS = sorted(GOLDEN["fastcache"])
 VICTIM_KEYS = sorted(GOLDEN["victim_sequences"])
+MULTICORE_KEYS = sorted(GOLDEN["multicore"])
+HYBRID_KEYS = sorted(GOLDEN["hybrid"])
 
 
 @pytest.fixture(scope="session")
@@ -41,6 +43,16 @@ def fastcache_capture():
 @pytest.fixture(scope="session")
 def victim_capture():
     return goldens.victim_sequence_goldens()
+
+
+@pytest.fixture(scope="session")
+def multicore_capture():
+    return goldens.multicore_goldens()
+
+
+@pytest.fixture(scope="session")
+def hybrid_capture():
+    return goldens.hybrid_goldens()
 
 
 class TestMatrixPinned:
@@ -60,6 +72,17 @@ class TestMatrixPinned:
         assert len(FULL_SIM_KEYS) == 18
         assert len(FASTCACHE_KEYS) == 18
         assert len(VICTIM_KEYS) == 12
+        assert len(MULTICORE_KEYS) == 5
+
+    def test_total_config_count(self):
+        # The 53-config matrix every session-layer change must preserve.
+        assert (len(FULL_SIM_KEYS) + len(FASTCACHE_KEYS) + len(VICTIM_KEYS)
+                + len(MULTICORE_KEYS)) == 53
+
+    def test_hybrid_config_count(self):
+        # Captured separately (from the session-layer implementation that
+        # introduced the context), one per replacement policy.
+        assert len(HYBRID_KEYS) == 3
 
 
 class TestFullSimEquivalence:
@@ -84,6 +107,40 @@ class TestFastcacheEquivalence:
 
     def test_no_extra_configs(self, fastcache_capture):
         assert sorted(fastcache_capture) == FASTCACHE_KEYS
+
+
+class TestMulticoreEquivalence:
+    """2nd-Trace host: per-core counters under the furthest-behind schedule."""
+
+    @pytest.mark.parametrize("key", MULTICORE_KEYS)
+    def test_config(self, multicore_capture, key):
+        assert key in multicore_capture, f"capture missing config {key}"
+        expected = GOLDEN["multicore"][key]
+        actual = multicore_capture[key]
+        assert sorted(actual) == sorted(expected)
+        for core, observables in expected.items():
+            assert actual[core] == observables, (
+                f"{key}: {core} diverged")
+
+    def test_no_extra_configs(self, multicore_capture):
+        assert sorted(multicore_capture) == MULTICORE_KEYS
+
+
+class TestHybridEquivalence:
+    """Hybrid context: induced thefts on real co-runner contention."""
+
+    @pytest.mark.parametrize("key", HYBRID_KEYS)
+    def test_config(self, hybrid_capture, key):
+        assert key in hybrid_capture, f"capture missing config {key}"
+        expected = GOLDEN["hybrid"][key]
+        actual = hybrid_capture[key]
+        assert sorted(actual) == sorted(expected)
+        for core, observables in expected.items():
+            assert actual[core] == observables, (
+                f"{key}: {core} diverged")
+
+    def test_no_extra_configs(self, hybrid_capture):
+        assert sorted(hybrid_capture) == HYBRID_KEYS
 
 
 class TestVictimSequenceEquivalence:

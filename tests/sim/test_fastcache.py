@@ -51,6 +51,76 @@ class TestCacheOnly:
         assert a.thefts_experienced == b.thefts_experienced
 
 
+class TestWarmupExhaustion:
+    """A stream shorter than the warm-up must fail loudly, not silently
+    return warm-up-contaminated statistics (the pre-session-layer bug)."""
+
+    def test_warmup_longer_than_stream_raises(self, config):
+        # Cache-friendly workload: its LLC access stream is tiny.
+        trace = build_trace(get_workload("400.perlbench"), 5_000, 1,
+                            config.llc.size)
+        with pytest.raises(ValueError, match="warm-up"):
+            simulate_cache_only(trace, config, warmup_accesses=1_000_000)
+
+    def test_error_reports_progress(self, lbm, config):
+        available = simulate_cache_only(lbm, config).accesses
+        with pytest.raises(ValueError,
+                           match=f"only {available} of {available + 1}"):
+            simulate_cache_only(lbm, config, warmup_accesses=available + 1)
+
+    def test_exact_warmup_boundary_succeeds(self, lbm, config):
+        available = simulate_cache_only(lbm, config).accesses
+        result = simulate_cache_only(lbm, config, warmup_accesses=available)
+        assert result.accesses == 0
+
+
+class TestMultiOwnerReplay:
+    @pytest.fixture(scope="class")
+    def mcf(self, config):
+        return build_trace(get_workload("429.mcf"), 20_000, 2,
+                           config.llc.size)
+
+    def test_co_results_per_owner(self, lbm, mcf, config):
+        result = simulate_cache_only(lbm, config, co_traces=[mcf])
+        assert len(result.co_results) == 1
+        co = result.co_results[0]
+        assert co.trace_name == "429.mcf"
+        assert co.accesses > 0
+        assert 0.0 <= co.miss_rate <= 1.0
+
+    def test_primary_stream_fully_replayed(self, lbm, mcf, config):
+        solo = simulate_cache_only(lbm, config)
+        shared = simulate_cache_only(lbm, config, co_traces=[mcf])
+        # The primary replays its whole access stream either way; only the
+        # LLC outcome changes under contention.
+        assert shared.accesses == solo.accesses
+        assert shared.misses >= solo.misses
+
+    def test_natural_thefts_recorded(self, lbm, mcf, config):
+        result = simulate_cache_only(lbm, config, co_traces=[mcf])
+        total_thefts = (result.thefts_experienced
+                        + sum(co.thefts_experienced
+                              for co in result.co_results))
+        assert total_thefts > 0
+
+    def test_deterministic(self, lbm, mcf, config):
+        a = simulate_cache_only(lbm, config, co_traces=[mcf],
+                                pinte=PinteConfig(0.2, seed=3))
+        b = simulate_cache_only(lbm, config, co_traces=[mcf],
+                                pinte=PinteConfig(0.2, seed=3))
+        assert a.misses == b.misses
+        assert a.thefts_experienced == b.thefts_experienced
+        assert ([co.misses for co in a.co_results]
+                == [co.misses for co in b.co_results])
+
+    def test_empty_co_traces_matches_single_owner(self, lbm, config):
+        solo = simulate_cache_only(lbm, config)
+        empty = simulate_cache_only(lbm, config, co_traces=[])
+        assert empty.accesses == solo.accesses
+        assert empty.misses == solo.misses
+        assert empty.co_results == []
+
+
 class TestAgreementWithFullSimulator:
     def test_miss_rate_tracks_full_model(self, lbm, config):
         """The fast host's LLC miss rate approximates the full hierarchy's

@@ -152,3 +152,36 @@ class TestMetricsConsistency:
     def test_mpki_properties(self, lbm_isolation):
         assert lbm_isolation.llc_mpki >= 0
         assert lbm_isolation.l2_mpki >= lbm_isolation.llc_mpki * 0.5  # sanity
+
+
+class TestSingleCorePartitioner:
+    """``partitioner=`` on single-core simulate() — a session-layer
+    capability the original host never exposed."""
+
+    def _partitioner(self, config, owners):
+        from repro.cache.partition import make_partitioner
+        n_ways = config.llc.assoc
+        n_sets = config.llc.size // (n_ways * config.block_size)
+        return make_partitioner("static", n_sets, n_ways, owners=owners)
+
+    def test_half_quota_caps_occupancy(self, config, lbm_trace):
+        # Owner 1 never runs, so its static half of the ways stays empty:
+        # the LLC-bound workload cannot exceed half the LLC.
+        unconstrained = simulate(lbm_trace, config, warmup_instructions=500,
+                                 sim_instructions=4000)
+        capped = simulate(lbm_trace, config,
+                          partitioner=self._partitioner(config, [0, 1]),
+                          warmup_instructions=500, sim_instructions=4000)
+        assert unconstrained.occupancy > 0.5
+        assert capped.occupancy <= 0.5
+        assert capped.llc_misses >= unconstrained.llc_misses
+
+    def test_deterministic(self, config, lbm_trace):
+        a = simulate(lbm_trace, config,
+                     partitioner=self._partitioner(config, [0, 1]),
+                     sim_instructions=3000)
+        b = simulate(lbm_trace, config,
+                     partitioner=self._partitioner(config, [0, 1]),
+                     sim_instructions=3000)
+        assert a.ipc == b.ipc
+        assert a.llc_misses == b.llc_misses

@@ -50,6 +50,13 @@ class TestRun:
         out = capsys.readouterr().out
         assert "470.lbm+450.soplex" in out
 
+    def test_versus_with_p_induce_is_hybrid(self, capsys):
+        assert main(["run", "470.lbm", "--versus", "450.soplex",
+                     "--p-induce", "0.3"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        # The hybrid label: co-runner AND induction probability together.
+        assert "470.lbm+450.soplex@pinte(0.3)" in out
+
     def test_unknown_workload(self):
         with pytest.raises(SystemExit, match="unknown workload"):
             main(["run", "999.bogus"] + self.ARGS)
